@@ -1,0 +1,251 @@
+// Package repro's root benchmark harness: one benchmark per paper
+// table/figure (see DESIGN.md's experiment index) plus substrate
+// micro-benchmarks. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment benchmark prints the paper-vs-measured table on its
+// first iteration; cmd/kucode renders the same tables on demand.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/cosy/kext"
+	"repro/internal/cosy/lang"
+	"repro/internal/kgcc"
+	"repro/internal/mem"
+	"repro/internal/minic"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/splay"
+	"repro/internal/sys"
+	"repro/internal/workload"
+)
+
+func benchTable(b *testing.B, fn func() (*bench.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tbl)
+			if !tbl.AllPass() {
+				b.Errorf("%s has rows outside the acceptance band", tbl.ID)
+			}
+		}
+	}
+}
+
+// BenchmarkE1Readdirplus regenerates §2.2's readdirplus table.
+func BenchmarkE1Readdirplus(b *testing.B) {
+	benchTable(b, func() (*bench.Table, error) { return bench.E1(false) })
+}
+
+// BenchmarkE2TraceSavings regenerates §2.2's trace-savings projection.
+func BenchmarkE2TraceSavings(b *testing.B) { benchTable(b, bench.E2) }
+
+// BenchmarkE3CosyMicro regenerates §2.3's micro-benchmarks.
+func BenchmarkE3CosyMicro(b *testing.B) { benchTable(b, bench.E3) }
+
+// BenchmarkE4CosyApps regenerates §2.3's application benchmarks.
+func BenchmarkE4CosyApps(b *testing.B) { benchTable(b, bench.E4) }
+
+// BenchmarkE5Kefence regenerates §3.2's Kefence overhead table.
+func BenchmarkE5Kefence(b *testing.B) { benchTable(b, bench.E5) }
+
+// BenchmarkE6EventMonitor regenerates §3.3's monitoring overheads.
+func BenchmarkE6EventMonitor(b *testing.B) { benchTable(b, bench.E6) }
+
+// BenchmarkE7KGCC regenerates §3.4's instrumented-module table.
+func BenchmarkE7KGCC(b *testing.B) { benchTable(b, bench.E7) }
+
+// BenchmarkE8CheckElimination regenerates §3.4's static statistics.
+func BenchmarkE8CheckElimination(b *testing.B) { benchTable(b, bench.E8) }
+
+// Ablation benchmarks (design choices called out in DESIGN.md §5).
+
+func BenchmarkAblationCosySegModes(b *testing.B) { benchTable(b, bench.AblationCosySegModes) }
+
+func BenchmarkAblationKGCCElim(b *testing.B) { benchTable(b, bench.AblationKGCCElim) }
+
+func BenchmarkAblationKefencePlacement(b *testing.B) {
+	benchTable(b, bench.AblationKefencePlacement)
+}
+
+func BenchmarkAblationKmonBlocking(b *testing.B) { benchTable(b, bench.AblationKmonBlocking) }
+
+func BenchmarkAblationSplayLocality(b *testing.B) { benchTable(b, bench.AblationSplayLocality) }
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkSyscallPath measures the simulated getpid round trip in
+// real time (the harness's own overhead per syscall).
+func BenchmarkSyscallPath(b *testing.B) {
+	s, err := core.New(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Spawn("bench", func(pr *sys.Proc) error {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pr.Getpid()
+		}
+		return nil
+	})
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCompoundExec measures Cosy compound execution throughput.
+func BenchmarkCompoundExec(b *testing.B) {
+	s, err := core.New(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := s.CosyEngine(kext.ModeDataSeg)
+	src := `
+int f(void) {
+	COSY_START;
+	int s = 0;
+	for (int i = 0; i < 100; i++) { s += i; }
+	cosy_return(s);
+	COSY_END;
+	return 0;
+}`
+	raw, shmSize, err := compileMarked(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Spawn("bench", func(pr *sys.Proc) error {
+		shm, err := e.NewShm(shmSize + 64)
+		if err != nil {
+			return err
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Exec(pr, raw, shm); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func compileMarked(src string) ([]byte, int, error) {
+	c, err := ccCompile(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return lang.Encode(c), c.ShmSize, nil
+}
+
+// BenchmarkSplayMap measures object-map lookups under locality.
+func BenchmarkSplayMap(b *testing.B) {
+	var tr splay.Tree[int]
+	r := sim.NewRand(1)
+	keys := make([]uint64, 4096)
+	for i := range keys {
+		keys[i] = r.Uint64() % (1 << 30)
+		tr.Insert(keys[i], i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Find(keys[(i/64)%len(keys)])
+	}
+}
+
+// BenchmarkLockFreeRing measures the event ring's push/pop pair.
+func BenchmarkLockFreeRing(b *testing.B) {
+	buf := ring.New[int64](1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.TryPush(int64(i))
+		buf.TryPop()
+	}
+}
+
+// BenchmarkMinicInterp measures the mini-C interpreter.
+func BenchmarkMinicInterp(b *testing.B) {
+	unit, err := minic.CompileSource(`
+int work(int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) { s += i * 3 - (i & 7); }
+	return s;
+}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	costs := sim.DefaultCosts()
+	as := mem.NewAddressSpace("bench", mem.NewPhys(0), &costs)
+	ip, err := minic.NewInterp(as, unit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ip.MaxSteps = 1 << 62
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ip.Call("work", 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKGCCCheckedInterp measures the same kernel with full BCC
+// checks, for the instrumentation slowdown in real time.
+func BenchmarkKGCCCheckedInterp(b *testing.B) {
+	unit, err := minic.CompileSource(`
+int work(int n) {
+	int a[64];
+	int s = 0;
+	for (int i = 0; i < 64; i++) { a[i] = i * n; }
+	for (int i = 0; i < 64; i++) { s += a[i]; }
+	return s;
+}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kgcc.InstrumentUnit(unit, kgcc.FullChecks())
+	costs := sim.DefaultCosts()
+	as := mem.NewAddressSpace("bench", mem.NewPhys(0), &costs)
+	ip, err := minic.NewInterp(as, unit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ip.MaxSteps = 1 << 62
+	m := kgcc.NewMap(&costs, nil)
+	kgcc.Attach(ip, m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ip.Call("work", 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPostMark measures a small PostMark run end to end.
+func BenchmarkPostMark(b *testing.B) {
+	cfg := workload.DefaultPostMark()
+	cfg.InitialFiles, cfg.Transactions = 50, 200
+	for i := 0; i < b.N; i++ {
+		s, err := core.New(core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Spawn("pm", func(pr *sys.Proc) error {
+			_, err := workload.PostMark(pr, cfg)
+			return err
+		})
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

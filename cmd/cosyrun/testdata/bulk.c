@@ -1,0 +1,17 @@
+// A self-contained marked region: creates a file, writes a pattern,
+// reads it back, and returns the byte count. Run with:
+//   go run ./cmd/cosyrun -fn main -dump cmd/cosyrun/testdata/bulk.c
+int main(void) {
+	COSY_START;
+	char buf[1024];
+	int fd = sys_creat("/scratch.bin");
+	for (int i = 0; i < 1024; i++) { buf[i] = i % 251; }
+	int w = sys_write(fd, buf, 1024);
+	sys_close(fd);
+	int rfd = sys_open("/scratch.bin", 0);
+	int r = sys_read(rfd, buf, 1024);
+	sys_close(rfd);
+	cosy_return(w + r);
+	COSY_END;
+	return 0;
+}

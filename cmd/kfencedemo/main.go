@@ -1,0 +1,78 @@
+// Command kfencedemo demonstrates Kefence catching a kernel buffer
+// overflow: a buggy module writes one byte past its allocation and
+// the guardian PTE traps it, in the configured mode.
+//
+// Usage:
+//
+//	kfencedemo [-mode crash|ro|rw] [-underflow]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/kefence"
+	"repro/internal/kernel"
+)
+
+func main() {
+	modeFlag := flag.String("mode", "crash", "overflow policy: crash, ro (log, map read-only), rw (log, map read-write)")
+	underflow := flag.Bool("underflow", false, "place the guard before the buffer (catch underflows)")
+	flag.Parse()
+
+	mode := kefence.ModeCrash
+	switch *modeFlag {
+	case "crash":
+	case "ro":
+		mode = kefence.ModeLogRO
+	case "rw":
+		mode = kefence.ModeLogRW
+	default:
+		fmt.Fprintln(os.Stderr, "kfencedemo: unknown mode", *modeFlag)
+		os.Exit(2)
+	}
+
+	m := kernel.New(kernel.Config{})
+	kef := kefence.New(m.KAS, &m.Costs, nil, m.Log)
+	kef.Mode = mode
+	kef.GuardBefore = *underflow
+
+	m.Spawn("buggy-module", func(p *kernel.Process) error {
+		buf, err := kef.AllocSite(100, "buggy.c:17")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("module allocated 100 bytes at %#x (guarded)\n", uint64(buf))
+
+		// In-bounds accesses are untouched.
+		if err := m.KAS.WriteBytes(buf, make([]byte, 100)); err != nil {
+			return fmt.Errorf("in-bounds write failed: %w", err)
+		}
+		fmt.Println("in-bounds write of all 100 bytes: ok")
+
+		// The bug.
+		target := buf + 100
+		if *underflow {
+			target = buf - 1
+		}
+		err = m.KAS.WriteBytes(target, []byte{0x41})
+		switch {
+		case err != nil:
+			fmt.Printf("out-of-bounds write stopped: %v\n", err)
+		default:
+			fmt.Println("out-of-bounds write continued (log-and-continue mode)")
+		}
+		return nil
+	})
+	if err := m.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "kfencedemo:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("\nsyslog:")
+	for _, e := range m.Log.Entries() {
+		fmt.Println(" ", e)
+	}
+	fmt.Printf("\n%d overflow report(s); mode %s\n", len(kef.Reports()), kef.Mode)
+}

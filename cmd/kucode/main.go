@@ -1,0 +1,89 @@
+// Command kucode runs the paper's experiments and prints
+// paper-versus-measured tables. With -md it emits the Markdown body
+// of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	kucode [-full] [-md] [e1 e2 ... e8 | ablations | all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	full := flag.Bool("full", false, "include the slowest configurations (e.g. E1's 100,000-file point)")
+	md := flag.Bool("md", false, "emit Markdown (the EXPERIMENTS.md body)")
+	flag.Parse()
+
+	wanted := flag.Args()
+	if len(wanted) == 0 {
+		wanted = []string{"all"}
+	}
+	want := map[string]bool{}
+	for _, w := range wanted {
+		want[strings.ToLower(w)] = true
+	}
+	all := want["all"]
+
+	type exp struct {
+		id string
+		fn func() (*bench.Table, error)
+	}
+	exps := []exp{
+		{"e1", func() (*bench.Table, error) { return bench.E1(*full) }},
+		{"e2", bench.E2},
+		{"e3", bench.E3},
+		{"e4", bench.E4},
+		{"e5", bench.E5},
+		{"e6", bench.E6},
+		{"e7", bench.E7},
+		{"e8", bench.E8},
+	}
+
+	failed := false
+	for _, e := range exps {
+		if !all && !want[e.id] {
+			continue
+		}
+		tbl, err := e.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		render(tbl, *md)
+		if !tbl.AllPass() {
+			failed = true
+		}
+	}
+	if all || want["ablations"] {
+		tables, err := bench.Ablations()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ablations: %v\n", err)
+			os.Exit(1)
+		}
+		for _, tbl := range tables {
+			render(tbl, *md)
+			if !tbl.AllPass() {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "some rows fell outside their acceptance bands")
+		os.Exit(2)
+	}
+}
+
+func render(t *bench.Table, md bool) {
+	if md {
+		fmt.Print(t.Markdown())
+		return
+	}
+	fmt.Println(t.String())
+}

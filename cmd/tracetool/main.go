@@ -1,0 +1,71 @@
+// Command tracetool reproduces the paper's §2.2 methodology: it runs
+// an interactive workload under the system-call recorder, builds the
+// weighted syscall graph, mines consolidation candidates, and prints
+// the projected readdirplus savings.
+//
+// Usage:
+//
+//	tracetool [-lists n] [-views n] [-dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sys"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	lists := flag.Int("lists", 400, "ls-style list operations")
+	views := flag.Int("views", 200, "file-view operations")
+	dot := flag.Bool("dot", false, "print the syscall graph in Graphviz format")
+	flag.Parse()
+
+	s, err := core.New(core.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	rec := s.EnableTrace()
+	cfg := workload.DefaultInteractive()
+	cfg.ListOps, cfg.ViewOps = *lists, *views
+	s.Spawn("desktop", func(pr *sys.Proc) error {
+		if err := workload.InteractiveSetup(pr, cfg); err != nil {
+			return err
+		}
+		_, err := workload.Interactive(pr, cfg)
+		return err
+	})
+	if err := s.Run(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("trace: %d system calls, %d bytes across the boundary, %.2fs\n",
+		rec.TotalCalls(), rec.TotalBytes(), rec.Duration().Seconds())
+
+	fmt.Println("\ntop consolidation candidates (weighted syscall graph):")
+	for i, p := range rec.TopPatterns(uint64(*lists/4+1), 4) {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  %-40s weight %d\n", rec.Graph.Name(p), p.Weight)
+	}
+
+	sav := trace.EstimateReaddirplus(rec, s.M.Costs)
+	fmt.Printf("\nreaddirplus projection: %s\n", sav)
+	orc := trace.EstimateOpenReadClose(rec, s.M.Costs)
+	fmt.Printf("open_read_close projection: %s\n", orc)
+
+	if *dot {
+		fmt.Println()
+		fmt.Print(rec.Graph.DOT(20))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracetool:", err)
+	os.Exit(1)
+}

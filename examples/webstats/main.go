@@ -1,0 +1,66 @@
+// webstats: a server-side directory indexer — the workload class the
+// paper's §2.2 motivates ("long-running server applications can
+// easily execute billions of common data-intensive system calls each
+// day"). It indexes a document tree twice: with readdir+stat per
+// file, then with the consolidated readdirplus call, and reports the
+// same elapsed/system/user improvements the paper tabulates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sys"
+	"repro/internal/workload"
+)
+
+func main() {
+	for _, files := range []int{100, 1000, 10000} {
+		cfg := workload.DefaultDirSweep(files)
+		oldU, oldS, oldE, err := sweep(cfg, workload.ReaddirStat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		newU, newS, newE, err := sweep(cfg, workload.ReaddirPlusSweep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		imp := func(a, b sim.Cycles) float64 { return float64(a-b) / float64(a) * 100 }
+		fmt.Printf("%6d files: elapsed -%.1f%%  system -%.1f%%  user -%.1f%%\n",
+			files, imp(oldE, newE), imp(oldS, newS), imp(oldU, newU))
+	}
+	fmt.Println("\npaper (§2.2): \"elapsed, system, and user times improved 60.6-63.8%,")
+	fmt.Println("55.7-59.3%, and 82.8-84.0%, respectively\"")
+}
+
+func sweep(cfg workload.DirSweepConfig,
+	fn func(pr *sys.Proc, cfg workload.DirSweepConfig) (int64, error)) (u, s, e sim.Cycles, err error) {
+
+	system, err := core.New(core.Options{CacheBlocks: 1 << 19})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	system.Spawn("indexer", func(pr *sys.Proc) error {
+		if err := workload.DirSweepSetup(pr, cfg); err != nil {
+			return err
+		}
+		u0, s0, _ := pr.P.Times()
+		t0 := system.M.Clock.Now()
+		total, err := fn(pr, cfg)
+		if err != nil {
+			return err
+		}
+		if total != workload.ExpectedSweepBytes(cfg) {
+			return fmt.Errorf("index total %d, want %d", total, workload.ExpectedSweepBytes(cfg))
+		}
+		u1, s1, _ := pr.P.Times()
+		u, s, e = u1-u0, s1-s0, system.M.Clock.Now()-t0
+		return nil
+	})
+	if err := system.Run(); err != nil {
+		return 0, 0, 0, err
+	}
+	return u, s, e, nil
+}

@@ -1,0 +1,307 @@
+// Package alloc implements the simulated kernel's memory allocators:
+// a slab-style kmalloc with size classes and a page-granular vmalloc.
+//
+// The distinction matters for Kefence (§3.2): "Kefence can only
+// protect virtually-mapped buffers; those allocated using kmalloc are
+// not protected. Therefore, to add bounds checking to a kernel module,
+// one must use vmalloc instead of kmalloc" — and vmalloc is slower and
+// consumes whole pages, which is where the measured overhead comes
+// from. Package kefence wraps these primitives with guard pages.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Stats captures allocator activity. MaxLivePages and the byte
+// counters reproduce the paper's §3.2 measurements ("the maximum
+// number of outstanding allocated pages ... was 2,085 and the average
+// size of each memory allocation was 80 bytes").
+type Stats struct {
+	Live         int   // current outstanding allocations
+	LiveBytes    int64 // current outstanding requested bytes
+	LivePages    int   // current pages backing live allocations
+	MaxLive      int
+	MaxLivePages int
+	TotalAllocs  int64
+	TotalFrees   int64
+	TotalBytes   int64 // sum of requested sizes over all allocations
+}
+
+// MeanAllocSize reports the average requested allocation size.
+func (s Stats) MeanAllocSize() float64 {
+	if s.TotalAllocs == 0 {
+		return 0
+	}
+	return float64(s.TotalBytes) / float64(s.TotalAllocs)
+}
+
+// Allocator is the interface kernel modules allocate through. Wrapfs
+// takes one of these so the Kefence experiment can swap kmalloc for
+// guarded vmalloc without touching the module.
+type Allocator interface {
+	// Alloc returns the address of a buffer of at least size bytes.
+	Alloc(size int) (mem.Addr, error)
+	// Free releases the buffer at addr, which must be an address
+	// returned by Alloc on this allocator.
+	Free(addr mem.Addr) error
+	// SizeOf reports the requested size of a live allocation.
+	SizeOf(addr mem.Addr) (int, bool)
+	// Stats returns a snapshot of allocator counters.
+	Stats() Stats
+}
+
+// ErrBadFree reports a free of an address the allocator does not own.
+var ErrBadFree = errors.New("alloc: free of unknown address")
+
+// ChargeFunc receives allocator cost charges.
+type ChargeFunc func(sim.Cycles)
+
+// ---------------------------------------------------------------------------
+// kmalloc
+
+// sizeClasses are the slab classes, matching Linux's kmalloc-32 ...
+// kmalloc-4096 caches.
+var sizeClasses = []int{32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+// Kmalloc is the slab allocator.
+type Kmalloc struct {
+	as     *mem.AddressSpace
+	costs  *sim.Costs
+	charge ChargeFunc
+
+	free  [][]mem.Addr     // per-class free lists
+	owned map[mem.Addr]kmi // live allocations
+	stats Stats
+}
+
+type kmi struct {
+	class int // index into sizeClasses, or -1 for a multi-page allocation
+	size  int // requested size
+	pages int // pages owned by this allocation (multi-page only)
+}
+
+// NewKmalloc creates a slab allocator carving from as. charge may be
+// nil.
+func NewKmalloc(as *mem.AddressSpace, costs *sim.Costs, charge ChargeFunc) *Kmalloc {
+	return &Kmalloc{
+		as:     as,
+		costs:  costs,
+		charge: charge,
+		free:   make([][]mem.Addr, len(sizeClasses)),
+		owned:  make(map[mem.Addr]kmi),
+	}
+}
+
+func (k *Kmalloc) chargeCost(c sim.Cycles) {
+	if k.charge != nil && c > 0 {
+		k.charge(c)
+	}
+}
+
+func classFor(size int) int {
+	for i, c := range sizeClasses {
+		if size <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Alloc implements Allocator.
+func (k *Kmalloc) Alloc(size int) (mem.Addr, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("alloc: kmalloc of non-positive size %d", size)
+	}
+	if k.costs != nil {
+		k.chargeCost(k.costs.Kmalloc)
+	}
+	ci := classFor(size)
+	if ci < 0 {
+		// Multi-page allocation.
+		pages := mem.PagesFor(size)
+		base, err := k.as.MapRegion(pages, mem.PermRW)
+		if err != nil {
+			return 0, err
+		}
+		k.owned[base] = kmi{class: -1, size: size, pages: pages}
+		k.account(size, pages)
+		return base, nil
+	}
+	if len(k.free[ci]) == 0 {
+		// Carve a fresh slab page into objects of this class.
+		base, err := k.as.MapRegion(1, mem.PermRW)
+		if err != nil {
+			return 0, err
+		}
+		obj := sizeClasses[ci]
+		for off := 0; off+obj <= mem.PageSize; off += obj {
+			k.free[ci] = append(k.free[ci], base+mem.Addr(off))
+		}
+	}
+	n := len(k.free[ci])
+	addr := k.free[ci][n-1]
+	k.free[ci] = k.free[ci][:n-1]
+	k.owned[addr] = kmi{class: ci, size: size}
+	k.account(size, 0)
+	return addr, nil
+}
+
+func (k *Kmalloc) account(size, pages int) {
+	k.stats.Live++
+	k.stats.LiveBytes += int64(size)
+	k.stats.LivePages += pages
+	k.stats.TotalAllocs++
+	k.stats.TotalBytes += int64(size)
+	if k.stats.Live > k.stats.MaxLive {
+		k.stats.MaxLive = k.stats.Live
+	}
+	if k.stats.LivePages > k.stats.MaxLivePages {
+		k.stats.MaxLivePages = k.stats.LivePages
+	}
+}
+
+// Free implements Allocator.
+func (k *Kmalloc) Free(addr mem.Addr) error {
+	info, ok := k.owned[addr]
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrBadFree, uint64(addr))
+	}
+	if k.costs != nil {
+		k.chargeCost(k.costs.Kfree)
+	}
+	delete(k.owned, addr)
+	k.stats.Live--
+	k.stats.LiveBytes -= int64(info.size)
+	k.stats.TotalFrees++
+	if info.class < 0 {
+		for i := 0; i < info.pages; i++ {
+			if err := k.as.Unmap(addr + mem.Addr(i*mem.PageSize)); err != nil {
+				return err
+			}
+		}
+		k.stats.LivePages -= info.pages
+		return nil
+	}
+	k.free[info.class] = append(k.free[info.class], addr)
+	return nil
+}
+
+// SizeOf implements Allocator.
+func (k *Kmalloc) SizeOf(addr mem.Addr) (int, bool) {
+	info, ok := k.owned[addr]
+	return info.size, ok
+}
+
+// Stats implements Allocator.
+func (k *Kmalloc) Stats() Stats { return k.stats }
+
+// ---------------------------------------------------------------------------
+// vmalloc
+
+// Vmalloc is the page-granular allocator: every allocation receives
+// whole pages. "The kernel's vmalloc function allocates one or several
+// pages for each request" (§3.2).
+type Vmalloc struct {
+	as     *mem.AddressSpace
+	costs  *sim.Costs
+	charge ChargeFunc
+
+	// UseHashTable selects the paper's optimization: "to speed up the
+	// default vfree function we have added a hash table to store the
+	// information about virtual memory buffers". When false, Free
+	// charges the slower VfreeNoHash cost.
+	UseHashTable bool
+
+	owned map[mem.Addr]vmi
+	stats Stats
+}
+
+type vmi struct {
+	size  int
+	pages int
+}
+
+// NewVmalloc creates the page allocator. charge may be nil. The hash
+// table optimization is on by default.
+func NewVmalloc(as *mem.AddressSpace, costs *sim.Costs, charge ChargeFunc) *Vmalloc {
+	return &Vmalloc{as: as, costs: costs, charge: charge, UseHashTable: true, owned: make(map[mem.Addr]vmi)}
+}
+
+func (v *Vmalloc) chargeCost(c sim.Cycles) {
+	if v.charge != nil && c > 0 {
+		v.charge(c)
+	}
+}
+
+// Alloc implements Allocator.
+func (v *Vmalloc) Alloc(size int) (mem.Addr, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("alloc: vmalloc of non-positive size %d", size)
+	}
+	if v.costs != nil {
+		v.chargeCost(v.costs.Vmalloc)
+	}
+	pages := mem.PagesFor(size)
+	base, err := v.as.MapRegion(pages, mem.PermRW)
+	if err != nil {
+		return 0, err
+	}
+	v.owned[base] = vmi{size: size, pages: pages}
+	v.stats.Live++
+	v.stats.LiveBytes += int64(size)
+	v.stats.LivePages += pages
+	v.stats.TotalAllocs++
+	v.stats.TotalBytes += int64(size)
+	if v.stats.Live > v.stats.MaxLive {
+		v.stats.MaxLive = v.stats.Live
+	}
+	if v.stats.LivePages > v.stats.MaxLivePages {
+		v.stats.MaxLivePages = v.stats.LivePages
+	}
+	return base, nil
+}
+
+// Free implements Allocator.
+func (v *Vmalloc) Free(addr mem.Addr) error {
+	info, ok := v.owned[addr]
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrBadFree, uint64(addr))
+	}
+	if v.costs != nil {
+		if v.UseHashTable {
+			v.chargeCost(v.costs.Vfree)
+		} else {
+			v.chargeCost(v.costs.VfreeNoHash)
+		}
+	}
+	delete(v.owned, addr)
+	for i := 0; i < info.pages; i++ {
+		if err := v.as.Unmap(addr + mem.Addr(i*mem.PageSize)); err != nil {
+			return err
+		}
+	}
+	v.stats.Live--
+	v.stats.LiveBytes -= int64(info.size)
+	v.stats.LivePages -= info.pages
+	v.stats.TotalFrees++
+	return nil
+}
+
+// SizeOf implements Allocator.
+func (v *Vmalloc) SizeOf(addr mem.Addr) (int, bool) {
+	info, ok := v.owned[addr]
+	return info.size, ok
+}
+
+// Stats implements Allocator.
+func (v *Vmalloc) Stats() Stats { return v.stats }
+
+var (
+	_ Allocator = (*Kmalloc)(nil)
+	_ Allocator = (*Vmalloc)(nil)
+)

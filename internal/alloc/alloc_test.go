@@ -1,0 +1,234 @@
+package alloc
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func newSpace() (*mem.AddressSpace, *sim.Costs) {
+	costs := sim.DefaultCosts()
+	return mem.NewAddressSpace("kernel", mem.NewPhys(256<<20), &costs), &costs
+}
+
+func TestKmallocBasic(t *testing.T) {
+	as, costs := newSpace()
+	k := NewKmalloc(as, costs, nil)
+	a, err := k.Alloc(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.WriteBytes(a, make([]byte, 80)); err != nil {
+		t.Fatalf("allocated buffer not writable: %v", err)
+	}
+	if sz, ok := k.SizeOf(a); !ok || sz != 80 {
+		t.Fatalf("SizeOf = %d,%v", sz, ok)
+	}
+	if err := k.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := k.SizeOf(a); ok {
+		t.Fatal("freed allocation still tracked")
+	}
+}
+
+func TestKmallocPacksObjectsPerPage(t *testing.T) {
+	as, costs := newSpace()
+	k := NewKmalloc(as, costs, nil)
+	before := as.Phys().InUse()
+	// 128 objects of 32 bytes fit in one page.
+	for i := 0; i < 128; i++ {
+		if _, err := k.Alloc(32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := as.Phys().InUse() - before; got != 1 {
+		t.Fatalf("128x32B used %d pages, want 1", got)
+	}
+}
+
+func TestKmallocDistinctAddresses(t *testing.T) {
+	as, costs := newSpace()
+	k := NewKmalloc(as, costs, nil)
+	seen := map[mem.Addr]bool{}
+	for i := 0; i < 500; i++ {
+		a, err := k.Alloc(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[a] {
+			t.Fatalf("address %#x handed out twice", uint64(a))
+		}
+		seen[a] = true
+	}
+}
+
+func TestKmallocReusesFreed(t *testing.T) {
+	as, costs := newSpace()
+	k := NewKmalloc(as, costs, nil)
+	a, _ := k.Alloc(64)
+	_ = k.Free(a)
+	b, _ := k.Alloc(64)
+	if a != b {
+		t.Fatalf("freed slot not reused: %#x vs %#x", uint64(a), uint64(b))
+	}
+}
+
+func TestKmallocLarge(t *testing.T) {
+	as, costs := newSpace()
+	k := NewKmalloc(as, costs, nil)
+	before := as.Phys().InUse()
+	a, err := k.Alloc(3*mem.PageSize + 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := as.Phys().InUse() - before; got != 4 {
+		t.Fatalf("large alloc used %d pages, want 4", got)
+	}
+	if err := k.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if as.Phys().InUse() != before {
+		t.Fatal("large free leaked pages")
+	}
+}
+
+func TestKmallocBadFree(t *testing.T) {
+	as, costs := newSpace()
+	k := NewKmalloc(as, costs, nil)
+	if err := k.Free(0x1234); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestKmallocZeroSize(t *testing.T) {
+	as, costs := newSpace()
+	k := NewKmalloc(as, costs, nil)
+	if _, err := k.Alloc(0); err == nil {
+		t.Fatal("zero-size alloc succeeded")
+	}
+}
+
+func TestVmallocPageGranular(t *testing.T) {
+	as, costs := newSpace()
+	v := NewVmalloc(as, costs, nil)
+	before := as.Phys().InUse()
+	a, err := v.Alloc(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := as.Phys().InUse() - before; got != 1 {
+		t.Fatalf("80B vmalloc used %d pages, want a whole page", got)
+	}
+	if a&mem.PageMask != 0 {
+		t.Fatalf("vmalloc not page aligned: %#x", uint64(a))
+	}
+	if err := v.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if as.Phys().InUse() != before {
+		t.Fatal("vfree leaked")
+	}
+}
+
+func TestVmallocStatsForPaperMetrics(t *testing.T) {
+	as, costs := newSpace()
+	v := NewVmalloc(as, costs, nil)
+	var addrs []mem.Addr
+	for i := 0; i < 100; i++ {
+		a, _ := v.Alloc(80)
+		addrs = append(addrs, a)
+	}
+	for _, a := range addrs[:50] {
+		_ = v.Free(a)
+	}
+	s := v.Stats()
+	if s.Live != 50 || s.LivePages != 50 {
+		t.Fatalf("live = %d pages %d", s.Live, s.LivePages)
+	}
+	if s.MaxLivePages != 100 {
+		t.Fatalf("max pages = %d", s.MaxLivePages)
+	}
+	if got := s.MeanAllocSize(); got != 80 {
+		t.Fatalf("mean alloc = %v", got)
+	}
+}
+
+func TestVmallocCostsMoreThanKmalloc(t *testing.T) {
+	as, costs := newSpace()
+	var kc, vc sim.Cycles
+	k := NewKmalloc(as, costs, func(c sim.Cycles) { kc += c })
+	v := NewVmalloc(as, costs, func(c sim.Cycles) { vc += c })
+	a, _ := k.Alloc(80)
+	_ = k.Free(a)
+	b, _ := v.Alloc(80)
+	_ = v.Free(b)
+	if vc <= kc {
+		t.Fatalf("vmalloc cycle cost %d <= kmalloc %d; paper requires vmalloc slower", vc, kc)
+	}
+}
+
+func TestVfreeHashTableFaster(t *testing.T) {
+	as, costs := newSpace()
+	var withHash, without sim.Cycles
+	v1 := NewVmalloc(as, costs, func(c sim.Cycles) { withHash += c })
+	v2 := NewVmalloc(as, costs, func(c sim.Cycles) { without += c })
+	v2.UseHashTable = false
+	a, _ := v1.Alloc(100)
+	b, _ := v2.Alloc(100)
+	withHash, without = 0, 0
+	_ = v1.Free(a)
+	_ = v2.Free(b)
+	if withHash >= without {
+		t.Fatalf("hashed vfree %d >= linear vfree %d", withHash, without)
+	}
+}
+
+func TestMeanAllocSizeEmpty(t *testing.T) {
+	var s Stats
+	if s.MeanAllocSize() != 0 {
+		t.Fatal("mean of no allocations")
+	}
+}
+
+func TestAllocatorsProperty(t *testing.T) {
+	// Property: after any alloc/free sequence, live counters are
+	// consistent and all live buffers are independently writable.
+	as, costs := newSpace()
+	for _, a := range []Allocator{NewKmalloc(as, costs, nil), NewVmalloc(as, costs, nil)} {
+		a := a
+		if err := quick.Check(func(sizes []uint16) bool {
+			var live []mem.Addr
+			for _, sz := range sizes {
+				size := int(sz%5000) + 1
+				addr, err := a.Alloc(size)
+				if err != nil {
+					return false
+				}
+				live = append(live, addr)
+			}
+			for i, addr := range live {
+				if err := as.WriteBytes(addr, []byte{byte(i)}); err != nil {
+					return false
+				}
+			}
+			for _, addr := range live {
+				if err := a.Free(addr); err != nil {
+					return false
+				}
+			}
+			return a.Stats().Live == len(liveAfter(a))
+		}, &quick.Config{MaxCount: 20}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// liveAfter is a helper: allocators do not expose their live set, so
+// we infer emptiness via Stats.
+func liveAfter(a Allocator) []struct{} {
+	return make([]struct{}, a.Stats().Live)
+}

@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/cosy/kext"
+	"repro/internal/kefence"
+	"repro/internal/kgcc"
+	"repro/internal/mem"
+	"repro/internal/minic"
+	"repro/internal/sim"
+	"repro/internal/splay"
+	"repro/internal/sys"
+	"repro/internal/workload"
+)
+
+// Ablations exercises the design choices DESIGN.md calls out.
+func Ablations() ([]*Table, error) {
+	var tables []*Table
+	for _, fn := range []func() (*Table, error){
+		AblationCosySegModes,
+		AblationKGCCElim,
+		AblationKefencePlacement,
+		AblationKmonBlocking,
+		AblationSplayLocality,
+	} {
+		t, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// AblationCosySegModes compares Cosy's two protection modes (§2.3):
+// the fully isolated segment pays a far call per user-function entry;
+// the data-only segment pays nothing but leaves code unprotected.
+func AblationCosySegModes() (*Table, error) {
+	t := &Table{ID: "A1", Title: "Cosy isolation: isolated segment vs data segment"}
+	cfg := workload.DefaultDB()
+	runMode := func(mode kext.Mode) (Phase, *kext.Engine, error) {
+		var e *kext.Engine
+		ph, _, err := RunPhase(core.Options{},
+			func(s *core.System) { e = s.CosyEngine(mode) },
+			func(pr *sys.Proc) error { return workload.DBSetup(pr, cfg) },
+			func(pr *sys.Proc) error {
+				_, err := workload.SeqScanCosy(pr, e, cfg)
+				return err
+			})
+		return ph, e, err
+	}
+	iso, eIso, err := runMode(kext.ModeIsolated)
+	if err != nil {
+		return nil, err
+	}
+	data, eData, err := runMode(kext.ModeDataSeg)
+	if err != nil {
+		return nil, err
+	}
+	ov := overhead(data.CPU(), iso.CPU())
+	t.Add("isolated-segment overhead vs data-segment", "involves overhead (far calls)",
+		pct(ov), ov > 0 && ov < 1.0)
+	t.Add("segment entries charged (isolated)", "> 0",
+		fmt.Sprintf("%d", eIso.Stats.SegEntries), eIso.Stats.SegEntries > 0)
+	t.Add("segment entries charged (data-only)", "0",
+		fmt.Sprintf("%d", eData.Stats.SegEntries), eData.Stats.SegEntries == 0)
+	return t, nil
+}
+
+// AblationKGCCElim compares instrumented execution cost with and
+// without the elimination heuristics.
+func AblationKGCCElim() (*Table, error) {
+	t := &Table{ID: "A2", Title: "KGCC with vs without check elimination"}
+	// Kernel-object updates: the repeated constant-index field
+	// accesses are exactly what check CSE and the stack heuristic
+	// eliminate, so the dynamic check count drops too.
+	src := `
+int field_update(int *obj) {
+	obj[0] = obj[0] + 1;
+	obj[1] = obj[1] + obj[0];
+	obj[2] = obj[2] + obj[1];
+	obj[0] = obj[0] ^ obj[2];
+	obj[1] = obj[1] & obj[0];
+	obj[2] = obj[2] | obj[1];
+	return obj[0] + obj[1] + obj[2];
+}
+int driver(int n) {
+	int obj[8];
+	obj[0] = 1; obj[1] = 2; obj[2] = 3;
+	int total = 0;
+	for (int r = 0; r < n; r++) {
+		total += field_update(obj);
+	}
+	return total;
+}`
+	runOpts := func(opts kgcc.Options) (sim.Cycles, int64, error) {
+		unit, err := minic.CompileSource(src)
+		if err != nil {
+			return 0, 0, err
+		}
+		kgcc.InstrumentUnit(unit, opts)
+		costs := sim.DefaultCosts()
+		as := mem.NewAddressSpace("abl", mem.NewPhys(128<<20), &costs)
+		ip, err := minic.NewInterp(as, unit)
+		if err != nil {
+			return 0, 0, err
+		}
+		var charged sim.Cycles
+		ip.Charge = func(c sim.Cycles) { charged += c }
+		m := kgcc.NewMap(&costs, func(c sim.Cycles) { charged += c })
+		kgcc.Attach(ip, m)
+		if _, err := ip.Call("driver", 40); err != nil {
+			return 0, 0, err
+		}
+		return charged, m.Checks, nil
+	}
+	fullCost, fullChecks, err := runOpts(kgcc.FullChecks())
+	if err != nil {
+		return nil, err
+	}
+	elimCost, elimChecks, err := runOpts(kgcc.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	t.Add("runtime checks executed (full)", "baseline", fmt.Sprintf("%d", fullChecks), fullChecks > 0)
+	t.Add("runtime checks executed (eliminated)", "fewer than half",
+		fmt.Sprintf("%d", elimChecks), elimChecks*2 < fullChecks)
+	sp := improvement(fullCost, elimCost)
+	t.Add("cycle cost recovered by elimination", "significant", pct(sp), sp > 0.1)
+	return t, nil
+}
+
+// AblationKefencePlacement verifies the guard-placement tradeoff
+// (§3.2): guard-after catches overflows but not underflows, and vice
+// versa.
+func AblationKefencePlacement() (*Table, error) {
+	t := &Table{ID: "A3", Title: "Kefence guard placement: overflow vs underflow detection"}
+	costs := sim.DefaultCosts()
+	check := func(before bool) (overflowCaught, underflowCaught bool, err error) {
+		as := mem.NewAddressSpace("abl", mem.NewPhys(64<<20), &costs)
+		a := kefence.New(as, &costs, nil, nil)
+		a.GuardBefore = before
+		buf, err := a.Alloc(100)
+		if err != nil {
+			return false, false, err
+		}
+		overflowCaught = as.WriteBytes(buf+100, []byte{1}) != nil
+		underflowCaught = as.WriteBytes(buf-1, []byte{1}) != nil
+		return overflowCaught, underflowCaught, nil
+	}
+	ov, un, err := check(false)
+	if err != nil {
+		return nil, err
+	}
+	t.Add("guard after: overflow caught / underflow caught", "yes / no",
+		fmt.Sprintf("%v / %v", ov, un), ov && !un)
+	ov2, un2, err := check(true)
+	if err != nil {
+		return nil, err
+	}
+	t.Add("guard before: overflow caught / underflow caught", "no / yes",
+		fmt.Sprintf("%v / %v", ov2, un2), !ov2 && un2)
+	return t, nil
+}
+
+// AblationKmonBlocking measures the fix the paper proposes as future
+// work: blocking reads collapse the logger overhead.
+func AblationKmonBlocking() (*Table, error) {
+	t := &Table{ID: "A4", Title: "event logger: polling vs blocking reads"}
+	pct103, err := e6LoggerOverhead(false)
+	if err != nil {
+		return nil, err
+	}
+	pctBlocking, err := e6LoggerOverhead(true)
+	if err != nil {
+		return nil, err
+	}
+	t.Add("polling logger overhead", "61-103%", pct(pct103), pct103 > 0.3)
+	t.Add("blocking logger overhead", "small (the proposed fix)", pct(pctBlocking),
+		pctBlocking < pct103/3)
+	return t, nil
+}
+
+// e6LoggerOverhead runs PostMark with a non-writing logger in the
+// given mode and returns the elapsed overhead versus no logger.
+func e6LoggerOverhead(blocking bool) (float64, error) {
+	cfg := workload.DefaultPostMark()
+	cfg.Transactions = 800
+	base, _, err := RunPhase(core.Options{}, func(s *core.System) { s.InstrumentDcache(); s.Mon.RingEnabled = true },
+		nil, func(pr *sys.Proc) error {
+			_, err := workload.PostMark(pr, cfg)
+			return err
+		})
+	if err != nil {
+		return 0, err
+	}
+	s, err := core.New(core.Options{})
+	if err != nil {
+		return 0, err
+	}
+	s.InstrumentDcache()
+	s.Mon.RingEnabled = true
+	var done atomic.Bool
+	var ph Phase
+	s.Spawn("postmark", func(pr *sys.Proc) error {
+		defer done.Store(true)
+		t0 := s.M.Clock.Now()
+		if _, err := workload.PostMark(pr, cfg); err != nil {
+			return err
+		}
+		ph.Elapsed = s.M.Clock.Now() - t0
+		return nil
+	})
+	lcfg := workload.DefaultLogger()
+	lcfg.WriteLog = false
+	lcfg.Blocking = blocking
+	s.Spawn("logger", func(pr *sys.Proc) error {
+		_, err := workload.Logger(pr, lcfg, done.Load)
+		return err
+	})
+	if err := s.Run(); err != nil {
+		return 0, err
+	}
+	return overhead(base.Elapsed, ph.Elapsed), nil
+}
+
+// AblationSplayLocality reproduces the §3.5 observation: the splay
+// tree is nearly optimal under reference locality and degrades when
+// interleaved accesses (multi-threaded use) destroy it.
+func AblationSplayLocality() (*Table, error) {
+	t := &Table{ID: "A5", Title: "splay-tree object map: locality vs interleaved access"}
+	build := func() *splay.Tree[int] {
+		tr := &splay.Tree[int]{}
+		r := sim.NewRand(99)
+		for i := 0; i < 8192; i++ {
+			tr.Insert(r.Uint64()%(1<<24), i)
+		}
+		return tr
+	}
+	var keys []uint64
+	probe := build()
+	probe.Walk(func(k uint64, v int) bool { keys = append(keys, k); return true })
+
+	local := build()
+	local.Touches = 0
+	for i := 0; i < 20000; i++ {
+		local.Find(keys[(i/100)%len(keys)]) // 100 repeats per key
+	}
+	scattered := build()
+	scattered.Touches = 0
+	r := sim.NewRand(7)
+	for i := 0; i < 20000; i++ {
+		scattered.Find(keys[r.Intn(len(keys))])
+	}
+	degr := float64(scattered.Touches) / float64(local.Touches)
+	t.Add("node touches: scattered / local", "locality wins",
+		fmt.Sprintf("%.1fx more work without locality", degr), degr > 3)
+	return t, nil
+}

@@ -1,0 +1,102 @@
+package bench
+
+import "testing"
+
+// Each experiment runs once and must land inside its acceptance band
+// (the paper's reported result ± the tolerance DESIGN.md documents).
+// Failures print the full paper-vs-measured table.
+
+func checkTable(t *testing.T, tbl *Table, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tbl)
+	if !tbl.AllPass() {
+		t.Errorf("%s has rows outside the acceptance band", tbl.ID)
+	}
+}
+
+func TestE1(t *testing.T) {
+	tbl, err := E1(false)
+	checkTable(t, tbl, err)
+}
+
+func TestE2(t *testing.T) {
+	tbl, err := E2()
+	checkTable(t, tbl, err)
+}
+
+func TestE3(t *testing.T) {
+	tbl, err := E3()
+	checkTable(t, tbl, err)
+}
+
+func TestE4(t *testing.T) {
+	tbl, err := E4()
+	checkTable(t, tbl, err)
+}
+
+func TestE5(t *testing.T) {
+	tbl, err := E5()
+	checkTable(t, tbl, err)
+}
+
+func TestE6(t *testing.T) {
+	tbl, err := E6()
+	checkTable(t, tbl, err)
+}
+
+func TestE7(t *testing.T) {
+	tbl, err := E7()
+	checkTable(t, tbl, err)
+}
+
+func TestE8(t *testing.T) {
+	tbl, err := E8()
+	checkTable(t, tbl, err)
+}
+
+func TestAblations(t *testing.T) {
+	tables, err := Ablations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range tables {
+		t.Logf("\n%s", tbl)
+		if !tbl.AllPass() {
+			t.Errorf("%s has rows outside the acceptance band", tbl.ID)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "demo"}
+	tbl.Add("a", "1", "2", true)
+	tbl.Add("b", "3", "4", false)
+	tbl.Note("hello")
+	if tbl.AllPass() {
+		t.Fatal("AllPass with failing row")
+	}
+	s := tbl.String()
+	md := tbl.Markdown()
+	for _, want := range []string{"demo", "MISS", "hello"} {
+		if !contains(s, want) {
+			t.Fatalf("String missing %q:\n%s", want, s)
+		}
+	}
+	for _, want := range []string{"###", "❌", "✅"} {
+		if !contains(md, want) {
+			t.Fatalf("Markdown missing %q", want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

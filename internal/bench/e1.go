@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sys"
+	"repro/internal/workload"
+)
+
+// E1Sizes are the paper's directory sizes: "We increased the number
+// of files by powers of 10 from 10 to 100,000."
+var E1Sizes = []int{10, 100, 1000, 10000, 100000}
+
+// E1 reproduces §2.2's readdirplus evaluation: "elapsed, system, and
+// user times improved 60.6-63.8%, 55.7-59.3%, and 82.8-84.0%,
+// respectively", consistently across directory sizes.
+func E1(full bool) (*Table, error) {
+	t := &Table{ID: "E1", Title: "readdirplus vs readdir+stat (improvement by directory size)"}
+	sizes := E1Sizes
+	if !full {
+		sizes = sizes[:len(sizes)-1]
+		t.Note("run with -full (or kucode e1 -full) to include the 100,000-file point")
+	}
+
+	var elMin, elMax, syMin, syMax, usMin, usMax float64
+	// A cache large enough to keep the whole tree warm: the paper's
+	// runs list freshly created directories, so the sweep itself is
+	// CPU-bound.
+	opts := core.Options{CacheBlocks: 1 << 19}
+	for i, n := range sizes {
+		cfg := workload.DefaultDirSweep(n)
+		oldPh, _, err := RunPhase(opts, nil,
+			func(pr *sys.Proc) error { return workload.DirSweepSetup(pr, cfg) },
+			func(pr *sys.Proc) error {
+				got, err := workload.ReaddirStat(pr, cfg)
+				if err == nil && got != workload.ExpectedSweepBytes(cfg) {
+					return fmt.Errorf("bench: wrong sweep total %d", got)
+				}
+				return err
+			})
+		if err != nil {
+			return nil, err
+		}
+		newPh, _, err := RunPhase(opts, nil,
+			func(pr *sys.Proc) error { return workload.DirSweepSetup(pr, cfg) },
+			func(pr *sys.Proc) error {
+				got, err := workload.ReaddirPlusSweep(pr, cfg)
+				if err == nil && got != workload.ExpectedSweepBytes(cfg) {
+					return fmt.Errorf("bench: wrong sweep total %d", got)
+				}
+				return err
+			})
+		if err != nil {
+			return nil, err
+		}
+		el := improvement(oldPh.Elapsed, newPh.Elapsed)
+		sy := improvement(oldPh.Sys, newPh.Sys)
+		us := improvement(oldPh.User, newPh.User)
+		if i == 0 {
+			elMin, elMax, syMin, syMax, usMin, usMax = el, el, sy, sy, us, us
+		} else {
+			elMin, elMax = minf(elMin, el), maxf(elMax, el)
+			syMin, syMax = minf(syMin, sy), maxf(syMax, sy)
+			usMin, usMax = minf(usMin, us), maxf(usMax, us)
+		}
+		t.Add(fmt.Sprintf("%d files: elapsed/sys/user", n),
+			"~62% / ~57% / ~83%",
+			fmt.Sprintf("%s / %s / %s", pct(el), pct(sy), pct(us)),
+			inBand(el, 0.50, 0.78) && inBand(sy, 0.45, 0.72) && inBand(us, 0.75, 0.90))
+	}
+	t.Add("elapsed improvement range", "60.6-63.8%",
+		fmt.Sprintf("%s-%s", pct(elMin), pct(elMax)), inBand(elMin, 0.50, 0.78) && inBand(elMax, 0.50, 0.78))
+	t.Add("system improvement range", "55.7-59.3%",
+		fmt.Sprintf("%s-%s", pct(syMin), pct(syMax)), inBand(syMin, 0.45, 0.72) && inBand(syMax, 0.45, 0.72))
+	t.Add("user improvement range", "82.8-84.0%",
+		fmt.Sprintf("%s-%s", pct(usMin), pct(usMax)), inBand(usMin, 0.75, 0.90) && inBand(usMax, 0.75, 0.90))
+	t.Add("consistency across sizes (elapsed spread)", "fairly consistent",
+		pct(elMax-elMin), elMax-elMin < 0.12)
+	return t, nil
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cosy/kext"
+	"repro/internal/sys"
+	"repro/internal/workload"
+)
+
+// E4 reproduces §2.3's application benchmarks: "we modified popular
+// user applications that exhibit sequential or random access patterns
+// (e.g., a database) to use Cosy. For CPU bound applications, with
+// very minimal code changes, we achieved a performance speedup of up
+// to 20-80% over that of unmodified versions."
+func E4() (*Table, error) {
+	t := &Table{ID: "E4", Title: "Cosy application benchmarks (database access patterns)"}
+	cfg := workload.DefaultDB()
+
+	type variant struct {
+		name  string
+		plain func(pr *sys.Proc) (int64, error)
+		cosy  func(pr *sys.Proc, e *kext.Engine) (int64, error)
+	}
+	variants := []variant{
+		{
+			name:  "sequential scan",
+			plain: func(pr *sys.Proc) (int64, error) { return workload.SeqScanUser(pr, cfg) },
+			cosy: func(pr *sys.Proc, e *kext.Engine) (int64, error) {
+				return workload.SeqScanCosy(pr, e, cfg)
+			},
+		},
+		{
+			name:  "random scan",
+			plain: func(pr *sys.Proc) (int64, error) { return workload.RandScanUser(pr, cfg) },
+			cosy: func(pr *sys.Proc, e *kext.Engine) (int64, error) {
+				return workload.RandScanCosy(pr, e, cfg)
+			},
+		},
+	}
+	setup := func(pr *sys.Proc) error { return workload.DBSetup(pr, cfg) }
+	var lo, hi float64 = 2, -1
+	for _, v := range variants {
+		base, _, err := RunPhase(core.Options{}, nil, setup, func(pr *sys.Proc) error {
+			_, err := v.plain(pr)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		var e *kext.Engine
+		cosyPh, _, err := RunPhase(core.Options{},
+			func(s *core.System) { e = s.CosyEngine(kext.ModeDataSeg) },
+			setup, func(pr *sys.Proc) error {
+				_, err := v.cosy(pr, e)
+				return err
+			})
+		if err != nil {
+			return nil, err
+		}
+		sp := improvement(base.CPU(), cosyPh.CPU())
+		lo, hi = minf(lo, sp), maxf(hi, sp)
+		t.Add(v.name, "20-80%", pct(sp), inBand(sp, 0.15, 0.85))
+	}
+	t.Add("application speedup range", "20-80%",
+		fmt.Sprintf("%s-%s", pct(lo), pct(hi)), inBand(lo, 0.15, 0.85) && inBand(hi, 0.15, 0.85))
+	return t, nil
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/kgcc"
+	"repro/internal/minic"
+)
+
+// kernelCorpus is a set of kernel-flavored mini-C functions: list
+// manipulation, buffer copying, string handling, reference counting —
+// the "typical kernel code" the paper's check-elimination statistics
+// describe.
+const kernelCorpus = `
+int memcpy_like(int *dst, int *src2, int n) {
+	for (int i = 0; i < n; i++) { dst[i] = src2[i]; }
+	return n;
+}
+int memset_like(char *p, int c, int n) {
+	for (int i = 0; i < n; i++) { p[i] = c; }
+	return 0;
+}
+int strnlen_like(char *s, int max) {
+	int n = 0;
+	while (n < max && s[n] != 0) { n++; }
+	return n;
+}
+int refcount_update(int *obj) {
+	obj[0] = obj[0] + 1;
+	obj[1] = obj[1] | 1;
+	obj[0] = obj[0] + obj[2];
+	obj[2] = obj[0] - obj[1];
+	obj[1] = obj[1] + obj[2] + obj[0];
+	return obj[0];
+}
+int checksum(char *buf, int len) {
+	int sum = 0;
+	for (int i = 0; i < len; i++) {
+		sum = sum + buf[i];
+		sum = sum + buf[i] * 31;
+	}
+	return sum;
+}
+int list_scan(int *nodes, int count) {
+	int hits = 0;
+	for (int i = 0; i < count; i++) {
+		int flags = nodes[i * 4 + 1];
+		int refs = nodes[i * 4 + 2];
+		if (flags & 2) { hits += refs; }
+		nodes[i * 4 + 3] = hits;
+	}
+	return hits;
+}
+int stack_local_math(int a, int b) {
+	int tmp[8];
+	tmp[0] = a; tmp[1] = b; tmp[2] = a + b; tmp[3] = a - b;
+	tmp[4] = tmp[0] * tmp[1];
+	tmp[5] = tmp[2] * tmp[3];
+	tmp[6] = tmp[4] + tmp[5];
+	tmp[7] = tmp[6];
+	return tmp[7];
+}`
+
+// E8 reproduces §3.4's static statistics: "common subexpression
+// elimination allowed us to reduce the number of checks inserted by
+// more than half for typical kernel code" and "a program fully
+// compiled with all the default checks in BCC could be up to 15 to 20
+// times larger than when compiled with GCC".
+func E8() (*Table, error) {
+	t := &Table{ID: "E8", Title: "KGCC check elimination and code-size expansion"}
+
+	full, err := instrumentCorpus(kgcc.FullChecks())
+	if err != nil {
+		return nil, err
+	}
+	kgccOpts, err := instrumentCorpus(kgcc.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+
+	reduction := 1 - float64(kgccOpts.Inserted)/float64(full.Inserted)
+	t.Add("checks inserted (BCC: all checks)", "thousands per module",
+		fmt.Sprintf("%d", full.Inserted), full.Inserted > 40)
+	t.Add("checks after KGCC elimination", "reduced by more than half",
+		fmt.Sprintf("%d (-%s)", kgccOpts.Inserted, pct(reduction)), reduction > 0.5)
+	t.Add("BCC code-size expansion", "15-20x",
+		fmt.Sprintf("%.1fx", full.ExpandedFactor()), inBand(full.ExpandedFactor(), 10, 25))
+	t.Add("KGCC code-size expansion", "smaller than BCC",
+		fmt.Sprintf("%.1fx", kgccOpts.ExpandedFactor()),
+		kgccOpts.ExpandedFactor() < full.ExpandedFactor())
+	t.Add("stack-heuristic elisions", "> 0 (address-not-taken rule)",
+		fmt.Sprintf("%d", kgccOpts.ElidedStack), kgccOpts.ElidedStack > 0)
+	t.Add("CSE elisions", "> 0", fmt.Sprintf("%d", kgccOpts.ElidedCSE), kgccOpts.ElidedCSE > 0)
+	return t, nil
+}
+
+func instrumentCorpus(opts kgcc.Options) (kgcc.Stats, error) {
+	unit, err := minic.CompileSource(kernelCorpus)
+	if err != nil {
+		return kgcc.Stats{}, err
+	}
+	return kgcc.InstrumentUnit(unit, opts), nil
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sys"
+)
+
+// Phase is the resource usage of one measured section of a process.
+type Phase struct {
+	User, Sys, Wait, Elapsed sim.Cycles
+}
+
+// CPU is user+system time.
+func (p Phase) CPU() sim.Cycles { return p.User + p.Sys }
+
+func (p Phase) String() string {
+	return fmt.Sprintf("elapsed %v (user %v, sys %v, wait %v)", p.Elapsed, p.User, p.Sys, p.Wait)
+}
+
+// RunPhase boots a system with opts, runs setup untimed, then times
+// work. Extra processes (e.g. a logger) can be attached via attach,
+// which runs after the system is built but before processes start.
+func RunPhase(opts core.Options, attach func(s *core.System),
+	setup, work func(pr *sys.Proc) error) (Phase, *core.System, error) {
+
+	s, err := core.New(opts)
+	if err != nil {
+		return Phase{}, nil, err
+	}
+	if attach != nil {
+		attach(s)
+	}
+	var ph Phase
+	s.Spawn("bench", func(pr *sys.Proc) error {
+		if setup != nil {
+			if err := setup(pr); err != nil {
+				return err
+			}
+		}
+		u0, s0, w0 := pr.P.Times()
+		t0 := s.M.Clock.Now()
+		if err := work(pr); err != nil {
+			return err
+		}
+		u1, s1, w1 := pr.P.Times()
+		ph = Phase{
+			User:    u1 - u0,
+			Sys:     s1 - s0,
+			Wait:    w1 - w0,
+			Elapsed: s.M.Clock.Now() - t0,
+		}
+		return nil
+	})
+	if err := s.Run(); err != nil {
+		return Phase{}, nil, err
+	}
+	return ph, s, nil
+}

@@ -1,0 +1,210 @@
+// Package core is the public facade of the reproduction: it boots a
+// complete simulated system — machine, disk, file-system stack,
+// syscall layer — and exposes the paper's subsystems (Cosy, Kefence,
+// KGCC, the event monitor, the syscall tracer) behind one Options
+// struct. Examples, command-line tools, and the benchmark harness all
+// go through this package.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/cosy/kext"
+	"repro/internal/disk"
+	"repro/internal/kefence"
+	"repro/internal/kernel"
+	"repro/internal/kgcc"
+	"repro/internal/kmon"
+	"repro/internal/sim"
+	"repro/internal/sys"
+	"repro/internal/trace"
+	"repro/internal/vfs"
+	"repro/internal/vfs/btfs"
+	"repro/internal/vfs/memfs"
+	"repro/internal/vfs/wrapfs"
+)
+
+// FSKind selects the root file system.
+type FSKind int
+
+const (
+	// FSMemfs is the Ext2/Ext3 analog.
+	FSMemfs FSKind = iota
+	// FSBtfs is the balanced-tree (Reiserfs analog) file system.
+	FSBtfs
+)
+
+// WrapMode selects the stackable wrapfs layer and its allocator.
+type WrapMode int
+
+const (
+	// NoWrap mounts the base FS directly.
+	NoWrap WrapMode = iota
+	// WrapKmalloc stacks wrapfs with slab allocations (vanilla).
+	WrapKmalloc
+	// WrapVmalloc stacks wrapfs with page-granular allocations (no
+	// guards).
+	WrapVmalloc
+	// WrapKefence stacks wrapfs with Kefence-guarded allocations: the
+	// instrumented configuration of experiment E5.
+	WrapKefence
+)
+
+// Options configures a System.
+type Options struct {
+	// PhysBytes bounds simulated RAM (0: the paper's 884MB).
+	PhysBytes int64
+	// Costs overrides the cost model (nil: sim.DefaultCosts).
+	Costs *sim.Costs
+	// FS selects the root file system.
+	FS FSKind
+	// Wrap stacks wrapfs over the root FS.
+	Wrap WrapMode
+	// KefenceMode applies when Wrap == WrapKefence.
+	KefenceMode kefence.Mode
+	// KefenceUnderflow places guards before buffers instead of after.
+	KefenceUnderflow bool
+	// CacheBlocks sizes the buffer cache (0: 16384 blocks = 64MB).
+	CacheBlocks int
+	// Disk selects the drive profile (zero value: IDE7200).
+	Disk disk.Profile
+	// RingCap sizes the event-monitor ring (0: 4096).
+	RingCap int
+	// KGCCModule instruments the btfs module with the KGCC runtime
+	// (requires FS == FSBtfs): experiment E7's configuration.
+	KGCCModule bool
+	// KGCCObjects sizes the instrumented module's object map.
+	KGCCObjects int
+}
+
+// System is a booted machine with its kernel services.
+type System struct {
+	M    *kernel.Machine
+	NS   *vfs.Namespace
+	K    *sys.Kernel
+	Root vfs.FS
+
+	Memfs  *memfs.FS
+	Btfs   *btfs.FS
+	Wrap   *wrapfs.FS
+	Kef    *kefence.Allocator
+	Mon    *kmon.Monitor
+	Rec    *trace.Recorder
+	Module *kgcc.Module
+
+	IO *vfs.IOModel
+
+	wrapAlloc alloc.Allocator
+}
+
+// New boots a system.
+func New(opts Options) (*System, error) {
+	s := &System{}
+	s.M = kernel.New(kernel.Config{PhysBytes: opts.PhysBytes, Costs: opts.Costs})
+
+	prof := opts.Disk
+	if prof.Name == "" {
+		prof = disk.IDE7200()
+	}
+	cache := opts.CacheBlocks
+	if cache == 0 {
+		cache = 16384
+	}
+	s.IO = vfs.NewIOModel(disk.New(prof), cache)
+
+	var base vfs.FS
+	switch opts.FS {
+	case FSMemfs:
+		s.Memfs = memfs.New("memfs", s.IO)
+		base = s.Memfs
+	case FSBtfs:
+		s.Btfs = btfs.New("btfs", s.IO)
+		base = s.Btfs
+	default:
+		return nil, fmt.Errorf("core: unknown FS kind %d", opts.FS)
+	}
+
+	if opts.KGCCModule {
+		if s.Btfs == nil {
+			return nil, fmt.Errorf("core: KGCCModule requires FSBtfs")
+		}
+		n := opts.KGCCObjects
+		if n == 0 {
+			n = 512
+		}
+		s.Module = kgcc.NewModule(&s.M.Costs, n)
+		s.Btfs.MemTouch = s.Module.Touch
+	}
+
+	switch opts.Wrap {
+	case NoWrap:
+		s.Root = base
+	case WrapKmalloc:
+		s.wrapAlloc = s.M.Km
+		s.Wrap = wrapfs.New(base, s.M.KAS, s.wrapAlloc)
+		s.Root = s.Wrap
+	case WrapVmalloc:
+		s.wrapAlloc = s.M.Vm
+		s.Wrap = wrapfs.New(base, s.M.KAS, s.wrapAlloc)
+		s.Root = s.Wrap
+	case WrapKefence:
+		s.Kef = kefence.New(s.M.KAS, &s.M.Costs, s.chargeCurrent, s.M.Log)
+		s.Kef.Mode = opts.KefenceMode
+		s.Kef.GuardBefore = opts.KefenceUnderflow
+		s.wrapAlloc = s.Kef
+		s.Wrap = wrapfs.New(base, s.M.KAS, s.Kef)
+		s.Root = s.Wrap
+	default:
+		return nil, fmt.Errorf("core: unknown wrap mode %d", opts.Wrap)
+	}
+
+	s.NS = vfs.NewNamespace(s.Root)
+	s.K = sys.NewKernel(s.M, s.NS)
+
+	ringCap := opts.RingCap
+	if ringCap == 0 {
+		ringCap = 4096
+	}
+	s.Mon = kmon.New(s.M, ringCap)
+	s.NS.RegisterDevice("/dev/kernevents", &kmon.Dev{Mon: s.Mon})
+	return s, nil
+}
+
+// chargeCurrent forwards subsystem charges to the machine.
+func (s *System) chargeCurrent(c sim.Cycles) {
+	s.M.KAS.Charge(c)
+}
+
+// Spawn starts a process whose body receives a syscall context.
+func (s *System) Spawn(name string, fn func(pr *sys.Proc) error) *kernel.Process {
+	return s.M.Spawn(name, func(p *kernel.Process) error {
+		return fn(sys.NewProc(s.K, p))
+	})
+}
+
+// Run drives the machine to completion.
+func (s *System) Run() error { return s.M.Run() }
+
+// EnableTrace installs a syscall recorder and returns it.
+func (s *System) EnableTrace() *trace.Recorder {
+	s.Rec = trace.NewRecorder(&s.M.Clock)
+	s.K.Hook = s.Rec
+	return s.Rec
+}
+
+// InstrumentDcache attaches the event monitor to the dcache lock, the
+// paper's §3.3 instrumentation point, and returns the lock's object
+// id.
+func (s *System) InstrumentDcache() uint64 {
+	return s.Mon.AttachSpinLock(&s.NS.Dc.Lock, "fs/dcache.c", 42)
+}
+
+// CosyEngine loads the Cosy kernel extension in the given mode.
+func (s *System) CosyEngine(mode kext.Mode) *kext.Engine {
+	return kext.New(s.K, mode)
+}
+
+// KernelAlloc exposes the allocator the wrapfs layer uses (nil when
+// unwrapped); tests compare allocator statistics through it.
+func (s *System) KernelAlloc() alloc.Allocator { return s.wrapAlloc }

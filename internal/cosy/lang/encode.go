@@ -1,0 +1,185 @@
+package lang
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Wire format of an encoded compound, all little-endian:
+//
+//	magic   u32  "CSY1"
+//	nregs   u16
+//	shmsize u32
+//	ninit   u16
+//	ninstr  u32
+//	init entries: off u32, len u32, bytes
+//	instructions: op u8, sub u8, dst u16, a u16, b u16,
+//	              imm i64, nargs u8, args u16 each
+//
+// This is the "compound buffer" the user library fills and the kernel
+// extension decodes.
+
+const magic = 0x31595343 // "CSY1"
+
+func putU16(b []byte, v uint16) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+}
+
+func putU32(b []byte, v uint32) {
+	for i := 0; i < 4; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU16(b []byte) uint16 { return uint16(b[0]) | uint16(b[1])<<8 }
+
+func getU32(b []byte) uint32 {
+	var v uint32
+	for i := 3; i >= 0; i-- {
+		v = v<<8 | uint32(b[i])
+	}
+	return v
+}
+
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// instrSize is the fixed portion of one encoded instruction.
+const instrFixed = 1 + 1 + 2 + 2 + 2 + 8 + 1
+
+// Encode serializes the compound into the compound-buffer format.
+func Encode(c *Compound) []byte {
+	size := 4 + 2 + 4 + 2 + 4
+	for _, ini := range c.Init {
+		size += 8 + len(ini.Data)
+	}
+	for _, in := range c.Code {
+		size += instrFixed + 2*len(in.Args)
+	}
+	out := make([]byte, size)
+	o := 0
+	putU32(out[o:], magic)
+	o += 4
+	putU16(out[o:], uint16(c.NRegs))
+	o += 2
+	putU32(out[o:], uint32(c.ShmSize))
+	o += 4
+	putU16(out[o:], uint16(len(c.Init)))
+	o += 2
+	putU32(out[o:], uint32(len(c.Code)))
+	o += 4
+	for _, ini := range c.Init {
+		putU32(out[o:], uint32(ini.Off))
+		o += 4
+		putU32(out[o:], uint32(len(ini.Data)))
+		o += 4
+		copy(out[o:], ini.Data)
+		o += len(ini.Data)
+	}
+	for _, in := range c.Code {
+		out[o] = byte(in.Op)
+		out[o+1] = in.Sub
+		putU16(out[o+2:], uint16(in.Dst))
+		putU16(out[o+4:], uint16(in.A))
+		putU16(out[o+6:], uint16(in.B))
+		putU64(out[o+8:], uint64(in.Imm))
+		out[o+16] = byte(len(in.Args))
+		o += instrFixed
+		for _, a := range in.Args {
+			putU16(out[o:], uint16(a))
+			o += 2
+		}
+	}
+	return out
+}
+
+// ErrMalformed reports a compound buffer the decoder rejects.
+var ErrMalformed = errors.New("cosy: malformed compound")
+
+// Decode parses an encoded compound, performing full bounds checking
+// on the buffer — this is the kernel's first line of defense against
+// hand-crafted compounds.
+func Decode(buf []byte) (*Compound, error) {
+	need := func(n int, o int) error {
+		if o+n > len(buf) {
+			return fmt.Errorf("%w: truncated at offset %d", ErrMalformed, o)
+		}
+		return nil
+	}
+	if err := need(16, 0); err != nil {
+		return nil, err
+	}
+	if getU32(buf) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrMalformed)
+	}
+	c := &Compound{}
+	o := 4
+	c.NRegs = int(getU16(buf[o:]))
+	o += 2
+	c.ShmSize = int(getU32(buf[o:]))
+	o += 4
+	ninit := int(getU16(buf[o:]))
+	o += 2
+	ninstr := int(getU32(buf[o:]))
+	o += 4
+	if ninstr > 1<<20 {
+		return nil, fmt.Errorf("%w: unreasonable instruction count %d", ErrMalformed, ninstr)
+	}
+	for i := 0; i < ninit; i++ {
+		if err := need(8, o); err != nil {
+			return nil, err
+		}
+		off := int(getU32(buf[o:]))
+		n := int(getU32(buf[o+4:]))
+		o += 8
+		if n > len(buf) {
+			return nil, fmt.Errorf("%w: init blob of %d bytes", ErrMalformed, n)
+		}
+		if err := need(n, o); err != nil {
+			return nil, err
+		}
+		data := make([]byte, n)
+		copy(data, buf[o:o+n])
+		o += n
+		c.Init = append(c.Init, ShmInit{Off: off, Data: data})
+	}
+	for i := 0; i < ninstr; i++ {
+		if err := need(instrFixed, o); err != nil {
+			return nil, err
+		}
+		in := Instr{
+			Op:  Op(buf[o]),
+			Sub: buf[o+1],
+			Dst: Reg(getU16(buf[o+2:])),
+			A:   Reg(getU16(buf[o+4:])),
+			B:   Reg(getU16(buf[o+6:])),
+			Imm: int64(getU64(buf[o+8:])),
+		}
+		nargs := int(buf[o+16])
+		o += instrFixed
+		if err := need(2*nargs, o); err != nil {
+			return nil, err
+		}
+		for j := 0; j < nargs; j++ {
+			in.Args = append(in.Args, Reg(getU16(buf[o:])))
+			o += 2
+		}
+		c.Code = append(c.Code, in)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

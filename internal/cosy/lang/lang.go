@@ -1,0 +1,230 @@
+// Package lang defines the Cosy intermediate language: the encoding
+// of a marked code segment into a *compound* that the Cosy kernel
+// extension executes (§2.3).
+//
+//	"Cosy encodes a C code segment containing system calls in a
+//	compound structure. The kernel executes this aggregate compound
+//	directly, thus avoiding data copies between user space and
+//	kernel-space."
+//
+// A compound is a small register program: constants, arithmetic,
+// branches (bounded loops), system-call operations, and loads/stores
+// into the shared buffer (shm) that user and kernel both map. The
+// language is deliberately a restricted subset: "We limited Cosy to
+// the execution of only a subset of C in the kernel. One of the main
+// reasons is safety. Another concern is that extending the language
+// further ... may not increase performance because the overhead to
+// decode a compound increases with the complexity of the language."
+package lang
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Op is a compound operation code.
+type Op uint8
+
+// Compound opcodes.
+const (
+	// OpEnd terminates the compound; A is the result register.
+	OpEnd Op = iota
+	// OpConst: Dst = Imm.
+	OpConst
+	// OpMov: Dst = A.
+	OpMov
+	// OpBin: Dst = A <Sub> B (Sub is a BinOp code).
+	OpBin
+	// OpUn: Dst = <Sub> A (Sub is a UnOp code).
+	OpUn
+	// OpLoad: Dst = shm[A], Sub is the size (1 or 8).
+	OpLoad
+	// OpStore: shm[A] = B, Sub is the size.
+	OpStore
+	// OpSys: Dst = syscall(Imm = syscall number, Args...).
+	OpSys
+	// OpJmp: unconditional jump to instruction Imm.
+	OpJmp
+	// OpBrz: if A == 0 jump to instruction Imm.
+	OpBrz
+	opCount
+)
+
+var opNames = [...]string{"end", "const", "mov", "bin", "un", "load", "store", "sys", "jmp", "brz"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", int(o))
+}
+
+// BinOp codes for OpBin's Sub field.
+const (
+	BinAdd uint8 = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinMod
+	BinAnd
+	BinOr
+	BinXor
+	BinShl
+	BinShr
+	BinEq
+	BinNe
+	BinLt
+	BinLe
+	BinGt
+	BinGe
+	binCount
+)
+
+var binNames = [...]string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", "==", "!=", "<", "<=", ">", ">="}
+
+// BinOpCode maps a C operator to its code.
+func BinOpCode(op string) (uint8, bool) {
+	for i, n := range binNames {
+		if n == op {
+			return uint8(i), true
+		}
+	}
+	return 0, false
+}
+
+// BinOpName renders a code.
+func BinOpName(code uint8) string {
+	if int(code) < len(binNames) {
+		return binNames[code]
+	}
+	return "?"
+}
+
+// UnOp codes for OpUn's Sub field.
+const (
+	UnNeg uint8 = iota
+	UnNot
+	UnBNot
+)
+
+// Reg is a compound register index.
+type Reg uint16
+
+// NoReg marks an unused register field.
+const NoReg Reg = 0xFFFF
+
+// Instr is one compound operation.
+type Instr struct {
+	Op   Op
+	Dst  Reg
+	A, B Reg
+	Imm  int64
+	Sub  uint8
+	Args []Reg
+}
+
+func (in Instr) String() string {
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("r%d = %d", in.Dst, in.Imm)
+	case OpMov:
+		return fmt.Sprintf("r%d = r%d", in.Dst, in.A)
+	case OpBin:
+		return fmt.Sprintf("r%d = r%d %s r%d", in.Dst, in.A, BinOpName(in.Sub), in.B)
+	case OpUn:
+		return fmt.Sprintf("r%d = un%d r%d", in.Dst, in.Sub, in.A)
+	case OpLoad:
+		return fmt.Sprintf("r%d = shm%d[r%d]", in.Dst, in.Sub, in.A)
+	case OpStore:
+		return fmt.Sprintf("shm%d[r%d] = r%d", in.Sub, in.A, in.B)
+	case OpSys:
+		return fmt.Sprintf("r%d = sys_%d(%v)", in.Dst, in.Imm, in.Args)
+	case OpJmp:
+		return fmt.Sprintf("jmp %d", in.Imm)
+	case OpBrz:
+		return fmt.Sprintf("brz r%d -> %d", in.A, in.Imm)
+	case OpEnd:
+		return fmt.Sprintf("end r%d", in.A)
+	}
+	return in.Op.String()
+}
+
+// ShmInit is initial data the compound wants placed in the shared
+// buffer before execution (path strings and the like).
+type ShmInit struct {
+	Off  int
+	Data []byte
+}
+
+// Compound is one encoded code segment.
+type Compound struct {
+	NRegs   int
+	ShmSize int
+	Init    []ShmInit
+	Code    []Instr
+}
+
+// Validate performs the static checks the kernel extension runs
+// before execution: register indices in range, jump targets in range,
+// shm init regions inside the buffer.
+func (c *Compound) Validate() error {
+	if c.NRegs < 0 || c.NRegs > 4096 {
+		return fmt.Errorf("cosy: unreasonable register count %d", c.NRegs)
+	}
+	checkReg := func(r Reg) error {
+		if r == NoReg {
+			return nil
+		}
+		if int(r) >= c.NRegs {
+			return fmt.Errorf("cosy: register r%d out of range (%d regs)", r, c.NRegs)
+		}
+		return nil
+	}
+	for i, in := range c.Code {
+		if in.Op >= opCount {
+			return fmt.Errorf("cosy: instruction %d: bad opcode %d", i, in.Op)
+		}
+		for _, r := range []Reg{in.Dst, in.A, in.B} {
+			if err := checkReg(r); err != nil {
+				return fmt.Errorf("instruction %d: %w", i, err)
+			}
+		}
+		for _, r := range in.Args {
+			if err := checkReg(r); err != nil {
+				return fmt.Errorf("instruction %d: %w", i, err)
+			}
+		}
+		switch in.Op {
+		case OpJmp, OpBrz:
+			if in.Imm < 0 || in.Imm >= int64(len(c.Code)) {
+				return fmt.Errorf("cosy: instruction %d: jump target %d out of range", i, in.Imm)
+			}
+		case OpBin:
+			if in.Sub >= binCount {
+				return fmt.Errorf("cosy: instruction %d: bad binop %d", i, in.Sub)
+			}
+		case OpLoad, OpStore:
+			if in.Sub != 1 && in.Sub != 8 {
+				return fmt.Errorf("cosy: instruction %d: bad access size %d", i, in.Sub)
+			}
+		}
+	}
+	for _, ini := range c.Init {
+		if ini.Off < 0 || ini.Off+len(ini.Data) > c.ShmSize {
+			return fmt.Errorf("cosy: shm init [%d,+%d) outside buffer of %d", ini.Off, len(ini.Data), c.ShmSize)
+		}
+	}
+	if len(c.Code) == 0 || c.Code[len(c.Code)-1].Op != OpEnd {
+		return errors.New("cosy: compound must end with an end operation")
+	}
+	return nil
+}
+
+// Dump renders the compound for debugging.
+func (c *Compound) Dump() string {
+	s := fmt.Sprintf("compound: %d regs, %d shm bytes, %d init blobs\n", c.NRegs, c.ShmSize, len(c.Init))
+	for i, in := range c.Code {
+		s += fmt.Sprintf("%4d: %s\n", i, in)
+	}
+	return s
+}

@@ -1,0 +1,143 @@
+package lang
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Compound {
+	return &Compound{
+		NRegs:   4,
+		ShmSize: 128,
+		Init:    []ShmInit{{Off: 0, Data: []byte("/etc/passwd\x00")}},
+		Code: []Instr{
+			{Op: OpConst, Dst: 0, Imm: 42, A: NoReg, B: NoReg},
+			{Op: OpConst, Dst: 1, Imm: -7, A: NoReg, B: NoReg},
+			{Op: OpBin, Dst: 2, A: 0, B: 1, Sub: BinAdd},
+			{Op: OpSys, Dst: 3, Imm: 2, Args: []Reg{2, 0, 1}, A: NoReg, B: NoReg},
+			{Op: OpBrz, A: 3, Imm: 5, Dst: NoReg, B: NoReg},
+			{Op: OpEnd, A: 2, Dst: NoReg, B: NoReg},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := sample()
+	buf := Encode(c)
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NRegs != c.NRegs || got.ShmSize != c.ShmSize {
+		t.Fatalf("header: %d/%d", got.NRegs, got.ShmSize)
+	}
+	if len(got.Code) != len(c.Code) {
+		t.Fatalf("code len = %d", len(got.Code))
+	}
+	for i := range c.Code {
+		a, b := c.Code[i], got.Code[i]
+		if a.Op != b.Op || a.Dst != b.Dst || a.A != b.A || a.B != b.B ||
+			a.Imm != b.Imm || a.Sub != b.Sub || len(a.Args) != len(b.Args) {
+			t.Fatalf("instr %d: %+v != %+v", i, a, b)
+		}
+		for j := range a.Args {
+			if a.Args[j] != b.Args[j] {
+				t.Fatalf("instr %d arg %d", i, j)
+			}
+		}
+	}
+	if string(got.Init[0].Data) != "/etc/passwd\x00" {
+		t.Fatalf("init = %q", got.Init[0].Data)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not a compound")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	buf := Encode(sample())
+	for cut := 1; cut < len(buf); cut += 7 {
+		if _, err := Decode(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodeNeverPanics(t *testing.T) {
+	// The decoder is the kernel's parser of untrusted user input: it
+	// must reject, never panic.
+	base := Encode(sample())
+	if err := quick.Check(func(idx uint16, val byte) bool {
+		buf := append([]byte(nil), base...)
+		buf[int(idx)%len(buf)] = val
+		defer func() {
+			if recover() != nil {
+				t.Fatal("decoder panicked on corrupted input")
+			}
+		}()
+		_, _ = Decode(buf) // may fail, must not panic
+		return true
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(c *Compound)
+	}{
+		{"reg out of range", func(c *Compound) { c.Code[2].A = 99 }},
+		{"jump out of range", func(c *Compound) { c.Code[4].Imm = 100 }},
+		{"negative jump", func(c *Compound) { c.Code[4].Imm = -1 }},
+		{"bad binop", func(c *Compound) { c.Code[2].Sub = 200 }},
+		{"init outside shm", func(c *Compound) { c.Init[0].Off = 1000 }},
+		{"no end op", func(c *Compound) { c.Code = c.Code[:3] }},
+		{"arg out of range", func(c *Compound) { c.Code[3].Args[0] = 50 }},
+	}
+	for _, tc := range cases {
+		c := sample()
+		tc.mut(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: validated", tc.name)
+		}
+	}
+}
+
+func TestValidateAcceptsSample(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinOpCodes(t *testing.T) {
+	for _, op := range []string{"+", "-", "*", "/", "%", "==", "<", "<=", ">>"} {
+		code, ok := BinOpCode(op)
+		if !ok {
+			t.Fatalf("no code for %q", op)
+		}
+		if BinOpName(code) != op {
+			t.Fatalf("round trip %q -> %d -> %q", op, code, BinOpName(code))
+		}
+	}
+	if _, ok := BinOpCode("&&"); ok {
+		t.Fatal("&& should not be a primitive binop")
+	}
+}
+
+func TestDumpAndStrings(t *testing.T) {
+	c := sample()
+	dump := c.Dump()
+	if len(dump) == 0 {
+		t.Fatal("empty dump")
+	}
+	if OpSys.String() != "sys" || Op(99).String() == "" {
+		t.Fatal("op names")
+	}
+}

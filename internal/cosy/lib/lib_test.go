@@ -1,0 +1,113 @@
+package lib
+
+import (
+	"testing"
+
+	"repro/internal/cosy/lang"
+)
+
+func TestBuilderProducesValidCompound(t *testing.T) {
+	b := New()
+	x := b.Const(10)
+	y := b.Const(32)
+	z := b.Bin("+", x, y)
+	c, err := b.End(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NRegs != 3 || len(c.Code) != 4 {
+		t.Fatalf("regs=%d code=%d", c.NRegs, len(c.Code))
+	}
+}
+
+func TestStringAndAllocLayout(t *testing.T) {
+	b := New()
+	s1 := b.String("abc")
+	buf := b.Alloc(100)
+	s2 := b.String("defg")
+	if s1 != 0 {
+		t.Fatalf("s1 = %d", s1)
+	}
+	if buf < 4 || buf%8 != 0 {
+		t.Fatalf("buf = %d", buf)
+	}
+	if s2 <= buf {
+		t.Fatalf("s2 = %d overlaps buf at %d", s2, buf)
+	}
+	c, err := b.End(b.Const(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ShmSize < s2+5 {
+		t.Fatalf("shm size = %d", c.ShmSize)
+	}
+	if len(c.Init) != 2 || string(c.Init[0].Data) != "abc\x00" {
+		t.Fatalf("init = %+v", c.Init)
+	}
+}
+
+func TestBadOperatorFailsAtBuild(t *testing.T) {
+	b := New()
+	x := b.Const(1)
+	y := b.Bin("@@", x, x)
+	if _, err := b.End(y); err == nil {
+		t.Fatal("bad operator accepted")
+	}
+}
+
+func TestPatchesResolve(t *testing.T) {
+	b := New()
+	cond := b.Const(0)
+	p := b.Brz(cond)
+	b.Const(99) // skipped
+	p.Here()
+	c, err := b.End(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brz := c.Code[1]
+	if brz.Op != lang.OpBrz || brz.Imm != 3 {
+		t.Fatalf("brz = %+v", brz)
+	}
+}
+
+func TestBuildEncodesDecodable(t *testing.T) {
+	b := New()
+	b.String("/x")
+	r := b.Sys(3, b.Const(0))
+	raw, err := b.Build(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := lang.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Code) != 3 {
+		t.Fatalf("code = %d", len(c.Code))
+	}
+}
+
+func TestCountedLoopShape(t *testing.T) {
+	b := New()
+	n := b.Const(0)
+	b.CountedLoop(5, func(i lang.Reg) { b.BinInto(n, "+", n, i) })
+	c, err := b.End(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must contain a backward jump and a forward brz landing before
+	// end.
+	var hasBack bool
+	for i, in := range c.Code {
+		if in.Op == lang.OpJmp && int(in.Imm) < i {
+			hasBack = true
+		}
+	}
+	if !hasBack {
+		t.Fatal("no loop back-edge")
+	}
+}

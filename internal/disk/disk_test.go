@@ -1,0 +1,83 @@
+package disk
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSequentialCheaperThanRandom(t *testing.T) {
+	d := New(IDE7200())
+	_ = d.AccessTime(100, BlockSize, false) // position the head
+	seq := d.AccessTime(101, BlockSize, false)
+	rnd := d.AccessTime(1_000_000, BlockSize, false)
+	if seq >= rnd {
+		t.Fatalf("sequential %d >= random %d", seq, rnd)
+	}
+}
+
+func TestNearSeekCheaperThanFar(t *testing.T) {
+	d := New(IDE7200())
+	_ = d.AccessTime(100, BlockSize, false)
+	near := d.AccessTime(150, BlockSize, false)
+	_ = d.AccessTime(100, BlockSize, false)
+	far := d.AccessTime(500_000, BlockSize, false)
+	if near >= far {
+		t.Fatalf("near %d >= far %d", near, far)
+	}
+}
+
+func TestTransferScalesWithBytes(t *testing.T) {
+	d := New(SCSI15K())
+	_ = d.AccessTime(0, BlockSize, false)
+	small := d.AccessTime(1, BlockSize, false)
+	big := d.AccessTime(2, 64*BlockSize, false)
+	if big <= small {
+		t.Fatalf("64-block transfer %d <= 1-block %d", big, small)
+	}
+}
+
+func TestSCSIFasterThanIDE(t *testing.T) {
+	ide, scsi := New(IDE7200()), New(SCSI15K())
+	tIDE := ide.AccessTime(999_999, BlockSize, false)
+	tSCSI := scsi.AccessTime(999_999, BlockSize, false)
+	if tSCSI >= tIDE {
+		t.Fatalf("SCSI %d >= IDE %d", tSCSI, tIDE)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	d := New(IDE7200())
+	d.AccessTime(0, 100, false)
+	d.AccessTime(10_000_000, 200, true)
+	s := d.Stats()
+	if s.Reads != 1 || s.Writes != 1 {
+		t.Fatalf("ops = %+v", s)
+	}
+	if s.BytesRead != 100 || s.BytesWritten != 200 {
+		t.Fatalf("bytes = %+v", s)
+	}
+	if s.Seeks < 1 {
+		t.Fatalf("seeks = %d", s.Seeks)
+	}
+}
+
+func TestHeadPositionAdvancesAcrossBlocks(t *testing.T) {
+	d := New(IDE7200())
+	_ = d.AccessTime(0, 4*BlockSize, false) // head now after block 3
+	next := d.AccessTime(4, BlockSize, false)
+	if next != sim4k(d) {
+		t.Fatalf("continuing read charged positioning: %d", next)
+	}
+}
+
+func sim4k(d *Device) sim.Cycles {
+	return sim.Cycles(BlockSize) * d.Prof.PerByte
+}
+
+func TestNegativeBytesClamped(t *testing.T) {
+	d := New(IDE7200())
+	if tt := d.AccessTime(0, -5, false); tt < 0 {
+		t.Fatalf("negative latency %d", tt)
+	}
+}

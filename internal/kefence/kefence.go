@@ -1,0 +1,297 @@
+// Package kefence implements Kefence, the paper's hardware-based
+// kernel buffer-overflow detector (§3.2):
+//
+//	"Kefence aligns memory buffers allocated in the kernel virtual
+//	address space (using vmalloc) to page boundaries. ... A guardian
+//	page table entry (PTE) is added adjacent to each buffer so that
+//	whenever a buffer overflow occurs, the guardian PTE is accessed.
+//	The guardian PTE has read and write permissions disabled; hence,
+//	accessing it causes a page fault."
+//
+// The allocator implements alloc.Allocator, so a module coded against
+// that interface (wrapfs) switches from kmalloc to guarded vmalloc by
+// construction-time configuration — the paper's compiler-flag-driven
+// kmalloc→vmalloc replacement.
+package kefence
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/klog"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Mode selects the fault handler's response to an overflow, mirroring
+// the paper's configurations.
+type Mode int
+
+const (
+	// ModeCrash terminates the faulting access: "When security is
+	// critical, Kefence can be configured to crash the module upon a
+	// memory overflow."
+	ModeCrash Mode = iota
+	// ModeLogRO logs and auto-maps a read-only page: the offending
+	// code may read (but not write) out-of-bounds, and execution
+	// continues.
+	ModeLogRO
+	// ModeLogRW logs and auto-maps a writable page: full
+	// log-and-continue debugging.
+	ModeLogRW
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeCrash:
+		return "crash"
+	case ModeLogRO:
+		return "log-readonly"
+	case ModeLogRW:
+		return "log-readwrite"
+	}
+	return "?"
+}
+
+// Report records one detected overflow (or underflow).
+type Report struct {
+	Time      sim.Cycles
+	FaultAddr mem.Addr
+	Access    mem.Access
+	Buffer    mem.Addr
+	Size      int
+	Site      string
+	Underflow bool
+}
+
+// ErrOverflow wraps faults delivered in crash mode.
+var ErrOverflow = errors.New("kefence: buffer overflow")
+
+// Allocator is the Kefence guarded allocator.
+type Allocator struct {
+	as    *mem.AddressSpace
+	costs *sim.Costs
+	chg   alloc.ChargeFunc
+	log   *klog.Log
+
+	// Mode selects crash versus log-and-continue handling.
+	Mode Mode
+	// GuardBefore places the guardian page before the buffer
+	// (underflow detection) instead of after it. "Since the alignment
+	// of buffers to page boundaries can be done either at the
+	// beginning or at the end, Kefence cannot detect buffer overflows
+	// and underflows simultaneously."
+	GuardBefore bool
+
+	table *htab // the vfree hash table: page address -> allocation
+	stats alloc.Stats
+
+	reports []Report
+	prev    mem.FaultHandler
+}
+
+// allocation describes one guarded buffer.
+type allocation struct {
+	base   mem.Addr // page-aligned region start (first data page)
+	buf    mem.Addr // user-visible buffer address
+	size   int
+	pages  int
+	guard  mem.Addr // guardian page address
+	site   string
+	mapped bool // guard was auto-mapped after an overflow
+}
+
+// New creates a Kefence allocator over the kernel address space and
+// installs its page-fault handler (chaining to any existing one).
+func New(as *mem.AddressSpace, costs *sim.Costs, charge alloc.ChargeFunc, log *klog.Log) *Allocator {
+	a := &Allocator{
+		as:    as,
+		costs: costs,
+		chg:   charge,
+		log:   log,
+		table: newHtab(),
+		prev:  as.Handler,
+	}
+	as.Handler = a.handleFault
+	return a
+}
+
+func (a *Allocator) charge(c sim.Cycles) {
+	if a.chg != nil && c > 0 {
+		a.chg(c)
+	}
+}
+
+// Alloc implements alloc.Allocator: a vmalloc-style page-granular
+// allocation with the buffer aligned against the guardian page.
+func (a *Allocator) Alloc(size int) (mem.Addr, error) {
+	return a.AllocSite(size, "unknown")
+}
+
+// AllocSite allocates with an attribution site recorded for overflow
+// reports ("the logs contain full information about the location and
+// the code which caused the overflow").
+func (a *Allocator) AllocSite(size int, site string) (mem.Addr, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("kefence: alloc of non-positive size %d", size)
+	}
+	if a.costs != nil {
+		a.charge(a.costs.Vmalloc)
+	}
+	pages := mem.PagesFor(size)
+	region := a.as.Reserve(pages + 1)
+	var dataBase, guard mem.Addr
+	if a.GuardBefore {
+		guard = region
+		dataBase = region + mem.PageSize
+	} else {
+		dataBase = region
+		guard = region + mem.Addr(pages*mem.PageSize)
+	}
+	for i := 0; i < pages; i++ {
+		if err := a.as.MapPage(dataBase+mem.Addr(i*mem.PageSize), mem.PermRW); err != nil {
+			for j := 0; j < i; j++ {
+				_ = a.as.Unmap(dataBase + mem.Addr(j*mem.PageSize))
+			}
+			return 0, err
+		}
+	}
+	if err := a.as.MapGuard(guard); err != nil {
+		for i := 0; i < pages; i++ {
+			_ = a.as.Unmap(dataBase + mem.Addr(i*mem.PageSize))
+		}
+		return 0, err
+	}
+	// Align the buffer against the guard so the very first
+	// out-of-bounds byte faults.
+	buf := dataBase
+	if !a.GuardBefore {
+		buf = dataBase + mem.Addr(pages*mem.PageSize-size)
+	}
+	rec := &allocation{base: dataBase, buf: buf, size: size, pages: pages, guard: guard, site: site}
+	// Index every page of the allocation (including the guard) so
+	// both vfree and the fault handler find the record in O(1).
+	for i := 0; i < pages; i++ {
+		a.table.put(uint64(dataBase)+uint64(i*mem.PageSize), rec)
+	}
+	a.table.put(uint64(guard), rec)
+
+	a.stats.Live++
+	a.stats.LiveBytes += int64(size)
+	a.stats.LivePages += pages + 1 // guard occupies address space
+	a.stats.TotalAllocs++
+	a.stats.TotalBytes += int64(size)
+	if a.stats.Live > a.stats.MaxLive {
+		a.stats.MaxLive = a.stats.Live
+	}
+	if a.stats.LivePages > a.stats.MaxLivePages {
+		a.stats.MaxLivePages = a.stats.LivePages
+	}
+	return buf, nil
+}
+
+// Free implements alloc.Allocator, using the hash table for the
+// lookup ("we have added a hash table ... to speed up the default
+// vfree function").
+func (a *Allocator) Free(addr mem.Addr) error {
+	rec, ok := a.table.get(uint64(mem.PageDown(addr)))
+	if !ok || rec.buf != addr {
+		return fmt.Errorf("%w: %#x", alloc.ErrBadFree, uint64(addr))
+	}
+	if a.costs != nil {
+		a.charge(a.costs.Vfree)
+	}
+	for i := 0; i < rec.pages; i++ {
+		page := rec.base + mem.Addr(i*mem.PageSize)
+		_ = a.as.Unmap(page)
+		a.table.del(uint64(page))
+	}
+	_ = a.as.Unmap(rec.guard)
+	a.table.del(uint64(rec.guard))
+	a.stats.Live--
+	a.stats.LiveBytes -= int64(rec.size)
+	a.stats.LivePages -= rec.pages + 1
+	a.stats.TotalFrees++
+	return nil
+}
+
+// SizeOf implements alloc.Allocator.
+func (a *Allocator) SizeOf(addr mem.Addr) (int, bool) {
+	rec, ok := a.table.get(uint64(mem.PageDown(addr)))
+	if !ok || rec.buf != addr {
+		return 0, false
+	}
+	return rec.size, true
+}
+
+// Stats implements alloc.Allocator.
+func (a *Allocator) Stats() alloc.Stats { return a.stats }
+
+// Reports returns the overflow reports captured so far.
+func (a *Allocator) Reports() []Report { return a.reports }
+
+// handleFault is the modified page-fault handler: it recognizes
+// guardian PTEs belonging to Kefence allocations, logs the overflow,
+// and applies the configured policy.
+func (a *Allocator) handleFault(as *mem.AddressSpace, f *mem.Fault) mem.FaultAction {
+	page := mem.PageDown(f.Addr)
+	rec, ok := a.table.get(uint64(page))
+	if !ok || !f.Guard || page != rec.guard {
+		if a.prev != nil {
+			return a.prev(as, f)
+		}
+		return mem.FaultKill
+	}
+	r := Report{
+		FaultAddr: f.Addr,
+		Access:    f.Access,
+		Buffer:    rec.buf,
+		Size:      rec.size,
+		Site:      rec.site,
+		Underflow: a.GuardBefore,
+	}
+	a.reports = append(a.reports, r)
+	kind := "overflow"
+	if r.Underflow {
+		kind = "underflow"
+	}
+	if a.log != nil {
+		a.log.Printf(klog.Err,
+			"kefence: buffer %s: %s of %#x (buffer %#x, %d bytes, allocated at %s)",
+			kind, f.Access, uint64(f.Addr), uint64(rec.buf), rec.size, rec.site)
+	}
+	switch a.Mode {
+	case ModeCrash:
+		return mem.FaultKill
+	case ModeLogRO:
+		if f.Access == mem.AccessWrite && rec.mapped {
+			// Already mapped read-only and the code is now writing:
+			// still a violation; keep killing writes.
+			return mem.FaultKill
+		}
+		perm := mem.PermR
+		if f.Access == mem.AccessWrite {
+			// A write faulted first: read-only mapping would fault
+			// forever, so the RO policy kills writes.
+			return mem.FaultKill
+		}
+		if err := a.as.SetPerm(rec.guard, perm); err != nil {
+			return mem.FaultKill
+		}
+		rec.mapped = true
+		return mem.FaultRetry
+	case ModeLogRW:
+		if err := a.as.SetPerm(rec.guard, mem.PermRW); err != nil {
+			return mem.FaultKill
+		}
+		rec.mapped = true
+		return mem.FaultRetry
+	}
+	return mem.FaultKill
+}
+
+// TableLen reports hash table entries (tests).
+func (a *Allocator) TableLen() int { return a.table.len() }
+
+var _ alloc.Allocator = (*Allocator)(nil)

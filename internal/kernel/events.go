@@ -1,0 +1,73 @@
+package kernel
+
+import "repro/internal/sim"
+
+// event is a scheduled wakeup.
+type event struct {
+	when sim.Cycles
+	proc *Process
+	seq  uint64 // FIFO tiebreak for equal times
+}
+
+// eventHeap is a binary min-heap ordered by (when, seq).
+type eventHeap struct {
+	items []event
+	seq   uint64
+}
+
+func (h *eventHeap) Len() int { return len(h.items) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) push(e event) {
+	e.seq = h.seq
+	h.seq++
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.items) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.items) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}
+
+// peek returns the earliest event without removing it.
+func (h *eventHeap) peek() (event, bool) {
+	if len(h.items) == 0 {
+		return event{}, false
+	}
+	return h.items[0], true
+}

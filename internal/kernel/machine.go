@@ -1,0 +1,211 @@
+// Package kernel implements the simulated operating system core: a
+// single-CPU machine with a virtual-time clock, processes scheduled
+// cooperatively in round-robin with a timeslice, a pending-event queue
+// for blocking I/O, and per-process user/system/wait time accounting.
+//
+// Everything the paper measures is a ratio of elapsed, system, and
+// user times, so the machine's one job is to attribute every virtual
+// cycle to exactly one of those buckets for exactly one process.
+//
+// Concurrency model: each Process runs on its own goroutine, but the
+// machine enforces strict hand-off — at any instant at most one
+// goroutine (either the scheduler loop or the current process) is
+// executing. This gives deterministic interleaving and makes all
+// shared state effectively single-threaded.
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/klog"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Machine is the simulated computer.
+type Machine struct {
+	Clock sim.Clock
+	Costs sim.Costs
+	Phys  *mem.Phys
+	// KAS is the kernel address space: allocators carve from it, Cosy
+	// shared buffers are mapped into it.
+	KAS *mem.AddressSpace
+	Km  *alloc.Kmalloc
+	Vm  *alloc.Vmalloc
+	Log *klog.Log
+
+	procs   map[int]*Process
+	ready   []*Process
+	current *Process
+	events  eventHeap
+	nextPID int
+	lastRun *Process
+
+	// CtxSwitches counts process-to-process switches.
+	CtxSwitches int64
+	// IdleCycles accumulates time when no process was runnable.
+	IdleCycles sim.Cycles
+}
+
+// Config controls machine creation.
+type Config struct {
+	// PhysBytes bounds physical memory; 0 selects the paper's 884MB.
+	PhysBytes int64
+	// Costs overrides the cost model; nil selects sim.DefaultCosts.
+	Costs *sim.Costs
+}
+
+// New creates a machine.
+func New(cfg Config) *Machine {
+	if cfg.PhysBytes == 0 {
+		cfg.PhysBytes = 884 << 20
+	}
+	costs := sim.DefaultCosts()
+	if cfg.Costs != nil {
+		costs = *cfg.Costs
+	}
+	m := &Machine{
+		Costs:   costs,
+		Phys:    mem.NewPhys(cfg.PhysBytes),
+		procs:   make(map[int]*Process),
+		nextPID: 1,
+	}
+	m.KAS = mem.NewAddressSpace("kernel", m.Phys, &m.Costs)
+	m.KAS.Charge = m.chargeCurrent
+	m.Km = alloc.NewKmalloc(m.KAS, &m.Costs, m.chargeCurrent)
+	m.Vm = alloc.NewVmalloc(m.KAS, &m.Costs, m.chargeCurrent)
+	m.Log = klog.New(&m.Clock, 0)
+	return m
+}
+
+// chargeCurrent attributes cycles from subsystems (MMU, allocators) to
+// whatever process is running, in its current mode; charges with no
+// current process (machine setup) advance the clock as system time of
+// nobody.
+func (m *Machine) chargeCurrent(c sim.Cycles) {
+	if p := m.current; p != nil {
+		p.Charge(c)
+		return
+	}
+	m.Clock.Advance(c)
+}
+
+// Elapsed reports total virtual time since boot.
+func (m *Machine) Elapsed() sim.Cycles { return m.Clock.Now() }
+
+// Spawn creates a process executing fn on its own goroutine. The
+// process does not run until Run is called. Its user address space is
+// created with a stack/heap region already mapped.
+func (m *Machine) Spawn(name string, fn func(*Process) error) *Process {
+	p := &Process{
+		M:      m,
+		PID:    m.nextPID,
+		Name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan yieldKind),
+		state:  stateReady,
+		bonus:  defaultBonus,
+	}
+	m.nextPID++
+	p.UAS = mem.NewAddressSpace(fmt.Sprintf("user-%s-%d", name, p.PID), m.Phys, &m.Costs)
+	p.UAS.Charge = p.Charge
+	m.procs[p.PID] = p
+	m.ready = append(m.ready, p)
+	go p.top(fn)
+	return p
+}
+
+// Run drives the machine until every spawned process has finished.
+// It returns the first process error encountered (processes killed by
+// the watchdog report that as their error), though all processes run
+// to completion regardless.
+func (m *Machine) Run() error {
+	var firstErr error
+	for len(m.procs) > 0 {
+		m.deliverDue()
+		if len(m.ready) == 0 {
+			if m.events.Len() == 0 {
+				panic("kernel: deadlock - processes alive but nothing runnable and no pending events")
+			}
+			ev := m.events.pop()
+			if ev.when > m.Clock.Now() {
+				m.IdleCycles += ev.when - m.Clock.Now()
+				m.Clock.AdvanceTo(ev.when)
+			}
+			ev.proc.wake()
+			continue
+		}
+		p := m.ready[0]
+		m.ready = m.ready[1:]
+		if p.state != stateReady {
+			continue
+		}
+		m.dispatch(p)
+		switch p.state {
+		case stateDone:
+			if p.err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("process %s: %w", p.Name, p.err)
+			}
+			delete(m.procs, p.PID)
+		case stateReady:
+			m.ready = append(m.ready, p)
+		case stateBlocked:
+			// Wake event already queued by BlockFor.
+		}
+	}
+	return firstErr
+}
+
+// dispatch switches to p and runs it until it yields.
+func (m *Machine) dispatch(p *Process) {
+	if m.lastRun != p && m.lastRun != nil {
+		m.CtxSwitches++
+		m.Clock.Advance(m.Costs.CtxSwitch)
+		p.sysCycles += m.Costs.CtxSwitch
+		p.UAS.TLBFlush()
+		m.KAS.TLBFlush()
+	}
+	m.lastRun = p
+	m.current = p
+	p.state = stateRunning
+	p.sliceLeft = p.sliceLen()
+	p.resume <- struct{}{}
+	<-p.yield
+	m.current = nil
+}
+
+// runnableOthers reports whether any process other than the current
+// one is ready to run (the preemption condition).
+func (m *Machine) runnableOthers() bool {
+	for _, p := range m.ready {
+		if p.state == stateReady {
+			return true
+		}
+	}
+	return false
+}
+
+// addEvent queues a wakeup for proc at time when.
+func (m *Machine) addEvent(when sim.Cycles, proc *Process) {
+	m.events.push(event{when: when, proc: proc})
+}
+
+// deliverDue wakes every process whose event time has passed. The
+// scheduler loop calls it before dispatching, and preemption points
+// call it from process context so a spinning process cannot starve a
+// sleeper whose I/O already completed (only one goroutine runs at a
+// time, so this is safe).
+func (m *Machine) deliverDue() {
+	for {
+		ev, ok := m.events.peek()
+		if !ok || ev.when > m.Clock.Now() {
+			return
+		}
+		m.events.pop()
+		ev.proc.wake()
+	}
+}
+
+// Procs reports the number of live processes.
+func (m *Machine) Procs() int { return len(m.procs) }

@@ -1,0 +1,278 @@
+package kgcc
+
+import (
+	"fmt"
+
+	"repro/internal/minic"
+)
+
+// CheckExpansion models the code-size cost of one inlined BCC check:
+// the call setup, splay-tree probe fast path, and slow-path spill
+// that BCC emits at each site. The paper: "a program fully compiled
+// with all the default checks in BCC could be up to 15 to 20 times
+// larger than when compiled with GCC. ... the bulk of the additional
+// code is from thousands of individual checks."
+const CheckExpansion = 45
+
+// Options selects the paper's check-elimination heuristics.
+type Options struct {
+	// ElideSafeStack skips checks for stack accesses whose target and
+	// bounds are statically known ("KGCC does not check stack objects
+	// whose addresses are not taken at any point in the code", plus
+	// constant in-bounds array indexing).
+	ElideSafeStack bool
+	// CSEChecks removes duplicate checks of the same address within a
+	// basic block ("common subexpression elimination allowed us to
+	// reduce the number of checks inserted by more than half").
+	CSEChecks bool
+}
+
+// FullChecks instruments everything (plain BCC).
+func FullChecks() Options { return Options{} }
+
+// DefaultOptions enables all elimination heuristics (KGCC).
+func DefaultOptions() Options {
+	return Options{ElideSafeStack: true, CSEChecks: true}
+}
+
+// Stats reports what instrumentation did to one function.
+type Stats struct {
+	BaseInstrs  int // non-nop instructions before instrumentation
+	Accesses    int // loads + stores encountered
+	ArithSites  int // pointer-arithmetic sites encountered
+	Inserted    int // checks actually inserted (access + arith)
+	ElidedStack int // removed by the safe-stack heuristic
+	ElidedCSE   int // removed by check CSE
+	FinalInstrs int
+}
+
+// Add accumulates another function's stats.
+func (s *Stats) Add(o Stats) {
+	s.BaseInstrs += o.BaseInstrs
+	s.Accesses += o.Accesses
+	s.ArithSites += o.ArithSites
+	s.Inserted += o.Inserted
+	s.ElidedStack += o.ElidedStack
+	s.ElidedCSE += o.ElidedCSE
+	s.FinalInstrs += o.FinalInstrs
+}
+
+// ExpandedFactor estimates the compiled-code size multiplier versus
+// uninstrumented GCC output, with each surviving check expanded to
+// CheckExpansion instructions.
+func (s Stats) ExpandedFactor() float64 {
+	if s.BaseInstrs == 0 {
+		return 1
+	}
+	return float64(s.BaseInstrs+s.Inserted*CheckExpansion) / float64(s.BaseInstrs)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("base %d instrs, %d accesses, %d checks inserted (%d stack-elided, %d cse-elided), %.1fx expanded",
+		s.BaseInstrs, s.Accesses, s.Inserted, s.ElidedStack, s.ElidedCSE, s.ExpandedFactor())
+}
+
+// Instrument rewrites fn in place, inserting OpCheck before every
+// load/store and OpArithCheck after every pointer-arithmetic
+// instruction, subject to the elimination options.
+func Instrument(fn *minic.Fn, opts Options) Stats {
+	var stats Stats
+	for _, in := range fn.Code {
+		if in.Op != minic.OpNop {
+			stats.BaseInstrs++
+		}
+	}
+
+	// defKind[r] describes the instruction that most recently defined
+	// register r while scanning linearly (reset at block leaders):
+	// used for the safe-stack heuristic.
+	type def struct {
+		op     minic.OpCode
+		imm    int64  // frame offset (OpFrameAddr) or constant value
+		sym    string // local name for OpFrameAddr
+		baseOK bool   // OpBin: frame-array base + constant in-bounds index
+	}
+
+	leaders := map[int]bool{0: true}
+	for i, in := range fn.Code {
+		switch in.Op {
+		case minic.OpJump, minic.OpBranchZ:
+			leaders[int(in.Imm)] = true
+			leaders[i+1] = true
+		case minic.OpRet:
+			leaders[i+1] = true
+		}
+	}
+
+	localByName := map[string]*minic.Local{}
+	for _, l := range fn.Locals {
+		localByName[l.Name] = l
+	}
+
+	// staticallySafe reports whether an access of size bytes through
+	// the register defined as d is provably in bounds.
+	staticallySafe := func(d def, size int) bool {
+		switch d.op {
+		case minic.OpFrameAddr:
+			l := localByName[d.sym]
+			return l != nil && size <= l.T.Size()
+		case minic.OpBin:
+			return d.baseOK
+		}
+		return false
+	}
+
+	var out []minic.Instr
+	remap := make([]int, len(fn.Code)+1)
+	defs := map[minic.Reg]def{}
+	consts := map[minic.Reg]int64{}
+	// Value numbers: two registers holding the same symbolic address
+	// expression get the same number, so check CSE recognizes repeated
+	// accesses like obj[0] even though the lowerer used fresh
+	// registers for each.
+	vn := map[minic.Reg]string{}
+	opaque := 0
+	vnOf := func(r minic.Reg) string {
+		if v, ok := vn[r]; ok {
+			return v
+		}
+		opaque++
+		v := fmt.Sprintf("?%d", opaque)
+		vn[r] = v
+		return v
+	}
+	checked := map[string]bool{}      // CSE: "valuenum:size" already checked
+	arithChecked := map[string]bool{} // CSE: derivation already checked
+
+	for i, in := range fn.Code {
+		if leaders[i] {
+			defs = map[minic.Reg]def{}
+			consts = map[minic.Reg]int64{}
+			vn = map[minic.Reg]string{}
+			checked = map[string]bool{}
+			arithChecked = map[string]bool{}
+		}
+		remap[i] = len(out)
+
+		switch in.Op {
+		case minic.OpLoad, minic.OpStore:
+			stats.Accesses++
+			addr := in.A
+			d := defs[addr]
+			key := fmt.Sprintf("%s:%d", vnOf(addr), in.Size)
+			switch {
+			case opts.ElideSafeStack && staticallySafe(d, in.Size):
+				stats.ElidedStack++
+			case opts.CSEChecks && checked[key]:
+				stats.ElidedCSE++
+			default:
+				kind := int64(0)
+				if in.Op == minic.OpStore {
+					kind = 1
+				}
+				out = append(out, minic.Instr{
+					Op: minic.OpCheck, A: addr, Size: in.Size, Imm: kind, Pos: in.Pos,
+				})
+				stats.Inserted++
+				checked[key] = true
+			}
+		}
+
+		out = append(out, in)
+
+		// Track definitions for the heuristics, and insert arithmetic
+		// checks after pointer-deriving instructions.
+		switch in.Op {
+		case minic.OpConst:
+			consts[in.Dst] = in.Imm
+			defs[in.Dst] = def{op: minic.OpConst, imm: in.Imm}
+			vn[in.Dst] = fmt.Sprintf("c%d", in.Imm)
+		case minic.OpFrameAddr:
+			defs[in.Dst] = def{op: minic.OpFrameAddr, imm: in.Imm, sym: in.Sym}
+			vn[in.Dst] = fmt.Sprintf("f%d", in.Imm)
+		case minic.OpMov:
+			defs[in.Dst] = defs[in.A]
+			consts[in.Dst] = consts[in.A]
+			if _, ok := consts[in.A]; !ok {
+				delete(consts, in.Dst)
+			}
+			vn[in.Dst] = vnOf(in.A)
+		case minic.OpBin:
+			d := def{op: minic.OpBin}
+			newVN := fmt.Sprintf("(%s%s%s)", vnOf(in.A), in.BinOp, vnOf(in.B))
+			if in.PtrArith {
+				stats.ArithSites++
+				// Frame array base + constant offset, statically in
+				// bounds?
+				base, idxConst := defs[in.A], consts[in.B]
+				_, haveConst := consts[in.B]
+				if base.op == minic.OpFrameAddr && haveConst {
+					if l := localByName[base.sym]; l != nil && idxConst >= 0 &&
+						idxConst < int64(l.T.Size()) {
+						d.baseOK = true
+					}
+				}
+				switch {
+				case opts.ElideSafeStack && d.baseOK:
+					stats.ElidedStack++
+				case opts.CSEChecks && arithChecked[newVN]:
+					stats.ElidedCSE++
+				default:
+					// Runtime pointer-arithmetic check.
+					out = append(out, minic.Instr{
+						Op: minic.OpArithCheck, Dst: in.Dst, A: in.A, B: in.Dst, Pos: in.Pos,
+					})
+					stats.Inserted++
+					arithChecked[newVN] = true
+				}
+			}
+			delete(consts, in.Dst)
+			defs[in.Dst] = d
+			vn[in.Dst] = newVN
+		case minic.OpUn, minic.OpLoad, minic.OpCall, minic.OpStrAddr, minic.OpArithCheck:
+			if in.Dst != minic.NoReg {
+				delete(consts, in.Dst)
+				defs[in.Dst] = def{op: in.Op}
+				delete(vn, in.Dst)
+			}
+			if in.Op == minic.OpCall {
+				// A call may free objects; previously-checked
+				// addresses are stale.
+				checked = map[string]bool{}
+				arithChecked = map[string]bool{}
+			}
+		}
+	}
+	remap[len(fn.Code)] = len(out)
+
+	// Re-target jumps.
+	for i := range out {
+		switch out[i].Op {
+		case minic.OpJump, minic.OpBranchZ:
+			out[i].Imm = int64(remap[out[i].Imm])
+		}
+	}
+	fn.Code = out
+	for _, in := range out {
+		if in.Op != minic.OpNop {
+			stats.FinalInstrs++
+		}
+	}
+	return stats
+}
+
+// InstrumentUnit optimizes and instruments every function in the
+// unit and returns aggregate statistics. The optimizer runs first
+// because "KGCC is based on GCC, [so] it can leverage GCC's
+// optimization and analysis features" — in particular, constant
+// folding is what lets the safe-stack heuristic prove constant
+// indices in bounds.
+func InstrumentUnit(u *minic.Unit, opts Options) Stats {
+	var total Stats
+	for _, name := range u.Order {
+		minic.Optimize(u.Fns[name])
+		s := Instrument(u.Fns[name], opts)
+		total.Add(s)
+	}
+	return total
+}

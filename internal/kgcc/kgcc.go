@@ -1,0 +1,111 @@
+package kgcc
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/minic"
+)
+
+// Runtime wires a Map into a minic interpreter: checks, pointer
+// arithmetic, stack-frame registration, and the malloc/free builtins
+// with object-map bookkeeping ("malloc/free checking").
+type Runtime struct {
+	Map *Map
+	ip  *minic.Interp
+
+	heap map[uint64]heapInfo
+	// frames tracks per-frame registered bases for unregistration.
+	frames []frameRec
+}
+
+type heapInfo struct {
+	pages int
+	size  int
+}
+
+type frameRec struct {
+	fn    *minic.Fn
+	bases []uint64
+}
+
+// Attach installs the KGCC runtime into ip. Compiled code must have
+// been instrumented (Instrument/InstrumentUnit) for checks to fire;
+// uninstrumented code runs unchecked, exactly like linking against
+// the BCC runtime without compiling with BCC.
+func Attach(ip *minic.Interp, m *Map) *Runtime {
+	rt := &Runtime{Map: m, ip: ip, heap: make(map[uint64]heapInfo)}
+	ip.Hooks.Check = func(kind minic.CheckKind, addr uint64, size int) error {
+		return m.CheckAccess(addr, size)
+	}
+	ip.Hooks.Arith = m.PtrArith
+	ip.Hooks.FrameEnter = func(fn *minic.Fn, frameBase mem.Addr) {
+		rec := frameRec{fn: fn}
+		for _, l := range fn.Locals {
+			if !l.InMemory {
+				continue
+			}
+			base := uint64(frameBase) + uint64(l.Offset)
+			m.Register(base, uint64(l.T.Size()), KindStack, fn.Name+"."+l.Name)
+			rec.bases = append(rec.bases, base)
+		}
+		rt.frames = append(rt.frames, rec)
+	}
+	ip.Hooks.FrameExit = func(fn *minic.Fn, frameBase mem.Addr) {
+		if len(rt.frames) == 0 {
+			return
+		}
+		rec := rt.frames[len(rt.frames)-1]
+		rt.frames = rt.frames[:len(rt.frames)-1]
+		for _, b := range rec.bases {
+			m.Unregister(b)
+		}
+	}
+	ip.Builtins["malloc"] = rt.builtinMalloc
+	ip.Builtins["free"] = rt.builtinFree
+
+	// String literals are global objects.
+	ip.EachString(func(addr mem.Addr, size int) {
+		m.Register(uint64(addr), uint64(size), KindGlobal, "strlit")
+	})
+	return rt
+}
+
+func (rt *Runtime) builtinMalloc(ip *minic.Interp, args []int64) (int64, error) {
+	if len(args) != 1 || args[0] <= 0 {
+		return 0, fmt.Errorf("kgcc: malloc expects one positive argument")
+	}
+	size := int(args[0])
+	pages := mem.PagesFor(size)
+	base, err := ip.AS.MapRegion(pages, mem.PermRW)
+	if err != nil {
+		return 0, err
+	}
+	rt.heap[uint64(base)] = heapInfo{pages: pages, size: size}
+	rt.Map.Register(uint64(base), uint64(size), KindHeap, "malloc")
+	return int64(base), nil
+}
+
+func (rt *Runtime) builtinFree(ip *minic.Interp, args []int64) (int64, error) {
+	if len(args) != 1 {
+		return 0, fmt.Errorf("kgcc: free expects one argument")
+	}
+	base := uint64(args[0])
+	info, ok := rt.heap[base]
+	if !ok {
+		// free() of a bad pointer — exactly the class of bug the
+		// malloc/free checking exists for.
+		return 0, rt.Map.violate(Violation{Addr: base, Kind: "bad-free"})
+	}
+	delete(rt.heap, base)
+	rt.Map.Unregister(base)
+	for i := 0; i < info.pages; i++ {
+		if err := ip.AS.Unmap(mem.Addr(base) + mem.Addr(i*mem.PageSize)); err != nil {
+			return 0, err
+		}
+	}
+	return 0, nil
+}
+
+// LiveHeap reports outstanding malloc allocations (leak checking).
+func (rt *Runtime) LiveHeap() int { return len(rt.heap) }

@@ -1,0 +1,523 @@
+package kgcc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/minic"
+	"repro/internal/sim"
+)
+
+// build compiles, optionally instruments, and attaches the runtime.
+func build(t *testing.T, src string, opts Options) (*minic.Interp, *Map, Stats) {
+	t.Helper()
+	unit, err := minic.CompileSource(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	stats := InstrumentUnit(unit, opts)
+	costs := sim.DefaultCosts()
+	as := mem.NewAddressSpace("kgcc", mem.NewPhys(128<<20), &costs)
+	ip, err := minic.NewInterp(as, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMap(&costs, nil)
+	Attach(ip, m)
+	return ip, m, stats
+}
+
+func TestCleanCodeRunsChecked(t *testing.T) {
+	src := `
+int main() {
+	int a[10];
+	int s = 0;
+	for (int i = 0; i < 10; i++) { a[i] = i; }
+	for (int i = 0; i < 10; i++) { s += a[i]; }
+	return s;
+}`
+	ip, m, _ := build(t, src, FullChecks())
+	v, err := ip.Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 45 {
+		t.Fatalf("v = %d", v)
+	}
+	if m.Checks == 0 {
+		t.Fatal("no checks executed")
+	}
+	if len(m.Violations) != 0 {
+		t.Fatalf("violations in clean code: %v", m.Violations)
+	}
+}
+
+func TestStackOverflowCaught(t *testing.T) {
+	src := `
+int main() {
+	int a[4];
+	for (int i = 0; i <= 4; i++) { a[i] = i; }  // off-by-one
+	return a[0];
+}`
+	ip, m, _ := build(t, src, FullChecks())
+	_, err := ip.Call("main")
+	if !errors.Is(err, ErrViolation) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(m.Violations) == 0 {
+		t.Fatal("no violation recorded")
+	}
+}
+
+func TestHeapOverflowCaught(t *testing.T) {
+	src := `
+int main() {
+	char *p = malloc(16);
+	for (int i = 0; i <= 16; i++) { p[i] = 1; }  // one past the end
+	free(p);
+	return 0;
+}`
+	ip, _, _ := build(t, src, FullChecks())
+	if _, err := ip.Call("main"); !errors.Is(err, ErrViolation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHeapCleanAndFreed(t *testing.T) {
+	src := `
+int sum(void) {
+	int *p = malloc(80);
+	int s = 0;
+	for (int i = 0; i < 10; i++) { p[i] = i * 3; }
+	for (int i = 0; i < 10; i++) { s += p[i]; }
+	free(p);
+	return s;
+}`
+	ip, m, _ := build(t, src, FullChecks())
+	v, err := ip.Call("sum")
+	if err != nil || v != 135 {
+		t.Fatalf("sum = %d, %v", v, err)
+	}
+	if len(m.Violations) != 0 {
+		t.Fatalf("violations: %v", m.Violations)
+	}
+}
+
+func TestUseAfterFreeCaught(t *testing.T) {
+	src := `
+int main() {
+	int *p = malloc(8);
+	free(p);
+	return *p;
+}`
+	ip, _, _ := build(t, src, FullChecks())
+	if _, err := ip.Call("main"); !errors.Is(err, ErrViolation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDoubleFreeCaught(t *testing.T) {
+	src := `
+int main() {
+	int *p = malloc(8);
+	free(p);
+	free(p);
+	return 0;
+}`
+	ip, m, _ := build(t, src, FullChecks())
+	_, err := ip.Call("main")
+	if !errors.Is(err, ErrViolation) {
+		t.Fatalf("err = %v", err)
+	}
+	found := false
+	for _, v := range m.Violations {
+		if v.Kind == "bad-free" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no bad-free violation: %v", m.Violations)
+	}
+}
+
+func TestOOBPeerRoundTrip(t *testing.T) {
+	// The paper's motivating case: "in the expression ptr+i-j ... it
+	// is possible for ptr+i to be outside the memory area of the
+	// object ... even though the whole expression on evaluation does
+	// translate to a valid address."
+	src := `
+int main() {
+	int a[8];
+	a[3] = 77;
+	int *p = a;
+	int *q = p + 20;   // temporarily way out of bounds
+	int *r = q - 17;   // back in: a+3
+	return *r;
+}`
+	ip, m, _ := build(t, src, FullChecks())
+	v, err := ip.Call("main")
+	if err != nil {
+		t.Fatalf("round trip flagged: %v", err)
+	}
+	if v != 77 {
+		t.Fatalf("v = %d", v)
+	}
+	if m.OOBCreated == 0 {
+		t.Fatal("no OOB peer created")
+	}
+	if len(m.Violations) != 0 {
+		t.Fatalf("violations: %v", m.Violations)
+	}
+}
+
+func TestOOBDerefCaught(t *testing.T) {
+	src := `
+int main() {
+	int a[8];
+	int *q = a + 20;
+	return *q;   // dereference of the OOB peer
+}`
+	ip, m, _ := build(t, src, FullChecks())
+	_, err := ip.Call("main")
+	if !errors.Is(err, ErrViolation) {
+		t.Fatalf("err = %v", err)
+	}
+	found := false
+	for _, v := range m.Violations {
+		if v.Kind == "oob-deref" || v.Kind == "unknown-object" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations: %v", m.Violations)
+	}
+}
+
+func TestStackFramesUnregisteredOnReturn(t *testing.T) {
+	src := `
+int inner(void) { int local[4]; local[0] = 1; return local[0]; }
+int main() { inner(); inner(); return 0; }`
+	ip, m, _ := build(t, src, FullChecks())
+	before := m.Len()
+	if _, err := ip.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != before {
+		t.Fatalf("object map grew: %d -> %d (stack objects leaked)", before, m.Len())
+	}
+}
+
+func TestNonStrictRecordsAndContinues(t *testing.T) {
+	src := `
+int main() {
+	int a[4];
+	a[5] = 1;
+	a[6] = 2;
+	return 9;
+}`
+	unit, _ := minic.CompileSource(src)
+	InstrumentUnit(unit, FullChecks())
+	costs := sim.DefaultCosts()
+	as := mem.NewAddressSpace("kgcc", mem.NewPhys(64<<20), &costs)
+	ip, _ := minic.NewInterp(as, unit)
+	m := NewMap(&costs, nil)
+	m.Strict = false
+	Attach(ip, m)
+	v, err := ip.Call("main")
+	if err != nil || v != 9 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+	if len(m.Violations) < 2 {
+		t.Fatalf("violations = %d", len(m.Violations))
+	}
+}
+
+func TestElideSafeStackReducesChecks(t *testing.T) {
+	src := `
+int main() {
+	int x = 0;
+	int *p = &x;       // x is address-taken -> in memory
+	*p = 5;
+	int a[10];
+	a[3] = 1;          // constant in-bounds index: statically safe
+	x = x + a[3];
+	return x;
+}`
+	_, _, full := build(t, src, FullChecks())
+	_, _, elided := build(t, src, Options{ElideSafeStack: true})
+	if elided.Inserted >= full.Inserted {
+		t.Fatalf("elision did not reduce checks: %d vs %d", elided.Inserted, full.Inserted)
+	}
+	if elided.ElidedStack == 0 {
+		t.Fatal("no stack elisions recorded")
+	}
+}
+
+func TestCSEHalvesChecksOnTypicalCode(t *testing.T) {
+	// The paper: "common subexpression elimination allowed us to
+	// reduce the number of checks inserted by more than half for
+	// typical kernel code." Typical kernel code re-touches the same
+	// field repeatedly: model that shape.
+	src := `
+int update(int *obj) {
+	obj[0] = obj[0] + 1;
+	obj[0] = obj[0] + obj[1];
+	obj[1] = obj[0] - obj[1];
+	obj[2] = obj[0] + obj[1] + obj[2];
+	obj[2] = obj[2] * 2;
+	return obj[0] + obj[1] + obj[2];
+}`
+	_, _, full := build(t, src, FullChecks())
+	_, _, cse := build(t, src, Options{CSEChecks: true})
+	if cse.Inserted*2 > full.Inserted {
+		t.Fatalf("CSE removed too little: %d of %d checks remain", cse.Inserted, full.Inserted)
+	}
+	if cse.ElidedCSE == 0 {
+		t.Fatal("no CSE elisions recorded")
+	}
+}
+
+func TestInstrumentedSemanticsPreserved(t *testing.T) {
+	src := `
+int work(int n) {
+	int a[32];
+	int *p = a;
+	int s = 0;
+	for (int i = 0; i < 32; i++) { a[i] = i * n; }
+	for (int i = 0; i < 32; i++) { s += p[i]; }
+	return s;
+}`
+	for _, opts := range []Options{{}, DefaultOptions(), {CSEChecks: true}, {ElideSafeStack: true}} {
+		ip, m, _ := build(t, src, opts)
+		v, err := ip.Call("work", 3)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		if v != 1488 { // 3 * sum(0..31) = 3*496
+			t.Fatalf("opts %+v: v = %d", opts, v)
+		}
+		if len(m.Violations) != 0 {
+			t.Fatalf("opts %+v: violations %v", opts, m.Violations)
+		}
+	}
+}
+
+func TestExpandedFactorInPaperBand(t *testing.T) {
+	// A fully-checked typical function should blow up 15-20x, per the
+	// paper's BCC measurement.
+	src := `
+int copy(int *dst, int *src2, int n) {
+	for (int i = 0; i < n; i++) { dst[i] = src2[i]; }
+	return n;
+}
+int zero(char *p, int n) {
+	for (int i = 0; i < n; i++) { p[i] = 0; }
+	return 0;
+}`
+	_, _, full := build(t, src, FullChecks())
+	f := full.ExpandedFactor()
+	if f < 8 || f > 30 {
+		t.Fatalf("expanded factor = %.1f, expected order 15-20x", f)
+	}
+	_, _, opt := build(t, src, DefaultOptions())
+	if opt.ExpandedFactor() > f {
+		t.Fatal("elimination increased code size")
+	}
+}
+
+func TestChecksCostCycles(t *testing.T) {
+	src := `
+int main() {
+	int a[64];
+	int s = 0;
+	for (int i = 0; i < 64; i++) { a[i] = i; s += a[i]; }
+	return s;
+}`
+	run := func(opts Options, instrument bool) sim.Cycles {
+		unit, _ := minic.CompileSource(src)
+		if instrument {
+			InstrumentUnit(unit, opts)
+		}
+		costs := sim.DefaultCosts()
+		as := mem.NewAddressSpace("kgcc", mem.NewPhys(64<<20), &costs)
+		ip, _ := minic.NewInterp(as, unit)
+		var charged sim.Cycles
+		ip.Charge = func(c sim.Cycles) { charged += c }
+		m := NewMap(&costs, func(c sim.Cycles) { charged += c })
+		Attach(ip, m)
+		if _, err := ip.Call("main"); err != nil {
+			t.Fatal(err)
+		}
+		return charged
+	}
+	plain := run(Options{}, false)
+	checked := run(FullChecks(), true)
+	if checked <= plain {
+		t.Fatalf("instrumented run not slower: %d vs %d", checked, plain)
+	}
+}
+
+func TestMapFindAndUnregister(t *testing.T) {
+	m := NewMap(nil, nil)
+	m.Register(1000, 100, KindHeap, "a")
+	m.Register(5000, 50, KindHeap, "b")
+	if o := m.Find(1050); o == nil || o.Name != "a" {
+		t.Fatalf("Find(1050) = %+v", o)
+	}
+	if o := m.Find(1100); o != nil {
+		t.Fatalf("Find(end) = %+v", o)
+	}
+	if o := m.Find(999); o != nil {
+		t.Fatal("found before base")
+	}
+	if !m.Unregister(1000) {
+		t.Fatal("unregister failed")
+	}
+	if m.Find(1050) != nil {
+		t.Fatal("found after unregister")
+	}
+	if m.Unregister(1000) {
+		t.Fatal("double unregister succeeded")
+	}
+}
+
+func TestViolationMessages(t *testing.T) {
+	v := Violation{Addr: 0x100, Size: 8, Kind: "overflow",
+		Obj: &Object{Base: 0xF0, Size: 16, Name: "buf"}}
+	if !strings.Contains(v.Error(), "overflow") || !strings.Contains(v.Error(), "buf") {
+		t.Fatalf("msg = %s", v.Error())
+	}
+	if KindHeap.String() != "heap" || KindOOB.String() != "oob" {
+		t.Fatal("kind names")
+	}
+}
+
+func TestModuleTouchChargesAndCounts(t *testing.T) {
+	costs := sim.DefaultCosts()
+	mod := NewModule(&costs, 64)
+	// Use a real machine process for charging.
+	machineTouch(t, mod, 1000)
+	if mod.Checks() != 1000 {
+		t.Fatalf("checks = %d", mod.Checks())
+	}
+	if len(mod.Map.Violations) != 0 {
+		t.Fatalf("module checks violated: %v", mod.Map.Violations[0])
+	}
+}
+
+func TestModuleLocalityAffectsSplayWork(t *testing.T) {
+	costs := sim.DefaultCosts()
+	local := NewModule(&costs, 256)
+	local.Locality = 64
+	machineTouch(t, local, 20000)
+	localTouches := local.Map.tree.Touches
+
+	scattered := NewModule(&costs, 256)
+	scattered.Locality = 1
+	machineTouch(t, scattered, 20000)
+	if localTouches >= scattered.Map.tree.Touches {
+		t.Fatalf("locality not rewarded: %d vs %d", localTouches, scattered.Map.tree.Touches)
+	}
+}
+
+func machineTouch(t *testing.T, mod *Module, ops int64) {
+	t.Helper()
+	m := kernel.New(kernel.Config{})
+	m.Spawn("mod", func(p *kernel.Process) error {
+		mod.Touch(p, ops)
+		return nil
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutoDisableReclaimsPerformance(t *testing.T) {
+	// The paper's §3.5 future-work heuristic: after enough clean
+	// executions, checks turn off and their cost disappears.
+	src := `
+int work(int *p, int n) {
+	int s = 0;
+	for (int i = 0; i < n; i++) { s += p[i]; }
+	return s;
+}
+int main() {
+	int *p = malloc(80);
+	int total = 0;
+	for (int r = 0; r < 50; r++) { total += work(p, 10); }
+	free(p);
+	return total;
+}`
+	run := func(autoDisable int64) (sim.Cycles, int64) {
+		unit, err := minic.CompileSource(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		InstrumentUnit(unit, FullChecks())
+		costs := sim.DefaultCosts()
+		as := mem.NewAddressSpace("kgcc", mem.NewPhys(64<<20), &costs)
+		ip, _ := minic.NewInterp(as, unit)
+		var charged sim.Cycles
+		m := NewMap(&costs, func(c sim.Cycles) { charged += c })
+		m.AutoDisable = autoDisable
+		Attach(ip, m)
+		if _, err := ip.Call("main"); err != nil {
+			t.Fatal(err)
+		}
+		return charged, m.Disabled
+	}
+	alwaysCost, alwaysDisabled := run(0)
+	confCost, confDisabled := run(100)
+	if alwaysDisabled != 0 {
+		t.Fatalf("disabled %d checks without the heuristic", alwaysDisabled)
+	}
+	if confDisabled == 0 {
+		t.Fatal("heuristic never disabled anything")
+	}
+	if confCost >= alwaysCost {
+		t.Fatalf("no performance reclaimed: %d vs %d", confCost, alwaysCost)
+	}
+}
+
+func TestAutoDisableNeverMasksEarlyBug(t *testing.T) {
+	// A violation before the confidence threshold keeps checking on.
+	src := `
+int main() {
+	int a[4];
+	int s = 0;
+	for (int i = 0; i < 100; i++) { s += a[i % 5]; }  // a[4] eventually
+	return s;
+}`
+	unit, _ := minic.CompileSource(src)
+	InstrumentUnit(unit, FullChecks())
+	costs := sim.DefaultCosts()
+	as := mem.NewAddressSpace("kgcc", mem.NewPhys(64<<20), &costs)
+	ip, _ := minic.NewInterp(as, unit)
+	m := NewMap(&costs, nil)
+	m.AutoDisable = 1_000_000 // far beyond this run
+	Attach(ip, m)
+	if _, err := ip.Call("main"); !errors.Is(err, ErrViolation) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAutoDisableStaysOnAfterViolation(t *testing.T) {
+	costs := sim.DefaultCosts()
+	m := NewMap(&costs, nil)
+	m.Strict = false
+	m.AutoDisable = 5
+	m.Register(1000, 8, KindHeap, "obj")
+	_ = m.CheckAccess(5000, 1) // violation on check #1
+	for i := 0; i < 20; i++ {
+		_ = m.CheckAccess(1000, 8)
+	}
+	if m.Disabled != 0 {
+		t.Fatalf("checks disabled despite a recorded violation (%d skipped)", m.Disabled)
+	}
+	if len(m.Violations) != 1 {
+		t.Fatalf("violations = %d", len(m.Violations))
+	}
+}

@@ -1,0 +1,67 @@
+package kgcc
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// Module is the KGCC runtime for Go-implemented kernel modules (the
+// btfs "Reiserfs" analog of experiment E7). The module reports how
+// many memory operations each of its calls performed; the Module
+// performs one real object-map check per operation — genuine splay
+// lookups with genuine locality behaviour — and charges the running
+// process for them. This models compiling the module with KGCC: every
+// pointer dereference in the module's code gains a runtime check.
+type Module struct {
+	Map *Map
+
+	// Locality is how many consecutive checks hit the same object
+	// before moving on; single-threaded kernel code has high
+	// reference locality (this is what makes the splay tree "nearly
+	// optimal", §3.5).
+	Locality int
+
+	objBases []uint64
+	cursor   int
+	streak   int
+	cur      *kernel.Process
+}
+
+// NewModule creates a module runtime with nObjects registered buffer
+// objects (block buffers, inode items, and so on).
+func NewModule(costs *sim.Costs, nObjects int) *Module {
+	mod := &Module{Locality: 16}
+	mod.Map = NewMap(costs, func(c sim.Cycles) {
+		if mod.cur != nil {
+			mod.cur.ChargeSys(c)
+		}
+	})
+	mod.Map.Strict = false // the module is not buggy; checks just cost
+	if nObjects < 1 {
+		nObjects = 1
+	}
+	for i := 0; i < nObjects; i++ {
+		base := uint64(0x4000_0000) + uint64(i)<<16
+		mod.Map.Register(base, 4096, KindHeap, "modbuf")
+		mod.objBases = append(mod.objBases, base)
+	}
+	return mod
+}
+
+// Touch performs ops object-map checks on behalf of p. It is shaped
+// to be installed directly as btfs's MemTouch hook.
+func (mod *Module) Touch(p *kernel.Process, ops int64) {
+	mod.cur = p
+	for i := int64(0); i < ops; i++ {
+		base := mod.objBases[mod.cursor]
+		_ = mod.Map.CheckAccess(base+uint64(mod.streak%4088), 8)
+		mod.streak++
+		if mod.Locality > 0 && mod.streak%mod.Locality == 0 {
+			mod.cursor = (mod.cursor + 1) % len(mod.objBases)
+		}
+	}
+	mod.cur = nil
+}
+
+// Checks reports total checks performed.
+func (mod *Module) Checks() int64 { return mod.Map.Checks }

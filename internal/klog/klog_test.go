@@ -1,0 +1,102 @@
+package klog
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPrintfAndEntries(t *testing.T) {
+	var c sim.Clock
+	l := New(&c, 10)
+	c.Advance(500)
+	l.Printf(Err, "overflow at %#x", 0xdead)
+	es := l.Entries()
+	if len(es) != 1 {
+		t.Fatalf("len = %d", len(es))
+	}
+	if es[0].Time != 500 || es[0].Level != Err {
+		t.Fatalf("entry = %+v", es[0])
+	}
+	if !strings.Contains(es[0].Msg, "0xdead") {
+		t.Fatalf("msg = %q", es[0].Msg)
+	}
+}
+
+func TestBoundedDropsOldest(t *testing.T) {
+	l := New(nil, 3)
+	for i := 0; i < 5; i++ {
+		l.Printf(Info, "msg-%d", i)
+	}
+	es := l.Entries()
+	if len(es) != 3 {
+		t.Fatalf("len = %d, want 3", len(es))
+	}
+	if es[0].Msg != "msg-2" || es[2].Msg != "msg-4" {
+		t.Fatalf("wrong retained window: %v", es)
+	}
+	if l.Dropped() != 2 {
+		t.Fatalf("dropped = %d", l.Dropped())
+	}
+}
+
+func TestGrep(t *testing.T) {
+	l := New(nil, 0)
+	l.Printf(Info, "kefence: overflow in module wrapfs")
+	l.Printf(Info, "unrelated")
+	l.Printf(Warning, "kefence: underflow in module wrapfs")
+	if got := len(l.Grep("kefence")); got != 2 {
+		t.Fatalf("grep = %d, want 2", got)
+	}
+	if got := len(l.Grep("nothing")); got != 0 {
+		t.Fatalf("grep = %d, want 0", got)
+	}
+}
+
+func TestClear(t *testing.T) {
+	l := New(nil, 2)
+	l.Printf(Info, "a")
+	l.Printf(Info, "b")
+	l.Printf(Info, "c")
+	l.Clear()
+	if l.Len() != 0 || l.Dropped() != 0 {
+		t.Fatal("clear did not reset")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if Err.String() != "ERR" || Debug.String() != "DEBUG" {
+		t.Fatal("level names")
+	}
+	if !strings.Contains(Level(42).String(), "42") {
+		t.Fatal("unknown level formatting")
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	l := New(nil, 1000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Printf(Info, "w%d-%d", id, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Fatalf("len = %d, want 800", l.Len())
+	}
+}
+
+func TestEntryString(t *testing.T) {
+	e := Entry{Time: 42, Level: Crit, Msg: "boom"}
+	s := e.String()
+	if !strings.Contains(s, "CRIT") || !strings.Contains(s, "boom") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,135 @@
+package kmon
+
+import "fmt"
+
+// Violation is one invariant breach found by an on-line monitor.
+type Violation struct {
+	Obj  uint64
+	Desc string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("object %#x: %s", v.Obj, v.Desc)
+}
+
+// RefMonitor verifies that "reference counters are incremented and
+// decremented symmetrically": never negative, and zero at destroy.
+type RefMonitor struct {
+	counts     map[uint64]int64
+	violations []Violation
+}
+
+// NewRefMonitor creates the monitor; register its Callback with the
+// dispatcher.
+func NewRefMonitor() *RefMonitor {
+	return &RefMonitor{counts: make(map[uint64]int64)}
+}
+
+// Callback implements the dispatcher callback.
+func (m *RefMonitor) Callback(ev Event) {
+	switch ev.Type {
+	case EvRefInc:
+		m.counts[ev.Obj]++
+	case EvRefDec:
+		m.counts[ev.Obj]--
+		if m.counts[ev.Obj] < 0 {
+			m.violations = append(m.violations, Violation{ev.Obj, "reference count went negative"})
+		}
+	case EvRefDestroy:
+		if c := m.counts[ev.Obj]; c != 0 {
+			m.violations = append(m.violations,
+				Violation{ev.Obj, fmt.Sprintf("destroyed with refcount %d", c)})
+		}
+		delete(m.counts, ev.Obj)
+	}
+}
+
+// Violations returns the breaches found so far.
+func (m *RefMonitor) Violations() []Violation { return m.violations }
+
+// Live reports objects with a nonzero count (leak candidates).
+func (m *RefMonitor) Live() int {
+	n := 0
+	for _, c := range m.counts {
+		if c != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// LockMonitor verifies that "spinlocks that are locked are later
+// unlocked": no double acquire, no release of an unheld lock, and
+// nothing held at Finish.
+type LockMonitor struct {
+	held       map[uint64]bool
+	violations []Violation
+}
+
+// NewLockMonitor creates the monitor.
+func NewLockMonitor() *LockMonitor {
+	return &LockMonitor{held: make(map[uint64]bool)}
+}
+
+// Callback implements the dispatcher callback.
+func (m *LockMonitor) Callback(ev Event) {
+	switch ev.Type {
+	case EvLockAcquire:
+		if m.held[ev.Obj] {
+			m.violations = append(m.violations, Violation{ev.Obj, "double acquire"})
+		}
+		m.held[ev.Obj] = true
+	case EvLockRelease:
+		if !m.held[ev.Obj] {
+			m.violations = append(m.violations, Violation{ev.Obj, "release of unheld lock"})
+		}
+		delete(m.held, ev.Obj)
+	}
+}
+
+// Finish flags locks still held at shutdown.
+func (m *LockMonitor) Finish() {
+	for obj := range m.held {
+		m.violations = append(m.violations, Violation{obj, "still held at shutdown"})
+	}
+}
+
+// Violations returns the breaches found so far.
+func (m *LockMonitor) Violations() []Violation { return m.violations }
+
+// IRQMonitor verifies that "interrupts that are disabled are later
+// re-enabled": depth never goes negative and returns to zero.
+type IRQMonitor struct {
+	depth      map[uint64]int
+	violations []Violation
+}
+
+// NewIRQMonitor creates the monitor.
+func NewIRQMonitor() *IRQMonitor {
+	return &IRQMonitor{depth: make(map[uint64]int)}
+}
+
+// Callback implements the dispatcher callback.
+func (m *IRQMonitor) Callback(ev Event) {
+	switch ev.Type {
+	case EvIRQDisable:
+		m.depth[ev.Obj]++
+	case EvIRQEnable:
+		m.depth[ev.Obj]--
+		if m.depth[ev.Obj] < 0 {
+			m.violations = append(m.violations, Violation{ev.Obj, "enable without disable"})
+		}
+	}
+}
+
+// Finish flags CPUs left with interrupts off.
+func (m *IRQMonitor) Finish() {
+	for obj, d := range m.depth {
+		if d > 0 {
+			m.violations = append(m.violations, Violation{obj, "interrupts left disabled"})
+		}
+	}
+}
+
+// Violations returns the breaches found so far.
+func (m *IRQMonitor) Violations() []Violation { return m.violations }

@@ -1,0 +1,82 @@
+package kmon
+
+import (
+	"repro/internal/sim"
+	"repro/internal/sys"
+)
+
+// simCycles converts a decoded timestamp.
+func simCycles(v uint64) sim.Cycles { return sim.Cycles(v) }
+
+// Reader is libkernevents: the user-space library that "copies log
+// entries in bulk from the kernel and then reads them one by one".
+// Each refill is a read system call on the character device into a
+// user buffer.
+type Reader struct {
+	pr *sys.Proc
+	fd int
+	ub sys.UserBuf
+
+	pending []Event
+	// Polls counts device reads; EventsRead counts delivered events.
+	Polls, EventsRead int64
+
+	// PerEventCPU models the user-side work done per event (decode,
+	// format, filter). The paper's logger formats and writes each
+	// entry.
+	PerEventCPU sim.Cycles
+}
+
+// NewReader opens the device at path with a batchEvents-sized user
+// buffer.
+func NewReader(pr *sys.Proc, path string, batchEvents int) (*Reader, error) {
+	fd, err := pr.Open(path, sys.ORdonly)
+	if err != nil {
+		return nil, err
+	}
+	ub, err := pr.Mmap(batchEvents * EventBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{pr: pr, fd: fd, ub: ub, PerEventCPU: 150}, nil
+}
+
+// Poll issues one non-blocking bulk read, appending any events to the
+// pending queue, and reports how many arrived.
+func (r *Reader) Poll() (int, error) {
+	r.Polls++
+	n, err := r.pr.Read(r.fd, r.ub)
+	if err != nil {
+		return 0, err
+	}
+	raw, err := r.pr.Peek(r.ub, n)
+	if err != nil {
+		return 0, err
+	}
+	count := n / EventBytes
+	for i := 0; i < count; i++ {
+		r.pending = append(r.pending, DecodeEvent(raw[i*EventBytes:]))
+	}
+	return count, nil
+}
+
+// Next returns the next buffered event, refilling with one poll if
+// empty. ok is false when no event is available.
+func (r *Reader) Next() (Event, bool, error) {
+	if len(r.pending) == 0 {
+		if _, err := r.Poll(); err != nil {
+			return Event{}, false, err
+		}
+	}
+	if len(r.pending) == 0 {
+		return Event{}, false, nil
+	}
+	ev := r.pending[0]
+	r.pending = r.pending[1:]
+	r.EventsRead++
+	r.pr.P.ChargeUser(r.PerEventCPU)
+	return ev, true, nil
+}
+
+// Close releases the device descriptor.
+func (r *Reader) Close() error { return r.pr.Close(r.fd) }

@@ -1,0 +1,385 @@
+package mem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func newAS(t *testing.T) *AddressSpace {
+	t.Helper()
+	costs := sim.DefaultCosts()
+	return NewAddressSpace("test", NewPhys(64<<20), &costs)
+}
+
+func TestPageHelpers(t *testing.T) {
+	if PageDown(0x1fff) != 0x1000 {
+		t.Fatal("PageDown")
+	}
+	if PageUp(0x1001) != 0x2000 {
+		t.Fatal("PageUp")
+	}
+	if PageUp(0x2000) != 0x2000 {
+		t.Fatal("PageUp aligned")
+	}
+	if PagesFor(0) != 0 || PagesFor(1) != 1 || PagesFor(PageSize) != 1 || PagesFor(PageSize+1) != 2 {
+		t.Fatal("PagesFor")
+	}
+}
+
+func TestPhysAllocFree(t *testing.T) {
+	p := NewPhys(4 * PageSize)
+	var frames []Frame
+	for i := 0; i < 4; i++ {
+		f, err := p.Alloc()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		frames = append(frames, f)
+	}
+	if _, err := p.Alloc(); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("want ErrOutOfMemory, got %v", err)
+	}
+	p.Free(frames[0])
+	if _, err := p.Alloc(); err != nil {
+		t.Fatalf("alloc after free: %v", err)
+	}
+	if p.InUse() != 4 {
+		t.Fatalf("InUse = %d, want 4", p.InUse())
+	}
+}
+
+func TestPhysDoubleFreePanics(t *testing.T) {
+	p := NewPhys(PageSize)
+	f, _ := p.Alloc()
+	p.Free(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	p.Free(f)
+}
+
+func TestPhysFrameZeroed(t *testing.T) {
+	p := NewPhys(2 * PageSize)
+	f, _ := p.Alloc()
+	d := p.Data(f)
+	d[0] = 0xFF
+	p.Free(f)
+	f2, _ := p.Alloc()
+	if p.Data(f2)[0] != 0 {
+		t.Fatal("recycled frame not zeroed")
+	}
+}
+
+func TestMapReadWrite(t *testing.T) {
+	as := newAS(t)
+	base, err := as.MapRegion(2, PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("hello, kernel world; this crosses no page yet")
+	if err := as.WriteBytes(base, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := as.ReadBytes(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q want %q", got, msg)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	as := newAS(t)
+	base, _ := as.MapRegion(2, PermRW)
+	msg := make([]byte, PageSize+100)
+	for i := range msg {
+		msg[i] = byte(i * 7)
+	}
+	off := Addr(PageSize - 50)
+	if err := as.WriteBytes(base+off, msg[:150]); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 150)
+	if err := as.ReadBytes(base+off, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg[:150]) {
+		t.Fatal("cross-page data mismatch")
+	}
+}
+
+func TestUnmappedFault(t *testing.T) {
+	as := newAS(t)
+	err := as.ReadBytes(0xdead000, make([]byte, 1))
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want *Fault, got %v", err)
+	}
+	if !f.NotPresent || f.Access != AccessRead {
+		t.Fatalf("fault = %+v", f)
+	}
+}
+
+func TestPermissionFault(t *testing.T) {
+	as := newAS(t)
+	base, _ := as.MapRegion(1, PermR)
+	if err := as.ReadBytes(base, make([]byte, 8)); err != nil {
+		t.Fatalf("read of r-- page: %v", err)
+	}
+	err := as.WriteBytes(base, []byte{1})
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want *Fault, got %v", err)
+	}
+	if f.NotPresent || f.Guard || f.Access != AccessWrite {
+		t.Fatalf("fault = %+v", f)
+	}
+}
+
+func TestGuardPageFault(t *testing.T) {
+	as := newAS(t)
+	g := as.Reserve(1)
+	if err := as.MapGuard(g); err != nil {
+		t.Fatal(err)
+	}
+	err := as.ReadBytes(g+10, make([]byte, 1))
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want *Fault, got %v", err)
+	}
+	if !f.Guard {
+		t.Fatalf("fault not marked guard: %+v", f)
+	}
+}
+
+func TestFaultHandlerRetry(t *testing.T) {
+	// Kefence auto-map mode: the handler converts the guard page to a
+	// readable page and retries.
+	as := newAS(t)
+	g := as.Reserve(1)
+	if err := as.MapGuard(g); err != nil {
+		t.Fatal(err)
+	}
+	var handled int
+	as.Handler = func(space *AddressSpace, f *Fault) FaultAction {
+		handled++
+		if !f.Guard {
+			return FaultKill
+		}
+		if err := space.SetPerm(PageDown(f.Addr), PermRW); err != nil {
+			return FaultKill
+		}
+		return FaultRetry
+	}
+	if err := as.WriteBytes(g+4, []byte{42}); err != nil {
+		t.Fatalf("auto-mapped write failed: %v", err)
+	}
+	if handled != 1 {
+		t.Fatalf("handler ran %d times, want 1", handled)
+	}
+	var b [1]byte
+	if err := as.ReadBytes(g+4, b[:]); err != nil || b[0] != 42 {
+		t.Fatalf("read back %v, %v", b[0], err)
+	}
+}
+
+func TestFaultHandlerKill(t *testing.T) {
+	as := newAS(t)
+	g := as.Reserve(1)
+	_ = as.MapGuard(g)
+	as.Handler = func(space *AddressSpace, f *Fault) FaultAction { return FaultKill }
+	if err := as.WriteBytes(g, []byte{1}); err == nil {
+		t.Fatal("kill handler did not propagate fault")
+	}
+}
+
+func TestFaultHandlerRetryLoopBounded(t *testing.T) {
+	// A broken handler that claims Retry without fixing the mapping
+	// must not hang the machine.
+	as := newAS(t)
+	as.Handler = func(space *AddressSpace, f *Fault) FaultAction { return FaultRetry }
+	if err := as.ReadBytes(0xbad000, make([]byte, 1)); err == nil {
+		t.Fatal("unfixed retry loop returned success")
+	}
+}
+
+func TestUnmapAndReuse(t *testing.T) {
+	as := newAS(t)
+	base, _ := as.MapRegion(1, PermRW)
+	if err := as.WriteBytes(base, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Unmap(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.ReadBytes(base, make([]byte, 1)); err == nil {
+		t.Fatal("read of unmapped page succeeded")
+	}
+	if err := as.Unmap(base); err == nil {
+		t.Fatal("double unmap succeeded")
+	}
+}
+
+func TestUnmapGuardReleasesNoFrame(t *testing.T) {
+	as := newAS(t)
+	inUse := as.Phys().InUse()
+	g := as.Reserve(1)
+	_ = as.MapGuard(g)
+	if err := as.Unmap(g); err != nil {
+		t.Fatal(err)
+	}
+	if as.Phys().InUse() != inUse {
+		t.Fatal("guard page unmapping changed frame count")
+	}
+}
+
+func TestSetPermOnGuardAllocatesFrame(t *testing.T) {
+	as := newAS(t)
+	g := as.Reserve(1)
+	_ = as.MapGuard(g)
+	before := as.Phys().InUse()
+	if err := as.SetPerm(g, PermR); err != nil {
+		t.Fatal(err)
+	}
+	if as.Phys().InUse() != before+1 {
+		t.Fatal("auto-map did not allocate a frame")
+	}
+	if err := as.ReadBytes(g, make([]byte, 4)); err != nil {
+		t.Fatalf("read after auto-map: %v", err)
+	}
+	if err := as.WriteBytes(g, []byte{1}); err == nil {
+		t.Fatal("write allowed through read-only auto-map")
+	}
+}
+
+func TestTLBCounting(t *testing.T) {
+	as := newAS(t)
+	base, _ := as.MapRegion(1, PermRW)
+	buf := make([]byte, 8)
+	_ = as.ReadBytes(base, buf)
+	missesAfterFirst := as.TLBMisses
+	if missesAfterFirst == 0 {
+		t.Fatal("first access should miss TLB")
+	}
+	_ = as.ReadBytes(base, buf)
+	if as.TLBMisses != missesAfterFirst {
+		t.Fatal("second access to same page should hit TLB")
+	}
+	if as.TLBHits == 0 {
+		t.Fatal("no TLB hits recorded")
+	}
+	as.TLBFlush()
+	_ = as.ReadBytes(base, buf)
+	if as.TLBMisses != missesAfterFirst+1 {
+		t.Fatal("post-flush access should miss")
+	}
+}
+
+func TestTLBPressureFromManyPages(t *testing.T) {
+	// Touching more distinct pages than TLB entries must keep
+	// missing; this is the mechanism behind Kefence's measured
+	// overhead ("allocating an entire page for each memory buffer
+	// increases TLB contention").
+	as := newAS(t)
+	base, err := as.MapRegion(tlbSize*2, PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < tlbSize*2; i++ {
+			_ = as.ReadBytes(base+Addr(i*PageSize), buf)
+		}
+	}
+	if as.TLBMisses < uint64(tlbSize*2*3) {
+		t.Fatalf("TLB misses = %d, want at least %d", as.TLBMisses, tlbSize*2*3)
+	}
+}
+
+func TestChargeHookInvoked(t *testing.T) {
+	costs := sim.DefaultCosts()
+	as := NewAddressSpace("charged", NewPhys(0), &costs)
+	var total sim.Cycles
+	as.Charge = func(c sim.Cycles) { total += c }
+	base, _ := as.MapRegion(1, PermRW)
+	_ = as.WriteBytes(base, []byte{1})
+	if total == 0 {
+		t.Fatal("no charges delivered")
+	}
+}
+
+func TestU64RoundTrip(t *testing.T) {
+	as := newAS(t)
+	base, _ := as.MapRegion(1, PermRW)
+	if err := quick.Check(func(v uint64, offRaw uint16) bool {
+		off := Addr(offRaw % (PageSize - 8))
+		if err := as.WriteU64(base+off, v); err != nil {
+			return false
+		}
+		got, err := as.ReadU64(base + off)
+		return err == nil && got == v
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReserveRegionsDisjoint(t *testing.T) {
+	as := newAS(t)
+	type region struct{ base, end Addr }
+	var regions []region
+	for i := 1; i <= 20; i++ {
+		b := as.Reserve(i)
+		regions = append(regions, region{b, b + Addr(i*PageSize)})
+	}
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			a, b := regions[i], regions[j]
+			if a.base < b.end && b.base < a.end {
+				t.Fatalf("regions %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestMapRegionRollsBackOnExhaustion(t *testing.T) {
+	costs := sim.DefaultCosts()
+	as := NewAddressSpace("tiny", NewPhys(2*PageSize), &costs)
+	if _, err := as.MapRegion(3, PermRW); err == nil {
+		t.Fatal("expected out-of-memory")
+	}
+	if as.Phys().InUse() != 0 {
+		t.Fatalf("leaked %d frames after failed MapRegion", as.Phys().InUse())
+	}
+}
+
+func TestWriteReadQuickProperty(t *testing.T) {
+	as := newAS(t)
+	base, _ := as.MapRegion(8, PermRW)
+	limit := 8 * PageSize
+	if err := quick.Check(func(data []byte, offRaw uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > limit/2 {
+			data = data[:limit/2]
+		}
+		off := int(offRaw) % (limit - len(data))
+		if err := as.WriteBytes(base+Addr(off), data); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if err := as.ReadBytes(base+Addr(off), got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

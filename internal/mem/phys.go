@@ -1,0 +1,118 @@
+// Package mem implements the simulated machine's memory system:
+// physical frames, per-address-space software page tables with
+// permission bits and guard pages, a small TLB model, and a fault
+// path with pluggable handlers.
+//
+// This is the substrate Kefence (guard-page overflow detection) and
+// the Cosy shared buffers are built on. Accesses go through
+// AddressSpace.ReadBytes/WriteBytes, which walk the page table,
+// consult the TLB, charge the cost model, and deliver faults to the
+// installed handler exactly the way the Linux page-fault path the
+// paper modified does.
+package mem
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Page geometry. 4 KiB pages, like the i386 target the paper used.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+	PageMask  = PageSize - 1
+)
+
+// Addr is a virtual or physical address on the simulated machine.
+type Addr uint64
+
+// PageDown rounds a down to its page base.
+func PageDown(a Addr) Addr { return a &^ Addr(PageMask) }
+
+// PageUp rounds a up to the next page boundary.
+func PageUp(a Addr) Addr { return (a + PageMask) &^ Addr(PageMask) }
+
+// PagesFor reports how many pages are needed to hold n bytes.
+func PagesFor(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + PageSize - 1) / PageSize
+}
+
+// Frame identifies one physical page frame.
+type Frame uint32
+
+// ErrOutOfMemory is returned when the physical frame pool is
+// exhausted.
+var ErrOutOfMemory = errors.New("mem: out of physical memory")
+
+// Phys is the physical frame pool. Frames are allocated lazily; the
+// pool is bounded to model the paper's 884MB test machine (the bound
+// is configurable because Kefence "may exhaust virtual or physical
+// memory" and we test exactly that).
+type Phys struct {
+	maxFrames int
+	frames    map[Frame][]byte
+	free      []Frame
+	next      Frame
+}
+
+// NewPhys creates a frame pool holding at most maxBytes of memory.
+// maxBytes <= 0 means effectively unbounded.
+func NewPhys(maxBytes int64) *Phys {
+	max := int(maxBytes / PageSize)
+	if maxBytes <= 0 {
+		max = 1 << 30 / PageSize * 1024 // effectively unbounded
+	}
+	return &Phys{
+		maxFrames: max,
+		frames:    make(map[Frame][]byte),
+	}
+}
+
+// Alloc grabs a zeroed frame.
+func (p *Phys) Alloc() (Frame, error) {
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.frames[f] = make([]byte, PageSize)
+		return f, nil
+	}
+	if len(p.frames) >= p.maxFrames {
+		return 0, ErrOutOfMemory
+	}
+	f := p.next
+	p.next++
+	p.frames[f] = make([]byte, PageSize)
+	return f, nil
+}
+
+// Free returns a frame to the pool. Freeing an unallocated frame
+// panics: that is a kernel bug, not a recoverable error.
+func (p *Phys) Free(f Frame) {
+	if _, ok := p.frames[f]; !ok {
+		panic(fmt.Sprintf("mem: double free of frame %d", f))
+	}
+	delete(p.frames, f)
+	p.free = append(p.free, f)
+}
+
+// Data returns the backing bytes of a frame.
+func (p *Phys) Data(f Frame) []byte {
+	d, ok := p.frames[f]
+	if !ok {
+		panic(fmt.Sprintf("mem: access to unallocated frame %d", f))
+	}
+	return d
+}
+
+// InUse reports the number of allocated frames.
+func (p *Phys) InUse() int { return len(p.frames) }
+
+// MaxFrames reports the pool bound.
+func (p *Phys) MaxFrames() int { return p.maxFrames }
+
+var _ = sim.Cycles(0) // mem charges via ChargeFunc; see space.go

@@ -1,0 +1,394 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Perm is a page permission mask.
+type Perm uint8
+
+const (
+	// PermR allows reads.
+	PermR Perm = 1 << iota
+	// PermW allows writes.
+	PermW
+	// PermRW is the common read-write mapping.
+	PermRW = PermR | PermW
+	// PermNone maps a page with no access rights: the Kefence
+	// guardian PTE. Any touch faults.
+	PermNone Perm = 0
+)
+
+func (p Perm) String() string {
+	switch {
+	case p&PermRW == PermRW:
+		return "rw"
+	case p&PermR != 0:
+		return "r-"
+	case p&PermW != 0:
+		return "-w"
+	}
+	return "--"
+}
+
+// Access describes what an instruction was doing when it touched
+// memory.
+type Access uint8
+
+const (
+	// AccessRead is a load.
+	AccessRead Access = iota
+	// AccessWrite is a store.
+	AccessWrite
+)
+
+func (a Access) String() string {
+	if a == AccessWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// PTE is one page-table entry.
+type PTE struct {
+	Frame Frame
+	Perm  Perm
+	// Guard marks a guardian PTE inserted by Kefence. Guard pages
+	// have no frame; permissions are PermNone until a handler
+	// auto-maps them.
+	Guard bool
+}
+
+// Fault describes a page fault. It implements error so failed
+// accesses propagate naturally when no handler fixes them up.
+type Fault struct {
+	Addr   Addr
+	Access Access
+	// NotPresent is true when no mapping exists at all; false means a
+	// protection violation on an existing mapping.
+	NotPresent bool
+	// Guard is true when the faulting PTE is a guardian page: the
+	// Kefence signal.
+	Guard bool
+}
+
+func (f *Fault) Error() string {
+	kind := "protection violation"
+	if f.NotPresent {
+		kind = "page not present"
+	}
+	if f.Guard {
+		kind = "guard page"
+	}
+	return fmt.Sprintf("mem: %s fault (%s) at %#x", f.Access, kind, uint64(f.Addr))
+}
+
+// FaultAction is a handler's verdict.
+type FaultAction int
+
+const (
+	// FaultKill aborts the access: the fault is returned to the
+	// caller as an error.
+	FaultKill FaultAction = iota
+	// FaultRetry re-walks the page table; the handler repaired the
+	// mapping (Kefence's auto-map mode).
+	FaultRetry
+)
+
+// FaultHandler is the simulated kernel's page-fault handler hook. The
+// paper modifies Linux's handler to recognize guardian PTEs; Kefence
+// installs its handler here.
+type FaultHandler func(as *AddressSpace, f *Fault) FaultAction
+
+// ChargeFunc receives virtual-cycle charges from the memory system
+// (TLB misses, fault handler entries). The owning machine attributes
+// them to the running process.
+type ChargeFunc func(sim.Cycles)
+
+// tlbSize is the number of simulated TLB entries; i386-era data TLBs
+// held 64 entries.
+const tlbSize = 64
+
+// AddressSpace is one virtual address space: a software page table, a
+// TLB, a fault handler, and a simple region reservation cursor.
+type AddressSpace struct {
+	Name  string
+	phys  *Phys
+	pages map[Addr]PTE
+
+	// Handler is invoked on faults; nil means all faults kill.
+	Handler FaultHandler
+
+	// Charge receives cost-model charges; nil disables charging.
+	Charge ChargeFunc
+	costs  *sim.Costs
+
+	tlb      [tlbSize]Addr
+	tlbValid [tlbSize]bool
+
+	// Stats.
+	TLBHits, TLBMisses uint64
+	Faults             uint64
+
+	next Addr // region reservation cursor
+}
+
+// NewAddressSpace creates an empty space over the frame pool. costs
+// may be nil (no charging).
+func NewAddressSpace(name string, phys *Phys, costs *sim.Costs) *AddressSpace {
+	return &AddressSpace{
+		Name:  name,
+		phys:  phys,
+		pages: make(map[Addr]PTE),
+		costs: costs,
+		next:  0x1000 * 16, // keep page 0 and the low pages unmapped
+	}
+}
+
+// Phys exposes the frame pool (allocators need it).
+func (as *AddressSpace) Phys() *Phys { return as.phys }
+
+// Reserve hands out a fresh, unmapped, page-aligned virtual region of
+// n pages and returns its base. Virtual address space is treated as
+// the paper treats 64-bit VA space: "a virtually inexhaustible
+// resource".
+func (as *AddressSpace) Reserve(nPages int) Addr {
+	base := as.next
+	as.next += Addr(nPages+1) * PageSize // +1: unmapped spacer page
+	return base
+}
+
+// MapPage installs a mapping from the page containing va to a fresh
+// frame with the given permissions. The va must be page-aligned.
+func (as *AddressSpace) MapPage(va Addr, perm Perm) error {
+	if va&PageMask != 0 {
+		panic(fmt.Sprintf("mem: MapPage of unaligned address %#x", uint64(va)))
+	}
+	if _, ok := as.pages[va]; ok {
+		return fmt.Errorf("mem: page %#x already mapped", uint64(va))
+	}
+	f, err := as.phys.Alloc()
+	if err != nil {
+		return err
+	}
+	as.pages[va] = PTE{Frame: f, Perm: perm}
+	as.chargeCost(as.costMapPage())
+	return nil
+}
+
+// MapGuard installs a guardian PTE: present in the page table but
+// with all access disabled, and no frame behind it.
+func (as *AddressSpace) MapGuard(va Addr) error {
+	if va&PageMask != 0 {
+		panic(fmt.Sprintf("mem: MapGuard of unaligned address %#x", uint64(va)))
+	}
+	if _, ok := as.pages[va]; ok {
+		return fmt.Errorf("mem: page %#x already mapped", uint64(va))
+	}
+	as.pages[va] = PTE{Guard: true, Perm: PermNone}
+	return nil
+}
+
+// Unmap removes the mapping at va, releasing its frame. Unmapping a
+// guard page releases nothing.
+func (as *AddressSpace) Unmap(va Addr) error {
+	pte, ok := as.pages[va]
+	if !ok {
+		return fmt.Errorf("mem: unmap of unmapped page %#x", uint64(va))
+	}
+	if !pte.Guard {
+		as.phys.Free(pte.Frame)
+	}
+	delete(as.pages, va)
+	as.tlbFlushPage(va)
+	as.chargeCost(as.costUnmapPage())
+	return nil
+}
+
+// SetPerm changes the permissions of an existing mapping. Used by
+// Kefence's auto-map mode to convert a guard page into a readable (or
+// writable) page after logging the overflow.
+func (as *AddressSpace) SetPerm(va Addr, perm Perm) error {
+	pte, ok := as.pages[va]
+	if !ok {
+		return fmt.Errorf("mem: SetPerm on unmapped page %#x", uint64(va))
+	}
+	if pte.Guard {
+		// Auto-mapping a guard page requires a real frame now.
+		f, err := as.phys.Alloc()
+		if err != nil {
+			return err
+		}
+		pte.Frame = f
+		pte.Guard = false
+	}
+	pte.Perm = perm
+	as.pages[va] = pte
+	as.tlbFlushPage(va)
+	return nil
+}
+
+// Lookup returns the PTE mapping va's page, if any.
+func (as *AddressSpace) Lookup(va Addr) (PTE, bool) {
+	pte, ok := as.pages[PageDown(va)]
+	return pte, ok
+}
+
+// Mapped reports the number of mapped pages (guards included).
+func (as *AddressSpace) Mapped() int { return len(as.pages) }
+
+func (as *AddressSpace) chargeCost(c sim.Cycles) {
+	if as.Charge != nil && c > 0 {
+		as.Charge(c)
+	}
+}
+
+func (as *AddressSpace) costMapPage() sim.Cycles {
+	if as.costs == nil {
+		return 0
+	}
+	return as.costs.MapPage
+}
+
+func (as *AddressSpace) costUnmapPage() sim.Cycles {
+	if as.costs == nil {
+		return 0
+	}
+	return as.costs.UnmapPage
+}
+
+// tlb index: direct-mapped by page number.
+func tlbIndex(page Addr) int { return int((page >> PageShift) % tlbSize) }
+
+func (as *AddressSpace) tlbLookup(page Addr) bool {
+	i := tlbIndex(page)
+	if as.tlbValid[i] && as.tlb[i] == page {
+		as.TLBHits++
+		return true
+	}
+	as.TLBMisses++
+	as.tlb[i] = page
+	as.tlbValid[i] = true
+	if as.costs != nil {
+		as.chargeCost(as.costs.TLBMiss)
+	}
+	return false
+}
+
+func (as *AddressSpace) tlbFlushPage(page Addr) {
+	i := tlbIndex(page)
+	if as.tlbValid[i] && as.tlb[i] == page {
+		as.tlbValid[i] = false
+	}
+}
+
+// TLBFlush empties the TLB (context switch).
+func (as *AddressSpace) TLBFlush() {
+	for i := range as.tlbValid {
+		as.tlbValid[i] = false
+	}
+}
+
+// translate resolves one page with permission checking and fault
+// delivery. On success it returns the PTE.
+func (as *AddressSpace) translate(va Addr, access Access) (PTE, error) {
+	page := PageDown(va)
+	for attempt := 0; ; attempt++ {
+		pte, ok := as.pages[page]
+		var f *Fault
+		switch {
+		case !ok:
+			f = &Fault{Addr: va, Access: access, NotPresent: true}
+		case pte.Guard:
+			f = &Fault{Addr: va, Access: access, Guard: true}
+		case access == AccessRead && pte.Perm&PermR == 0,
+			access == AccessWrite && pte.Perm&PermW == 0:
+			f = &Fault{Addr: va, Access: access}
+		default:
+			as.tlbLookup(page)
+			return pte, nil
+		}
+		as.Faults++
+		if as.costs != nil {
+			as.chargeCost(as.costs.PageFault)
+		}
+		if as.Handler == nil || attempt > 4 {
+			return PTE{}, f
+		}
+		if as.Handler(as, f) == FaultKill {
+			return PTE{}, f
+		}
+		// FaultRetry: handler repaired the mapping; walk again.
+	}
+}
+
+// ReadBytes copies len(p) bytes starting at va into p.
+func (as *AddressSpace) ReadBytes(va Addr, p []byte) error {
+	for len(p) > 0 {
+		pte, err := as.translate(va, AccessRead)
+		if err != nil {
+			return err
+		}
+		off := int(va & PageMask)
+		n := copy(p, as.phys.Data(pte.Frame)[off:])
+		p = p[n:]
+		va += Addr(n)
+	}
+	return nil
+}
+
+// WriteBytes copies p into memory starting at va.
+func (as *AddressSpace) WriteBytes(va Addr, p []byte) error {
+	for len(p) > 0 {
+		pte, err := as.translate(va, AccessWrite)
+		if err != nil {
+			return err
+		}
+		off := int(va & PageMask)
+		n := copy(as.phys.Data(pte.Frame)[off:], p)
+		p = p[n:]
+		va += Addr(n)
+	}
+	return nil
+}
+
+// ReadU64 reads a little-endian 64-bit word (helper for the Cosy VM
+// and the KGCC-interpreted code).
+func (as *AddressSpace) ReadU64(va Addr) (uint64, error) {
+	var b [8]byte
+	if err := as.ReadBytes(va, b[:]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v, nil
+}
+
+// WriteU64 writes a little-endian 64-bit word.
+func (as *AddressSpace) WriteU64(va Addr, v uint64) error {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return as.WriteBytes(va, b[:])
+}
+
+// MapRegion reserves and maps n pages rw, returning the base address.
+// Convenience used by process setup and tests.
+func (as *AddressSpace) MapRegion(nPages int, perm Perm) (Addr, error) {
+	base := as.Reserve(nPages)
+	for i := 0; i < nPages; i++ {
+		if err := as.MapPage(base+Addr(i*PageSize), perm); err != nil {
+			// Roll back partial mappings.
+			for j := 0; j < i; j++ {
+				_ = as.Unmap(base + Addr(j*PageSize))
+			}
+			return 0, err
+		}
+	}
+	return base, nil
+}

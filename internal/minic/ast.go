@@ -1,0 +1,292 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind classifies a type.
+type TypeKind int
+
+// Type kinds.
+const (
+	TypeInt TypeKind = iota
+	TypeChar
+	TypeVoid
+	TypePtr
+	TypeArr
+)
+
+// Type is a minic type. Types are small and compared by value
+// through Equal.
+type Type struct {
+	Kind   TypeKind
+	Elem   *Type // for TypePtr and TypeArr
+	ArrLen int   // for TypeArr
+}
+
+// Prebuilt base types.
+var (
+	IntType  = &Type{Kind: TypeInt}
+	CharType = &Type{Kind: TypeChar}
+	VoidType = &Type{Kind: TypeVoid}
+)
+
+// PtrTo builds a pointer type.
+func PtrTo(t *Type) *Type { return &Type{Kind: TypePtr, Elem: t} }
+
+// ArrOf builds an array type.
+func ArrOf(t *Type, n int) *Type { return &Type{Kind: TypeArr, Elem: t, ArrLen: n} }
+
+// Size reports the byte size: int and pointers are 8 bytes (the
+// simulated machine is 64-bit), char is 1.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case TypeInt, TypePtr:
+		return 8
+	case TypeChar:
+		return 1
+	case TypeArr:
+		return t.Elem.Size() * t.ArrLen
+	}
+	return 0
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Kind != o.Kind || t.ArrLen != o.ArrLen {
+		return false
+	}
+	if t.Elem == nil && o.Elem == nil {
+		return true
+	}
+	return t.Elem.Equal(o.Elem)
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case TypeInt:
+		return "int"
+	case TypeChar:
+		return "char"
+	case TypeVoid:
+		return "void"
+	case TypePtr:
+		return t.Elem.String() + "*"
+	case TypeArr:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.ArrLen)
+	}
+	return "?"
+}
+
+// IsScalar reports whether the type fits a register.
+func (t *Type) IsScalar() bool {
+	return t.Kind == TypeInt || t.Kind == TypeChar || t.Kind == TypePtr
+}
+
+// Pos is a source position.
+type Pos struct{ Line, Col int }
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	P() Pos
+}
+
+// NumLit is an integer or character literal.
+type NumLit struct {
+	Val int64
+	Pos Pos
+}
+
+// StrLit is a string literal (typed char*).
+type StrLit struct {
+	Val string
+	Pos Pos
+}
+
+// VarRef names a variable.
+type VarRef struct {
+	Name string
+	Pos  Pos
+}
+
+// Unary is -x, !x, ~x, *x, &x.
+type Unary struct {
+	Op  string
+	X   Expr
+	Pos Pos
+}
+
+// Binary is x op y.
+type Binary struct {
+	Op   string
+	X, Y Expr
+	Pos  Pos
+}
+
+// Index is x[i].
+type Index struct {
+	X, I Expr
+	Pos  Pos
+}
+
+// Call is f(args...).
+type Call struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+func (*NumLit) exprNode() {}
+func (*StrLit) exprNode() {}
+func (*VarRef) exprNode() {}
+func (*Unary) exprNode()  {}
+func (*Binary) exprNode() {}
+func (*Index) exprNode()  {}
+func (*Call) exprNode()   {}
+
+// P implements Expr.
+func (e *NumLit) P() Pos { return e.Pos }
+
+// P implements Expr.
+func (e *StrLit) P() Pos { return e.Pos }
+
+// P implements Expr.
+func (e *VarRef) P() Pos { return e.Pos }
+
+// P implements Expr.
+func (e *Unary) P() Pos { return e.Pos }
+
+// P implements Expr.
+func (e *Binary) P() Pos { return e.Pos }
+
+// P implements Expr.
+func (e *Index) P() Pos { return e.Pos }
+
+// P implements Expr.
+func (e *Call) P() Pos { return e.Pos }
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// DeclStmt declares a local: T name [= init];
+type DeclStmt struct {
+	Name string
+	T    *Type
+	Init Expr
+	Pos  Pos
+}
+
+// AssignStmt is lhs op rhs where op is =, +=, ... The LHS must be a
+// VarRef, Index, or *expr.
+type AssignStmt struct {
+	LHS Expr
+	Op  string
+	RHS Expr
+	Pos Pos
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+// IfStmt is if (cond) then [else els].
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else Stmt // nil, *Block, or *IfStmt
+}
+
+// WhileStmt is while (cond) body.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+}
+
+// ForStmt is for (init; cond; post) body; any part may be nil.
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body *Block
+}
+
+// ReturnStmt returns X (nil for void).
+type ReturnStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt jumps to the innermost loop's post/condition.
+type ContinueStmt struct{ Pos Pos }
+
+// Block is { stmts... }.
+type Block struct {
+	Stmts []Stmt
+}
+
+// MarkerStmt is a bare marker identifier like COSY_START; — the
+// region delimiters Cosy-GCC looks for.
+type MarkerStmt struct {
+	Name string
+	Pos  Pos
+}
+
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*Block) stmtNode()        {}
+func (*MarkerStmt) stmtNode()   {}
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	T    *Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    *Type
+	Params []Param
+	Body   *Block
+}
+
+// Program is a parsed translation unit.
+type Program struct {
+	Funcs []*FuncDecl
+}
+
+// Func looks up a function by name.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// FuncNames lists defined functions (diagnostics).
+func (p *Program) FuncNames() string {
+	names := make([]string, len(p.Funcs))
+	for i, f := range p.Funcs {
+		names[i] = f.Name
+	}
+	return strings.Join(names, ", ")
+}

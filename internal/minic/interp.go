@@ -1,0 +1,378 @@
+package minic
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// CheckKind distinguishes load from store checks.
+type CheckKind int
+
+// Check kinds.
+const (
+	CheckLoad CheckKind = iota
+	CheckStore
+)
+
+func (k CheckKind) String() string {
+	if k == CheckStore {
+		return "store"
+	}
+	return "load"
+}
+
+// Builtin is a host-provided function callable from minic code. It
+// receives the interpreter (for memory access) and the evaluated
+// arguments.
+type Builtin func(ip *Interp, args []int64) (int64, error)
+
+// Hooks are the instrumentation callbacks the KGCC runtime installs.
+type Hooks struct {
+	// Check validates a memory access before OpLoad/OpStore executes
+	// (only reached when the code was instrumented with OpCheck).
+	Check func(kind CheckKind, addr uint64, size int) error
+	// Arith validates derived pointers (OpArithCheck) and returns the
+	// value to use — possibly an OOB peer.
+	Arith func(base, derived uint64) (uint64, error)
+	// FrameEnter/FrameExit observe stack frames so stack objects can
+	// be registered in the object map.
+	FrameEnter func(fn *Fn, frameBase mem.Addr)
+	FrameExit  func(fn *Fn, frameBase mem.Addr)
+}
+
+// ErrBudget is returned when execution exceeds MaxSteps.
+var ErrBudget = errors.New("minic: instruction budget exceeded")
+
+// Interp executes compiled IR against a simulated address space.
+type Interp struct {
+	AS   *mem.AddressSpace
+	Unit *Unit
+	// Builtins resolve calls to names not defined in the unit.
+	Builtins map[string]Builtin
+	Hooks    Hooks
+	// Charge receives per-instruction cost; PerInstr is the charge
+	// per executed IR instruction.
+	Charge   func(sim.Cycles)
+	PerInstr sim.Cycles
+	// CheckCost is charged per executed OpCheck/OpArithCheck on top
+	// of PerInstr (the KGCC runtime call).
+	CheckCost sim.Cycles
+
+	// MaxSteps bounds execution (0 = default 50M).
+	MaxSteps int64
+	// Steps counts executed instructions; ChecksRun counts executed
+	// checks.
+	Steps     int64
+	ChecksRun int64
+
+	stackBase mem.Addr
+	stackSize int
+	stackOff  int
+	strAddrs  map[string][]mem.Addr // per function, per literal index
+	depth     int
+}
+
+// stack geometry.
+const defaultStackPages = 64
+
+// NewInterp creates an interpreter with a mapped stack region and all
+// string literals materialized in memory.
+func NewInterp(as *mem.AddressSpace, unit *Unit) (*Interp, error) {
+	ip := &Interp{
+		AS:       as,
+		Unit:     unit,
+		Builtins: make(map[string]Builtin),
+		PerInstr: 2,
+		MaxSteps: 50_000_000,
+		strAddrs: make(map[string][]mem.Addr),
+	}
+	base, err := as.MapRegion(defaultStackPages, mem.PermRW)
+	if err != nil {
+		return nil, err
+	}
+	ip.stackBase = base
+	ip.stackSize = defaultStackPages * mem.PageSize
+	for name, fn := range unit.Fns {
+		var addrs []mem.Addr
+		for _, s := range fn.Strings {
+			pages := mem.PagesFor(len(s) + 1)
+			if pages == 0 {
+				pages = 1
+			}
+			a, err := as.MapRegion(pages, mem.PermRW)
+			if err != nil {
+				return nil, err
+			}
+			if err := as.WriteBytes(a, append([]byte(s), 0)); err != nil {
+				return nil, err
+			}
+			addrs = append(addrs, a)
+		}
+		ip.strAddrs[name] = addrs
+	}
+	return ip, nil
+}
+
+func (ip *Interp) charge(c sim.Cycles) {
+	if ip.Charge != nil && c > 0 {
+		ip.Charge(c)
+	}
+}
+
+// Call executes the named function with the given arguments.
+func (ip *Interp) Call(name string, args ...int64) (int64, error) {
+	fn := ip.Unit.Fn(name)
+	if fn == nil {
+		return 0, fmt.Errorf("minic: undefined function %q (have: %v)", name, ip.Unit.Order)
+	}
+	if len(args) != fn.NumParams {
+		return 0, fmt.Errorf("minic: %s expects %d args, got %d", name, fn.NumParams, len(args))
+	}
+	return ip.exec(fn, args)
+}
+
+func (ip *Interp) exec(fn *Fn, args []int64) (int64, error) {
+	if ip.depth > 64 {
+		return 0, fmt.Errorf("minic: call depth exceeded in %s", fn.Name)
+	}
+	frameSize := (fn.FrameSize + 15) &^ 15
+	if ip.stackOff+frameSize > ip.stackSize {
+		return 0, fmt.Errorf("minic: stack overflow in %s", fn.Name)
+	}
+	frameBase := ip.stackBase + mem.Addr(ip.stackOff)
+	ip.stackOff += frameSize
+	ip.depth++
+	defer func() {
+		ip.stackOff -= frameSize
+		ip.depth--
+		if ip.Hooks.FrameExit != nil {
+			ip.Hooks.FrameExit(fn, frameBase)
+		}
+	}()
+	if ip.Hooks.FrameEnter != nil {
+		ip.Hooks.FrameEnter(fn, frameBase)
+	}
+
+	regs := make([]int64, fn.NumRegs)
+	for i, r := range fn.ParamRegs {
+		regs[r] = args[i]
+	}
+	strs := ip.strAddrs[fn.Name]
+
+	pc := 0
+	for pc < len(fn.Code) {
+		ip.Steps++
+		if ip.Steps > ip.MaxSteps {
+			return 0, fmt.Errorf("%w (in %s)", ErrBudget, fn.Name)
+		}
+		ip.charge(ip.PerInstr)
+		in := &fn.Code[pc]
+		switch in.Op {
+		case OpNop, OpMarker:
+		case OpConst:
+			regs[in.Dst] = in.Imm
+		case OpStrAddr:
+			regs[in.Dst] = int64(strs[in.Imm])
+		case OpMov:
+			regs[in.Dst] = regs[in.A]
+		case OpBin:
+			v, err := evalBin(in.BinOp, regs[in.A], regs[in.B])
+			if err != nil {
+				return 0, fmt.Errorf("%s at %s pc=%d", err, fn.Name, pc)
+			}
+			regs[in.Dst] = v
+		case OpUn:
+			switch in.UnOp {
+			case "neg":
+				regs[in.Dst] = -regs[in.A]
+			case "not":
+				if regs[in.A] == 0 {
+					regs[in.Dst] = 1
+				} else {
+					regs[in.Dst] = 0
+				}
+			case "bnot":
+				regs[in.Dst] = ^regs[in.A]
+			}
+		case OpLoad:
+			addr := mem.Addr(regs[in.A])
+			var v int64
+			switch in.Size {
+			case 1:
+				var b [1]byte
+				if err := ip.AS.ReadBytes(addr, b[:]); err != nil {
+					return 0, fmt.Errorf("minic: %s pc=%d: %w", fn.Name, pc, err)
+				}
+				v = int64(b[0])
+			default:
+				u, err := ip.AS.ReadU64(addr)
+				if err != nil {
+					return 0, fmt.Errorf("minic: %s pc=%d: %w", fn.Name, pc, err)
+				}
+				v = int64(u)
+			}
+			regs[in.Dst] = v
+		case OpStore:
+			addr := mem.Addr(regs[in.A])
+			switch in.Size {
+			case 1:
+				if err := ip.AS.WriteBytes(addr, []byte{byte(regs[in.B])}); err != nil {
+					return 0, fmt.Errorf("minic: %s pc=%d: %w", fn.Name, pc, err)
+				}
+			default:
+				if err := ip.AS.WriteU64(addr, uint64(regs[in.B])); err != nil {
+					return 0, fmt.Errorf("minic: %s pc=%d: %w", fn.Name, pc, err)
+				}
+			}
+		case OpFrameAddr:
+			regs[in.Dst] = int64(frameBase) + in.Imm
+		case OpCall:
+			var callArgs []int64
+			for _, a := range in.Args {
+				callArgs = append(callArgs, regs[a])
+			}
+			var v int64
+			var err error
+			if callee := ip.Unit.Fn(in.Sym); callee != nil {
+				v, err = ip.exec(callee, callArgs)
+			} else if b, ok := ip.Builtins[in.Sym]; ok {
+				v, err = b(ip, callArgs)
+			} else {
+				err = fmt.Errorf("minic: call to undefined function %q", in.Sym)
+			}
+			if err != nil {
+				return 0, err
+			}
+			if in.Dst != NoReg {
+				regs[in.Dst] = v
+			}
+		case OpJump:
+			pc = int(in.Imm)
+			continue
+		case OpBranchZ:
+			if regs[in.A] == 0 {
+				pc = int(in.Imm)
+				continue
+			}
+		case OpRet:
+			if in.A == NoReg {
+				return 0, nil
+			}
+			return regs[in.A], nil
+		case OpCheck:
+			ip.ChecksRun++
+			ip.charge(ip.CheckCost)
+			if ip.Hooks.Check != nil {
+				kind := CheckLoad
+				if in.Imm == 1 {
+					kind = CheckStore
+				}
+				if err := ip.Hooks.Check(kind, uint64(regs[in.A]), in.Size); err != nil {
+					return 0, fmt.Errorf("minic: %s pc=%d (%d:%d): %w",
+						fn.Name, pc, in.Pos.Line, in.Pos.Col, err)
+				}
+			}
+		case OpArithCheck:
+			ip.ChecksRun++
+			ip.charge(ip.CheckCost)
+			v := regs[in.B]
+			if ip.Hooks.Arith != nil {
+				nv, err := ip.Hooks.Arith(uint64(regs[in.A]), uint64(regs[in.B]))
+				if err != nil {
+					return 0, fmt.Errorf("minic: %s pc=%d (%d:%d): %w",
+						fn.Name, pc, in.Pos.Line, in.Pos.Col, err)
+				}
+				v = int64(nv)
+			}
+			regs[in.Dst] = v
+		default:
+			return 0, fmt.Errorf("minic: %s pc=%d: unhandled op %v", fn.Name, pc, in.Op)
+		}
+		pc++
+	}
+	return 0, nil
+}
+
+func evalBin(op string, a, b int64) (int64, error) {
+	switch op {
+	case "+":
+		return a + b, nil
+	case "-":
+		return a - b, nil
+	case "*":
+		return a * b, nil
+	case "/":
+		if b == 0 {
+			return 0, errors.New("minic: division by zero")
+		}
+		return a / b, nil
+	case "%":
+		if b == 0 {
+			return 0, errors.New("minic: modulo by zero")
+		}
+		return a % b, nil
+	case "&":
+		return a & b, nil
+	case "|":
+		return a | b, nil
+	case "^":
+		return a ^ b, nil
+	case "<<":
+		return a << (uint64(b) & 63), nil
+	case ">>":
+		return a >> (uint64(b) & 63), nil
+	case "==":
+		return b2i(a == b), nil
+	case "!=":
+		return b2i(a != b), nil
+	case "<":
+		return b2i(a < b), nil
+	case "<=":
+		return b2i(a <= b), nil
+	case ">":
+		return b2i(a > b), nil
+	case ">=":
+		return b2i(a >= b), nil
+	}
+	return 0, fmt.Errorf("minic: unknown operator %q", op)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// EachString visits every materialized string literal with its
+// address and size (including the NUL); the KGCC runtime registers
+// them as global objects.
+func (ip *Interp) EachString(fn func(addr mem.Addr, size int)) {
+	for name, addrs := range ip.strAddrs {
+		f := ip.Unit.Fn(name)
+		for i, a := range addrs {
+			fn(a, len(f.Strings[i])+1)
+		}
+	}
+}
+
+// ReadCString reads a NUL-terminated string from simulated memory
+// (builtins use this for path arguments).
+func (ip *Interp) ReadCString(addr mem.Addr) (string, error) {
+	var out []byte
+	var b [1]byte
+	for len(out) < 4096 {
+		if err := ip.AS.ReadBytes(addr, b[:]); err != nil {
+			return "", err
+		}
+		if b[0] == 0 {
+			return string(out), nil
+		}
+		out = append(out, b[0])
+		addr++
+	}
+	return "", errors.New("minic: unterminated C string")
+}

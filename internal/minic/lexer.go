@@ -1,0 +1,205 @@
+package minic
+
+import (
+	"strings"
+)
+
+// Lex tokenizes src. Comments (// and /* */) are skipped.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k && i < n; j++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			startLine, startCol := line, col
+			advance(2)
+			closed := false
+			for i < n {
+				if src[i] == '*' && i+1 < n && src[i+1] == '/' {
+					advance(2)
+					closed = true
+					break
+				}
+				advance(1)
+			}
+			if !closed {
+				return nil, errAt(startLine, startCol, "unterminated block comment")
+			}
+		case isIdentStart(c):
+			startLine, startCol := line, col
+			j := i
+			for j < n && isIdentPart(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			kind := TIdent
+			if keywords[word] {
+				kind = TKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: word, Line: startLine, Col: startCol})
+			advance(j - i)
+		case c >= '0' && c <= '9':
+			startLine, startCol := line, col
+			j := i
+			base := int64(10)
+			if c == '0' && j+1 < n && (src[j+1] == 'x' || src[j+1] == 'X') {
+				base = 16
+				j += 2
+			}
+			var v int64
+			digits := 0
+			for j < n {
+				d := int64(-1)
+				ch := src[j]
+				switch {
+				case ch >= '0' && ch <= '9':
+					d = int64(ch - '0')
+				case base == 16 && ch >= 'a' && ch <= 'f':
+					d = int64(ch-'a') + 10
+				case base == 16 && ch >= 'A' && ch <= 'F':
+					d = int64(ch-'A') + 10
+				default:
+					d = -1
+				}
+				if d < 0 || d >= base {
+					break
+				}
+				v = v*base + d
+				digits++
+				j++
+			}
+			if base == 16 && digits == 0 {
+				return nil, errAt(startLine, startCol, "malformed hex literal")
+			}
+			toks = append(toks, Token{Kind: TNumber, Text: src[i:j], Num: v, Line: startLine, Col: startCol})
+			advance(j - i)
+		case c == '\'':
+			startLine, startCol := line, col
+			j := i + 1
+			if j >= n {
+				return nil, errAt(startLine, startCol, "unterminated char literal")
+			}
+			var v int64
+			if src[j] == '\\' {
+				j++
+				if j >= n {
+					return nil, errAt(startLine, startCol, "unterminated char literal")
+				}
+				v = int64(unescape(src[j]))
+				j++
+			} else {
+				v = int64(src[j])
+				j++
+			}
+			if j >= n || src[j] != '\'' {
+				return nil, errAt(startLine, startCol, "unterminated char literal")
+			}
+			j++
+			toks = append(toks, Token{Kind: TChar, Text: src[i:j], Num: v, Line: startLine, Col: startCol})
+			advance(j - i)
+		case c == '"':
+			startLine, startCol := line, col
+			var sb strings.Builder
+			j := i + 1
+			closed := false
+			for j < n {
+				if src[j] == '"' {
+					closed = true
+					j++
+					break
+				}
+				if src[j] == '\\' && j+1 < n {
+					sb.WriteByte(unescape(src[j+1]))
+					j += 2
+					continue
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if !closed {
+				return nil, errAt(startLine, startCol, "unterminated string literal")
+			}
+			toks = append(toks, Token{Kind: TString, Text: src[i:j], Str: sb.String(), Line: startLine, Col: startCol})
+			advance(j - i)
+		default:
+			startLine, startCol := line, col
+			op := lexPunct(src[i:])
+			if op == "" {
+				return nil, errAt(line, col, "unexpected character %q", string(c))
+			}
+			toks = append(toks, Token{Kind: TPunct, Text: op, Line: startLine, Col: startCol})
+			advance(len(op))
+		}
+	}
+	toks = append(toks, Token{Kind: TEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func unescape(c byte) byte {
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case '\\':
+		return '\\'
+	case '\'':
+		return '\''
+	case '"':
+		return '"'
+	}
+	return c
+}
+
+// twoCharOps are matched before single chars; order matters only for
+// prefixes, which the longest-match loop handles.
+var multiOps = []string{
+	"<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+}
+
+var singleOps = "+-*/%<>=!&|^~(){}[];,?:."
+
+func lexPunct(s string) string {
+	for _, op := range multiOps {
+		if strings.HasPrefix(s, op) {
+			return op
+		}
+	}
+	if len(s) > 0 && strings.IndexByte(singleOps, s[0]) >= 0 {
+		return s[:1]
+	}
+	return ""
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

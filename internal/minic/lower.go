@@ -1,0 +1,666 @@
+package minic
+
+import "fmt"
+
+// Compile lowers a parsed program to IR.
+func Compile(prog *Program) (*Unit, error) {
+	u := &Unit{Fns: make(map[string]*Fn)}
+	for _, fd := range prog.Funcs {
+		fn, err := lowerFunc(fd)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := u.Fns[fn.Name]; dup {
+			return nil, fmt.Errorf("minic: duplicate function %q", fn.Name)
+		}
+		u.Fns[fn.Name] = fn
+		u.Order = append(u.Order, fn.Name)
+	}
+	return u, nil
+}
+
+// CompileSource parses and lowers in one step.
+func CompileSource(src string) (*Unit, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(prog)
+}
+
+type lowerer struct {
+	fn     *Fn
+	scopes []map[string]*Local
+	loop   []struct{ breakPatch, contPatch []int }
+}
+
+func lowerFunc(fd *FuncDecl) (*Fn, error) {
+	fn := &Fn{Name: fd.Name, Ret: fd.Ret, NumParams: len(fd.Params)}
+	lw := &lowerer{fn: fn}
+	lw.pushScope()
+
+	// Pass 1: find address-taken names so scalars can live in
+	// registers when safe.
+	addrTaken := map[string]bool{}
+	scanAddrTaken(fd.Body, addrTaken)
+
+	// Parameters: scalars arrive in registers; address-taken params
+	// get a frame slot and a prologue store.
+	type memParam struct {
+		l   *Local
+		reg Reg
+	}
+	var memParams []memParam
+	for _, p := range fd.Params {
+		if !p.T.IsScalar() {
+			return nil, fmt.Errorf("minic: parameter %q: only scalar parameters supported", p.Name)
+		}
+		reg := lw.newReg()
+		fn.ParamRegs = append(fn.ParamRegs, reg)
+		l := &Local{Name: p.Name, T: p.T, AddrTaken: addrTaken[p.Name]}
+		if l.AddrTaken {
+			l.InMemory = true
+			l.Offset = lw.allocFrame(p.T.Size())
+			memParams = append(memParams, memParam{l, reg})
+		} else {
+			l.Reg = reg
+		}
+		fn.Locals = append(fn.Locals, l)
+		lw.scopes[0][p.Name] = l
+	}
+	for _, mp := range memParams {
+		addr := lw.newReg()
+		lw.emit(Instr{Op: OpFrameAddr, Dst: addr, Imm: int64(mp.l.Offset), Sym: mp.l.Name})
+		lw.emit(Instr{Op: OpStore, A: addr, B: mp.reg, Size: mp.l.T.Size()})
+	}
+
+	if err := lw.block(fd.Body, addrTaken); err != nil {
+		return nil, err
+	}
+	// Implicit return.
+	lw.emit(Instr{Op: OpRet, A: NoReg})
+	return fn, nil
+}
+
+func scanAddrTaken(s Stmt, out map[string]bool) {
+	var walkExpr func(e Expr)
+	walkExpr = func(e Expr) {
+		switch x := e.(type) {
+		case *Unary:
+			if x.Op == "&" {
+				if v, ok := x.X.(*VarRef); ok {
+					out[v.Name] = true
+				}
+			}
+			walkExpr(x.X)
+		case *Binary:
+			walkExpr(x.X)
+			walkExpr(x.Y)
+		case *Index:
+			walkExpr(x.X)
+			walkExpr(x.I)
+		case *Call:
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	var walk func(s Stmt)
+	walk = func(s Stmt) {
+		switch st := s.(type) {
+		case *Block:
+			for _, c := range st.Stmts {
+				walk(c)
+			}
+		case *DeclStmt:
+			if st.Init != nil {
+				walkExpr(st.Init)
+			}
+		case *AssignStmt:
+			walkExpr(st.LHS)
+			walkExpr(st.RHS)
+		case *ExprStmt:
+			walkExpr(st.X)
+		case *IfStmt:
+			walkExpr(st.Cond)
+			walk(st.Then)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *WhileStmt:
+			walkExpr(st.Cond)
+			walk(st.Body)
+		case *ForStmt:
+			if st.Init != nil {
+				walk(st.Init)
+			}
+			if st.Cond != nil {
+				walkExpr(st.Cond)
+			}
+			if st.Post != nil {
+				walk(st.Post)
+			}
+			walk(st.Body)
+		case *ReturnStmt:
+			if st.X != nil {
+				walkExpr(st.X)
+			}
+		}
+	}
+	walk(s)
+}
+
+func (lw *lowerer) pushScope() {
+	lw.scopes = append(lw.scopes, map[string]*Local{})
+}
+
+func (lw *lowerer) popScope() {
+	lw.scopes = lw.scopes[:len(lw.scopes)-1]
+}
+
+func (lw *lowerer) lookup(name string) *Local {
+	for i := len(lw.scopes) - 1; i >= 0; i-- {
+		if l, ok := lw.scopes[i][name]; ok {
+			return l
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) newReg() Reg {
+	r := Reg(lw.fn.NumRegs)
+	lw.fn.NumRegs++
+	return r
+}
+
+func (lw *lowerer) allocFrame(size int) int {
+	// 8-byte alignment.
+	off := (lw.fn.FrameSize + 7) &^ 7
+	lw.fn.FrameSize = off + size
+	return off
+}
+
+func (lw *lowerer) emit(in Instr) int {
+	lw.fn.Code = append(lw.fn.Code, in)
+	return len(lw.fn.Code) - 1
+}
+
+func (lw *lowerer) here() int { return len(lw.fn.Code) }
+
+func (lw *lowerer) patch(idx, target int) {
+	lw.fn.Code[idx].Imm = int64(target)
+}
+
+func (lw *lowerer) block(b *Block, addrTaken map[string]bool) error {
+	lw.pushScope()
+	defer lw.popScope()
+	for _, s := range b.Stmts {
+		if err := lw.stmt(s, addrTaken); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) stmt(s Stmt, addrTaken map[string]bool) error {
+	switch st := s.(type) {
+	case *Block:
+		return lw.block(st, addrTaken)
+	case *MarkerStmt:
+		lw.emit(Instr{Op: OpMarker, Sym: st.Name, Pos: st.Pos})
+		return nil
+	case *DeclStmt:
+		if lw.scopes[len(lw.scopes)-1][st.Name] != nil {
+			return errAt(st.Pos.Line, st.Pos.Col, "redeclaration of %q", st.Name)
+		}
+		l := &Local{Name: st.Name, T: st.T, AddrTaken: addrTaken[st.Name]}
+		if !st.T.IsScalar() || l.AddrTaken {
+			l.InMemory = true
+			l.Offset = lw.allocFrame(st.T.Size())
+		} else {
+			l.Reg = lw.newReg()
+		}
+		lw.fn.Locals = append(lw.fn.Locals, l)
+		lw.scopes[len(lw.scopes)-1][st.Name] = l
+		if st.Init != nil {
+			val, _, err := lw.expr(st.Init)
+			if err != nil {
+				return err
+			}
+			if l.InMemory {
+				addr := lw.newReg()
+				lw.emit(Instr{Op: OpFrameAddr, Dst: addr, Imm: int64(l.Offset), Sym: l.Name})
+				lw.emit(Instr{Op: OpStore, A: addr, B: val, Size: l.T.Size(), Pos: st.Pos})
+			} else {
+				lw.emit(Instr{Op: OpMov, Dst: l.Reg, A: val, Pos: st.Pos})
+			}
+		}
+		return nil
+	case *AssignStmt:
+		return lw.assign(st)
+	case *ExprStmt:
+		_, _, err := lw.expr(st.X)
+		return err
+	case *ReturnStmt:
+		if st.X == nil {
+			lw.emit(Instr{Op: OpRet, A: NoReg, Pos: st.Pos})
+			return nil
+		}
+		v, _, err := lw.expr(st.X)
+		if err != nil {
+			return err
+		}
+		lw.emit(Instr{Op: OpRet, A: v, Pos: st.Pos})
+		return nil
+	case *IfStmt:
+		cond, _, err := lw.expr(st.Cond)
+		if err != nil {
+			return err
+		}
+		brz := lw.emit(Instr{Op: OpBranchZ, A: cond})
+		if err := lw.block(st.Then, addrTaken); err != nil {
+			return err
+		}
+		if st.Else == nil {
+			lw.patch(brz, lw.here())
+			return nil
+		}
+		jend := lw.emit(Instr{Op: OpJump})
+		lw.patch(brz, lw.here())
+		if err := lw.stmt(st.Else, addrTaken); err != nil {
+			return err
+		}
+		lw.patch(jend, lw.here())
+		return nil
+	case *WhileStmt:
+		return lw.loopStmt(nil, st.Cond, nil, st.Body, addrTaken)
+	case *ForStmt:
+		lw.pushScope()
+		defer lw.popScope()
+		if st.Init != nil {
+			if err := lw.stmt(st.Init, addrTaken); err != nil {
+				return err
+			}
+		}
+		return lw.loopStmt(nil, st.Cond, st.Post, st.Body, addrTaken)
+	case *BreakStmt:
+		if len(lw.loop) == 0 {
+			return errAt(st.Pos.Line, st.Pos.Col, "break outside loop")
+		}
+		idx := lw.emit(Instr{Op: OpJump, Pos: st.Pos})
+		top := &lw.loop[len(lw.loop)-1]
+		top.breakPatch = append(top.breakPatch, idx)
+		return nil
+	case *ContinueStmt:
+		if len(lw.loop) == 0 {
+			return errAt(st.Pos.Line, st.Pos.Col, "continue outside loop")
+		}
+		idx := lw.emit(Instr{Op: OpJump, Pos: st.Pos})
+		top := &lw.loop[len(lw.loop)-1]
+		top.contPatch = append(top.contPatch, idx)
+		return nil
+	}
+	return fmt.Errorf("minic: unhandled statement %T", s)
+}
+
+func (lw *lowerer) loopStmt(init Stmt, cond Expr, post Stmt, body *Block, addrTaken map[string]bool) error {
+	lw.loop = append(lw.loop, struct{ breakPatch, contPatch []int }{})
+	top := lw.here()
+	var brz int = -1
+	if cond != nil {
+		c, _, err := lw.expr(cond)
+		if err != nil {
+			return err
+		}
+		brz = lw.emit(Instr{Op: OpBranchZ, A: c})
+	}
+	if err := lw.block(body, addrTaken); err != nil {
+		return err
+	}
+	contTarget := lw.here()
+	if post != nil {
+		if err := lw.stmt(post, addrTaken); err != nil {
+			return err
+		}
+	}
+	lw.emit(Instr{Op: OpJump, Imm: int64(top)})
+	end := lw.here()
+	if brz >= 0 {
+		lw.patch(brz, end)
+	}
+	frame := lw.loop[len(lw.loop)-1]
+	lw.loop = lw.loop[:len(lw.loop)-1]
+	for _, idx := range frame.breakPatch {
+		lw.patch(idx, end)
+	}
+	for _, idx := range frame.contPatch {
+		lw.patch(idx, contTarget)
+	}
+	return nil
+}
+
+// assign handles lhs op= rhs.
+func (lw *lowerer) assign(st *AssignStmt) error {
+	rhs, rhsT, err := lw.expr(st.RHS)
+	if err != nil {
+		return err
+	}
+	// Direct register variable.
+	if v, ok := st.LHS.(*VarRef); ok {
+		l := lw.lookup(v.Name)
+		if l == nil {
+			return errAt(v.Pos.Line, v.Pos.Col, "undefined variable %q", v.Name)
+		}
+		if !l.InMemory {
+			val := rhs
+			if st.Op != "=" {
+				val = lw.newReg()
+				op, scaled := stripAssign(st.Op), lw.scalePtrOperand(l.T, rhsT, rhs)
+				lw.emit(Instr{Op: OpBin, Dst: val, A: l.Reg, B: scaled, BinOp: op,
+					PtrArith: l.T.Kind == TypePtr && (op == "+" || op == "-"), Pos: st.Pos})
+			}
+			lw.emit(Instr{Op: OpMov, Dst: l.Reg, A: val, Pos: st.Pos})
+			return nil
+		}
+	}
+	addr, elemT, err := lw.lvalueAddr(st.LHS)
+	if err != nil {
+		return err
+	}
+	val := rhs
+	if st.Op != "=" {
+		cur := lw.newReg()
+		lw.emit(Instr{Op: OpLoad, Dst: cur, A: addr, Size: elemT.Size(), Pos: st.Pos})
+		val = lw.newReg()
+		op, scaled := stripAssign(st.Op), lw.scalePtrOperand(elemT, rhsT, rhs)
+		lw.emit(Instr{Op: OpBin, Dst: val, A: cur, B: scaled, BinOp: op,
+			PtrArith: elemT.Kind == TypePtr && (op == "+" || op == "-"), Pos: st.Pos})
+	}
+	lw.emit(Instr{Op: OpStore, A: addr, B: val, Size: elemT.Size(), Pos: st.Pos})
+	return nil
+}
+
+// scalePtrOperand multiplies an integer operand by the element size
+// when added to a pointer.
+func (lw *lowerer) scalePtrOperand(lhsT, rhsT *Type, rhs Reg) Reg {
+	if lhsT == nil || lhsT.Kind != TypePtr || lhsT.Elem == nil {
+		return rhs
+	}
+	sz := lhsT.Elem.Size()
+	if sz == 1 {
+		return rhs
+	}
+	c := lw.newReg()
+	lw.emit(Instr{Op: OpConst, Dst: c, Imm: int64(sz)})
+	out := lw.newReg()
+	lw.emit(Instr{Op: OpBin, Dst: out, A: rhs, B: c, BinOp: "*"})
+	return out
+}
+
+func stripAssign(op string) string { return op[:len(op)-1] }
+
+// lvalueAddr computes the address of an assignable expression,
+// returning the address register and the stored element type.
+func (lw *lowerer) lvalueAddr(e Expr) (Reg, *Type, error) {
+	switch x := e.(type) {
+	case *VarRef:
+		l := lw.lookup(x.Name)
+		if l == nil {
+			return NoReg, nil, errAt(x.Pos.Line, x.Pos.Col, "undefined variable %q", x.Name)
+		}
+		if !l.InMemory {
+			return NoReg, nil, errAt(x.Pos.Line, x.Pos.Col, "internal: register variable %q has no address", x.Name)
+		}
+		addr := lw.newReg()
+		lw.emit(Instr{Op: OpFrameAddr, Dst: addr, Imm: int64(l.Offset), Sym: l.Name, Pos: x.Pos})
+		return addr, l.T, nil
+	case *Index:
+		base, baseT, err := lw.expr(x.X)
+		if err != nil {
+			return NoReg, nil, err
+		}
+		var elem *Type
+		switch {
+		case baseT != nil && baseT.Kind == TypePtr:
+			elem = baseT.Elem
+		case baseT != nil && baseT.Kind == TypeArr:
+			elem = baseT.Elem
+		default:
+			return NoReg, nil, errAt(x.Pos.Line, x.Pos.Col, "indexing non-pointer type %v", baseT)
+		}
+		idx, _, err := lw.expr(x.I)
+		if err != nil {
+			return NoReg, nil, err
+		}
+		scaled := idx
+		if elem.Size() != 1 {
+			c := lw.newReg()
+			lw.emit(Instr{Op: OpConst, Dst: c, Imm: int64(elem.Size())})
+			scaled = lw.newReg()
+			lw.emit(Instr{Op: OpBin, Dst: scaled, A: idx, B: c, BinOp: "*"})
+		}
+		addr := lw.newReg()
+		lw.emit(Instr{Op: OpBin, Dst: addr, A: base, B: scaled, BinOp: "+", PtrArith: true, Pos: x.Pos})
+		return addr, elem, nil
+	case *Unary:
+		if x.Op == "*" {
+			ptr, ptrT, err := lw.expr(x.X)
+			if err != nil {
+				return NoReg, nil, err
+			}
+			elem := IntType
+			if ptrT != nil && ptrT.Kind == TypePtr {
+				elem = ptrT.Elem
+			}
+			return ptr, elem, nil
+		}
+	}
+	pos := e.P()
+	return NoReg, nil, errAt(pos.Line, pos.Col, "not an lvalue")
+}
+
+// expr compiles an expression, returning its value register and type.
+func (lw *lowerer) expr(e Expr) (Reg, *Type, error) {
+	switch x := e.(type) {
+	case *NumLit:
+		r := lw.newReg()
+		lw.emit(Instr{Op: OpConst, Dst: r, Imm: x.Val, Pos: x.Pos})
+		return r, IntType, nil
+	case *StrLit:
+		idx := len(lw.fn.Strings)
+		lw.fn.Strings = append(lw.fn.Strings, x.Val)
+		r := lw.newReg()
+		lw.emit(Instr{Op: OpStrAddr, Dst: r, Imm: int64(idx), Pos: x.Pos})
+		return r, PtrTo(CharType), nil
+	case *VarRef:
+		l := lw.lookup(x.Name)
+		if l == nil {
+			return NoReg, nil, errAt(x.Pos.Line, x.Pos.Col, "undefined variable %q", x.Name)
+		}
+		if !l.InMemory {
+			return l.Reg, l.T, nil
+		}
+		addr := lw.newReg()
+		lw.emit(Instr{Op: OpFrameAddr, Dst: addr, Imm: int64(l.Offset), Sym: l.Name, Pos: x.Pos})
+		if l.T.Kind == TypeArr {
+			// Array decays to pointer to its first element.
+			return addr, PtrTo(l.T.Elem), nil
+		}
+		val := lw.newReg()
+		lw.emit(Instr{Op: OpLoad, Dst: val, A: addr, Size: l.T.Size(), Pos: x.Pos})
+		return val, l.T, nil
+	case *Unary:
+		return lw.unaryExpr(x)
+	case *Binary:
+		return lw.binaryExpr(x)
+	case *Index:
+		addr, elemT, err := lw.lvalueAddr(x)
+		if err != nil {
+			return NoReg, nil, err
+		}
+		if elemT.Kind == TypeArr {
+			return addr, PtrTo(elemT.Elem), nil
+		}
+		val := lw.newReg()
+		lw.emit(Instr{Op: OpLoad, Dst: val, A: addr, Size: elemT.Size(), Pos: x.Pos})
+		return val, elemT, nil
+	case *Call:
+		var args []Reg
+		for _, a := range x.Args {
+			r, _, err := lw.expr(a)
+			if err != nil {
+				return NoReg, nil, err
+			}
+			args = append(args, r)
+		}
+		dst := lw.newReg()
+		lw.emit(Instr{Op: OpCall, Dst: dst, Sym: x.Name, Args: args, Pos: x.Pos})
+		return dst, IntType, nil
+	}
+	pos := e.P()
+	return NoReg, nil, errAt(pos.Line, pos.Col, "unhandled expression %T", e)
+}
+
+func (lw *lowerer) unaryExpr(x *Unary) (Reg, *Type, error) {
+	switch x.Op {
+	case "&":
+		addr, t, err := lw.lvalueAddr(x.X)
+		if err != nil {
+			return NoReg, nil, err
+		}
+		return addr, PtrTo(t), nil
+	case "*":
+		ptr, ptrT, err := lw.expr(x.X)
+		if err != nil {
+			return NoReg, nil, err
+		}
+		elem := IntType
+		if ptrT != nil && ptrT.Kind == TypePtr {
+			elem = ptrT.Elem
+		}
+		val := lw.newReg()
+		lw.emit(Instr{Op: OpLoad, Dst: val, A: ptr, Size: elem.Size(), Pos: x.Pos})
+		return val, elem, nil
+	case "-", "!", "~":
+		v, _, err := lw.expr(x.X)
+		if err != nil {
+			return NoReg, nil, err
+		}
+		dst := lw.newReg()
+		op := map[string]string{"-": "neg", "!": "not", "~": "bnot"}[x.Op]
+		lw.emit(Instr{Op: OpUn, Dst: dst, A: v, UnOp: op, Pos: x.Pos})
+		return dst, IntType, nil
+	}
+	return NoReg, nil, errAt(x.Pos.Line, x.Pos.Col, "unhandled unary %q", x.Op)
+}
+
+func (lw *lowerer) binaryExpr(x *Binary) (Reg, *Type, error) {
+	// Short-circuit && and ||.
+	if x.Op == "&&" || x.Op == "||" {
+		dst := lw.newReg()
+		a, _, err := lw.expr(x.X)
+		if err != nil {
+			return NoReg, nil, err
+		}
+		// Normalize to 0/1.
+		zero := lw.newReg()
+		lw.emit(Instr{Op: OpConst, Dst: zero, Imm: 0})
+		norm := lw.newReg()
+		lw.emit(Instr{Op: OpBin, Dst: norm, A: a, B: zero, BinOp: "!="})
+		lw.emit(Instr{Op: OpMov, Dst: dst, A: norm})
+		var skip int
+		if x.Op == "&&" {
+			// if !a, result stays 0 only if we set it; brz a -> end with dst=0.
+			skip = lw.emit(Instr{Op: OpBranchZ, A: a})
+		} else {
+			// ||: if a is true, skip evaluating b.
+			notA := lw.newReg()
+			lw.emit(Instr{Op: OpUn, Dst: notA, A: a, UnOp: "not"})
+			skip = lw.emit(Instr{Op: OpBranchZ, A: notA})
+		}
+		b, _, err := lw.expr(x.Y)
+		if err != nil {
+			return NoReg, nil, err
+		}
+		zero2 := lw.newReg()
+		lw.emit(Instr{Op: OpConst, Dst: zero2, Imm: 0})
+		normB := lw.newReg()
+		lw.emit(Instr{Op: OpBin, Dst: normB, A: b, B: zero2, BinOp: "!="})
+		if x.Op == "&&" {
+			lw.emit(Instr{Op: OpMov, Dst: dst, A: normB})
+		} else {
+			lw.emit(Instr{Op: OpMov, Dst: dst, A: normB})
+		}
+		lw.patch(skip, lw.here())
+		return dst, IntType, nil
+	}
+
+	a, at, err := lw.expr(x.X)
+	if err != nil {
+		return NoReg, nil, err
+	}
+	b, bt, err := lw.expr(x.Y)
+	if err != nil {
+		return NoReg, nil, err
+	}
+	// Pointer arithmetic scaling: ptr + int, int + ptr, ptr - int.
+	resT := IntType
+	ptrArith := false
+	switch {
+	case isPtrish(at) && !isPtrish(bt) && (x.Op == "+" || x.Op == "-"):
+		b = lw.scaleBy(b, elemSize(at))
+		resT = decay(at)
+		ptrArith = true
+	case isPtrish(bt) && !isPtrish(at) && x.Op == "+":
+		a, b = b, a
+		at, bt = bt, at
+		b = lw.scaleBy(b, elemSize(at))
+		resT = decay(at)
+		ptrArith = true
+	case isPtrish(at) && isPtrish(bt) && x.Op == "-":
+		// Pointer difference: subtract then divide by element size.
+		diff := lw.newReg()
+		lw.emit(Instr{Op: OpBin, Dst: diff, A: a, B: b, BinOp: "-", Pos: x.Pos})
+		sz := elemSize(at)
+		if sz == 1 {
+			return diff, IntType, nil
+		}
+		c := lw.newReg()
+		lw.emit(Instr{Op: OpConst, Dst: c, Imm: int64(sz)})
+		out := lw.newReg()
+		lw.emit(Instr{Op: OpBin, Dst: out, A: diff, B: c, BinOp: "/", Pos: x.Pos})
+		return out, IntType, nil
+	}
+	dst := lw.newReg()
+	lw.emit(Instr{Op: OpBin, Dst: dst, A: a, B: b, BinOp: x.Op, PtrArith: ptrArith, Pos: x.Pos})
+	return dst, resT, nil
+}
+
+func isPtrish(t *Type) bool {
+	return t != nil && (t.Kind == TypePtr || t.Kind == TypeArr)
+}
+
+func elemSize(t *Type) int {
+	if t.Elem != nil {
+		return t.Elem.Size()
+	}
+	return 1
+}
+
+func decay(t *Type) *Type {
+	if t.Kind == TypeArr {
+		return PtrTo(t.Elem)
+	}
+	return t
+}
+
+func (lw *lowerer) scaleBy(r Reg, size int) Reg {
+	if size == 1 {
+		return r
+	}
+	c := lw.newReg()
+	lw.emit(Instr{Op: OpConst, Dst: c, Imm: int64(size)})
+	out := lw.newReg()
+	lw.emit(Instr{Op: OpBin, Dst: out, A: r, B: c, BinOp: "*"})
+	return out
+}

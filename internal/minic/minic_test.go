@@ -1,0 +1,520 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// compileRun compiles src and calls fn with args on a fresh machine.
+func compileRun(t *testing.T, src, fn string, args ...int64) (int64, *Interp) {
+	t.Helper()
+	unit, err := CompileSource(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	costs := sim.DefaultCosts()
+	as := mem.NewAddressSpace("minic", mem.NewPhys(64<<20), &costs)
+	ip, err := NewInterp(as, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ip.Call(fn, args...)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v, ip
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`int main() { return 0x1F + 'a'; } // comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.String())
+	}
+	joined := strings.Join(kinds, " ")
+	if !strings.Contains(joined, "31") || !strings.Contains(joined, "'a'") {
+		t.Fatalf("tokens: %s", joined)
+	}
+	// Char literals carry their numeric value.
+	for _, tk := range toks {
+		if tk.Kind == TChar && tk.Num != 'a' {
+			t.Fatalf("char literal value = %d", tk.Num)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `'x`, `/* unclosed`, "`"} {
+		if _, err := Lex(src); err == nil {
+			t.Fatalf("Lex(%q) succeeded", src)
+		}
+	}
+}
+
+func TestLexString(t *testing.T) {
+	toks, err := Lex(`"a\nb\\c"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Str != "a\nb\\c" {
+		t.Fatalf("str = %q", toks[0].Str)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	src := `int main() { return (2 + 3) * 4 - 10 / 2; }`
+	if v, _ := compileRun(t, src, "main"); v != 15 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	src := `int main() { return 2 + 3 * 4 == 14 && 1 < 2; }`
+	if v, _ := compileRun(t, src, "main"); v != 1 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestVariablesAndAssignOps(t *testing.T) {
+	src := `
+int main() {
+	int x = 10;
+	x += 5;
+	x *= 2;
+	x -= 6;
+	x /= 4;
+	x %= 4;
+	return x;
+}`
+	// ((10+5)*2-6)/4 = 6; 6 % 4 = 2.
+	if v, _ := compileRun(t, src, "main"); v != 2 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	src := `
+int classify(int x) {
+	if (x < 0) { return 0 - 1; }
+	else if (x == 0) { return 0; }
+	else { return 1; }
+}`
+	cases := map[int64]int64{-5: -1, 0: 0, 7: 1}
+	for in, want := range cases {
+		if v, _ := compileRun(t, src, "classify", in); v != want {
+			t.Fatalf("classify(%d) = %d, want %d", in, v, want)
+		}
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	src := `
+int sum(int n) {
+	int s = 0;
+	int i = 1;
+	while (i <= n) {
+		s += i;
+		i++;
+	}
+	return s;
+}`
+	if v, _ := compileRun(t, src, "sum", 100); v != 5050 {
+		t.Fatalf("sum = %d", v)
+	}
+}
+
+func TestForLoopBreakContinue(t *testing.T) {
+	src := `
+int f(void) {
+	int s = 0;
+	for (int i = 0; i < 100; i++) {
+		if (i % 2 == 0) { continue; }
+		if (i > 10) { break; }
+		s += i;
+	}
+	return s;
+}`
+	// 1+3+5+7+9 = 25.
+	if v, _ := compileRun(t, src, "f"); v != 25 {
+		t.Fatalf("f = %d", v)
+	}
+}
+
+func TestArraysAndPointers(t *testing.T) {
+	src := `
+int main() {
+	int a[10];
+	for (int i = 0; i < 10; i++) { a[i] = i * i; }
+	int *p = a;
+	int s = 0;
+	for (int i = 0; i < 10; i++) { s += p[i]; }
+	return s;
+}`
+	// sum of squares 0..9 = 285.
+	if v, _ := compileRun(t, src, "main"); v != 285 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestPointerArithmeticAndDeref(t *testing.T) {
+	src := `
+int main() {
+	int a[4];
+	a[0] = 10; a[1] = 20; a[2] = 30; a[3] = 40;
+	int *p = a + 1;
+	*p = 99;
+	int *q = p + 2;
+	return a[1] + *q + (q - p);
+}`
+	// a[1]=99, *q=a[3]=40, q-p=2 -> 141.
+	if v, _ := compileRun(t, src, "main"); v != 141 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestAddressOfScalar(t *testing.T) {
+	src := `
+int set(int *p, int v) { *p = v; return 0; }
+int main() {
+	int x = 1;
+	set(&x, 42);
+	return x;
+}`
+	if v, _ := compileRun(t, src, "main"); v != 42 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestCharArraysAndStrings(t *testing.T) {
+	src := `
+int main() {
+	char buf[8];
+	char *s = "hi";
+	buf[0] = s[0];
+	buf[1] = s[1];
+	buf[2] = 0;
+	return buf[0] + buf[1];
+}`
+	if v, _ := compileRun(t, src, "main"); v != 'h'+'i' {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestFunctionCalls(t *testing.T) {
+	src := `
+int add(int a, int b) { return a + b; }
+int twice(int x) { return add(x, x); }
+int main() { return twice(21); }`
+	if v, _ := compileRun(t, src, "main"); v != 42 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	src := `
+int fib(int n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}`
+	if v, _ := compileRun(t, src, "fib", 15); v != 610 {
+		t.Fatalf("fib(15) = %d", v)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	src := `
+int bomb(int *p) { *p = 1; return 1; }
+int main() {
+	int hit = 0;
+	int r = 0 && bomb(&hit);
+	int r2 = 1 || bomb(&hit);
+	return hit * 10 + r * 5 + r2;
+}`
+	// bomb never called: hit=0, r=0, r2=1.
+	if v, _ := compileRun(t, src, "main"); v != 1 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestBuiltinsAndCString(t *testing.T) {
+	src := `
+int main() {
+	return host_add(40, 2);
+}`
+	unit, err := CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := sim.DefaultCosts()
+	as := mem.NewAddressSpace("m", mem.NewPhys(16<<20), &costs)
+	ip, err := NewInterp(as, unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip.Builtins["host_add"] = func(ip *Interp, args []int64) (int64, error) {
+		return args[0] + args[1], nil
+	}
+	v, err := ip.Call("main")
+	if err != nil || v != 42 {
+		t.Fatalf("v = %d, %v", v, err)
+	}
+}
+
+func TestReadCString(t *testing.T) {
+	src := `
+int pass(char *s) { return take(s); }`
+	unit, _ := CompileSource(src)
+	costs := sim.DefaultCosts()
+	as := mem.NewAddressSpace("m", mem.NewPhys(16<<20), &costs)
+	ip, _ := NewInterp(as, unit)
+	var got string
+	ip.Builtins["take"] = func(ip *Interp, args []int64) (int64, error) {
+		s, err := ip.ReadCString(mem.Addr(args[0]))
+		got = s
+		return 0, err
+	}
+	// Route a string literal through.
+	unit2, _ := CompileSource(`int main() { return take("hello world"); }`)
+	ip2, _ := NewInterp(as, unit2)
+	ip2.Builtins["take"] = ip.Builtins["take"]
+	if _, err := ip2.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello world" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMarkersSurviveToIR(t *testing.T) {
+	src := `
+int main() {
+	int x = 1;
+	COSY_START;
+	x = 2;
+	COSY_END;
+	return x;
+}`
+	unit, err := CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := unit.Fn("main")
+	markers := 0
+	for _, in := range fn.Code {
+		if in.Op == OpMarker {
+			markers++
+		}
+	}
+	if markers != 2 {
+		t.Fatalf("markers = %d\n%s", markers, fn.Dump())
+	}
+}
+
+func TestDivisionByZeroError(t *testing.T) {
+	src := `int main() { int z = 0; return 1 / z; }`
+	unit, _ := CompileSource(src)
+	costs := sim.DefaultCosts()
+	as := mem.NewAddressSpace("m", mem.NewPhys(16<<20), &costs)
+	ip, _ := NewInterp(as, unit)
+	if _, err := ip.Call("main"); err == nil {
+		t.Fatal("division by zero succeeded")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`int main( { return 0; }`,
+		`int main() { return 0 }`,
+		`int main() { int 5x; }`,
+		`int main() { break; }`,
+		`int main() { x = 1; }`,
+		`int main() { int a[0]; }`,
+		`float main() { }`,
+		`int main() { 5 = x; }`,
+		`int f(int a, int a2) { return b; }`,
+	}
+	for _, src := range bad {
+		if _, err := CompileSource(src); err == nil {
+			t.Errorf("compiled invalid program: %s", src)
+		}
+	}
+}
+
+func TestRedeclarationError(t *testing.T) {
+	if _, err := CompileSource(`int main() { int x = 1; int x = 2; return x; }`); err == nil {
+		t.Fatal("redeclaration accepted")
+	}
+	// Shadowing in an inner scope is legal.
+	src := `int main() { int x = 1; { int x = 2; x = 3; } return x; }`
+	if v, _ := compileRun(t, src, "main"); v != 1 {
+		t.Fatalf("shadowed x = %d", v)
+	}
+}
+
+func TestInstructionBudget(t *testing.T) {
+	src := `int main() { while (1) { } return 0; }`
+	unit, _ := CompileSource(src)
+	costs := sim.DefaultCosts()
+	as := mem.NewAddressSpace("m", mem.NewPhys(16<<20), &costs)
+	ip, _ := NewInterp(as, unit)
+	ip.MaxSteps = 10000
+	if _, err := ip.Call("main"); err == nil {
+		t.Fatal("infinite loop terminated normally")
+	}
+}
+
+func TestSizeof(t *testing.T) {
+	src := `int main() { return sizeof(int) + sizeof(char) + sizeof(int*); }`
+	if v, _ := compileRun(t, src, "main"); v != 17 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestOptimizePreservesSemantics(t *testing.T) {
+	src := `
+int f(int n) {
+	int a = 3 * 4;       // foldable
+	int b = 3 * 4;       // CSE with a
+	int unused = n * 99; // dead
+	int s = 0;
+	for (int i = 0; i < n; i++) { s += a + b; }
+	return s;
+}`
+	unit, err := CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := sim.DefaultCosts()
+	as := mem.NewAddressSpace("m", mem.NewPhys(16<<20), &costs)
+	ip, _ := NewInterp(as, unit)
+	want, err := ip.Call("f", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := Optimize(unit.Fn("f"))
+	if stats.Folded == 0 || stats.Dead == 0 {
+		t.Fatalf("optimizer did nothing: %v", stats)
+	}
+	ip2, _ := NewInterp(as, unit)
+	got, err := ip2.Call("f", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("optimized result %d != %d", got, want)
+	}
+	if want != 240 {
+		t.Fatalf("f(10) = %d", want)
+	}
+}
+
+func TestOptimizeQuickProperty(t *testing.T) {
+	// Property: optimization never changes the result of a small
+	// arithmetic kernel across random inputs.
+	src := `
+int g(int a, int b) {
+	int t1 = a * 2 + b;
+	int t2 = a * 2 + b;
+	int dead = t1 * 7777;
+	if (t1 == t2) { return t1 - b / 3 + (a & b) + (a ^ 5); }
+	return 0 - 1;
+}`
+	unit, err := CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := sim.DefaultCosts()
+	as := mem.NewAddressSpace("m", mem.NewPhys(16<<20), &costs)
+	ipPlain, _ := NewInterp(as, unit)
+
+	unit2, _ := CompileSource(src)
+	Optimize(unit2.Fn("g"))
+	ipOpt, _ := NewInterp(as, unit2)
+
+	if err := quick.Check(func(a, b int16) bool {
+		if b == 0 {
+			b = 1
+		}
+		v1, err1 := ipPlain.Call("g", int64(a), int64(b))
+		v2, err2 := ipOpt.Call("g", int64(a), int64(b))
+		return err1 == nil && err2 == nil && v1 == v2
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFnDumpAndCounts(t *testing.T) {
+	unit, _ := CompileSource(`int main() { int a[2]; a[0] = 1; return a[0]; }`)
+	fn := unit.Fn("main")
+	dump := fn.Dump()
+	if !strings.Contains(dump, "func main") || !strings.Contains(dump, "store") {
+		t.Fatalf("dump = %s", dump)
+	}
+	counts := fn.CountOps()
+	if counts[OpStore] == 0 || counts[OpLoad] == 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestTypeHelpers(t *testing.T) {
+	if IntType.Size() != 8 || CharType.Size() != 1 || PtrTo(IntType).Size() != 8 {
+		t.Fatal("sizes")
+	}
+	arr := ArrOf(IntType, 5)
+	if arr.Size() != 40 || arr.String() != "int[5]" {
+		t.Fatalf("arr = %v size %d", arr, arr.Size())
+	}
+	if !PtrTo(CharType).Equal(PtrTo(CharType)) || PtrTo(CharType).Equal(PtrTo(IntType)) {
+		t.Fatal("Equal")
+	}
+	if PtrTo(IntType).String() != "int*" {
+		t.Fatal("ptr string")
+	}
+}
+
+func TestCharTruncation(t *testing.T) {
+	src := `
+int main() {
+	char c = 300;   // stored as byte
+	char buf[2];
+	buf[0] = 513;   // 513 & 0xFF = 1
+	return buf[0];
+}`
+	if v, _ := compileRun(t, src, "main"); v != 1 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestStackDepthLimit(t *testing.T) {
+	src := `int f(int n) { return f(n + 1); }`
+	unit, _ := CompileSource(src)
+	costs := sim.DefaultCosts()
+	as := mem.NewAddressSpace("m", mem.NewPhys(64<<20), &costs)
+	ip, _ := NewInterp(as, unit)
+	if _, err := ip.Call("f", 0); err == nil {
+		t.Fatal("unbounded recursion succeeded")
+	}
+}
+
+func TestChargeHook(t *testing.T) {
+	src := `int main() { int s = 0; for (int i = 0; i < 100; i++) { s += i; } return s; }`
+	unit, _ := CompileSource(src)
+	costs := sim.DefaultCosts()
+	as := mem.NewAddressSpace("m", mem.NewPhys(16<<20), &costs)
+	ip, _ := NewInterp(as, unit)
+	var charged sim.Cycles
+	ip.Charge = func(c sim.Cycles) { charged += c }
+	if _, err := ip.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	if charged == 0 {
+		t.Fatal("no cycles charged")
+	}
+}

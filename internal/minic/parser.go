@@ -1,0 +1,571 @@
+package minic
+
+// Parse lexes and parses a translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(TEOF) {
+		fn, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) cur() Token     { return p.toks[p.i] }
+func (p *parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) atPunct(s string) bool {
+	t := p.cur()
+	return t.Kind == TPunct && t.Text == s
+}
+
+func (p *parser) atKeyword(s string) bool {
+	t := p.cur()
+	return t.Kind == TKeyword && t.Text == s
+}
+
+func (p *parser) next() Token {
+	t := p.toks[p.i]
+	if t.Kind != TEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expectPunct(s string) (Token, error) {
+	if !p.atPunct(s) {
+		t := p.cur()
+		return t, errAt(t.Line, t.Col, "expected %q, found %q", s, t.String())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) pos() Pos {
+	t := p.cur()
+	return Pos{t.Line, t.Col}
+}
+
+// typeSpec parses a base type with pointer stars: int, char, void,
+// int*, char**...
+func (p *parser) typeSpec() (*Type, error) {
+	t := p.cur()
+	if t.Kind != TKeyword {
+		return nil, errAt(t.Line, t.Col, "expected type, found %q", t.String())
+	}
+	var base *Type
+	switch t.Text {
+	case "int":
+		base = IntType
+	case "char":
+		base = CharType
+	case "void":
+		base = VoidType
+	default:
+		return nil, errAt(t.Line, t.Col, "expected type, found %q", t.Text)
+	}
+	p.next()
+	for p.atPunct("*") {
+		p.next()
+		base = PtrTo(base)
+	}
+	return base, nil
+}
+
+// atTypeStart reports whether the current token begins a type.
+func (p *parser) atTypeStart() bool {
+	t := p.cur()
+	return t.Kind == TKeyword && (t.Text == "int" || t.Text == "char" || t.Text == "void")
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	ret, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	nameTok := p.cur()
+	if nameTok.Kind != TIdent {
+		return nil, errAt(nameTok.Line, nameTok.Col, "expected function name, found %q", nameTok.String())
+	}
+	p.next()
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var params []Param
+	if !p.atPunct(")") {
+		if p.atKeyword("void") && p.toks[p.i+1].Kind == TPunct && p.toks[p.i+1].Text == ")" {
+			p.next()
+		} else {
+			for {
+				pt, err := p.typeSpec()
+				if err != nil {
+					return nil, err
+				}
+				pn := p.cur()
+				if pn.Kind != TIdent {
+					return nil, errAt(pn.Line, pn.Col, "expected parameter name")
+				}
+				p.next()
+				params = append(params, Param{Name: pn.Text, T: pt})
+				if !p.atPunct(",") {
+					break
+				}
+				p.next()
+			}
+		}
+	}
+	if _, err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Name: nameTok.Text, Ret: ret, Params: params, Body: body}, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.atPunct("}") {
+		if p.at(TEOF) {
+			t := p.cur()
+			return nil, errAt(t.Line, t.Col, "unexpected EOF in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next()
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch {
+	case p.atPunct("{"):
+		return p.block()
+	case p.atKeyword("if"):
+		return p.ifStmt()
+	case p.atKeyword("while"):
+		p.next()
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.loopBody()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case p.atKeyword("for"):
+		return p.forStmt()
+	case p.atKeyword("return"):
+		pos := p.pos()
+		p.next()
+		var x Expr
+		if !p.atPunct(";") {
+			var err error
+			x, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{X: x, Pos: pos}, nil
+	case p.atKeyword("break"):
+		pos := p.pos()
+		p.next()
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: pos}, nil
+	case p.atKeyword("continue"):
+		pos := p.pos()
+		p.next()
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: pos}, nil
+	case p.atTypeStart():
+		return p.declStmt()
+	default:
+		return p.simpleStmt(true)
+	}
+}
+
+// loopBody parses a block or a single statement wrapped in a block.
+func (p *parser) loopBody() (*Block, error) {
+	if p.atPunct("{") {
+		return p.block()
+	}
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return &Block{Stmts: []Stmt{s}}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	p.next() // if
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.loopBody()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: then}
+	if p.atKeyword("else") {
+		p.next()
+		if p.atKeyword("if") {
+			els, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		} else {
+			els, err := p.loopBody()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	p.next() // for
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	f := &ForStmt{}
+	if !p.atPunct(";") {
+		var err error
+		if p.atTypeStart() {
+			f.Init, err = p.declStmt()
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			f.Init, err = p.simpleStmt(true)
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.next()
+	}
+	if !p.atPunct(";") {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		f.Cond = cond
+	}
+	if _, err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.atPunct(")") {
+		post, err := p.simpleStmt(false)
+		if err != nil {
+			return nil, err
+		}
+		f.Post = post
+	}
+	if _, err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.loopBody()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+// declStmt parses "T name [= expr];" or "T name[N];", consuming the
+// trailing semicolon.
+func (p *parser) declStmt() (Stmt, error) {
+	pos := p.pos()
+	t, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	nameTok := p.cur()
+	if nameTok.Kind != TIdent {
+		return nil, errAt(nameTok.Line, nameTok.Col, "expected variable name")
+	}
+	p.next()
+	if p.atPunct("[") {
+		p.next()
+		szTok := p.cur()
+		if szTok.Kind != TNumber || szTok.Num <= 0 {
+			return nil, errAt(szTok.Line, szTok.Col, "array length must be a positive constant")
+		}
+		p.next()
+		if _, err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		t = ArrOf(t, int(szTok.Num))
+	}
+	d := &DeclStmt{Name: nameTok.Text, T: t, Pos: pos}
+	if p.atPunct("=") {
+		p.next()
+		d.Init, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// simpleStmt parses an assignment, ++/--, expression statement, or a
+// bare marker identifier. wantSemi controls semicolon consumption
+// (for-post clauses omit it).
+func (p *parser) simpleStmt(wantSemi bool) (Stmt, error) {
+	pos := p.pos()
+	// Marker: bare uppercase identifier followed by ';'.
+	if t := p.cur(); t.Kind == TIdent && isMarkerName(t.Text) &&
+		p.toks[p.i+1].Kind == TPunct && p.toks[p.i+1].Text == ";" {
+		p.next()
+		if wantSemi {
+			p.next()
+		}
+		return &MarkerStmt{Name: t.Text, Pos: pos}, nil
+	}
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	var st Stmt
+	switch {
+	case p.atPunct("="), p.atPunct("+="), p.atPunct("-="), p.atPunct("*="),
+		p.atPunct("/="), p.atPunct("%="), p.atPunct("&="), p.atPunct("|="), p.atPunct("^="):
+		op := p.next().Text
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := checkLValue(lhs); err != nil {
+			return nil, err
+		}
+		st = &AssignStmt{LHS: lhs, Op: op, RHS: rhs, Pos: pos}
+	case p.atPunct("++"), p.atPunct("--"):
+		opTok := p.next()
+		if err := checkLValue(lhs); err != nil {
+			return nil, err
+		}
+		op := "+="
+		if opTok.Text == "--" {
+			op = "-="
+		}
+		st = &AssignStmt{LHS: lhs, Op: op, RHS: &NumLit{Val: 1, Pos: pos}, Pos: pos}
+	default:
+		st = &ExprStmt{X: lhs, Pos: pos}
+	}
+	if wantSemi {
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func isMarkerName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '_' && (c < 'A' || c > 'Z') && (c < '0' || c > '9') {
+			return false
+		}
+	}
+	return len(s) > 1
+}
+
+func checkLValue(e Expr) error {
+	switch x := e.(type) {
+	case *VarRef, *Index:
+		return nil
+	case *Unary:
+		if x.Op == "*" {
+			return nil
+		}
+	}
+	pos := e.P()
+	return errAt(pos.Line, pos.Col, "not an lvalue")
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(1) }
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.Text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: t.Text, X: lhs, Y: rhs, Pos: Pos{t.Line, t.Col}}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TPunct {
+		switch t.Text {
+		case "-", "!", "~", "*", "&":
+			p.next()
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: t.Text, X: x, Pos: Pos{t.Line, t.Col}}, nil
+		}
+	}
+	if t.Kind == TKeyword && t.Text == "sizeof" {
+		p.next()
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		st, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &NumLit{Val: int64(st.Size()), Pos: Pos{t.Line, t.Col}}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.atPunct("["):
+			t := p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			x = &Index{X: x, I: idx, Pos: Pos{t.Line, t.Col}}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TNumber, TChar:
+		p.next()
+		return &NumLit{Val: t.Num, Pos: Pos{t.Line, t.Col}}, nil
+	case TString:
+		p.next()
+		return &StrLit{Val: t.Str, Pos: Pos{t.Line, t.Col}}, nil
+	case TIdent:
+		p.next()
+		if p.atPunct("(") {
+			p.next()
+			var args []Expr
+			if !p.atPunct(")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.atPunct(",") {
+						break
+					}
+					p.next()
+				}
+			}
+			if _, err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return &Call{Name: t.Text, Args: args, Pos: Pos{t.Line, t.Col}}, nil
+		}
+		return &VarRef{Name: t.Text, Pos: Pos{t.Line, t.Col}}, nil
+	case TPunct:
+		if t.Text == "(" {
+			p.next()
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return x, nil
+		}
+	}
+	return nil, errAt(t.Line, t.Col, "unexpected token %q", t.String())
+}

@@ -1,0 +1,74 @@
+// Package minic implements a small C compiler front end: lexer,
+// recursive-descent parser, type checker, a three-address-code IR
+// with an optimizer, and an interpreter that executes the IR against
+// the simulated machine's memory.
+//
+// It plays the role GCC plays in the paper: Cosy-GCC (package
+// cosy/cc) compiles the region between COSY_START and COSY_END into a
+// compound, and KGCC (package kgcc) instruments the IR with the
+// bounds checks BCC would insert, applying the paper's
+// check-elimination heuristics. The language is deliberately "a
+// subset of C" (§2.3): int, char, pointers, fixed arrays, the usual
+// operators and control flow, function definitions and calls.
+package minic
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	TEOF Kind = iota
+	TIdent
+	TNumber
+	TChar
+	TString
+	TPunct   // operators and delimiters
+	TKeyword // int, char, if, else, while, for, return, break, continue, void
+)
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true,
+	"sizeof": true,
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string
+	// Num holds the value for TNumber and TChar.
+	Num int64
+	// Str holds the decoded value for TString.
+	Str  string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TEOF:
+		return "EOF"
+	case TNumber:
+		return fmt.Sprintf("%d", t.Num)
+	case TString:
+		return fmt.Sprintf("%q", t.Str)
+	}
+	return t.Text
+}
+
+// Error is a compile error with position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("minic:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,68 @@
+// Package sim provides the primitives of the simulated machine: a
+// virtual cycle clock, the cost model that every subsystem charges
+// against, and a deterministic random source for workload generators.
+//
+// The reproduction runs entirely in virtual time. The paper's results
+// are ratios of elapsed/system/user times measured on a 1.7GHz Pentium
+// 4; we reproduce those ratios by making every cost the paper talks
+// about (traps, data copies, context switches, TLB misses, page
+// faults, disk accesses) an explicit, tunable number of virtual
+// cycles.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Cycles is a duration or instant in virtual CPU cycles.
+type Cycles int64
+
+// CyclesPerMicrosecond converts virtual cycles to wall time assuming
+// the paper's 1.7GHz Pentium 4 test machine.
+const CyclesPerMicrosecond = 1700
+
+// Duration converts a cycle count to a wall-clock duration at the
+// reference clock rate.
+func (c Cycles) Duration() time.Duration {
+	return time.Duration(float64(c) / CyclesPerMicrosecond * float64(time.Microsecond))
+}
+
+// Seconds reports the duration in seconds at the reference clock rate.
+func (c Cycles) Seconds() float64 {
+	return float64(c) / (CyclesPerMicrosecond * 1e6)
+}
+
+func (c Cycles) String() string {
+	if c >= CyclesPerMicrosecond*1000 {
+		return fmt.Sprintf("%.3fms", float64(c)/(CyclesPerMicrosecond*1000))
+	}
+	return fmt.Sprintf("%dcy", int64(c))
+}
+
+// Clock is the virtual time source of one machine. A single simulated
+// CPU advances the clock; idle gaps are skipped by the scheduler.
+type Clock struct {
+	now Cycles
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Cycles { return c.now }
+
+// Advance moves virtual time forward by d cycles. It panics if d is
+// negative: virtual time never runs backwards.
+func (c *Clock) Advance(d Cycles) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: clock advanced by negative duration %d", d))
+	}
+	c.now += d
+}
+
+// AdvanceTo moves the clock to instant t, used by the scheduler to
+// skip idle time to the next pending event. Moving to the past panics.
+func (c *Clock) AdvanceTo(t Cycles) {
+	if t < c.now {
+		panic(fmt.Sprintf("sim: clock moved backwards (%d -> %d)", c.now, t))
+	}
+	c.now = t
+}

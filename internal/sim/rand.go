@@ -1,0 +1,89 @@
+package sim
+
+import "math"
+
+// Rand is a small deterministic PRNG (xorshift64*) used by workload
+// generators. Benchmarks must be reproducible run to run, so workloads
+// never use a time-seeded source.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed (zero is remapped, as
+// xorshift has an all-zero fixed point).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative 63-bit integer.
+func (r *Rand) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Range returns a uniform int in [lo, hi] inclusive.
+func (r *Rand) Range(lo, hi int) int {
+	if hi < lo {
+		panic("sim: Range with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Zipf returns an integer in [0, n) with a Zipf-like skew: rank 0 is
+// the most popular. Used by the interactive-trace generator, where a
+// few system calls dominate (the paper's weighted syscall graph).
+func (r *Rand) Zipf(n int, s float64) int {
+	// Inverse-CDF approximation good enough for workload skew.
+	u := r.Float64()
+	if s <= 0 {
+		return r.Intn(n)
+	}
+	// p(k) ~ 1/(k+1)^s ; approximate by inverting x^(1-s).
+	x := 1.0 - u
+	k := int(float64(n) * (1 - math.Pow(x, 1/(1+s))))
+	if k < 0 {
+		k = 0
+	}
+	if k >= n {
+		k = n - 1
+	}
+	return k
+}

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock at %d, want 0", c.Now())
+	}
+	c.Advance(100)
+	c.Advance(0)
+	if c.Now() != 100 {
+		t.Fatalf("clock at %d, want 100", c.Now())
+	}
+	c.AdvanceTo(250)
+	if c.Now() != 250 {
+		t.Fatalf("clock at %d, want 250", c.Now())
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestClockBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo into the past did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(10)
+	c.AdvanceTo(5)
+}
+
+func TestCyclesConversions(t *testing.T) {
+	c := Cycles(CyclesPerMicrosecond * 1e6) // one second
+	if s := c.Seconds(); s < 0.999 || s > 1.001 {
+		t.Fatalf("Seconds() = %v, want ~1", s)
+	}
+	if d := c.Duration().Seconds(); d < 0.999 || d > 1.001 {
+		t.Fatalf("Duration() = %v, want ~1s", d)
+	}
+}
+
+func TestCyclesString(t *testing.T) {
+	if s := Cycles(42).String(); s != "42cy" {
+		t.Fatalf("String() = %q", s)
+	}
+	if s := Cycles(CyclesPerMicrosecond * 2000).String(); s != "2.000ms" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestDefaultCostsSane(t *testing.T) {
+	c := DefaultCosts()
+	if c.Trap <= 0 || c.UserDispatch <= 0 || c.CopyUserByte <= 0 {
+		t.Fatal("default costs must be positive")
+	}
+	if c.CopyKernByte >= c.CopyUserByte {
+		t.Fatal("kernel-internal copies must be cheaper than boundary copies")
+	}
+	if c.Vmalloc <= c.Kmalloc {
+		t.Fatal("vmalloc must be more expensive than kmalloc (paper §3.2)")
+	}
+	if c.VfreeNoHash <= c.Vfree {
+		t.Fatal("hashed vfree must beat linear vfree (paper §3.2)")
+	}
+	if c.MaxKernelCycles < c.TimeSlice {
+		t.Fatal("watchdog limit shorter than a timeslice would kill every compound")
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seeded generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestRandZeroSeed(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed stuck at zero")
+	}
+}
+
+func TestRandIntnBounds(t *testing.T) {
+	r := NewRand(3)
+	if err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandRange(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(5, 10)
+		if v < 5 || v > 10 {
+			t.Fatalf("Range(5,10) = %d", v)
+		}
+	}
+	if r.Range(4, 4) != 4 {
+		t.Fatal("degenerate range must return its only value")
+	}
+}
+
+func TestRandFloat64Bounds(t *testing.T) {
+	r := NewRand(11)
+	for i := 0; i < 1000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRandZipfSkewAndBounds(t *testing.T) {
+	r := NewRand(13)
+	var low, high int
+	n := 100
+	for i := 0; i < 10000; i++ {
+		k := r.Zipf(n, 1.0)
+		if k < 0 || k >= n {
+			t.Fatalf("Zipf out of range: %d", k)
+		}
+		if k < n/10 {
+			low++
+		}
+		if k >= n*9/10 {
+			high++
+		}
+	}
+	if low <= high {
+		t.Fatalf("Zipf not skewed toward low ranks: low=%d high=%d", low, high)
+	}
+}
+
+func TestRandShuffleIsPermutation(t *testing.T) {
+	r := NewRand(17)
+	xs := make([]int, 50)
+	for i := range xs {
+		xs[i] = i
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, v := range xs {
+		if seen[v] {
+			t.Fatalf("duplicate %d after shuffle", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("lost elements: %d", len(seen))
+	}
+}
+
+func TestRandInt63NonNegative(t *testing.T) {
+	r := NewRand(23)
+	for i := 0; i < 1000; i++ {
+		if r.Int63() < 0 {
+			t.Fatal("Int63 returned negative")
+		}
+	}
+}

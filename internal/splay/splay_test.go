@@ -1,0 +1,260 @@
+package splay
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestInsertFindDelete(t *testing.T) {
+	var tr Tree[string]
+	tr.Insert(10, "a")
+	tr.Insert(20, "b")
+	tr.Insert(5, "c")
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if v, ok := tr.Find(20); !ok || v != "b" {
+		t.Fatalf("Find(20) = %q, %v", v, ok)
+	}
+	if _, ok := tr.Find(15); ok {
+		t.Fatal("found missing key")
+	}
+	if !tr.Delete(10) {
+		t.Fatal("delete existing failed")
+	}
+	if tr.Delete(10) {
+		t.Fatal("delete of deleted succeeded")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len after delete = %d", tr.Len())
+	}
+}
+
+func TestInsertReplaces(t *testing.T) {
+	var tr Tree[int]
+	tr.Insert(1, 100)
+	tr.Insert(1, 200)
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if v, _ := tr.Find(1); v != 200 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestFindFloor(t *testing.T) {
+	var tr Tree[string]
+	for _, k := range []uint64{100, 200, 300} {
+		tr.Insert(k, "x")
+	}
+	cases := []struct {
+		q    uint64
+		want uint64
+		ok   bool
+	}{
+		{50, 0, false},
+		{100, 100, true},
+		{150, 100, true},
+		{200, 200, true},
+		{250, 200, true},
+		{1000, 300, true},
+	}
+	for _, c := range cases {
+		k, _, ok := tr.FindFloor(c.q)
+		if ok != c.ok || (ok && k != c.want) {
+			t.Fatalf("FindFloor(%d) = %d,%v want %d,%v", c.q, k, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestFindFloorEmpty(t *testing.T) {
+	var tr Tree[int]
+	if _, _, ok := tr.FindFloor(7); ok {
+		t.Fatal("floor in empty tree")
+	}
+}
+
+func TestWalkAscending(t *testing.T) {
+	var tr Tree[int]
+	keys := []uint64{9, 3, 7, 1, 5, 8, 2, 6, 4, 0}
+	for _, k := range keys {
+		tr.Insert(k, int(k))
+	}
+	var got []uint64
+	tr.Walk(func(k uint64, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("walk not sorted: %v", got)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("walk visited %d, want %d", len(got), len(keys))
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	var tr Tree[int]
+	for i := uint64(0); i < 10; i++ {
+		tr.Insert(i, 0)
+	}
+	n := 0
+	tr.Walk(func(k uint64, v int) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("visited %d, want 3", n)
+	}
+}
+
+func TestMin(t *testing.T) {
+	var tr Tree[int]
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("min of empty")
+	}
+	tr.Insert(5, 0)
+	tr.Insert(2, 0)
+	tr.Insert(9, 0)
+	if k, _, _ := tr.Min(); k != 2 {
+		t.Fatalf("min = %d", k)
+	}
+}
+
+func TestSplayBringsToRoot(t *testing.T) {
+	var tr Tree[int]
+	for i := uint64(0); i < 100; i++ {
+		tr.Insert(i, int(i))
+	}
+	tr.Find(42)
+	if tr.root.key != 42 {
+		t.Fatalf("root after Find(42) = %d", tr.root.key)
+	}
+}
+
+func TestLocalityReducesTouches(t *testing.T) {
+	// The property the paper relies on: repeated access to the same
+	// key is cheap after the first splay. Compare touches of 1000
+	// repeated lookups vs 1000 scattered lookups.
+	build := func() *Tree[int] {
+		tr := &Tree[int]{}
+		r := sim.NewRand(1)
+		for i := 0; i < 4096; i++ {
+			tr.Insert(r.Uint64()%(1<<20), i)
+		}
+		return tr
+	}
+	local := build()
+	k, _, _ := local.Min()
+	local.Touches = 0
+	for i := 0; i < 1000; i++ {
+		local.Find(k)
+	}
+	localTouches := local.Touches
+
+	scattered := build()
+	var keys []uint64
+	scattered.Walk(func(k uint64, v int) bool { keys = append(keys, k); return true })
+	scattered.Touches = 0
+	r := sim.NewRand(2)
+	for i := 0; i < 1000; i++ {
+		scattered.Find(keys[r.Intn(len(keys))])
+	}
+	if localTouches*4 > scattered.Touches {
+		t.Fatalf("locality not rewarded: local=%d scattered=%d", localTouches, scattered.Touches)
+	}
+}
+
+func TestAgainstMapProperty(t *testing.T) {
+	// Model-based property test: a sequence of inserts/deletes/finds
+	// behaves identically to a Go map.
+	type op struct {
+		Kind byte
+		Key  uint16
+		Val  int32
+	}
+	if err := quick.Check(func(ops []op) bool {
+		var tr Tree[int32]
+		model := map[uint64]int32{}
+		for _, o := range ops {
+			k := uint64(o.Key % 64) // force collisions
+			switch o.Kind % 3 {
+			case 0:
+				tr.Insert(k, o.Val)
+				model[k] = o.Val
+			case 1:
+				got := tr.Delete(k)
+				_, want := model[k]
+				if got != want {
+					return false
+				}
+				delete(model, k)
+			case 2:
+				got, ok := tr.Find(k)
+				wantV, wantOK := model[k]
+				if ok != wantOK || (ok && got != wantV) {
+					return false
+				}
+			}
+			if tr.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloorAgainstModel(t *testing.T) {
+	var tr Tree[int]
+	keys := map[uint64]bool{}
+	r := sim.NewRand(3)
+	for i := 0; i < 500; i++ {
+		k := uint64(r.Intn(10000))
+		tr.Insert(k, 0)
+		keys[k] = true
+	}
+	sorted := make([]uint64, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for q := uint64(0); q < 10500; q += 7 {
+		k, _, ok := tr.FindFloor(q)
+		// Model answer.
+		var want uint64
+		var wantOK bool
+		for _, s := range sorted {
+			if s <= q {
+				want, wantOK = s, true
+			} else {
+				break
+			}
+		}
+		if ok != wantOK || (ok && k != want) {
+			t.Fatalf("FindFloor(%d) = %d,%v want %d,%v", q, k, ok, want, wantOK)
+		}
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	var tr Tree[int]
+	for i := uint64(0); i < 64; i++ {
+		tr.Insert(i, int(i))
+	}
+	for i := uint64(0); i < 64; i++ {
+		if !tr.Delete(i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d after deleting all", tr.Len())
+	}
+	if _, ok := tr.Find(1); ok {
+		t.Fatal("found key in emptied tree")
+	}
+}

@@ -1,0 +1,337 @@
+package sys
+
+import (
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Open flags.
+const (
+	ORdonly = 0
+	OWronly = 1 << iota
+	ORdwr
+	OCreate
+	OTrunc
+)
+
+// Open opens path, optionally creating or truncating it.
+func (pr *Proc) Open(path string, flags int) (int, error) {
+	pr.enter(NrOpen, len(path))
+	defer pr.exit(NrOpen, len(path), 0)
+	return pr.openInternal(path, flags)
+}
+
+// openInternal is the kernel-side open, shared with Cosy and the
+// consolidated calls.
+func (pr *Proc) openInternal(path string, flags int) (int, error) {
+	if dev, ok := pr.K.NS.LookupDevice(path); ok {
+		return pr.installFD(&file{dev: dev, path: path})
+	}
+	fs, node, err := pr.K.NS.Resolve(pr.P, path)
+	if err != nil {
+		if flags&OCreate == 0 {
+			return -1, err
+		}
+		pfs, parent, name, perr := pr.K.NS.ResolveParent(pr.P, path)
+		if perr != nil {
+			return -1, perr
+		}
+		node, err = pfs.Create(pr.P, parent, name)
+		if err != nil {
+			return -1, err
+		}
+		pr.K.NS.Dc.Insert(pr.P, pfs, parent, name, node)
+		fs = pfs
+	} else if flags&OTrunc != 0 {
+		if err := fs.Truncate(pr.P, node, 0); err != nil {
+			return -1, err
+		}
+	}
+	return pr.installFD(&file{fs: fs, node: node, path: path})
+}
+
+// Creat creates (or truncates) path and opens it for writing.
+func (pr *Proc) Creat(path string) (int, error) {
+	pr.enter(NrCreat, len(path))
+	defer pr.exit(NrCreat, len(path), 0)
+	return pr.openInternal(path, OCreate|OTrunc)
+}
+
+// Close releases a descriptor.
+func (pr *Proc) Close(fd int) error {
+	pr.enter(NrClose, 0)
+	defer pr.exit(NrClose, 0, 0)
+	return pr.closeInternal(fd)
+}
+
+func (pr *Proc) closeInternal(fd int) error {
+	if _, err := pr.file(fd); err != nil {
+		return err
+	}
+	pr.fds[fd] = nil
+	return nil
+}
+
+// Read reads up to ub.Len bytes at the descriptor's offset into the
+// user buffer, returning the count.
+func (pr *Proc) Read(fd int, ub UserBuf) (int, error) {
+	pr.enter(NrRead, 0)
+	kbuf := make([]byte, ub.Len)
+	n, err := pr.readInternal(fd, kbuf)
+	if err != nil {
+		pr.exit(NrRead, 0, 0)
+		return 0, err
+	}
+	if werr := pr.P.UAS.WriteBytes(ub.Addr, kbuf[:n]); werr != nil {
+		pr.exit(NrRead, 0, 0)
+		return 0, werr
+	}
+	pr.exit(NrRead, 0, n)
+	return n, nil
+}
+
+// readInternal reads into a kernel buffer (no boundary copy); Cosy's
+// entrypoint.
+func (pr *Proc) readInternal(fd int, kbuf []byte) (int, error) {
+	f, err := pr.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	if f.dev != nil {
+		return f.dev.DevRead(pr.P, kbuf)
+	}
+	n, err := f.fs.Read(pr.P, f.node, f.off, kbuf)
+	if err != nil {
+		return 0, err
+	}
+	f.off += int64(n)
+	return n, nil
+}
+
+// Write writes the user buffer at the descriptor's offset.
+func (pr *Proc) Write(fd int, ub UserBuf) (int, error) {
+	pr.enter(NrWrite, ub.Len)
+	kbuf := make([]byte, ub.Len)
+	if err := pr.P.UAS.ReadBytes(ub.Addr, kbuf); err != nil {
+		pr.exit(NrWrite, 0, 0)
+		return 0, err
+	}
+	n, err := pr.writeInternal(fd, kbuf)
+	pr.exit(NrWrite, ub.Len, 0)
+	return n, err
+}
+
+func (pr *Proc) writeInternal(fd int, data []byte) (int, error) {
+	f, err := pr.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	if f.dev != nil {
+		return f.dev.DevWrite(pr.P, data)
+	}
+	n, err := f.fs.Write(pr.P, f.node, f.off, data)
+	if err != nil {
+		return 0, err
+	}
+	f.off += int64(n)
+	return n, nil
+}
+
+// Lseek whence values.
+const (
+	SeekSet = iota
+	SeekCur
+	SeekEnd
+)
+
+// Lseek repositions the descriptor offset.
+func (pr *Proc) Lseek(fd int, off int64, whence int) (int64, error) {
+	pr.enter(NrLseek, 0)
+	defer pr.exit(NrLseek, 0, 0)
+	return pr.lseekInternal(fd, off, whence)
+}
+
+func (pr *Proc) lseekInternal(fd int, off int64, whence int) (int64, error) {
+	f, err := pr.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	switch whence {
+	case SeekSet:
+		f.off = off
+	case SeekCur:
+		f.off += off
+	case SeekEnd:
+		a, err := f.fs.Getattr(pr.P, f.node)
+		if err != nil {
+			return 0, err
+		}
+		f.off = a.Size + off
+	default:
+		return 0, vfs.ErrInval
+	}
+	if f.off < 0 {
+		f.off = 0
+		return 0, vfs.ErrInval
+	}
+	return f.off, nil
+}
+
+// Stat returns the attributes of path.
+func (pr *Proc) Stat(path string) (vfs.Attr, error) {
+	pr.enter(NrStat, len(path))
+	a, err := pr.statInternal(path)
+	if err != nil {
+		pr.exit(NrStat, len(path), 0)
+		return vfs.Attr{}, err
+	}
+	pr.exit(NrStat, len(path), vfs.StatSize)
+	return a, nil
+}
+
+func (pr *Proc) statInternal(path string) (vfs.Attr, error) {
+	fs, node, err := pr.K.NS.Resolve(pr.P, path)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	return fs.Getattr(pr.P, node)
+}
+
+// Fstat returns the attributes of an open descriptor.
+func (pr *Proc) Fstat(fd int) (vfs.Attr, error) {
+	pr.enter(NrFstat, 0)
+	a, err := pr.fstatInternal(fd)
+	if err != nil {
+		pr.exit(NrFstat, 0, 0)
+		return vfs.Attr{}, err
+	}
+	pr.exit(NrFstat, 0, vfs.StatSize)
+	return a, nil
+}
+
+func (pr *Proc) fstatInternal(fd int) (vfs.Attr, error) {
+	f, err := pr.file(fd)
+	if err != nil {
+		return vfs.Attr{}, err
+	}
+	return f.fs.Getattr(pr.P, f.node)
+}
+
+// Getdents returns all directory entries of an open directory,
+// copying the dirent records to user space.
+func (pr *Proc) Getdents(fd int) ([]vfs.DirEnt, error) {
+	pr.enter(NrGetdents, 0)
+	f, err := pr.file(fd)
+	if err != nil {
+		pr.exit(NrGetdents, 0, 0)
+		return nil, err
+	}
+	ents, err := f.fs.Readdir(pr.P, f.node)
+	if err != nil {
+		pr.exit(NrGetdents, 0, 0)
+		return nil, err
+	}
+	out := 0
+	for _, e := range ents {
+		out += e.Bytes()
+	}
+	pr.exit(NrGetdents, 0, out)
+	return ents, nil
+}
+
+// Unlink removes a file.
+func (pr *Proc) Unlink(path string) error {
+	pr.enter(NrUnlink, len(path))
+	defer pr.exit(NrUnlink, len(path), 0)
+	return pr.unlinkInternal(path)
+}
+
+func (pr *Proc) unlinkInternal(path string) error {
+	fs, parent, name, err := pr.K.NS.ResolveParent(pr.P, path)
+	if err != nil {
+		return err
+	}
+	if err := fs.Unlink(pr.P, parent, name); err != nil {
+		return err
+	}
+	pr.K.NS.Dc.Invalidate(pr.P, fs, parent, name)
+	return nil
+}
+
+// Mkdir creates a directory.
+func (pr *Proc) Mkdir(path string) error {
+	pr.enter(NrMkdir, len(path))
+	defer pr.exit(NrMkdir, len(path), 0)
+	fs, parent, name, err := pr.K.NS.ResolveParent(pr.P, path)
+	if err != nil {
+		return err
+	}
+	id, err := fs.Mkdir(pr.P, parent, name)
+	if err != nil {
+		return err
+	}
+	pr.K.NS.Dc.Insert(pr.P, fs, parent, name, id)
+	return nil
+}
+
+// Rmdir removes an empty directory.
+func (pr *Proc) Rmdir(path string) error {
+	pr.enter(NrRmdir, len(path))
+	defer pr.exit(NrRmdir, len(path), 0)
+	fs, parent, name, err := pr.K.NS.ResolveParent(pr.P, path)
+	if err != nil {
+		return err
+	}
+	if err := fs.Rmdir(pr.P, parent, name); err != nil {
+		return err
+	}
+	pr.K.NS.Dc.Invalidate(pr.P, fs, parent, name)
+	return nil
+}
+
+// Rename moves oldPath to newPath (same file system only).
+func (pr *Proc) Rename(oldPath, newPath string) error {
+	pr.enter(NrRename, len(oldPath)+len(newPath))
+	defer pr.exit(NrRename, len(oldPath)+len(newPath), 0)
+	ofs, oparent, oname, err := pr.K.NS.ResolveParent(pr.P, oldPath)
+	if err != nil {
+		return err
+	}
+	nfs, nparent, nname, err := pr.K.NS.ResolveParent(pr.P, newPath)
+	if err != nil {
+		return err
+	}
+	if ofs != nfs {
+		return vfs.ErrInval
+	}
+	if err := ofs.Rename(pr.P, oparent, oname, nparent, nname); err != nil {
+		return err
+	}
+	pr.K.NS.Dc.Invalidate(pr.P, ofs, oparent, oname)
+	pr.K.NS.Dc.Invalidate(pr.P, nfs, nparent, nname)
+	return nil
+}
+
+// Fsync flushes the descriptor's file system.
+func (pr *Proc) Fsync(fd int) error {
+	pr.enter(NrFsync, 0)
+	defer pr.exit(NrFsync, 0, 0)
+	f, err := pr.file(fd)
+	if err != nil {
+		return err
+	}
+	return f.fs.Sync(pr.P)
+}
+
+// Getpid is the canonical null syscall, useful for measuring the
+// bare crossing cost.
+func (pr *Proc) Getpid() int {
+	pr.enter(NrGetpid, 0)
+	defer pr.exit(NrGetpid, 0, 0)
+	return pr.P.PID
+}
+
+// chargeKernelCopy accounts a kernel-internal copy of n bytes.
+func (pr *Proc) chargeKernelCopy(n int) {
+	pr.P.Charge(sim.Cycles(n) * pr.K.M.Costs.CopyKernByte)
+}

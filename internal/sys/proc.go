@@ -1,0 +1,162 @@
+package sys
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Kernel bundles the machine, the mount namespace, and the optional
+// trace hook: everything the syscall layer needs.
+type Kernel struct {
+	M  *kernel.Machine
+	NS *vfs.Namespace
+	// Hook, when set, observes every syscall (strace/auditing).
+	Hook Hook
+	// Calls counts syscall invocations by number.
+	Calls [nrCount]int64
+}
+
+// NewKernel wires a syscall layer over machine and namespace.
+func NewKernel(m *kernel.Machine, ns *vfs.Namespace) *Kernel {
+	return &Kernel{M: m, NS: ns}
+}
+
+// TotalCalls reports the total number of system calls served.
+func (k *Kernel) TotalCalls() int64 {
+	var total int64
+	for _, c := range k.Calls {
+		total += c
+	}
+	return total
+}
+
+// Errors of the syscall layer.
+var (
+	ErrBadFD    = errors.New("sys: bad file descriptor")
+	ErrTooMany  = errors.New("sys: too many open files")
+	ErrNotFound = vfs.ErrNotExist
+)
+
+// maxFDs bounds the per-process descriptor table.
+const maxFDs = 256
+
+// file is an open file description.
+type file struct {
+	fs   vfs.FS
+	node vfs.NodeID
+	off  int64
+	path string
+	dev  vfs.Device
+}
+
+// Proc is a process's view of the syscall layer: its descriptor
+// table plus helpers for managing user-space buffers.
+type Proc struct {
+	K *Kernel
+	P *kernel.Process
+
+	fds [maxFDs]*file
+}
+
+// NewProc attaches a syscall context to a running process.
+func NewProc(k *Kernel, p *kernel.Process) *Proc {
+	return &Proc{K: k, P: p}
+}
+
+// UserBuf is a buffer in the process's user address space.
+type UserBuf struct {
+	Addr mem.Addr
+	Len  int
+}
+
+// Mmap maps n bytes (rounded to pages) of fresh user memory.
+func (pr *Proc) Mmap(n int) (UserBuf, error) {
+	base, err := pr.P.UAS.MapRegion(mem.PagesFor(n), mem.PermRW)
+	if err != nil {
+		return UserBuf{}, err
+	}
+	return UserBuf{Addr: base, Len: n}, nil
+}
+
+// Poke fills a user buffer directly (test/workload setup; the user
+// program producing the data is part of its modeled compute, so no
+// separate charge).
+func (pr *Proc) Poke(ub UserBuf, data []byte) error {
+	if len(data) > ub.Len {
+		return fmt.Errorf("sys: poke of %d bytes into %d-byte buffer", len(data), ub.Len)
+	}
+	return pr.P.UAS.WriteBytes(ub.Addr, data)
+}
+
+// Peek reads a user buffer's contents.
+func (pr *Proc) Peek(ub UserBuf, n int) ([]byte, error) {
+	if n > ub.Len {
+		n = ub.Len
+	}
+	out := make([]byte, n)
+	if err := pr.P.UAS.ReadBytes(ub.Addr, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// enter performs the user->kernel transition for syscall nr: user
+// dispatch cost, the trap, and copyin accounting for in bytes of
+// arguments.
+func (pr *Proc) enter(nr Nr, in int) {
+	c := &pr.K.M.Costs
+	pr.P.ChargeUser(c.UserDispatch)
+	pr.P.EnterKernel()
+	pr.P.Charge(c.Trap)
+	if in > 0 {
+		pr.P.Charge(sim.Cycles(in) * c.CopyUserByte)
+	}
+	pr.K.Calls[nr]++
+}
+
+// exit performs the kernel->user transition, charging copyout for
+// out bytes and notifying the trace hook.
+func (pr *Proc) exit(nr Nr, in, out int) {
+	c := &pr.K.M.Costs
+	if out > 0 {
+		pr.P.Charge(sim.Cycles(out) * c.CopyUserByte)
+	}
+	pr.P.ExitKernel()
+	if pr.K.Hook != nil {
+		pr.K.Hook.Syscall(pr.P.PID, nr, in, out)
+	}
+}
+
+// installFD grabs the lowest free descriptor.
+func (pr *Proc) installFD(f *file) (int, error) {
+	for i := 0; i < maxFDs; i++ {
+		if pr.fds[i] == nil {
+			pr.fds[i] = f
+			return i, nil
+		}
+	}
+	return -1, ErrTooMany
+}
+
+func (pr *Proc) file(fd int) (*file, error) {
+	if fd < 0 || fd >= maxFDs || pr.fds[fd] == nil {
+		return nil, ErrBadFD
+	}
+	return pr.fds[fd], nil
+}
+
+// OpenFDs reports the number of open descriptors (leak tests).
+func (pr *Proc) OpenFDs() int {
+	n := 0
+	for _, f := range pr.fds {
+		if f != nil {
+			n++
+		}
+	}
+	return n
+}

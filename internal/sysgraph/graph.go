@@ -1,0 +1,190 @@
+// Package sysgraph builds the weighted directed system-call graph the
+// paper uses to find consolidation candidates (§2.2):
+//
+//	"This is a weighted directed graph with vertices representing
+//	system calls and an edge between V1 and V2 having a weight equal
+//	to the number of times system call V2 was invoked after V1.
+//	Paths with large weights are likely to be good candidates for
+//	consolidation."
+package sysgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node identifies a vertex (a system call number).
+type Node uint16
+
+// Edge is one weighted transition.
+type Edge struct {
+	From, To Node
+	Weight   uint64
+}
+
+// Graph accumulates transitions. The zero value is not usable; call
+// New.
+type Graph struct {
+	nameOf func(Node) string
+	out    map[Node]map[Node]uint64
+	last   map[int]Node // per-stream (pid) previous syscall
+	seen   map[int]bool
+	total  uint64
+}
+
+// New creates an empty graph. nameOf renders node labels and may be
+// nil.
+func New(nameOf func(Node) string) *Graph {
+	if nameOf == nil {
+		nameOf = func(n Node) string { return fmt.Sprintf("sys_%d", n) }
+	}
+	return &Graph{
+		nameOf: nameOf,
+		out:    make(map[Node]map[Node]uint64),
+		last:   make(map[int]Node),
+		seen:   make(map[int]bool),
+	}
+}
+
+// Observe feeds one system call from the given stream (per-process
+// sequencing, as strace produces).
+func (g *Graph) Observe(stream int, n Node) {
+	if g.seen[stream] {
+		g.addEdge(g.last[stream], n, 1)
+	}
+	g.last[stream] = n
+	g.seen[stream] = true
+	g.total++
+}
+
+func (g *Graph) addEdge(from, to Node, w uint64) {
+	m := g.out[from]
+	if m == nil {
+		m = make(map[Node]uint64)
+		g.out[from] = m
+	}
+	m[to] += w
+}
+
+// Total reports the number of observed calls.
+func (g *Graph) Total() uint64 { return g.total }
+
+// Weight returns the weight of edge from->to.
+func (g *Graph) Weight(from, to Node) uint64 { return g.out[from][to] }
+
+// Edges returns all edges sorted by descending weight (ties broken by
+// node ids for determinism).
+func (g *Graph) Edges() []Edge {
+	var es []Edge
+	for from, m := range g.out {
+		for to, w := range m {
+			es = append(es, Edge{from, to, w})
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Weight != es[j].Weight {
+			return es[i].Weight > es[j].Weight
+		}
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
+		}
+		return es[i].To < es[j].To
+	})
+	return es
+}
+
+// TopEdges returns the k heaviest edges.
+func (g *Graph) TopEdges(k int) []Edge {
+	es := g.Edges()
+	if k < len(es) {
+		es = es[:k]
+	}
+	return es
+}
+
+// Path is a candidate consolidation sequence with the weight of its
+// weakest link (the number of times the whole sequence can be
+// assumed to have run).
+type Path struct {
+	Nodes  []Node
+	Weight uint64
+}
+
+// Name renders a path like "open-read-close".
+func (g *Graph) Name(p Path) string {
+	parts := make([]string, len(p.Nodes))
+	for i, n := range p.Nodes {
+		parts[i] = strings.TrimPrefix(g.nameOf(n), "sys_")
+	}
+	return strings.Join(parts, "-")
+}
+
+// MinePaths extracts candidate sequences: starting from each edge at
+// least minWeight heavy, greedily extend forward along the heaviest
+// outgoing edge that keeps the path weight >= minWeight, up to maxLen
+// nodes, without revisiting a node (self-loops like repeated read are
+// collapsed by the no-revisit rule). Paths are returned heaviest
+// first.
+func (g *Graph) MinePaths(minWeight uint64, maxLen int) []Path {
+	if maxLen < 2 {
+		maxLen = 2
+	}
+	var paths []Path
+	for _, e := range g.Edges() {
+		if e.Weight < minWeight {
+			break
+		}
+		p := Path{Nodes: []Node{e.From, e.To}, Weight: e.Weight}
+		visited := map[Node]bool{e.From: true, e.To: true}
+		cur := e.To
+		for len(p.Nodes) < maxLen {
+			var bestTo Node
+			var bestW uint64
+			for to, w := range g.out[cur] {
+				if visited[to] || w < minWeight {
+					continue
+				}
+				if w > bestW || (w == bestW && to < bestTo) {
+					bestTo, bestW = to, w
+				}
+			}
+			if bestW == 0 {
+				break
+			}
+			p.Nodes = append(p.Nodes, bestTo)
+			if bestW < p.Weight {
+				p.Weight = bestW
+			}
+			visited[bestTo] = true
+			cur = bestTo
+		}
+		paths = append(paths, p)
+	}
+	sort.SliceStable(paths, func(i, j int) bool { return paths[i].Weight > paths[j].Weight })
+	// Deduplicate prefixes: keep the first (heaviest, longest-first
+	// by stability) occurrence of each start node pair.
+	seen := map[[2]Node]bool{}
+	var out []Path
+	for _, p := range paths {
+		key := [2]Node{p.Nodes[0], p.Nodes[1]}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// DOT renders the graph in Graphviz format for inspection, heaviest
+// maxEdges edges only.
+func (g *Graph) DOT(maxEdges int) string {
+	var b strings.Builder
+	b.WriteString("digraph syscalls {\n")
+	for _, e := range g.TopEdges(maxEdges) {
+		fmt.Fprintf(&b, "  %q -> %q [label=%d];\n", g.nameOf(e.From), g.nameOf(e.To), e.Weight)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,166 @@
+package sysgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+const (
+	nOpen Node = iota
+	nRead
+	nClose
+	nStat
+	nGetdents
+)
+
+func name(n Node) string {
+	return [...]string{"sys_open", "sys_read", "sys_close", "sys_stat", "sys_getdents"}[n]
+}
+
+func TestObserveBuildsEdges(t *testing.T) {
+	g := New(name)
+	for i := 0; i < 10; i++ {
+		g.Observe(1, nOpen)
+		g.Observe(1, nRead)
+		g.Observe(1, nClose)
+	}
+	if w := g.Weight(nOpen, nRead); w != 10 {
+		t.Fatalf("open->read = %d", w)
+	}
+	if w := g.Weight(nRead, nClose); w != 10 {
+		t.Fatalf("read->close = %d", w)
+	}
+	if w := g.Weight(nClose, nOpen); w != 9 {
+		t.Fatalf("close->open = %d (wraps between iterations)", w)
+	}
+	if g.Total() != 30 {
+		t.Fatalf("total = %d", g.Total())
+	}
+}
+
+func TestStreamsIndependent(t *testing.T) {
+	g := New(name)
+	g.Observe(1, nOpen)
+	g.Observe(2, nStat) // different pid: no edge open->stat
+	g.Observe(1, nRead)
+	if w := g.Weight(nOpen, nStat); w != 0 {
+		t.Fatalf("cross-stream edge created: %d", w)
+	}
+	if w := g.Weight(nOpen, nRead); w != 1 {
+		t.Fatalf("open->read = %d", w)
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := New(name)
+	for i := 0; i < 5; i++ {
+		g.Observe(1, nOpen)
+		g.Observe(1, nRead)
+	}
+	g.Observe(1, nClose)
+	es := g.Edges()
+	for i := 1; i < len(es); i++ {
+		if es[i].Weight > es[i-1].Weight {
+			t.Fatal("edges not sorted by weight")
+		}
+	}
+}
+
+func TestTopEdges(t *testing.T) {
+	g := New(name)
+	g.Observe(1, nOpen)
+	g.Observe(1, nRead)
+	g.Observe(1, nClose)
+	if len(g.TopEdges(1)) != 1 {
+		t.Fatal("TopEdges(1)")
+	}
+	if len(g.TopEdges(100)) != 2 {
+		t.Fatal("TopEdges(100)")
+	}
+}
+
+func TestMinePathsFindsOpenReadClose(t *testing.T) {
+	g := New(name)
+	// Strong open-read-close pattern plus noise.
+	for i := 0; i < 100; i++ {
+		g.Observe(1, nOpen)
+		g.Observe(1, nRead)
+		g.Observe(1, nClose)
+	}
+	for i := 0; i < 5; i++ {
+		g.Observe(1, nStat)
+		g.Observe(1, nGetdents)
+	}
+	paths := g.MinePaths(50, 4)
+	if len(paths) == 0 {
+		t.Fatal("no paths mined")
+	}
+	found := false
+	for _, p := range paths {
+		if g.Name(p) == "open-read-close" {
+			found = true
+			if p.Weight < 50 {
+				t.Fatalf("weight = %d", p.Weight)
+			}
+		}
+	}
+	if !found {
+		names := make([]string, len(paths))
+		for i, p := range paths {
+			names[i] = g.Name(p)
+		}
+		t.Fatalf("open-read-close not found in %v", names)
+	}
+}
+
+func TestMinePathsFindsReaddirStat(t *testing.T) {
+	// The paper's readdirplus pattern: getdents followed by many
+	// stats. With self-transitions collapsed this mines
+	// getdents-stat.
+	g := New(name)
+	for dir := 0; dir < 50; dir++ {
+		g.Observe(1, nGetdents)
+		for f := 0; f < 20; f++ {
+			g.Observe(1, nStat)
+		}
+	}
+	paths := g.MinePaths(30, 3)
+	for _, p := range paths {
+		if strings.HasPrefix(g.Name(p), "getdents-stat") {
+			return
+		}
+	}
+	t.Fatal("getdents-stat pattern not mined")
+}
+
+func TestMinePathsRespectsMinWeight(t *testing.T) {
+	g := New(name)
+	g.Observe(1, nOpen)
+	g.Observe(1, nRead)
+	if paths := g.MinePaths(10, 3); len(paths) != 0 {
+		t.Fatalf("mined %d paths from weight-1 graph", len(paths))
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := New(name)
+	g.Observe(1, nOpen)
+	g.Observe(1, nRead)
+	dot := g.DOT(10)
+	if !strings.Contains(dot, `"sys_open" -> "sys_read"`) {
+		t.Fatalf("DOT = %s", dot)
+	}
+	if !strings.HasPrefix(dot, "digraph") {
+		t.Fatal("not a digraph")
+	}
+}
+
+func TestDefaultNamer(t *testing.T) {
+	g := New(nil)
+	g.Observe(1, 7)
+	g.Observe(1, 8)
+	p := Path{Nodes: []Node{7, 8}, Weight: 1}
+	if got := g.Name(p); got != "7-8" {
+		t.Fatalf("Name = %q", got)
+	}
+}

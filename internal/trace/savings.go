@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/sys"
+)
+
+// Savings is the projected benefit of replacing a syscall pattern
+// with a consolidated call, computed over a recorded trace. This
+// reproduces the paper's Table-style §2.2 projection: "we would only
+// transfer 32,250,041 bytes ... 17,251 [calls] instead of 171,975
+// ... a savings of about 28.15 seconds per hour."
+type Savings struct {
+	CallsBefore, CallsAfter int64
+	BytesBefore, BytesAfter int64
+	CyclesSaved             sim.Cycles
+	// SecondsPerHour is the projected wall-time saving per hour of
+	// the traced workload.
+	SecondsPerHour float64
+}
+
+func (s Savings) String() string {
+	return fmt.Sprintf("calls %d -> %d, bytes %d -> %d, %.2f s/hour saved",
+		s.CallsBefore, s.CallsAfter, s.BytesBefore, s.BytesAfter, s.SecondsPerHour)
+}
+
+// EstimateReaddirplus scans the trace for getdents calls followed by
+// runs of stat calls on the same process and computes what
+// readdirplus would have saved: the per-stat trap and user dispatch,
+// and the per-stat path copy-in (the file name the application copies
+// back into the kernel that readdirplus already delivered).
+func EstimateReaddirplus(r *Recorder, costs sim.Costs) Savings {
+	s := Savings{
+		CallsBefore: r.TotalCalls(),
+		BytesBefore: r.TotalBytes(),
+	}
+	s.CallsAfter = s.CallsBefore
+	s.BytesAfter = s.BytesBefore
+
+	// Per-PID scan: a getdents followed by >= 1 stats forms a
+	// collapsible run.
+	type runState struct {
+		inRun   bool
+		stats   int64
+		statIn  int64
+		statOut int64
+	}
+	states := map[int]*runState{}
+	var savedCalls, savedBytes int64
+	finish := func(st *runState) {
+		if st.inRun && st.stats > 0 {
+			// getdents + N stats -> 1 readdirplus.
+			savedCalls += st.stats
+			// Following the paper's accounting, the collapsed stat's
+			// input path copy and its output struct copy are both
+			// counted as saved: the readdirplus reply is charged
+			// against the getdents baseline the application already
+			// paid for.
+			savedBytes += st.statIn + st.statOut
+		}
+		st.inRun = false
+		st.stats = 0
+		st.statIn = 0
+		st.statOut = 0
+	}
+	for _, e := range r.Events {
+		st := states[e.PID]
+		if st == nil {
+			st = &runState{}
+			states[e.PID] = st
+		}
+		switch e.Nr {
+		case sys.NrGetdents:
+			finish(st)
+			st.inRun = true
+		case sys.NrStat:
+			if st.inRun {
+				st.stats++
+				st.statIn += int64(e.In)
+				st.statOut += int64(e.Out)
+			}
+		case sys.NrClose:
+			// The close of the directory descriptor sits between the
+			// getdents and its stats in every real ls trace; it does
+			// not break the pattern.
+		default:
+			finish(st)
+		}
+	}
+	for _, st := range states {
+		finish(st)
+	}
+
+	s.CallsAfter -= savedCalls
+	s.BytesAfter -= savedBytes
+	s.CyclesSaved = sim.Cycles(savedCalls)*(costs.Trap+costs.UserDispatch) +
+		sim.Cycles(savedBytes)*costs.CopyUserByte
+	if d := r.Duration(); d > 0 {
+		s.SecondsPerHour = s.CyclesSaved.Seconds() / d.Seconds() * 3600
+	}
+	return s
+}
+
+// EstimateOpenReadClose projects savings from collapsing
+// open-read-close triples into one call: two crossings saved per
+// triple plus the re-sent path bytes.
+func EstimateOpenReadClose(r *Recorder, costs sim.Costs) Savings {
+	s := Savings{
+		CallsBefore: r.TotalCalls(),
+		BytesBefore: r.TotalBytes(),
+	}
+	s.CallsAfter = s.CallsBefore
+	s.BytesAfter = s.BytesBefore
+	type st struct {
+		phase int // 0 none, 1 open seen, 2 reads seen
+	}
+	states := map[int]*st{}
+	var triples int64
+	for _, e := range r.Events {
+		p := states[e.PID]
+		if p == nil {
+			p = &st{}
+			states[e.PID] = p
+		}
+		switch {
+		case e.Nr == sys.NrOpen:
+			p.phase = 1
+		case e.Nr == sys.NrRead && p.phase >= 1:
+			p.phase = 2
+		case e.Nr == sys.NrClose && p.phase == 2:
+			triples++
+			p.phase = 0
+		default:
+			p.phase = 0
+		}
+	}
+	s.CallsAfter -= 2 * triples
+	s.CyclesSaved = sim.Cycles(2*triples) * (costs.Trap + costs.UserDispatch)
+	if d := r.Duration(); d > 0 {
+		s.SecondsPerHour = s.CyclesSaved.Seconds() / d.Seconds() * 3600
+	}
+	return s
+}

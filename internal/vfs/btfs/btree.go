@@ -1,0 +1,398 @@
+package btfs
+
+// btree is a classic B-tree of strings -> uint64, standing in for
+// Reiserfs's balanced-tree directory index. It counts the "memory
+// operations" (key comparisons and record moves) each operation
+// performs; the KGCC experiment charges a bounds check per counted
+// operation, since every one of them is a pointer dereference the
+// bounds-checking compiler would guard.
+type btree struct {
+	root *btnode
+	size int
+	// ops accumulates memory operations since the last TakeOps.
+	ops int64
+}
+
+// minDegree is the B-tree minimum degree t: nodes hold t-1..2t-1
+// keys.
+const minDegree = 8
+
+type btnode struct {
+	keys     []string
+	vals     []uint64
+	children []*btnode // nil for leaves
+}
+
+func (n *btnode) leaf() bool { return n.children == nil }
+
+// findIdx locates the first index with keys[i] >= k, counting
+// comparisons.
+func (t *btree) findIdx(n *btnode, k string) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		t.ops++
+		if n.keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value stored under k.
+func (t *btree) Get(k string) (uint64, bool) {
+	n := t.root
+	for n != nil {
+		i := t.findIdx(n, k)
+		if i < len(n.keys) && n.keys[i] == k {
+			t.ops++
+			return n.vals[i], true
+		}
+		if n.leaf() {
+			return 0, false
+		}
+		t.ops++
+		n = n.children[i]
+	}
+	return 0, false
+}
+
+// Put inserts or replaces k.
+func (t *btree) Put(k string, v uint64) {
+	if t.root == nil {
+		t.root = &btnode{keys: []string{k}, vals: []uint64{v}}
+		t.size = 1
+		t.ops += 2
+		return
+	}
+	if len(t.root.keys) == 2*minDegree-1 {
+		old := t.root
+		t.root = &btnode{children: []*btnode{old}}
+		t.splitChild(t.root, 0)
+	}
+	if t.insertNonFull(t.root, k, v) {
+		t.size++
+	}
+}
+
+func (t *btree) splitChild(parent *btnode, i int) {
+	child := parent.children[i]
+	mid := minDegree - 1
+	right := &btnode{
+		keys: append([]string(nil), child.keys[mid+1:]...),
+		vals: append([]uint64(nil), child.vals[mid+1:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*btnode(nil), child.children[mid+1:]...)
+	}
+	t.ops += int64(len(right.keys)) + 2
+	upKey, upVal := child.keys[mid], child.vals[mid]
+	child.keys = child.keys[:mid]
+	child.vals = child.vals[:mid]
+	if !child.leaf() {
+		child.children = child.children[:mid+1]
+	}
+	parent.keys = append(parent.keys, "")
+	parent.vals = append(parent.vals, 0)
+	copy(parent.keys[i+1:], parent.keys[i:])
+	copy(parent.vals[i+1:], parent.vals[i:])
+	parent.keys[i] = upKey
+	parent.vals[i] = upVal
+	parent.children = append(parent.children, nil)
+	copy(parent.children[i+2:], parent.children[i+1:])
+	parent.children[i+1] = right
+	t.ops += int64(len(parent.keys) - i)
+}
+
+// insertNonFull reports whether a new key was added (false: replaced).
+func (t *btree) insertNonFull(n *btnode, k string, v uint64) bool {
+	for {
+		i := t.findIdx(n, k)
+		if i < len(n.keys) && n.keys[i] == k {
+			n.vals[i] = v
+			t.ops++
+			return false
+		}
+		if n.leaf() {
+			n.keys = append(n.keys, "")
+			n.vals = append(n.vals, 0)
+			copy(n.keys[i+1:], n.keys[i:])
+			copy(n.vals[i+1:], n.vals[i:])
+			n.keys[i] = k
+			n.vals[i] = v
+			t.ops += int64(len(n.keys) - i)
+			return true
+		}
+		if len(n.children[i].keys) == 2*minDegree-1 {
+			t.splitChild(n, i)
+			if k == n.keys[i] {
+				n.vals[i] = v
+				return false
+			}
+			if k > n.keys[i] {
+				i++
+			}
+		}
+		t.ops++
+		n = n.children[i]
+	}
+}
+
+// Delete removes k, reporting whether it was present. It uses the
+// standard recursive B-tree deletion with preemptive merging.
+func (t *btree) Delete(k string) bool {
+	if t.root == nil {
+		return false
+	}
+	deleted := t.delete(t.root, k)
+	if len(t.root.keys) == 0 {
+		if t.root.leaf() {
+			t.root = nil
+		} else {
+			t.root = t.root.children[0]
+		}
+	}
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+func (t *btree) delete(n *btnode, k string) bool {
+	i := t.findIdx(n, k)
+	if i < len(n.keys) && n.keys[i] == k {
+		if n.leaf() {
+			t.removeAt(n, i)
+			return true
+		}
+		return t.deleteInternal(n, i)
+	}
+	if n.leaf() {
+		return false
+	}
+	child := n.children[i]
+	if len(child.keys) == minDegree-1 {
+		i = t.fill(n, i)
+		return t.delete(n, k) // structure changed; re-descend from n
+	}
+	t.ops++
+	return t.delete(child, k)
+}
+
+func (t *btree) removeAt(n *btnode, i int) {
+	copy(n.keys[i:], n.keys[i+1:])
+	copy(n.vals[i:], n.vals[i+1:])
+	n.keys = n.keys[:len(n.keys)-1]
+	n.vals = n.vals[:len(n.vals)-1]
+	t.ops += int64(len(n.keys) - i + 1)
+}
+
+func (t *btree) deleteInternal(n *btnode, i int) bool {
+	k := n.keys[i]
+	switch {
+	case len(n.children[i].keys) >= minDegree:
+		pk, pv := t.maxOf(n.children[i])
+		n.keys[i], n.vals[i] = pk, pv
+		return t.delete(n.children[i], pk)
+	case len(n.children[i+1].keys) >= minDegree:
+		sk, sv := t.minOf(n.children[i+1])
+		n.keys[i], n.vals[i] = sk, sv
+		return t.delete(n.children[i+1], sk)
+	default:
+		t.merge(n, i)
+		return t.delete(n.children[i], k)
+	}
+}
+
+func (t *btree) maxOf(n *btnode) (string, uint64) {
+	for !n.leaf() {
+		t.ops++
+		n = n.children[len(n.children)-1]
+	}
+	return n.keys[len(n.keys)-1], n.vals[len(n.vals)-1]
+}
+
+func (t *btree) minOf(n *btnode) (string, uint64) {
+	for !n.leaf() {
+		t.ops++
+		n = n.children[0]
+	}
+	return n.keys[0], n.vals[0]
+}
+
+// fill ensures child i of n has at least minDegree keys, borrowing or
+// merging; it returns the (possibly shifted) child index to descend.
+func (t *btree) fill(n *btnode, i int) int {
+	switch {
+	case i > 0 && len(n.children[i-1].keys) >= minDegree:
+		t.borrowLeft(n, i)
+		return i
+	case i < len(n.children)-1 && len(n.children[i+1].keys) >= minDegree:
+		t.borrowRight(n, i)
+		return i
+	case i < len(n.children)-1:
+		t.merge(n, i)
+		return i
+	default:
+		t.merge(n, i-1)
+		return i - 1
+	}
+}
+
+func (t *btree) borrowLeft(n *btnode, i int) {
+	child, left := n.children[i], n.children[i-1]
+	child.keys = append([]string{n.keys[i-1]}, child.keys...)
+	child.vals = append([]uint64{n.vals[i-1]}, child.vals...)
+	if !child.leaf() {
+		child.children = append([]*btnode{left.children[len(left.children)-1]}, child.children...)
+		left.children = left.children[:len(left.children)-1]
+	}
+	n.keys[i-1] = left.keys[len(left.keys)-1]
+	n.vals[i-1] = left.vals[len(left.vals)-1]
+	left.keys = left.keys[:len(left.keys)-1]
+	left.vals = left.vals[:len(left.vals)-1]
+	t.ops += int64(len(child.keys)) + 2
+}
+
+func (t *btree) borrowRight(n *btnode, i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.keys = append(child.keys, n.keys[i])
+	child.vals = append(child.vals, n.vals[i])
+	if !child.leaf() {
+		child.children = append(child.children, right.children[0])
+		right.children = right.children[1:]
+	}
+	n.keys[i] = right.keys[0]
+	n.vals[i] = right.vals[0]
+	right.keys = right.keys[1:]
+	right.vals = right.vals[1:]
+	t.ops += int64(len(right.keys)) + 2
+}
+
+// merge folds child i+1 and separator i into child i.
+func (t *btree) merge(n *btnode, i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.keys = append(child.keys, n.keys[i])
+	child.vals = append(child.vals, n.vals[i])
+	child.keys = append(child.keys, right.keys...)
+	child.vals = append(child.vals, right.vals...)
+	if !child.leaf() {
+		child.children = append(child.children, right.children...)
+	}
+	t.removeAt(n, i)
+	copy(n.children[i+1:], n.children[i+2:])
+	n.children = n.children[:len(n.children)-1]
+	t.ops += int64(len(right.keys)) + 2
+}
+
+// Ascend visits entries with keys in [from, to) in order.
+func (t *btree) Ascend(from, to string, fn func(k string, v uint64) bool) {
+	var rec func(n *btnode) bool
+	rec = func(n *btnode) bool {
+		if n == nil {
+			return true
+		}
+		i := t.findIdx(n, from)
+		for ; i <= len(n.keys); i++ {
+			if !n.leaf() {
+				if !rec(n.children[i]) {
+					return false
+				}
+			}
+			if i == len(n.keys) {
+				break
+			}
+			if n.keys[i] >= to {
+				return false
+			}
+			if n.keys[i] >= from {
+				t.ops++
+				if !fn(n.keys[i], n.vals[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rec(t.root)
+}
+
+// Len reports the number of keys.
+func (t *btree) Len() int { return t.size }
+
+// TakeOps returns and resets the memory-operation counter.
+func (t *btree) TakeOps() int64 {
+	ops := t.ops
+	t.ops = 0
+	return ops
+}
+
+// depth reports tree height (for tests).
+func (t *btree) depth() int {
+	d := 0
+	for n := t.root; n != nil; {
+		d++
+		if n.leaf() {
+			break
+		}
+		n = n.children[0]
+	}
+	return d
+}
+
+// check validates B-tree invariants (test helper): key ordering,
+// node occupancy, and uniform leaf depth. It returns false with a
+// reason when violated.
+func (t *btree) check() (bool, string) {
+	if t.root == nil {
+		return true, ""
+	}
+	leafDepth := -1
+	var rec func(n *btnode, depth int, lo, hi string, isRoot bool) (bool, string)
+	rec = func(n *btnode, depth int, lo, hi string, isRoot bool) (bool, string) {
+		if !isRoot && len(n.keys) < minDegree-1 {
+			return false, "underfull node"
+		}
+		if len(n.keys) > 2*minDegree-1 {
+			return false, "overfull node"
+		}
+		for i := 0; i < len(n.keys); i++ {
+			if i > 0 && n.keys[i-1] >= n.keys[i] {
+				return false, "unsorted keys"
+			}
+			if lo != "" && n.keys[i] <= lo {
+				return false, "key below subtree bound"
+			}
+			if hi != "" && n.keys[i] >= hi {
+				return false, "key above subtree bound"
+			}
+		}
+		if n.leaf() {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return false, "uneven leaf depth"
+			}
+			return true, ""
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return false, "child count mismatch"
+		}
+		for i, c := range n.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i]
+			}
+			if ok, why := rec(c, depth+1, clo, chi, false); !ok {
+				return false, why
+			}
+		}
+		return true, ""
+	}
+	return rec(t.root, 0, "", "", true)
+}

@@ -1,0 +1,220 @@
+package btfs
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestBtreePutGet(t *testing.T) {
+	var tr btree
+	tr.Put("b", 2)
+	tr.Put("a", 1)
+	tr.Put("c", 3)
+	for k, want := range map[string]uint64{"a": 1, "b": 2, "c": 3} {
+		if v, ok := tr.Get(k); !ok || v != want {
+			t.Fatalf("Get(%q) = %d,%v", k, v, ok)
+		}
+	}
+	if _, ok := tr.Get("z"); ok {
+		t.Fatal("found missing key")
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestBtreePutReplaces(t *testing.T) {
+	var tr btree
+	tr.Put("k", 1)
+	tr.Put("k", 2)
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if v, _ := tr.Get("k"); v != 2 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestBtreeManyKeysInvariants(t *testing.T) {
+	var tr btree
+	const n = 2000
+	for i := 0; i < n; i++ {
+		tr.Put(fmt.Sprintf("key-%06d", i*7919%n), uint64(i))
+		if i%100 == 0 {
+			if ok, why := tr.check(); !ok {
+				t.Fatalf("invariant broken after %d inserts: %s", i+1, why)
+			}
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d, want %d", tr.Len(), n)
+	}
+	if d := tr.depth(); d < 2 || d > 6 {
+		t.Fatalf("suspicious depth %d for %d keys", d, n)
+	}
+}
+
+func TestBtreeDelete(t *testing.T) {
+	var tr btree
+	const n = 1000
+	for i := 0; i < n; i++ {
+		tr.Put(fmt.Sprintf("k%05d", i), uint64(i))
+	}
+	// Delete odd keys.
+	for i := 1; i < n; i += 2 {
+		if !tr.Delete(fmt.Sprintf("k%05d", i)) {
+			t.Fatalf("delete k%05d failed", i)
+		}
+		if i%99 == 0 {
+			if ok, why := tr.check(); !ok {
+				t.Fatalf("invariant broken during deletes: %s", why)
+			}
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tr.Get(fmt.Sprintf("k%05d", i))
+		if want := i%2 == 0; ok != want {
+			t.Fatalf("Get(k%05d) = %v, want %v", i, ok, want)
+		}
+	}
+	if ok, why := tr.check(); !ok {
+		t.Fatal(why)
+	}
+}
+
+func TestBtreeDeleteMissing(t *testing.T) {
+	var tr btree
+	tr.Put("a", 1)
+	if tr.Delete("b") {
+		t.Fatal("deleted missing key")
+	}
+	if tr.Len() != 1 {
+		t.Fatal("len changed")
+	}
+}
+
+func TestBtreeDeleteAll(t *testing.T) {
+	var tr btree
+	for i := 0; i < 500; i++ {
+		tr.Put(fmt.Sprintf("%04d", i), uint64(i))
+	}
+	for i := 0; i < 500; i++ {
+		if !tr.Delete(fmt.Sprintf("%04d", i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 || tr.root != nil {
+		t.Fatalf("tree not empty: len=%d", tr.Len())
+	}
+}
+
+func TestBtreeAscendRange(t *testing.T) {
+	var tr btree
+	for i := 0; i < 100; i++ {
+		tr.Put(fmt.Sprintf("%03d", i), uint64(i))
+	}
+	var got []string
+	tr.Ascend("020", "030", func(k string, v uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 10 {
+		t.Fatalf("range size = %d: %v", len(got), got)
+	}
+	if got[0] != "020" || got[9] != "029" {
+		t.Fatalf("range = %v", got)
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatal("range not sorted")
+	}
+}
+
+func TestBtreeAscendEarlyStop(t *testing.T) {
+	var tr btree
+	for i := 0; i < 50; i++ {
+		tr.Put(fmt.Sprintf("%02d", i), uint64(i))
+	}
+	n := 0
+	tr.Ascend("00", "99", func(k string, v uint64) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+func TestBtreeOpsCounted(t *testing.T) {
+	var tr btree
+	for i := 0; i < 100; i++ {
+		tr.Put(fmt.Sprintf("%03d", i), uint64(i))
+	}
+	tr.TakeOps()
+	tr.Get("050")
+	ops := tr.TakeOps()
+	if ops == 0 {
+		t.Fatal("lookup counted no memory operations")
+	}
+	if tr.TakeOps() != 0 {
+		t.Fatal("TakeOps did not reset")
+	}
+}
+
+func TestBtreeAgainstMapModel(t *testing.T) {
+	type op struct {
+		Kind byte
+		Key  uint8
+	}
+	r := sim.NewRand(5)
+	if err := quick.Check(func(ops []op) bool {
+		var tr btree
+		model := map[string]uint64{}
+		for _, o := range ops {
+			k := fmt.Sprintf("k%03d", o.Key%50)
+			switch o.Kind % 3 {
+			case 0:
+				v := r.Uint64()
+				tr.Put(k, v)
+				model[k] = v
+			case 1:
+				got := tr.Delete(k)
+				_, want := model[k]
+				if got != want {
+					return false
+				}
+				delete(model, k)
+			case 2:
+				got, ok := tr.Get(k)
+				wantV, wantOK := model[k]
+				if ok != wantOK || (ok && got != wantV) {
+					return false
+				}
+			}
+			if tr.Len() != len(model) {
+				return false
+			}
+		}
+		if ok, _ := tr.check(); !ok {
+			return false
+		}
+		// Full-order check via Ascend.
+		var keys []string
+		tr.Ascend("", "\xff", func(k string, v uint64) bool {
+			keys = append(keys, k)
+			return true
+		})
+		if len(keys) != len(model) {
+			return false
+		}
+		return sort.StringsAreSorted(keys)
+	}, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package vfs
+
+import (
+	"repro/internal/kernel"
+)
+
+// dkey identifies a dentry: a name within a directory of a mounted
+// file system.
+type dkey struct {
+	fs   FS
+	dir  NodeID
+	name string
+}
+
+// Dcache is the dentry cache. Every lookup takes the global
+// DcacheLock, exactly like the Linux dcache the paper instruments:
+// "we then added instrumentation for the dentry cache lock,
+// dcache_lock, which prevents race conditions in file-system
+// name-space operations such as renames" (§3.3).
+type Dcache struct {
+	// Lock is the global dcache_lock. Its Probe hook is where the
+	// event monitor attaches.
+	Lock kernel.SpinLock
+
+	entries map[dkey]NodeID
+
+	// Stats.
+	Hits, Misses int64
+}
+
+// NewDcache creates an empty dentry cache.
+func NewDcache() *Dcache {
+	return &Dcache{
+		Lock:    kernel.SpinLock{Name: "dcache_lock"},
+		entries: make(map[dkey]NodeID),
+	}
+}
+
+// lookup consults the cache under the lock; on a miss it calls the
+// file system and caches the result.
+func (d *Dcache) lookup(p *kernel.Process, fs FS, dir NodeID, name string) (NodeID, error) {
+	d.Lock.Lock(p)
+	id, ok := d.entries[dkey{fs, dir, name}]
+	d.Lock.Unlock(p)
+	if ok {
+		d.Hits++
+		return id, nil
+	}
+	d.Misses++
+	id, err := fs.Lookup(p, dir, name)
+	if err != nil {
+		return 0, err
+	}
+	d.Lock.Lock(p)
+	d.entries[dkey{fs, dir, name}] = id
+	d.Lock.Unlock(p)
+	return id, nil
+}
+
+// Insert primes the cache (used after create).
+func (d *Dcache) Insert(p *kernel.Process, fs FS, dir NodeID, name string, id NodeID) {
+	d.Lock.Lock(p)
+	d.entries[dkey{fs, dir, name}] = id
+	d.Lock.Unlock(p)
+}
+
+// Invalidate removes one dentry (unlink, rmdir, rename source).
+func (d *Dcache) Invalidate(p *kernel.Process, fs FS, dir NodeID, name string) {
+	d.Lock.Lock(p)
+	delete(d.entries, dkey{fs, dir, name})
+	d.Lock.Unlock(p)
+}
+
+// Len reports the number of cached dentries.
+func (d *Dcache) Len() int { return len(d.entries) }

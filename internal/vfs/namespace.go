@@ -1,0 +1,147 @@
+package vfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/kernel"
+)
+
+// Namespace is the mount table plus path resolution. A root file
+// system is mounted at "/"; additional file systems can be mounted on
+// existing directories, and character devices appear under their
+// registered paths.
+type Namespace struct {
+	Dc     *Dcache
+	mounts []mountPoint // sorted by descending prefix length
+	devs   map[string]Device
+}
+
+type mountPoint struct {
+	prefix string // "/" or "/mnt/x"
+	fs     FS
+}
+
+// NewNamespace creates a namespace rooted at rootFS.
+func NewNamespace(rootFS FS) *Namespace {
+	ns := &Namespace{Dc: NewDcache(), devs: make(map[string]Device)}
+	ns.mounts = []mountPoint{{prefix: "/", fs: rootFS}}
+	return ns
+}
+
+// Mount attaches fs at path (the path itself need not exist in the
+// parent; mount points shadow, as in Linux).
+func (ns *Namespace) Mount(path string, fs FS) error {
+	path = Clean(path)
+	for _, m := range ns.mounts {
+		if m.prefix == path {
+			return fmt.Errorf("vfs: %s already mounted", path)
+		}
+	}
+	ns.mounts = append(ns.mounts, mountPoint{prefix: path, fs: fs})
+	sort.Slice(ns.mounts, func(i, j int) bool {
+		return len(ns.mounts[i].prefix) > len(ns.mounts[j].prefix)
+	})
+	return nil
+}
+
+// RegisterDevice exposes dev at path (e.g. "/dev/kernevents").
+func (ns *Namespace) RegisterDevice(path string, dev Device) {
+	ns.devs[Clean(path)] = dev
+}
+
+// LookupDevice returns the device registered at path.
+func (ns *Namespace) LookupDevice(path string) (Device, bool) {
+	d, ok := ns.devs[Clean(path)]
+	return d, ok
+}
+
+// Clean normalizes a path: leading slash, no trailing slash, no empty
+// or "." components.
+func Clean(path string) string {
+	parts := Split(path)
+	if len(parts) == 0 {
+		return "/"
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+// Split breaks a path into components, dropping empty and "."
+// segments and resolving ".." lexically.
+func Split(path string) []string {
+	var out []string
+	for _, c := range strings.Split(path, "/") {
+		switch c {
+		case "", ".":
+		case "..":
+			if len(out) > 0 {
+				out = out[:len(out)-1]
+			}
+		default:
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// mountFor returns the longest-prefix mount covering path and the
+// path remainder relative to it.
+func (ns *Namespace) mountFor(path string) (FS, []string) {
+	path = Clean(path)
+	for _, m := range ns.mounts {
+		if m.prefix == "/" {
+			return m.fs, Split(path)
+		}
+		if path == m.prefix {
+			return m.fs, nil
+		}
+		if strings.HasPrefix(path, m.prefix+"/") {
+			return m.fs, Split(path[len(m.prefix):])
+		}
+	}
+	// The "/" mount always matches; unreachable.
+	panic("vfs: no root mount")
+}
+
+// Resolve walks path to its inode.
+func (ns *Namespace) Resolve(p *kernel.Process, path string) (FS, NodeID, error) {
+	fs, parts := ns.mountFor(path)
+	cur := fs.Root()
+	for _, name := range parts {
+		id, err := ns.Dc.lookup(p, fs, cur, name)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: %s", err, path)
+		}
+		cur = id
+	}
+	return fs, cur, nil
+}
+
+// ResolveParent walks to the parent directory of path and returns it
+// along with the final component.
+func (ns *Namespace) ResolveParent(p *kernel.Process, path string) (FS, NodeID, string, error) {
+	fs, parts := ns.mountFor(path)
+	if len(parts) == 0 {
+		return nil, 0, "", fmt.Errorf("%w: cannot take parent of mount root %s", ErrInval, path)
+	}
+	cur := fs.Root()
+	for _, name := range parts[:len(parts)-1] {
+		id, err := ns.Dc.lookup(p, fs, cur, name)
+		if err != nil {
+			return nil, 0, "", fmt.Errorf("%w: %s", err, path)
+		}
+		cur = id
+	}
+	return fs, cur, parts[len(parts)-1], nil
+}
+
+// Invalidate drops the dentry for path's final component (after
+// unlink/rmdir/rename).
+func (ns *Namespace) Invalidate(p *kernel.Process, path string) {
+	fs, parent, name, err := ns.ResolveParent(p, path)
+	if err != nil {
+		return
+	}
+	ns.Dc.Invalidate(p, fs, parent, name)
+}

@@ -1,0 +1,307 @@
+// Package wrapfs is a stackable passthrough file system, reproducing
+// the Wrapfs the paper instruments for the Kefence evaluation (§3.2):
+//
+//	"Wrapfs is a wrapper file system that just redirects file system
+//	calls to a lower-level file system. ... Each Wrapfs object
+//	(inode, file, etc.) contains a private data field which gets
+//	dynamically allocated. In addition to this, temporary page
+//	buffers and strings containing file names are also allocated
+//	dynamically."
+//
+// All dynamic allocations go through an alloc.Allocator provided at
+// mount time, so the Kefence experiment swaps plain kmalloc for
+// guarded vmalloc without touching this code — exactly the paper's
+// compiler-flag-driven kmalloc→vmalloc redirection.
+package wrapfs
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// PrivateSize is the size of the per-object private data field. The
+// paper reports a mean allocation size of 80 bytes for the
+// instrumented Wrapfs; private fields dominate that mix.
+const PrivateSize = 80
+
+// FS implements vfs.FS by delegating to Lower.
+type FS struct {
+	Lower vfs.FS
+
+	as  *mem.AddressSpace
+	mem alloc.Allocator
+
+	// PageBufSize and PageBufEvery control the temporary page buffers
+	// on the data path: every PageBufEvery-th read/write allocates a
+	// PageBufSize staging buffer and copies through it.
+	PageBufSize  int
+	PageBufEvery int
+
+	// OpCPU is the wrapper's own per-operation overhead.
+	OpCPU sim.Cycles
+
+	private map[vfs.NodeID]mem.Addr
+	dataOps int
+
+	// Stats.
+	NameAllocs, PageAllocs, PrivateAllocs int64
+}
+
+// New wraps lower, allocating through a using space as for buffer
+// access.
+func New(lower vfs.FS, as *mem.AddressSpace, a alloc.Allocator) *FS {
+	return &FS{
+		Lower:        lower,
+		as:           as,
+		mem:          a,
+		PageBufSize:  mem.PageSize,
+		PageBufEvery: 64,
+		OpCPU:        120,
+		private:      make(map[vfs.NodeID]mem.Addr),
+	}
+}
+
+// FSName implements vfs.FS.
+func (fs *FS) FSName() string { return "wrapfs(" + fs.Lower.FSName() + ")" }
+
+// Root implements vfs.FS.
+func (fs *FS) Root() vfs.NodeID { return fs.Lower.Root() }
+
+// ensurePrivate lazily allocates the per-object private data field
+// and touches every byte of it (initialization), which is what makes
+// page-granular allocators feel TLB pressure.
+func (fs *FS) ensurePrivate(p *kernel.Process, id vfs.NodeID) error {
+	if _, ok := fs.private[id]; ok {
+		return nil
+	}
+	addr, err := fs.mem.Alloc(PrivateSize)
+	if err != nil {
+		return err
+	}
+	var init [PrivateSize]byte
+	if err := fs.as.WriteBytes(addr, init[:]); err != nil {
+		return err
+	}
+	fs.private[id] = addr
+	fs.PrivateAllocs++
+	return nil
+}
+
+// dropPrivate frees the private field when the object goes away.
+func (fs *FS) dropPrivate(id vfs.NodeID) {
+	if addr, ok := fs.private[id]; ok {
+		_ = fs.mem.Free(addr)
+		delete(fs.private, id)
+	}
+}
+
+// nameBuf copies name into a freshly allocated kernel string buffer
+// and frees it, charging the copy; this is the "strings containing
+// file names are allocated dynamically" behaviour.
+func (fs *FS) nameBuf(p *kernel.Process, name string) error {
+	if len(name) == 0 {
+		return nil
+	}
+	addr, err := fs.mem.Alloc(len(name) + 1)
+	if err != nil {
+		return err
+	}
+	fs.NameAllocs++
+	if err := fs.as.WriteBytes(addr, append([]byte(name), 0)); err != nil {
+		return err
+	}
+	return fs.mem.Free(addr)
+}
+
+// pageBuf optionally stages n bytes of file data through a temporary
+// buffer.
+func (fs *FS) pageBuf(p *kernel.Process, n int) error {
+	fs.dataOps++
+	if fs.PageBufEvery <= 0 || fs.dataOps%fs.PageBufEvery != 0 {
+		return nil
+	}
+	size := fs.PageBufSize
+	if n < size {
+		size = n
+	}
+	if size <= 0 {
+		return nil
+	}
+	addr, err := fs.mem.Alloc(size)
+	if err != nil {
+		return err
+	}
+	fs.PageAllocs++
+	buf := make([]byte, size)
+	if err := fs.as.WriteBytes(addr, buf); err != nil {
+		return err
+	}
+	if err := fs.as.ReadBytes(addr, buf); err != nil {
+		return err
+	}
+	return fs.mem.Free(addr)
+}
+
+// Lookup implements vfs.FS.
+func (fs *FS) Lookup(p *kernel.Process, dir vfs.NodeID, name string) (vfs.NodeID, error) {
+	p.Charge(fs.OpCPU)
+	if err := fs.nameBuf(p, name); err != nil {
+		return 0, err
+	}
+	id, err := fs.Lower.Lookup(p, dir, name)
+	if err != nil {
+		return 0, err
+	}
+	if err := fs.ensurePrivate(p, id); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Getattr implements vfs.FS.
+func (fs *FS) Getattr(p *kernel.Process, n vfs.NodeID) (vfs.Attr, error) {
+	p.Charge(fs.OpCPU)
+	if err := fs.ensurePrivate(p, n); err != nil {
+		return vfs.Attr{}, err
+	}
+	return fs.Lower.Getattr(p, n)
+}
+
+// Create implements vfs.FS.
+func (fs *FS) Create(p *kernel.Process, dir vfs.NodeID, name string) (vfs.NodeID, error) {
+	p.Charge(fs.OpCPU)
+	if err := fs.nameBuf(p, name); err != nil {
+		return 0, err
+	}
+	id, err := fs.Lower.Create(p, dir, name)
+	if err != nil {
+		return 0, err
+	}
+	if err := fs.ensurePrivate(p, id); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Mkdir implements vfs.FS.
+func (fs *FS) Mkdir(p *kernel.Process, dir vfs.NodeID, name string) (vfs.NodeID, error) {
+	p.Charge(fs.OpCPU)
+	if err := fs.nameBuf(p, name); err != nil {
+		return 0, err
+	}
+	id, err := fs.Lower.Mkdir(p, dir, name)
+	if err != nil {
+		return 0, err
+	}
+	if err := fs.ensurePrivate(p, id); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Unlink implements vfs.FS.
+func (fs *FS) Unlink(p *kernel.Process, dir vfs.NodeID, name string) error {
+	p.Charge(fs.OpCPU)
+	if err := fs.nameBuf(p, name); err != nil {
+		return err
+	}
+	id, lerr := fs.Lower.Lookup(p, dir, name)
+	if err := fs.Lower.Unlink(p, dir, name); err != nil {
+		return err
+	}
+	if lerr == nil {
+		fs.dropPrivate(id)
+	}
+	return nil
+}
+
+// Rmdir implements vfs.FS.
+func (fs *FS) Rmdir(p *kernel.Process, dir vfs.NodeID, name string) error {
+	p.Charge(fs.OpCPU)
+	if err := fs.nameBuf(p, name); err != nil {
+		return err
+	}
+	id, lerr := fs.Lower.Lookup(p, dir, name)
+	if err := fs.Lower.Rmdir(p, dir, name); err != nil {
+		return err
+	}
+	if lerr == nil {
+		fs.dropPrivate(id)
+	}
+	return nil
+}
+
+// Readdir implements vfs.FS.
+func (fs *FS) Readdir(p *kernel.Process, dir vfs.NodeID) ([]vfs.DirEnt, error) {
+	p.Charge(fs.OpCPU)
+	return fs.Lower.Readdir(p, dir)
+}
+
+// Read implements vfs.FS.
+func (fs *FS) Read(p *kernel.Process, n vfs.NodeID, off int64, buf []byte) (int, error) {
+	p.Charge(fs.OpCPU)
+	if err := fs.ensurePrivate(p, n); err != nil {
+		return 0, err
+	}
+	if err := fs.pageBuf(p, len(buf)); err != nil {
+		return 0, err
+	}
+	return fs.Lower.Read(p, n, off, buf)
+}
+
+// Write implements vfs.FS.
+func (fs *FS) Write(p *kernel.Process, n vfs.NodeID, off int64, data []byte) (int, error) {
+	p.Charge(fs.OpCPU)
+	if err := fs.ensurePrivate(p, n); err != nil {
+		return 0, err
+	}
+	if err := fs.pageBuf(p, len(data)); err != nil {
+		return 0, err
+	}
+	return fs.Lower.Write(p, n, off, data)
+}
+
+// Truncate implements vfs.FS.
+func (fs *FS) Truncate(p *kernel.Process, n vfs.NodeID, size int64) error {
+	p.Charge(fs.OpCPU)
+	return fs.Lower.Truncate(p, n, size)
+}
+
+// Rename implements vfs.FS.
+func (fs *FS) Rename(p *kernel.Process, odir vfs.NodeID, oname string, ndir vfs.NodeID, nname string) error {
+	p.Charge(fs.OpCPU)
+	if err := fs.nameBuf(p, oname); err != nil {
+		return err
+	}
+	if err := fs.nameBuf(p, nname); err != nil {
+		return err
+	}
+	return fs.Lower.Rename(p, odir, oname, ndir, nname)
+}
+
+// Sync implements vfs.FS.
+func (fs *FS) Sync(p *kernel.Process) error {
+	p.Charge(fs.OpCPU)
+	return fs.Lower.Sync(p)
+}
+
+// Teardown frees all outstanding private data (unmount).
+func (fs *FS) Teardown() error {
+	for id, addr := range fs.private {
+		if err := fs.mem.Free(addr); err != nil {
+			return fmt.Errorf("wrapfs: freeing private of node %d: %w", id, err)
+		}
+		delete(fs.private, id)
+	}
+	return nil
+}
+
+// LivePrivate reports outstanding private-data allocations.
+func (fs *FS) LivePrivate() int { return len(fs.private) }
+
+var _ vfs.FS = (*FS)(nil)

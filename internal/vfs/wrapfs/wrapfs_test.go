@@ -1,0 +1,206 @@
+package wrapfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/disk"
+	"repro/internal/kernel"
+	"repro/internal/vfs"
+	"repro/internal/vfs/memfs"
+)
+
+func setup() (*kernel.Machine, *FS, *memfs.FS) {
+	m := kernel.New(kernel.Config{})
+	lower := memfs.New("memfs", vfs.NewIOModel(disk.New(disk.IDE7200()), 4096))
+	w := New(lower, m.KAS, m.Km)
+	return m, w, lower
+}
+
+func run(t *testing.T, m *kernel.Machine, fn func(p *kernel.Process) error) {
+	t.Helper()
+	m.Spawn("test", fn)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPassthroughSemantics(t *testing.T) {
+	m, w, lower := setup()
+	run(t, m, func(p *kernel.Process) error {
+		id, err := w.Create(p, w.Root(), "f")
+		if err != nil {
+			return err
+		}
+		msg := []byte("through the wrapper")
+		if _, err := w.Write(p, id, 0, msg); err != nil {
+			return err
+		}
+		// Visible through the lower FS directly.
+		lowID, err := lower.Lookup(p, lower.Root(), "f")
+		if err != nil || lowID != id {
+			t.Errorf("lower lookup = %d,%v", lowID, err)
+		}
+		buf := make([]byte, 64)
+		n, err := w.Read(p, id, 0, buf)
+		if err != nil || !bytes.Equal(buf[:n], msg) {
+			t.Errorf("read = %q,%v", buf[:n], err)
+		}
+		return nil
+	})
+}
+
+func TestPrivateDataAllocatedPerObject(t *testing.T) {
+	m, w, _ := setup()
+	run(t, m, func(p *kernel.Process) error {
+		for i := 0; i < 10; i++ {
+			if _, err := w.Create(p, w.Root(), fmt.Sprintf("f%d", i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if w.LivePrivate() != 10 {
+		t.Fatalf("live private = %d, want 10", w.LivePrivate())
+	}
+	if w.PrivateAllocs != 10 {
+		t.Fatalf("private allocs = %d", w.PrivateAllocs)
+	}
+}
+
+func TestPrivateFreedOnUnlink(t *testing.T) {
+	m, w, _ := setup()
+	run(t, m, func(p *kernel.Process) error {
+		if _, err := w.Create(p, w.Root(), "f"); err != nil {
+			return err
+		}
+		if err := w.Unlink(p, w.Root(), "f"); err != nil {
+			return err
+		}
+		return nil
+	})
+	if w.LivePrivate() != 0 {
+		t.Fatalf("live private = %d after unlink", w.LivePrivate())
+	}
+}
+
+func TestNameBuffersAllocatedAndFreed(t *testing.T) {
+	m, w, _ := setup()
+	run(t, m, func(p *kernel.Process) error {
+		if _, err := w.Create(p, w.Root(), "some-long-file-name"); err != nil {
+			return err
+		}
+		if _, err := w.Lookup(p, w.Root(), "some-long-file-name"); err != nil {
+			return err
+		}
+		return nil
+	})
+	if w.NameAllocs != 2 {
+		t.Fatalf("name allocs = %d", w.NameAllocs)
+	}
+	// Name buffers must not leak: only private data outstanding.
+	if live := m.Km.Stats().Live; live != 1 {
+		t.Fatalf("live kernel allocations = %d, want 1 (the private field)", live)
+	}
+}
+
+func TestPageBuffersOnDataPath(t *testing.T) {
+	m, w, _ := setup()
+	w.PageBufEvery = 1 // stage every data op
+	run(t, m, func(p *kernel.Process) error {
+		id, err := w.Create(p, w.Root(), "f")
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := w.Write(p, id, int64(i*4096), make([]byte, 4096)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if w.PageAllocs != 5 {
+		t.Fatalf("page allocs = %d", w.PageAllocs)
+	}
+}
+
+func TestTeardownReleasesEverything(t *testing.T) {
+	m, w, _ := setup()
+	run(t, m, func(p *kernel.Process) error {
+		for i := 0; i < 20; i++ {
+			if _, err := w.Create(p, w.Root(), fmt.Sprintf("f%d", i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err := w.Teardown(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Km.Stats().Live != 0 {
+		t.Fatalf("leaked %d allocations", m.Km.Stats().Live)
+	}
+}
+
+func TestVmallocBackedWrapfsUsesWholePagesPerAlloc(t *testing.T) {
+	// The Kefence configuration: same module, page-granular allocator.
+	m := kernel.New(kernel.Config{})
+	lower := memfs.New("memfs", vfs.NewIOModel(disk.New(disk.IDE7200()), 4096))
+	w := New(lower, m.KAS, m.Vm)
+	run(t, m, func(p *kernel.Process) error {
+		for i := 0; i < 5; i++ {
+			if _, err := w.Create(p, w.Root(), fmt.Sprintf("f%d", i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	s := m.Vm.Stats()
+	if s.LivePages < 5 {
+		t.Fatalf("live pages = %d, want one per private field", s.LivePages)
+	}
+	if got := s.MeanAllocSize(); got > 100 {
+		t.Fatalf("mean alloc size = %.1f, expected small allocations", got)
+	}
+}
+
+func TestWrapfsMetadataOpsDelegate(t *testing.T) {
+	m, w, _ := setup()
+	run(t, m, func(p *kernel.Process) error {
+		d, err := w.Mkdir(p, w.Root(), "dir")
+		if err != nil {
+			return err
+		}
+		if _, err := w.Create(p, d, "f"); err != nil {
+			return err
+		}
+		ents, err := w.Readdir(p, d)
+		if err != nil {
+			return err
+		}
+		if len(ents) != 1 || ents[0].Name != "f" {
+			t.Errorf("readdir = %v", ents)
+		}
+		if err := w.Rename(p, d, "f", d, "g"); err != nil {
+			return err
+		}
+		a, err := w.Getattr(p, d)
+		if err != nil || a.Type != vfs.TypeDir {
+			t.Errorf("getattr = %+v, %v", a, err)
+		}
+		if err := w.Truncate(p, ents[0].ID, 0); err != nil {
+			return err
+		}
+		if err := w.Unlink(p, d, "g"); err != nil {
+			return err
+		}
+		if err := w.Rmdir(p, w.Root(), "dir"); err != nil {
+			return err
+		}
+		return w.Sync(p)
+	})
+}
+
+var _ alloc.Allocator = (*alloc.Kmalloc)(nil)

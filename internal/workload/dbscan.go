@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cosy/kext"
+	"repro/internal/cosy/lang"
+	"repro/internal/cosy/lib"
+	"repro/internal/sim"
+	"repro/internal/sys"
+)
+
+// DBConfig describes the database-style workload of the Cosy
+// evaluation (§2.3): "we modified popular user applications that
+// exhibit sequential or random access patterns (e.g., a database) to
+// use Cosy."
+type DBConfig struct {
+	Path    string
+	Records int
+	RecSize int
+	// Lookups is the number of random-scan probes.
+	Lookups int
+	// ProcessCPU is the per-record user CPU of the unmodified
+	// application (predicate evaluation on the record).
+	ProcessCPU sim.Cycles
+	Seed       uint64
+}
+
+// DefaultDB sizes a small table.
+func DefaultDB() DBConfig {
+	return DBConfig{
+		Path:       "/db.tbl",
+		Records:    4000,
+		RecSize:    256,
+		Lookups:    1500,
+		ProcessCPU: 300,
+		Seed:       13,
+	}
+}
+
+// DBSetup writes the table file.
+func DBSetup(pr *sys.Proc, cfg DBConfig) error {
+	fd, err := pr.Creat(cfg.Path)
+	if err != nil {
+		return err
+	}
+	buf, err := pr.Mmap(cfg.RecSize)
+	if err != nil {
+		return err
+	}
+	rec := make([]byte, cfg.RecSize)
+	for r := 0; r < cfg.Records; r++ {
+		for i := range rec {
+			rec[i] = byte(r + i)
+		}
+		if err := pr.Poke(buf, rec); err != nil {
+			return err
+		}
+		if _, err := pr.Write(fd, buf); err != nil {
+			return err
+		}
+	}
+	return pr.Close(fd)
+}
+
+// SeqScanUser is the unmodified application: a read-per-record loop
+// through the syscall interface.
+func SeqScanUser(pr *sys.Proc, cfg DBConfig) (int64, error) {
+	fd, err := pr.Open(cfg.Path, sys.ORdonly)
+	if err != nil {
+		return 0, err
+	}
+	buf, err := pr.Mmap(cfg.RecSize)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for {
+		n, err := pr.Read(fd, buf)
+		if err != nil {
+			return 0, err
+		}
+		if n == 0 {
+			break
+		}
+		pr.P.ChargeUser(cfg.ProcessCPU)
+		total += int64(n)
+	}
+	return total, pr.Close(fd)
+}
+
+// seqScanCompound builds the Cosy version of the sequential scan.
+func seqScanCompound(cfg DBConfig) ([]byte, error) {
+	b := lib.New()
+	pathOff := b.String(cfg.Path)
+	recOff := b.Alloc(cfg.RecSize)
+	fd := b.Sys(uint16(sys.NrOpen), b.Const(int64(pathOff)), b.Const(0))
+	total := b.Const(0)
+	// The in-compound record processing: touch the record header the
+	// way the predicate would.
+	top := b.Here()
+	n := b.Sys(uint16(sys.NrRead), fd, b.Const(int64(recOff)), b.Const(int64(cfg.RecSize)))
+	exit := b.Brz(n)
+	b.BinInto(total, "+", total, n)
+	hdr := b.Load(8, b.Const(int64(recOff)))
+	b.Bin("&", hdr, hdr) // predicate evaluation
+	b.JmpTo(top)
+	exit.Here()
+	b.Sys(uint16(sys.NrClose), fd)
+	return b.Build(total)
+}
+
+// SeqScanCosy runs the scan as a compound on the engine.
+func SeqScanCosy(pr *sys.Proc, e *kext.Engine, cfg DBConfig) (int64, error) {
+	raw, err := seqScanCompound(cfg)
+	if err != nil {
+		return 0, err
+	}
+	c, err := lang.Decode(raw)
+	if err != nil {
+		return 0, err
+	}
+	shm, err := e.NewShm(c.ShmSize)
+	if err != nil {
+		return 0, err
+	}
+	return e.Exec(pr, raw, shm)
+}
+
+// RandScanUser probes random records: lseek + read per lookup.
+func RandScanUser(pr *sys.Proc, cfg DBConfig) (int64, error) {
+	fd, err := pr.Open(cfg.Path, sys.ORdonly)
+	if err != nil {
+		return 0, err
+	}
+	buf, err := pr.Mmap(cfg.RecSize)
+	if err != nil {
+		return 0, err
+	}
+	rng := sim.NewRand(cfg.Seed)
+	var total int64
+	for i := 0; i < cfg.Lookups; i++ {
+		rec := rng.Intn(cfg.Records)
+		if _, err := pr.Lseek(fd, int64(rec*cfg.RecSize), sys.SeekSet); err != nil {
+			return 0, err
+		}
+		n, err := pr.Read(fd, buf)
+		if err != nil {
+			return 0, err
+		}
+		pr.P.ChargeUser(cfg.ProcessCPU)
+		total += int64(n)
+	}
+	return total, pr.Close(fd)
+}
+
+// randScanCompound builds the Cosy random scan: the record sequence
+// comes from an in-compound linear congruential generator, so the
+// probe loop never leaves the kernel.
+func randScanCompound(cfg DBConfig) ([]byte, error) {
+	b := lib.New()
+	pathOff := b.String(cfg.Path)
+	recOff := b.Alloc(cfg.RecSize)
+	fd := b.Sys(uint16(sys.NrOpen), b.Const(int64(pathOff)), b.Const(0))
+	total := b.Const(0)
+	x := b.Const(int64(cfg.Seed%1_000_003 + 1))
+	a := b.Const(1103515245)
+	c := b.Const(12345)
+	m := b.Const(1 << 31)
+	nrec := b.Const(int64(cfg.Records))
+	rsz := b.Const(int64(cfg.RecSize))
+
+	b.CountedLoop(int64(cfg.Lookups), func(i lang.Reg) {
+		ax := b.Bin("*", a, x)
+		axc := b.Bin("+", ax, c)
+		b.BinInto(x, "%", axc, m)
+		rec := b.Bin("%", x, nrec)
+		off := b.Bin("*", rec, rsz)
+		b.Sys(uint16(sys.NrLseek), fd, off, b.Const(int64(sys.SeekSet)))
+		n := b.Sys(uint16(sys.NrRead), fd, b.Const(int64(recOff)), rsz)
+		b.BinInto(total, "+", total, n)
+		hdr := b.Load(8, b.Const(int64(recOff)))
+		b.Bin("&", hdr, hdr)
+	})
+	b.Sys(uint16(sys.NrClose), fd)
+	return b.Build(total)
+}
+
+// RandScanCosy runs the random scan as a compound.
+func RandScanCosy(pr *sys.Proc, e *kext.Engine, cfg DBConfig) (int64, error) {
+	raw, err := randScanCompound(cfg)
+	if err != nil {
+		return 0, err
+	}
+	c, err := lang.Decode(raw)
+	if err != nil {
+		return 0, err
+	}
+	shm, err := e.NewShm(c.ShmSize)
+	if err != nil {
+		return 0, err
+	}
+	return e.Exec(pr, raw, shm)
+}
+
+// Sanity helper shared by tests.
+func dbSize(cfg DBConfig) int64 { return int64(cfg.Records) * int64(cfg.RecSize) }
+
+var _ = fmt.Sprintf

@@ -1,0 +1,170 @@
+// Package workload implements the benchmark workloads the paper's
+// evaluations run: PostMark (§3.3, §3.4), an Am-utils-style compile
+// (§3.2, §3.4), an interactive desktop session for trace collection
+// (§2.2), and the database-style scans of the Cosy evaluation (§2.3).
+// All workloads issue real system calls through sys.Proc, so every
+// configuration difference (instrumented FS, guarded allocator,
+// attached monitor) shows up in the measured elapsed/system/user
+// times exactly as it would on the paper's testbed.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/sys"
+)
+
+// PostMarkConfig follows Katcher's benchmark parameters: a pool of
+// small files, a transaction mix of reads/appends and
+// creates/deletes.
+type PostMarkConfig struct {
+	Dir          string
+	InitialFiles int
+	Transactions int
+	MinSize      int
+	MaxSize      int
+	// ReadBias is the probability a transaction is a read (vs
+	// append); CreateBias the probability the second half is a create
+	// (vs delete).
+	ReadBias   float64
+	CreateBias float64
+	Seed       uint64
+	// UserThink is the user-mode CPU charged per transaction
+	// (PostMark itself does little user work).
+	UserThink sim.Cycles
+}
+
+// DefaultPostMark mirrors the classic defaults scaled to simulation
+// size.
+func DefaultPostMark() PostMarkConfig {
+	return PostMarkConfig{
+		Dir:          "/pm",
+		InitialFiles: 300,
+		Transactions: 2000,
+		MinSize:      512,
+		MaxSize:      9 << 10,
+		ReadBias:     0.5,
+		CreateBias:   0.5,
+		Seed:         42,
+		UserThink:    400,
+	}
+}
+
+// PostMarkStats reports what the run did.
+type PostMarkStats struct {
+	Created, Deleted, Read, Appended int
+	BytesRead, BytesWritten          int64
+}
+
+// PostMark runs the benchmark on pr.
+func PostMark(pr *sys.Proc, cfg PostMarkConfig) (PostMarkStats, error) {
+	var st PostMarkStats
+	rng := sim.NewRand(cfg.Seed)
+	if err := pr.Mkdir(cfg.Dir); err != nil {
+		return st, err
+	}
+	buf, err := pr.Mmap(cfg.MaxSize)
+	if err != nil {
+		return st, err
+	}
+
+	var files []string
+	nextID := 0
+	create := func() error {
+		name := fmt.Sprintf("%s/f%06d", cfg.Dir, nextID)
+		nextID++
+		fd, err := pr.Creat(name)
+		if err != nil {
+			return err
+		}
+		size := rng.Range(cfg.MinSize, cfg.MaxSize)
+		ub := sys.UserBuf{Addr: buf.Addr, Len: size}
+		if _, err := pr.Write(fd, ub); err != nil {
+			return err
+		}
+		if err := pr.Close(fd); err != nil {
+			return err
+		}
+		files = append(files, name)
+		st.Created++
+		st.BytesWritten += int64(size)
+		return nil
+	}
+	remove := func() error {
+		if len(files) == 0 {
+			return nil
+		}
+		i := rng.Intn(len(files))
+		name := files[i]
+		files[i] = files[len(files)-1]
+		files = files[:len(files)-1]
+		if err := pr.Unlink(name); err != nil {
+			return err
+		}
+		st.Deleted++
+		return nil
+	}
+
+	for i := 0; i < cfg.InitialFiles; i++ {
+		if err := create(); err != nil {
+			return st, err
+		}
+	}
+	for t := 0; t < cfg.Transactions; t++ {
+		pr.P.ChargeUser(cfg.UserThink)
+		// Half one: read or append an existing file.
+		if len(files) > 0 {
+			name := files[rng.Intn(len(files))]
+			if rng.Bool(cfg.ReadBias) {
+				fd, err := pr.Open(name, sys.ORdonly)
+				if err != nil {
+					return st, err
+				}
+				n, err := pr.Read(fd, buf)
+				if err != nil {
+					return st, err
+				}
+				if err := pr.Close(fd); err != nil {
+					return st, err
+				}
+				st.Read++
+				st.BytesRead += int64(n)
+			} else {
+				fd, err := pr.Open(name, sys.OWronly)
+				if err != nil {
+					return st, err
+				}
+				if _, err := pr.Lseek(fd, 0, sys.SeekEnd); err != nil {
+					return st, err
+				}
+				size := rng.Range(128, 2048)
+				ub := sys.UserBuf{Addr: buf.Addr, Len: size}
+				if _, err := pr.Write(fd, ub); err != nil {
+					return st, err
+				}
+				if err := pr.Close(fd); err != nil {
+					return st, err
+				}
+				st.Appended++
+				st.BytesWritten += int64(size)
+			}
+		}
+		// Half two: create or delete.
+		if rng.Bool(cfg.CreateBias) {
+			if err := create(); err != nil {
+				return st, err
+			}
+		} else if err := remove(); err != nil {
+			return st, err
+		}
+	}
+	// Cleanup phase.
+	for _, name := range files {
+		if err := pr.Unlink(name); err != nil {
+			return st, err
+		}
+		st.Deleted++
+	}
+	return st, pr.Rmdir(cfg.Dir)
+}
