@@ -82,25 +82,46 @@ func BenchmarkAblationKmonBlocking(b *testing.B) { benchTable(b, bench.AblationK
 func BenchmarkAblationSplayLocality(b *testing.B) { benchTable(b, bench.AblationSplayLocality) }
 
 // --- substrate micro-benchmarks ---
+//
+// The translation/copy/dispatch bodies live in internal/bench
+// (micro.go) so cmd/benchall can record the same numbers into
+// BENCH_repro.json; the *MapBaseline variants measure the seed's
+// map-backed substrate for the speedup comparison.
 
 // BenchmarkSyscallPath measures the simulated getpid round trip in
 // real time (the harness's own overhead per syscall).
-func BenchmarkSyscallPath(b *testing.B) {
-	s, err := core.New(core.Options{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	s.Spawn("bench", func(pr *sys.Proc) error {
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			pr.Getpid()
-		}
-		return nil
-	})
-	if err := s.Run(); err != nil {
-		b.Fatal(err)
-	}
-}
+func BenchmarkSyscallPath(b *testing.B) { bench.BenchSyscallRoundTrip(b) }
+
+// BenchmarkTranslateHit measures repeat translations of one hot page
+// (translation-cache hit path).
+func BenchmarkTranslateHit(b *testing.B) { bench.BenchTranslateHit(b) }
+
+// BenchmarkTranslateMiss strides over more pages than the translation
+// cache or simulated TLB hold.
+func BenchmarkTranslateMiss(b *testing.B) { bench.BenchTranslateMiss(b) }
+
+// BenchmarkWriteBytes measures the bulk-copy path with syscall-sized
+// (512B) chunks; the acceptance gate compares it against
+// BenchmarkWriteBytesMapBaseline.
+func BenchmarkWriteBytes(b *testing.B) { bench.BenchBulkCopy(b, 512) }
+
+// BenchmarkWriteBytesPage measures page-sized bulk copies.
+func BenchmarkWriteBytesPage(b *testing.B) { bench.BenchBulkCopy(b, 4096) }
+
+// BenchmarkWriteBytesMapBaseline is the seed's map-based page table
+// and frame pool on the same access pattern.
+func BenchmarkWriteBytesMapBaseline(b *testing.B) { bench.BenchBulkCopyBaseline(b, 512) }
+
+// BenchmarkWriteBytesPageMapBaseline is the page-sized baseline.
+func BenchmarkWriteBytesPageMapBaseline(b *testing.B) { bench.BenchBulkCopyBaseline(b, 4096) }
+
+// BenchmarkReadU64 measures the word path the Cosy VM and KGCC
+// interpreter lean on.
+func BenchmarkReadU64(b *testing.B) { bench.BenchReadU64(b) }
+
+// BenchmarkSchedulerDispatch measures a yield-dispatch-yield cycle
+// between two processes (run-queue hot path).
+func BenchmarkSchedulerDispatch(b *testing.B) { bench.BenchSchedulerDispatch(b) }
 
 // BenchmarkCompoundExec measures Cosy compound execution throughput.
 func BenchmarkCompoundExec(b *testing.B) {

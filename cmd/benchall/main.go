@@ -1,0 +1,108 @@
+// Command benchall runs the full experiment suite through the
+// parallel runner and writes BENCH_repro.json: the wall-clock and
+// simulated-cycle trajectory of this checkout, comparable across PRs.
+//
+// Usage:
+//
+//	benchall [-workers N] [-full] [-serial-compare] [-no-micro] [-out BENCH_repro.json]
+//
+// Each experiment is an independent, deterministic simulated machine,
+// so trials fan across GOMAXPROCS without changing a single simulated
+// cycle; -serial-compare reruns the suite on one worker to record the
+// parallel speedup. The micro section records the substrate
+// fast-path numbers (bulk copy vs the seed's map-based baseline,
+// translation hit/miss, syscall round trip, scheduler dispatch).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	workers := flag.Int("workers", 0, "worker pool size (0: GOMAXPROCS)")
+	full := flag.Bool("full", false, "include the slowest configurations (E1's 100,000-file point)")
+	serialCompare := flag.Bool("serial-compare", false, "also run the suite serially and record the parallel speedup")
+	noMicro := flag.Bool("no-micro", false, "skip the substrate micro-benchmarks")
+	out := flag.String("out", "BENCH_repro.json", "output trajectory file")
+	flag.Parse()
+
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	doc := bench.NewRepro(w)
+
+	trials := bench.Suite(*full)
+	fmt.Fprintf(os.Stderr, "running %d experiments on %d workers (GOMAXPROCS=%d)...\n",
+		len(trials), w, runtime.GOMAXPROCS(0))
+	t0 := time.Now()
+	results := bench.RunTrials(trials, w)
+	doc.WallSeconds = time.Since(t0).Seconds()
+	doc.Experiments = results
+
+	failed := false
+	for _, r := range results {
+		status := "ok"
+		switch {
+		case r.Err != "":
+			status, failed = "ERROR: "+r.Err, true
+		case !r.AllPass:
+			status, failed = "MISS", true
+		}
+		fmt.Fprintf(os.Stderr, "  %-4s %8.2fs wall  %14d sim cycles  %s\n",
+			r.Name, r.WallSeconds, int64(r.SimElapsed), status)
+	}
+
+	if *serialCompare {
+		fmt.Fprintln(os.Stderr, "rerunning serially for the speedup baseline...")
+		t1 := time.Now()
+		serial := bench.RunTrials(trials, 1)
+		doc.SerialWallSeconds = time.Since(t1).Seconds()
+		for i, r := range serial {
+			if r.SimElapsed != results[i].SimElapsed ||
+				r.SimUser != results[i].SimUser || r.SimSys != results[i].SimSys {
+				fmt.Fprintf(os.Stderr, "DETERMINISM VIOLATION: %s cycles differ between serial and parallel runs\n", r.Name)
+				failed = true
+			}
+		}
+		if doc.WallSeconds > 0 {
+			doc.ParallelSpeedup = doc.SerialWallSeconds / doc.WallSeconds
+		}
+		fmt.Fprintf(os.Stderr, "serial %.2fs vs parallel %.2fs -> speedup %.2fx\n",
+			doc.SerialWallSeconds, doc.WallSeconds, doc.ParallelSpeedup)
+	}
+
+	if !*noMicro {
+		fmt.Fprintln(os.Stderr, "running substrate micro-benchmarks...")
+		doc.Micro = bench.MicroSuite()
+		for _, m := range doc.Micro {
+			if m.BaselineNsPerOp > 0 {
+				fmt.Fprintf(os.Stderr, "  %-20s %10.1f ns/op  (map baseline %.1f ns/op, %.2fx)\n",
+					m.Name, m.NsPerOp, m.BaselineNsPerOp, m.Speedup)
+			} else {
+				fmt.Fprintf(os.Stderr, "  %-20s %10.1f ns/op  %d allocs/op\n",
+					m.Name, m.NsPerOp, m.AllocsPerOp)
+			}
+		}
+	}
+
+	if runtime.GOMAXPROCS(0) < 2 {
+		doc.Notes = append(doc.Notes,
+			"host has a single logical CPU: parallel speedup is bounded at ~1x here; rerun on a multi-core host for the fan-out numbers")
+	}
+
+	if err := doc.Write(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	if failed {
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// BaselineSpace replicates the seed's memory substrate — a
+// map[Addr]PTE page table over a map[Frame][]byte frame pool — as a
+// measurement baseline for the radix-table + translation-cache fast
+// path in internal/mem. It is used only by the micro-benchmark
+// comparisons (BenchmarkWriteBytesMapBaseline and cmd/benchall's
+// micro section); nothing in the simulator runs on it. Simulated
+// accounting (the TLB model) is included so the two paths do the same
+// bookkeeping work per page.
+type BaselineSpace struct {
+	pages  map[mem.Addr]baselinePTE
+	frames map[uint32][]byte
+	nextF  uint32
+	nextVA mem.Addr
+
+	tlb      [64]mem.Addr
+	tlbValid [64]bool
+
+	TLBHits, TLBMisses uint64
+}
+
+type baselinePTE struct {
+	frame uint32
+	perm  mem.Perm
+}
+
+// NewBaselineSpace creates an empty baseline space.
+func NewBaselineSpace() *BaselineSpace {
+	return &BaselineSpace{
+		pages:  make(map[mem.Addr]baselinePTE),
+		frames: make(map[uint32][]byte),
+		nextVA: 0x1000 * 16,
+	}
+}
+
+// MapRegion maps nPages fresh rw pages and returns the base address.
+func (bs *BaselineSpace) MapRegion(nPages int) mem.Addr {
+	base := bs.nextVA
+	bs.nextVA += mem.Addr(nPages+1) * mem.PageSize
+	for i := 0; i < nPages; i++ {
+		f := bs.nextF
+		bs.nextF++
+		bs.frames[f] = make([]byte, mem.PageSize)
+		bs.pages[base+mem.Addr(i*mem.PageSize)] = baselinePTE{frame: f, perm: mem.PermRW}
+	}
+	return base
+}
+
+func (bs *BaselineSpace) tlbLookup(page mem.Addr) {
+	i := int((uint64(page) >> mem.PageShift) % 64)
+	if bs.tlbValid[i] && bs.tlb[i] == page {
+		bs.TLBHits++
+		return
+	}
+	bs.TLBMisses++
+	bs.tlb[i] = page
+	bs.tlbValid[i] = true
+}
+
+func (bs *BaselineSpace) translate(va mem.Addr, write bool) (baselinePTE, error) {
+	page := mem.PageDown(va)
+	pte, ok := bs.pages[page]
+	if !ok {
+		return baselinePTE{}, fmt.Errorf("baseline: fault at %#x", uint64(va))
+	}
+	need := mem.PermR
+	if write {
+		need = mem.PermW
+	}
+	if pte.perm&need == 0 {
+		return baselinePTE{}, fmt.Errorf("baseline: protection fault at %#x", uint64(va))
+	}
+	bs.tlbLookup(page)
+	return pte, nil
+}
+
+// WriteBytes copies p into memory starting at va, one map-resolved
+// page at a time — the seed's bulk-copy path.
+func (bs *BaselineSpace) WriteBytes(va mem.Addr, p []byte) error {
+	for len(p) > 0 {
+		pte, err := bs.translate(va, true)
+		if err != nil {
+			return err
+		}
+		off := int(va & mem.PageMask)
+		n := copy(bs.frames[pte.frame][off:], p)
+		p = p[n:]
+		va += mem.Addr(n)
+	}
+	return nil
+}
+
+// ReadBytes copies len(p) bytes starting at va into p.
+func (bs *BaselineSpace) ReadBytes(va mem.Addr, p []byte) error {
+	for len(p) > 0 {
+		pte, err := bs.translate(va, false)
+		if err != nil {
+			return err
+		}
+		off := int(va & mem.PageMask)
+		n := copy(p, bs.frames[pte.frame][off:])
+		p = p[n:]
+		va += mem.Addr(n)
+	}
+	return nil
+}

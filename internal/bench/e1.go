@@ -54,6 +54,8 @@ func E1(full bool) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		t.Observe(oldPh)
+		t.Observe(newPh)
 		el := improvement(oldPh.Elapsed, newPh.Elapsed)
 		sy := improvement(oldPh.Sys, newPh.Sys)
 		us := improvement(oldPh.User, newPh.User)

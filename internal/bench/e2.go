@@ -35,6 +35,7 @@ func E2() (*Table, error) {
 	if err := s.Run(); err != nil {
 		return nil, err
 	}
+	t.ObserveCycles(s.M.Elapsed())
 
 	sav := trace.EstimateReaddirplus(rec, s.M.Costs)
 	callRatio := float64(sav.CallsAfter) / float64(sav.CallsBefore)

@@ -54,6 +54,8 @@ func E3() (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s (cosy): %w", m.name, err)
 		}
+		t.Observe(base)
+		t.Observe(cosyPh)
 		sp := improvement(base.CPU(), cosyPh.CPU())
 		lo, hi = minf(lo, sp), maxf(hi, sp)
 		t.Add(m.name, "40-90%", pct(sp), inBand(sp, 0.35, 0.95))

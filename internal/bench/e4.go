@@ -59,6 +59,8 @@ func E4() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		t.Observe(base)
+		t.Observe(cosyPh)
 		sp := improvement(base.CPU(), cosyPh.CPU())
 		lo, hi = minf(lo, sp), maxf(hi, sp)
 		t.Add(v.name, "20-80%", pct(sp), inBand(sp, 0.15, 0.85))

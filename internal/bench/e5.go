@@ -32,6 +32,8 @@ func E5() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.Observe(vanilla)
+	t.Observe(guarded)
 
 	ov := overhead(vanilla.Elapsed, guarded.Elapsed)
 	t.Add("elapsed overhead", "1.4%", pct(ov), inBand(ov, 0.002, 0.05))

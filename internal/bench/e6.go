@@ -96,6 +96,10 @@ func E6() (*Table, error) {
 		return nil, err
 	}
 
+	for _, r := range []result{control, dispatcher, withLogger, withQuiet} {
+		t.Observe(r.ph)
+	}
+
 	hitRate := float64(dispatcher.hits) / dispatcher.ph.Elapsed.Seconds()
 	t.Add("dcache_lock hits/second", "8,805/s", fmt.Sprintf("%.0f/s", hitRate),
 		hitRate > 2_000 && hitRate < 1_000_000)

@@ -59,6 +59,9 @@ func E7() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	for _, ph := range []Phase{cVan, cKgcc, pVan, pKgcc} {
+		t.Observe(ph)
+	}
 
 	cSys := overhead(cVan.Sys, cKgcc.Sys)
 	cEl := overhead(cVan.Elapsed, cKgcc.Elapsed)

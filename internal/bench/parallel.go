@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// The parallel experiment runner. Every experiment trial boots its
+// own core.System — a shared-nothing, deterministic machine — so the
+// whole E1-E8 suite fans out across host cores with no effect on any
+// simulated cycle count. The simulated machines do not know they ran
+// concurrently; only the wall clock does.
+
+// Trial is one independent, deterministic unit of work: it builds its
+// own system(s) internally and must not share mutable state with any
+// other trial.
+type Trial struct {
+	Name string
+	Run  func() (*Table, error)
+}
+
+// TrialResult is the outcome of one trial, as recorded in
+// BENCH_repro.json.
+type TrialResult struct {
+	Name        string     `json:"name"`
+	WallSeconds float64    `json:"wall_seconds"`
+	SimUser     sim.Cycles `json:"sim_user_cycles"`
+	SimSys      sim.Cycles `json:"sim_sys_cycles"`
+	SimElapsed  sim.Cycles `json:"sim_elapsed_cycles"`
+	AllPass     bool       `json:"all_pass"`
+	Err         string     `json:"error,omitempty"`
+
+	// Table carries the full result for rendering; not serialized.
+	Table *Table `json:"-"`
+}
+
+// RunTrials fans trials across a worker pool and returns results in
+// trial order. workers <= 0 selects GOMAXPROCS. With workers == 1 the
+// trials run strictly sequentially on one goroutine, which is the
+// serial baseline the determinism regression compares against.
+func RunTrials(trials []Trial, workers int) []TrialResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(trials) {
+		workers = len(trials)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]TrialResult, len(trials))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runTrial(trials[i])
+			}
+		}()
+	}
+	for i := range trials {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+func runTrial(tr Trial) TrialResult {
+	t0 := time.Now()
+	tbl, err := tr.Run()
+	res := TrialResult{Name: tr.Name, WallSeconds: time.Since(t0).Seconds()}
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Table = tbl
+	res.SimUser = tbl.SimUser
+	res.SimSys = tbl.SimSys
+	res.SimElapsed = tbl.SimElapsed
+	res.AllPass = tbl.AllPass()
+	return res
+}
+
+// Suite returns the standard experiment trial list: E1-E8 plus the
+// ablation set, one trial per experiment.
+func Suite(full bool) []Trial {
+	return []Trial{
+		{Name: "E1", Run: func() (*Table, error) { return E1(full) }},
+		{Name: "E2", Run: E2},
+		{Name: "E3", Run: E3},
+		{Name: "E4", Run: E4},
+		{Name: "E5", Run: E5},
+		{Name: "E6", Run: E6},
+		{Name: "E7", Run: E7},
+		{Name: "E8", Run: E8},
+	}
+}
+
+// MicroResult is one micro-benchmark comparison row in
+// BENCH_repro.json.
+type MicroResult struct {
+	Name            string  `json:"name"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
+}
+
+// Repro is the BENCH_repro.json document: the wall-clock and
+// simulated-cycle trajectory of one full benchmark run, written so
+// future PRs can compare host performance while asserting simulated
+// results never move.
+type Repro struct {
+	Schema            string        `json:"schema"`
+	GeneratedAt       string        `json:"generated_at"`
+	GoMaxProcs        int           `json:"gomaxprocs"`
+	Workers           int           `json:"workers"`
+	WallSeconds       float64       `json:"wall_seconds_total"`
+	SerialWallSeconds float64       `json:"serial_wall_seconds,omitempty"`
+	ParallelSpeedup   float64       `json:"parallel_speedup,omitempty"`
+	Experiments       []TrialResult `json:"experiments"`
+	Micro             []MicroResult `json:"micro,omitempty"`
+	Notes             []string      `json:"notes,omitempty"`
+}
+
+// NewRepro stamps a document header for the current host.
+func NewRepro(workers int) *Repro {
+	return &Repro{
+		Schema:      "bench-repro/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Workers:     workers,
+	}
+}
+
+// Write serializes the document to path.
+func (r *Repro) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal repro: %w", err)
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

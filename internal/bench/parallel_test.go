@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestParallelDeterminism is the determinism regression gate for the
+// perf work: E1 and E3 must report bit-identical simulated
+// user/sys/elapsed cycles whether the trials run strictly serially or
+// fanned across the worker pool. Any fast-path change that perturbs
+// the cost model shows up here as a cycle diff.
+func TestParallelDeterminism(t *testing.T) {
+	trials := []Trial{
+		{Name: "E1", Run: func() (*Table, error) { return E1(false) }},
+		{Name: "E3", Run: E3},
+	}
+	serial := RunTrials(trials, 1)
+	parallel := RunTrials(trials, 4)
+
+	for i, tr := range trials {
+		s, p := serial[i], parallel[i]
+		if s.Err != "" || p.Err != "" {
+			t.Fatalf("%s: serial err %q, parallel err %q", tr.Name, s.Err, p.Err)
+		}
+		if s.SimUser != p.SimUser || s.SimSys != p.SimSys || s.SimElapsed != p.SimElapsed {
+			t.Errorf("%s: serial cycles (user %d, sys %d, elapsed %d) != parallel (user %d, sys %d, elapsed %d)",
+				tr.Name, s.SimUser, s.SimSys, s.SimElapsed, p.SimUser, p.SimSys, p.SimElapsed)
+		}
+		if s.SimElapsed == 0 {
+			t.Errorf("%s: no simulated cycles observed — experiment not instrumented", tr.Name)
+		}
+		if got, want := p.Table.String(), s.Table.String(); got != want {
+			t.Errorf("%s: parallel table differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+				tr.Name, want, got)
+		}
+	}
+}
+
+// TestRunTrialsOrderAndErrors checks the pool preserves trial order
+// and reports failures without aborting the batch.
+func TestRunTrialsOrderAndErrors(t *testing.T) {
+	boom := func() (*Table, error) { return nil, errTrial{} }
+	okTbl := func(name string) func() (*Table, error) {
+		return func() (*Table, error) {
+			tbl := &Table{ID: name}
+			tbl.Add("x", "1", "1", true)
+			return tbl, nil
+		}
+	}
+	trials := []Trial{
+		{Name: "a", Run: okTbl("a")},
+		{Name: "fail", Run: boom},
+		{Name: "b", Run: okTbl("b")},
+	}
+	res := RunTrials(trials, 3)
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if res[0].Name != "a" || res[1].Name != "fail" || res[2].Name != "b" {
+		t.Fatalf("order not preserved: %v, %v, %v", res[0].Name, res[1].Name, res[2].Name)
+	}
+	if res[1].Err == "" {
+		t.Error("failed trial did not record an error")
+	}
+	if !res[0].AllPass || !res[2].AllPass {
+		t.Error("passing trials not marked AllPass")
+	}
+}
+
+type errTrial struct{}
+
+func (errTrial) Error() string { return "trial exploded" }

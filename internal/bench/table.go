@@ -26,7 +26,25 @@ type Table struct {
 	Title string
 	Rows  []Row
 	Notes []string
+
+	// Simulated-cycle totals over the experiment's measured phases,
+	// accumulated via Observe. The parallel runner records these in
+	// BENCH_repro.json so wall-clock trajectories can be compared
+	// across PRs while proving the simulated results did not move.
+	SimUser, SimSys, SimElapsed sim.Cycles
 }
+
+// Observe accumulates a measured phase's simulated times into the
+// table's totals.
+func (t *Table) Observe(ph Phase) {
+	t.SimUser += ph.User
+	t.SimSys += ph.Sys
+	t.SimElapsed += ph.Elapsed
+}
+
+// ObserveCycles accumulates raw elapsed cycles (experiments that
+// measure a whole machine rather than a phase).
+func (t *Table) ObserveCycles(c sim.Cycles) { t.SimElapsed += c }
 
 // Add appends a row.
 func (t *Table) Add(label, paper, measured string, pass bool) {

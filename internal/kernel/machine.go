@@ -20,6 +20,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/klog"
 	"repro/internal/mem"
+	"repro/internal/ring"
 	"repro/internal/sim"
 )
 
@@ -36,7 +37,7 @@ type Machine struct {
 	Log *klog.Log
 
 	procs   map[int]*Process
-	ready   []*Process
+	ready   *ring.Deque[*Process]
 	current *Process
 	events  eventHeap
 	nextPID int
@@ -69,6 +70,7 @@ func New(cfg Config) *Machine {
 		Costs:   costs,
 		Phys:    mem.NewPhys(cfg.PhysBytes),
 		procs:   make(map[int]*Process),
+		ready:   ring.NewDeque[*Process](16),
 		nextPID: 1,
 	}
 	m.KAS = mem.NewAddressSpace("kernel", m.Phys, &m.Costs)
@@ -111,7 +113,7 @@ func (m *Machine) Spawn(name string, fn func(*Process) error) *Process {
 	p.UAS = mem.NewAddressSpace(fmt.Sprintf("user-%s-%d", name, p.PID), m.Phys, &m.Costs)
 	p.UAS.Charge = p.Charge
 	m.procs[p.PID] = p
-	m.ready = append(m.ready, p)
+	m.ready.PushBack(p)
 	go p.top(fn)
 	return p
 }
@@ -124,7 +126,7 @@ func (m *Machine) Run() error {
 	var firstErr error
 	for len(m.procs) > 0 {
 		m.deliverDue()
-		if len(m.ready) == 0 {
+		if m.ready.Len() == 0 {
 			if m.events.Len() == 0 {
 				panic("kernel: deadlock - processes alive but nothing runnable and no pending events")
 			}
@@ -136,8 +138,7 @@ func (m *Machine) Run() error {
 			ev.proc.wake()
 			continue
 		}
-		p := m.ready[0]
-		m.ready = m.ready[1:]
+		p, _ := m.ready.PopFront()
 		if p.state != stateReady {
 			continue
 		}
@@ -149,7 +150,7 @@ func (m *Machine) Run() error {
 			}
 			delete(m.procs, p.PID)
 		case stateReady:
-			m.ready = append(m.ready, p)
+			m.ready.PushBack(p)
 		case stateBlocked:
 			// Wake event already queued by BlockFor.
 		}
@@ -178,8 +179,8 @@ func (m *Machine) dispatch(p *Process) {
 // runnableOthers reports whether any process other than the current
 // one is ready to run (the preemption condition).
 func (m *Machine) runnableOthers() bool {
-	for _, p := range m.ready {
-		if p.state == stateReady {
+	for i := 0; i < m.ready.Len(); i++ {
+		if m.ready.At(i).state == stateReady {
 			return true
 		}
 	}

@@ -250,7 +250,7 @@ func (p *Process) BlockFor(d sim.Cycles) {
 // scheduler when its event fires.
 func (p *Process) wake() {
 	p.state = stateReady
-	p.M.ready = append(p.M.ready, p)
+	p.M.ready.PushBack(p)
 }
 
 // Kill terminates the process immediately with the given reason. It

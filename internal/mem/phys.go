@@ -53,11 +53,20 @@ var ErrOutOfMemory = errors.New("mem: out of physical memory")
 // pool is bounded to model the paper's 884MB test machine (the bound
 // is configurable because Kefence "may exhaust virtual or physical
 // memory" and we test exactly that).
+//
+// Frame numbers are dense and small, so the pool is a slice indexed
+// directly by frame number: Data sits on the bulk-copy fast path
+// (once per page per copy) and must not pay a map hash. Freed frames'
+// backing pages are recycled through a pool and re-zeroed on reuse,
+// preserving the zeroed-frame guarantee without a fresh allocation
+// per Alloc.
 type Phys struct {
 	maxFrames int
-	frames    map[Frame][]byte
+	frames    [][]byte // indexed by Frame; nil = not allocated
 	free      []Frame
+	pool      [][]byte // recycled backing pages
 	next      Frame
+	inUse     int
 }
 
 // NewPhys creates a frame pool holding at most maxBytes of memory.
@@ -67,10 +76,7 @@ func NewPhys(maxBytes int64) *Phys {
 	if maxBytes <= 0 {
 		max = 1 << 30 / PageSize * 1024 // effectively unbounded
 	}
-	return &Phys{
-		maxFrames: max,
-		frames:    make(map[Frame][]byte),
-	}
+	return &Phys{maxFrames: max}
 }
 
 // Alloc grabs a zeroed frame.
@@ -78,39 +84,53 @@ func (p *Phys) Alloc() (Frame, error) {
 	if n := len(p.free); n > 0 {
 		f := p.free[n-1]
 		p.free = p.free[:n-1]
-		p.frames[f] = make([]byte, PageSize)
+		p.frames[f] = p.newPage()
+		p.inUse++
 		return f, nil
 	}
-	if len(p.frames) >= p.maxFrames {
+	if p.inUse >= p.maxFrames {
 		return 0, ErrOutOfMemory
 	}
 	f := p.next
 	p.next++
-	p.frames[f] = make([]byte, PageSize)
+	p.frames = append(p.frames, p.newPage())
+	p.inUse++
 	return f, nil
+}
+
+// newPage returns a zeroed page, recycling freed backing store.
+func (p *Phys) newPage() []byte {
+	if n := len(p.pool); n > 0 {
+		d := p.pool[n-1]
+		p.pool = p.pool[:n-1]
+		clear(d)
+		return d
+	}
+	return make([]byte, PageSize)
 }
 
 // Free returns a frame to the pool. Freeing an unallocated frame
 // panics: that is a kernel bug, not a recoverable error.
 func (p *Phys) Free(f Frame) {
-	if _, ok := p.frames[f]; !ok {
+	if int(f) >= len(p.frames) || p.frames[f] == nil {
 		panic(fmt.Sprintf("mem: double free of frame %d", f))
 	}
-	delete(p.frames, f)
+	p.pool = append(p.pool, p.frames[f])
+	p.frames[f] = nil
 	p.free = append(p.free, f)
+	p.inUse--
 }
 
 // Data returns the backing bytes of a frame.
 func (p *Phys) Data(f Frame) []byte {
-	d, ok := p.frames[f]
-	if !ok {
+	if int(f) >= len(p.frames) || p.frames[f] == nil {
 		panic(fmt.Sprintf("mem: access to unallocated frame %d", f))
 	}
-	return d
+	return p.frames[f]
 }
 
 // InUse reports the number of allocated frames.
-func (p *Phys) InUse() int { return len(p.frames) }
+func (p *Phys) InUse() int { return p.inUse }
 
 // MaxFrames reports the pool bound.
 func (p *Phys) MaxFrames() int { return p.maxFrames }

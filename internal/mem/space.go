@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/sim"
@@ -111,12 +112,30 @@ type ChargeFunc func(sim.Cycles)
 // held 64 entries.
 const tlbSize = 64
 
+// Translation-cache geometry: a direct-mapped, host-side cache of
+// successful page walks fronting translate. A hit skips the radix
+// walk and the fault-path branches entirely. This cache is invisible
+// to the simulated machine — the simulated TLB (tlbLookup) still runs
+// on every successful translation, so TLBHits/TLBMisses/Faults and
+// every cycle charge are bit-identical with or without it.
+const (
+	tcBits = 8
+	tcSize = 1 << tcBits
+	tcMask = tcSize - 1
+)
+
+type tcEntry struct {
+	page  Addr
+	pte   PTE
+	valid bool
+}
+
 // AddressSpace is one virtual address space: a software page table, a
 // TLB, a fault handler, and a simple region reservation cursor.
 type AddressSpace struct {
 	Name  string
 	phys  *Phys
-	pages map[Addr]PTE
+	pages pageTable
 
 	// Handler is invoked on faults; nil means all faults kill.
 	Handler FaultHandler
@@ -127,6 +146,9 @@ type AddressSpace struct {
 
 	tlb      [tlbSize]Addr
 	tlbValid [tlbSize]bool
+
+	// tc is the host-side translation cache; see tcBits.
+	tc [tcSize]tcEntry
 
 	// Stats.
 	TLBHits, TLBMisses uint64
@@ -141,7 +163,6 @@ func NewAddressSpace(name string, phys *Phys, costs *sim.Costs) *AddressSpace {
 	return &AddressSpace{
 		Name:  name,
 		phys:  phys,
-		pages: make(map[Addr]PTE),
 		costs: costs,
 		next:  0x1000 * 16, // keep page 0 and the low pages unmapped
 	}
@@ -166,14 +187,15 @@ func (as *AddressSpace) MapPage(va Addr, perm Perm) error {
 	if va&PageMask != 0 {
 		panic(fmt.Sprintf("mem: MapPage of unaligned address %#x", uint64(va)))
 	}
-	if _, ok := as.pages[va]; ok {
+	if _, ok := as.pages.lookup(va); ok {
 		return fmt.Errorf("mem: page %#x already mapped", uint64(va))
 	}
 	f, err := as.phys.Alloc()
 	if err != nil {
 		return err
 	}
-	as.pages[va] = PTE{Frame: f, Perm: perm}
+	as.pages.set(va, PTE{Frame: f, Perm: perm})
+	as.tcInvalidate(va)
 	as.chargeCost(as.costMapPage())
 	return nil
 }
@@ -184,24 +206,26 @@ func (as *AddressSpace) MapGuard(va Addr) error {
 	if va&PageMask != 0 {
 		panic(fmt.Sprintf("mem: MapGuard of unaligned address %#x", uint64(va)))
 	}
-	if _, ok := as.pages[va]; ok {
+	if _, ok := as.pages.lookup(va); ok {
 		return fmt.Errorf("mem: page %#x already mapped", uint64(va))
 	}
-	as.pages[va] = PTE{Guard: true, Perm: PermNone}
+	as.pages.set(va, PTE{Guard: true, Perm: PermNone})
+	as.tcInvalidate(va)
 	return nil
 }
 
 // Unmap removes the mapping at va, releasing its frame. Unmapping a
 // guard page releases nothing.
 func (as *AddressSpace) Unmap(va Addr) error {
-	pte, ok := as.pages[va]
+	pte, ok := as.pages.lookup(va)
 	if !ok {
 		return fmt.Errorf("mem: unmap of unmapped page %#x", uint64(va))
 	}
 	if !pte.Guard {
 		as.phys.Free(pte.Frame)
 	}
-	delete(as.pages, va)
+	as.pages.del(va)
+	as.tcInvalidate(va)
 	as.tlbFlushPage(va)
 	as.chargeCost(as.costUnmapPage())
 	return nil
@@ -211,7 +235,7 @@ func (as *AddressSpace) Unmap(va Addr) error {
 // Kefence's auto-map mode to convert a guard page into a readable (or
 // writable) page after logging the overflow.
 func (as *AddressSpace) SetPerm(va Addr, perm Perm) error {
-	pte, ok := as.pages[va]
+	pte, ok := as.pages.lookup(va)
 	if !ok {
 		return fmt.Errorf("mem: SetPerm on unmapped page %#x", uint64(va))
 	}
@@ -225,19 +249,19 @@ func (as *AddressSpace) SetPerm(va Addr, perm Perm) error {
 		pte.Guard = false
 	}
 	pte.Perm = perm
-	as.pages[va] = pte
+	as.pages.set(va, pte)
+	as.tcInvalidate(va)
 	as.tlbFlushPage(va)
 	return nil
 }
 
 // Lookup returns the PTE mapping va's page, if any.
 func (as *AddressSpace) Lookup(va Addr) (PTE, bool) {
-	pte, ok := as.pages[PageDown(va)]
-	return pte, ok
+	return as.pages.lookup(PageDown(va))
 }
 
 // Mapped reports the number of mapped pages (guards included).
-func (as *AddressSpace) Mapped() int { return len(as.pages) }
+func (as *AddressSpace) Mapped() int { return as.pages.len() }
 
 func (as *AddressSpace) chargeCost(c sim.Cycles) {
 	if as.Charge != nil && c > 0 {
@@ -284,19 +308,55 @@ func (as *AddressSpace) tlbFlushPage(page Addr) {
 	}
 }
 
-// TLBFlush empties the TLB (context switch).
+// TLBFlush empties the TLB (context switch). The host-side
+// translation cache is flushed with it: strictly wider invalidation
+// than required for correctness, but it keeps the coherence argument
+// one line long.
 func (as *AddressSpace) TLBFlush() {
 	for i := range as.tlbValid {
 		as.tlbValid[i] = false
 	}
+	for i := range as.tc {
+		as.tc[i].valid = false
+	}
+}
+
+// tcIndex is the translation cache's direct-map hash.
+func tcIndex(page Addr) int { return int((uint64(page) >> PageShift) & tcMask) }
+
+// tcInvalidate drops the cached walk for page, if present. Every
+// mutation of a page's PTE (MapPage, MapGuard, SetPerm, Unmap) must
+// call this before the next access.
+func (as *AddressSpace) tcInvalidate(page Addr) {
+	e := &as.tc[tcIndex(page)]
+	if e.valid && e.page == page {
+		e.valid = false
+	}
 }
 
 // translate resolves one page with permission checking and fault
-// delivery. On success it returns the PTE.
+// delivery. On success it returns the PTE. The fast path serves
+// repeat translations from the host-side cache; simulated TLB
+// accounting still runs on every success, so cycle counts match the
+// uncached walk exactly.
 func (as *AddressSpace) translate(va Addr, access Access) (PTE, error) {
-	page := PageDown(va)
+	page := va &^ Addr(PageMask)
+	e := &as.tc[tcIndex(page)]
+	if e.valid && e.page == page {
+		perm := e.pte.Perm
+		if (access == AccessRead && perm&PermR != 0) ||
+			(access == AccessWrite && perm&PermW != 0) {
+			as.tlbLookup(page)
+			return e.pte, nil
+		}
+	}
+	return as.translateSlow(va, page, access)
+}
+
+// translateSlow is the full page walk with fault delivery.
+func (as *AddressSpace) translateSlow(va, page Addr, access Access) (PTE, error) {
 	for attempt := 0; ; attempt++ {
-		pte, ok := as.pages[page]
+		pte, ok := as.pages.lookup(page)
 		var f *Fault
 		switch {
 		case !ok:
@@ -307,6 +367,7 @@ func (as *AddressSpace) translate(va Addr, access Access) (PTE, error) {
 			access == AccessWrite && pte.Perm&PermW == 0:
 			f = &Fault{Addr: va, Access: access}
 		default:
+			as.tc[tcIndex(page)] = tcEntry{page: page, pte: pte, valid: true}
 			as.tlbLookup(page)
 			return pte, nil
 		}
@@ -324,7 +385,9 @@ func (as *AddressSpace) translate(va Addr, access Access) (PTE, error) {
 	}
 }
 
-// ReadBytes copies len(p) bytes starting at va into p.
+// ReadBytes copies len(p) bytes starting at va into p: the bulk path.
+// Each page is translated exactly once (as before), then copied in
+// one host memmove.
 func (as *AddressSpace) ReadBytes(va Addr, p []byte) error {
 	for len(p) > 0 {
 		pte, err := as.translate(va, AccessRead)
@@ -355,25 +418,38 @@ func (as *AddressSpace) WriteBytes(va Addr, p []byte) error {
 }
 
 // ReadU64 reads a little-endian 64-bit word (helper for the Cosy VM
-// and the KGCC-interpreted code).
+// and the KGCC-interpreted code). Words inside a single page — the
+// overwhelmingly common case — decode straight out of the frame;
+// page-straddling words take the byte path. Both perform the same
+// translations (and thus the same simulated charges) as a
+// ReadBytes(va, 8) did.
 func (as *AddressSpace) ReadU64(va Addr) (uint64, error) {
+	if off := int(va & PageMask); off <= PageSize-8 {
+		pte, err := as.translate(va, AccessRead)
+		if err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(as.phys.Data(pte.Frame)[off:]), nil
+	}
 	var b [8]byte
 	if err := as.ReadBytes(va, b[:]); err != nil {
 		return 0, err
 	}
-	var v uint64
-	for i := 7; i >= 0; i-- {
-		v = v<<8 | uint64(b[i])
-	}
-	return v, nil
+	return binary.LittleEndian.Uint64(b[:]), nil
 }
 
 // WriteU64 writes a little-endian 64-bit word.
 func (as *AddressSpace) WriteU64(va Addr, v uint64) error {
-	var b [8]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (8 * i))
+	if off := int(va & PageMask); off <= PageSize-8 {
+		pte, err := as.translate(va, AccessWrite)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(as.phys.Data(pte.Frame)[off:], v)
+		return nil
 	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
 	return as.WriteBytes(va, b[:])
 }
 

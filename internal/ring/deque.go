@@ -1,0 +1,66 @@
+package ring
+
+// Deque is a growable ring-backed FIFO for single-goroutine use — the
+// scheduler's run queue. Unlike Buffer it never drops and never
+// allocates on the pop path; unlike the `q = q[1:]` idiom it pops in
+// O(1) without leaking the backing array's consumed prefix.
+type Deque[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// NewDeque creates a deque with at least the given initial capacity
+// (rounded up to a power of two; minimum 8).
+func NewDeque[T any](capacity int) *Deque[T] {
+	c := 8
+	for c < capacity {
+		c <<= 1
+	}
+	return &Deque[T]{buf: make([]T, c)}
+}
+
+// Len reports the number of queued values.
+func (d *Deque[T]) Len() int { return d.n }
+
+// PushBack appends v at the tail, growing the ring as needed.
+func (d *Deque[T]) PushBack(v T) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.n)&(len(d.buf)-1)] = v
+	d.n++
+}
+
+// PopFront removes and returns the head value; ok is false when the
+// deque is empty. The vacated slot is zeroed so popped references are
+// not retained.
+func (d *Deque[T]) PopFront() (v T, ok bool) {
+	if d.n == 0 {
+		return v, false
+	}
+	v = d.buf[d.head]
+	var zero T
+	d.buf[d.head] = zero
+	d.head = (d.head + 1) & (len(d.buf) - 1)
+	d.n--
+	return v, true
+}
+
+// At returns the i-th queued value from the head without removing it.
+// It panics when i is out of range.
+func (d *Deque[T]) At(i int) T {
+	if i < 0 || i >= d.n {
+		panic("ring: Deque.At out of range")
+	}
+	return d.buf[(d.head+i)&(len(d.buf)-1)]
+}
+
+// grow doubles the ring, unwrapping the live window to the front.
+func (d *Deque[T]) grow() {
+	buf := make([]T, len(d.buf)*2)
+	m := copy(buf, d.buf[d.head:])
+	copy(buf[m:], d.buf[:d.head])
+	d.buf = buf
+	d.head = 0
+}

@@ -1,0 +1,83 @@
+package ring
+
+import "testing"
+
+func TestDequeFIFO(t *testing.T) {
+	d := NewDeque[int](2)
+	for i := 0; i < 100; i++ {
+		d.PushBack(i)
+	}
+	if d.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", d.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := d.PopFront()
+		if !ok || v != i {
+			t.Fatalf("PopFront %d = %d, %v", i, v, ok)
+		}
+	}
+	if _, ok := d.PopFront(); ok {
+		t.Fatal("PopFront on empty deque returned ok")
+	}
+}
+
+func TestDequeInterleaved(t *testing.T) {
+	// Push/pop interleaving forces the head to wrap repeatedly and the
+	// ring to grow mid-wrap.
+	d := NewDeque[int](8)
+	next, expect := 0, 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 7; i++ {
+			d.PushBack(next)
+			next++
+		}
+		for i := 0; i < 5; i++ {
+			v, ok := d.PopFront()
+			if !ok || v != expect {
+				t.Fatalf("round %d: got %d, %v; want %d", round, v, ok, expect)
+			}
+			expect++
+		}
+	}
+	for d.Len() > 0 {
+		v, _ := d.PopFront()
+		if v != expect {
+			t.Fatalf("drain: got %d want %d", v, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d values, pushed %d", expect, next)
+	}
+}
+
+func TestDequeAt(t *testing.T) {
+	d := NewDeque[string](2)
+	d.PushBack("a")
+	d.PushBack("b")
+	d.PopFront()
+	d.PushBack("c")
+	d.PushBack("d") // forces wrap in a 4-slot ring
+	want := []string{"b", "c", "d"}
+	for i, w := range want {
+		if got := d.At(i); got != w {
+			t.Fatalf("At(%d) = %q, want %q", i, got, w)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range did not panic")
+		}
+	}()
+	d.At(3)
+}
+
+func TestDequePopZeroesSlot(t *testing.T) {
+	d := NewDeque[*int](2)
+	x := new(int)
+	d.PushBack(x)
+	d.PopFront()
+	if d.buf[0] != nil {
+		t.Fatal("popped slot retains reference")
+	}
+}

@@ -76,7 +76,7 @@ func (pr *Proc) closeInternal(fd int) error {
 // user buffer, returning the count.
 func (pr *Proc) Read(fd int, ub UserBuf) (int, error) {
 	pr.enter(NrRead, 0)
-	kbuf := make([]byte, ub.Len)
+	kbuf := pr.kbuf(ub.Len)
 	n, err := pr.readInternal(fd, kbuf)
 	if err != nil {
 		pr.exit(NrRead, 0, 0)
@@ -111,7 +111,7 @@ func (pr *Proc) readInternal(fd int, kbuf []byte) (int, error) {
 // Write writes the user buffer at the descriptor's offset.
 func (pr *Proc) Write(fd int, ub UserBuf) (int, error) {
 	pr.enter(NrWrite, ub.Len)
-	kbuf := make([]byte, ub.Len)
+	kbuf := pr.kbuf(ub.Len)
 	if err := pr.P.UAS.ReadBytes(ub.Addr, kbuf); err != nil {
 		pr.exit(NrWrite, 0, 0)
 		return 0, err

@@ -61,6 +61,23 @@ type Proc struct {
 	P *kernel.Process
 
 	fds [maxFDs]*file
+
+	// scratch is the kernel-side staging buffer for the boundary
+	// copies in Read/Write, reused across syscalls so the host does
+	// not allocate per call; see kbuf.
+	scratch []byte
+}
+
+// kbuf returns an n-byte kernel staging buffer, reusing the
+// per-process scratch allocation. The contents are unspecified and
+// only valid until the next kbuf call: Read/Write fill the used
+// prefix before handing it anywhere. Processes are single-threaded
+// and the buffer never escapes a syscall, so one per Proc suffices.
+func (pr *Proc) kbuf(n int) []byte {
+	if cap(pr.scratch) < n {
+		pr.scratch = make([]byte, n)
+	}
+	return pr.scratch[:n]
 }
 
 // NewProc attaches a syscall context to a running process.
