@@ -43,26 +43,38 @@ func benchTable(b *testing.B, fn func() (*bench.Table, error)) {
 
 // BenchmarkE1Readdirplus regenerates §2.2's readdirplus table.
 func BenchmarkE1Readdirplus(b *testing.B) {
-	benchTable(b, func() (*bench.Table, error) { return bench.E1(false) })
+	benchTable(b, func() (*bench.Table, error) { return bench.E1(false, false) })
 }
 
 // BenchmarkE2TraceSavings regenerates §2.2's trace-savings projection.
-func BenchmarkE2TraceSavings(b *testing.B) { benchTable(b, bench.E2) }
+func BenchmarkE2TraceSavings(b *testing.B) {
+	benchTable(b, func() (*bench.Table, error) { return bench.E2(false) })
+}
 
 // BenchmarkE3CosyMicro regenerates §2.3's micro-benchmarks.
-func BenchmarkE3CosyMicro(b *testing.B) { benchTable(b, bench.E3) }
+func BenchmarkE3CosyMicro(b *testing.B) {
+	benchTable(b, func() (*bench.Table, error) { return bench.E3(false) })
+}
 
 // BenchmarkE4CosyApps regenerates §2.3's application benchmarks.
-func BenchmarkE4CosyApps(b *testing.B) { benchTable(b, bench.E4) }
+func BenchmarkE4CosyApps(b *testing.B) {
+	benchTable(b, func() (*bench.Table, error) { return bench.E4(false) })
+}
 
 // BenchmarkE5Kefence regenerates §3.2's Kefence overhead table.
-func BenchmarkE5Kefence(b *testing.B) { benchTable(b, bench.E5) }
+func BenchmarkE5Kefence(b *testing.B) {
+	benchTable(b, func() (*bench.Table, error) { return bench.E5(false) })
+}
 
 // BenchmarkE6EventMonitor regenerates §3.3's monitoring overheads.
-func BenchmarkE6EventMonitor(b *testing.B) { benchTable(b, bench.E6) }
+func BenchmarkE6EventMonitor(b *testing.B) {
+	benchTable(b, func() (*bench.Table, error) { return bench.E6(false) })
+}
 
 // BenchmarkE7KGCC regenerates §3.4's instrumented-module table.
-func BenchmarkE7KGCC(b *testing.B) { benchTable(b, bench.E7) }
+func BenchmarkE7KGCC(b *testing.B) {
+	benchTable(b, func() (*bench.Table, error) { return bench.E7(false) })
+}
 
 // BenchmarkE8CheckElimination regenerates §3.4's static statistics.
 func BenchmarkE8CheckElimination(b *testing.B) { benchTable(b, bench.E8) }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchall [-workers N] [-full] [-serial-compare] [-no-micro] [-out BENCH_repro.json]
+//	benchall [-workers N] [-full] [-serial-compare] [-no-micro] [-no-kperf-gate] [-out BENCH_repro.json]
 //
 // Each experiment is an independent, deterministic simulated machine,
 // so trials fan across GOMAXPROCS without changing a single simulated
@@ -12,6 +12,13 @@
 // parallel speedup. The micro section records the substrate
 // fast-path numbers (bulk copy vs the seed's map-based baseline,
 // translation hit/miss, syscall round trip, scheduler dispatch).
+//
+// The primary run boots every experiment with kperf instrumentation
+// and embeds each experiment's observability snapshot in
+// BENCH_repro.json. The kperf gate (on by default) then reruns the
+// suite with instrumentation disabled and asserts every experiment's
+// simulated user/sys/elapsed cycles are bit-identical both ways —
+// the zero-simulated-cost contract of the observability layer.
 package main
 
 import (
@@ -29,6 +36,7 @@ func main() {
 	full := flag.Bool("full", false, "include the slowest configurations (E1's 100,000-file point)")
 	serialCompare := flag.Bool("serial-compare", false, "also run the suite serially and record the parallel speedup")
 	noMicro := flag.Bool("no-micro", false, "skip the substrate micro-benchmarks")
+	noKperfGate := flag.Bool("no-kperf-gate", false, "skip the kperf-off rerun that asserts instrumentation moves no simulated cycle")
 	out := flag.String("out", "BENCH_repro.json", "output trajectory file")
 	flag.Parse()
 
@@ -38,8 +46,8 @@ func main() {
 	}
 	doc := bench.NewRepro(w)
 
-	trials := bench.Suite(*full)
-	fmt.Fprintf(os.Stderr, "running %d experiments on %d workers (GOMAXPROCS=%d)...\n",
+	trials := bench.Suite(*full, true)
+	fmt.Fprintf(os.Stderr, "running %d experiments (kperf on) on %d workers (GOMAXPROCS=%d)...\n",
 		len(trials), w, runtime.GOMAXPROCS(0))
 	t0 := time.Now()
 	results := bench.RunTrials(trials, w)
@@ -55,8 +63,35 @@ func main() {
 		case !r.AllPass:
 			status, failed = "MISS", true
 		}
+		if r.Perf != nil && r.PerfIdentity != "ok" {
+			status, failed = "KPERF IDENTITY: "+r.PerfIdentity, true
+		}
 		fmt.Fprintf(os.Stderr, "  %-4s %8.2fs wall  %14d sim cycles  %s\n",
 			r.Name, r.WallSeconds, int64(r.SimElapsed), status)
+	}
+
+	if !*noKperfGate {
+		fmt.Fprintln(os.Stderr, "rerunning with kperf disabled for the zero-cost gate...")
+		off := bench.RunTrials(bench.Suite(*full, false), w)
+		gateOK := true
+		for i, r := range off {
+			on := results[i]
+			if r.Err != "" || on.Err != "" {
+				continue // already reported above
+			}
+			if r.SimUser != on.SimUser || r.SimSys != on.SimSys || r.SimElapsed != on.SimElapsed {
+				fmt.Fprintf(os.Stderr,
+					"KPERF COST VIOLATION: %s cycles differ with instrumentation on vs off (on: user %d sys %d elapsed %d; off: user %d sys %d elapsed %d)\n",
+					r.Name, int64(on.SimUser), int64(on.SimSys), int64(on.SimElapsed),
+					int64(r.SimUser), int64(r.SimSys), int64(r.SimElapsed))
+				failed = true
+				gateOK = false
+			}
+		}
+		if gateOK {
+			doc.Notes = append(doc.Notes,
+				"kperf gate: suite rerun with instrumentation disabled; simulated cycles bit-identical")
+		}
 	}
 
 	if *serialCompare {

@@ -1,0 +1,249 @@
+// Command kprof boots a kperf-instrumented system, drives one
+// workload to completion, and exports the observability data three
+// ways: a text summary of cycle attribution (per subsystem, per
+// syscall, per process), a Chrome trace_event JSON timeline loadable
+// in chrome://tracing or Perfetto, and a folded-stack profile
+// consumable by flamegraph.pl or speedscope.
+//
+// Usage:
+//
+//	kprof [-workload postmark|compile|interactive|dbscan|monitor]
+//	      [-trace FILE.json] [-folded FILE.folded] [-records N] [-top N]
+//
+// The "monitor" workload reproduces E6's shape — PostMark with the
+// dcache lock instrumented plus a user-space logger process — and is
+// the most interesting timeline: two processes interleaving on one
+// simulated CPU with disk-wait spans on both.
+//
+// kprof always verifies the attribution identity before exporting:
+// every simulated cycle between boot and completion must be
+// attributed to exactly one (process, mode, subsystem, syscall) cell
+// (plus the machine's setup and idle sinks), so the folded-stack
+// lines sum exactly to the machine's elapsed cycles. A mismatch is a
+// bug in the instrumentation and exits nonzero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/kperf"
+	"repro/internal/sys"
+	"repro/internal/vfs"
+	"repro/internal/vfs/memfs"
+	"repro/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "postmark", "workload: postmark, compile, interactive, dbscan, monitor")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
+	foldedOut := flag.String("folded", "", "write a folded-stack cycle profile to this file")
+	records := flag.Int("records", 0, "per-process trace shard capacity in records (0: 65536)")
+	top := flag.Int("top", 12, "rows per summary section")
+	flag.Parse()
+
+	s, err := run(*name, *records)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kprof: %v\n", err)
+		os.Exit(1)
+	}
+
+	sn := s.Perf.Snapshot()
+	if err := sn.CheckTotal(s.M.Elapsed()); err != nil {
+		fmt.Fprintf(os.Stderr, "kprof: attribution identity violated: %v\n", err)
+		os.Exit(2)
+	}
+
+	summarize(os.Stdout, *name, sn, *top)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kprof: %v\n", err)
+			os.Exit(1)
+		}
+		if err := s.Perf.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kprof: write trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (load in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
+	}
+	if *foldedOut != "" {
+		if err := os.WriteFile(*foldedOut, []byte(sn.FoldedStacks()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "kprof: write folded: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (flamegraph.pl %s > flame.svg, or open in speedscope)\n",
+			*foldedOut, *foldedOut)
+	}
+}
+
+// run boots an instrumented system and drives the named workload to
+// completion.
+func run(name string, records int) (*core.System, error) {
+	opts := core.Options{Perf: core.NewPerf(records)}
+	switch name {
+	case "postmark":
+		opts.CacheBlocks = 1024 // small cache: keep the disk visible in the timeline
+		s, err := core.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		cfg := workload.DefaultPostMark()
+		s.Spawn("postmark", func(pr *sys.Proc) error {
+			_, err := workload.PostMark(pr, cfg)
+			return err
+		})
+		return s, s.Run()
+	case "compile":
+		s, err := core.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		cfg := workload.DefaultCompile()
+		s.Spawn("compile", func(pr *sys.Proc) error {
+			if err := workload.CompileSetup(pr, cfg); err != nil {
+				return err
+			}
+			_, err := workload.Compile(pr, cfg)
+			return err
+		})
+		return s, s.Run()
+	case "interactive":
+		s, err := core.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		cfg := workload.DefaultInteractive()
+		s.Spawn("desktop", func(pr *sys.Proc) error {
+			if err := workload.InteractiveSetup(pr, cfg); err != nil {
+				return err
+			}
+			_, err := workload.Interactive(pr, cfg)
+			return err
+		})
+		return s, s.Run()
+	case "dbscan":
+		s, err := core.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		cfg := workload.DefaultDB()
+		s.Spawn("db", func(pr *sys.Proc) error {
+			if err := workload.DBSetup(pr, cfg); err != nil {
+				return err
+			}
+			if _, err := workload.SeqScanUser(pr, cfg); err != nil {
+				return err
+			}
+			_, err := workload.RandScanUser(pr, cfg)
+			return err
+		})
+		return s, s.Run()
+	case "monitor":
+		opts.CacheBlocks = 1024
+		s, err := core.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		logIO := vfs.NewIOModel(disk.New(disk.SCSI15K()), 4096)
+		logIO.DirtyLimit = 16
+		if err := s.NS.Mount("/log", memfs.New("logfs", logIO)); err != nil {
+			return nil, err
+		}
+		s.InstrumentDcache()
+		s.Mon.RingEnabled = true
+		cfg := workload.DefaultPostMark()
+		cfg.InitialFiles, cfg.Transactions = 200, 800
+		var done atomic.Bool
+		s.Spawn("postmark", func(pr *sys.Proc) error {
+			defer done.Store(true)
+			_, err := workload.PostMark(pr, cfg)
+			return err
+		})
+		logCfg := workload.DefaultLogger()
+		s.Spawn("logger", func(pr *sys.Proc) error {
+			_, err := workload.Logger(pr, logCfg, done.Load)
+			return err
+		})
+		return s, s.Run()
+	}
+	return nil, fmt.Errorf("unknown workload %q (want postmark, compile, interactive, dbscan, or monitor)", name)
+}
+
+// summarize renders the attribution snapshot as text.
+func summarize(w *os.File, name string, sn *kperf.Snapshot, top int) {
+	fmt.Fprintf(w, "kprof: workload %q, %d simulated cycles (%d setup, %d idle)\n",
+		name, sn.TotalCycles, sn.SetupCycles, sn.IdleCycles)
+	fmt.Fprintf(w, "trace: %d records captured, %d dropped\n\n", sn.TraceRecords, sn.TraceDrops)
+
+	fmt.Fprintln(w, "cycles by subsystem:")
+	for _, kv := range sortedDesc(sn.SubsystemCycles, top) {
+		fmt.Fprintf(w, "  %-10s %14d  %5.1f%%\n", kv.k, kv.v, 100*float64(kv.v)/float64(sn.TotalCycles))
+	}
+
+	bySys := map[string]int64{}
+	byProc := map[string]int64{}
+	for _, row := range sn.Attribution {
+		if row.Syscall != "-" {
+			bySys[row.Syscall] += row.Cycles
+		}
+		byProc[row.Process] += row.Cycles
+	}
+	fmt.Fprintln(w, "\ncycles by syscall (kernel work attributed to the call that caused it):")
+	for _, kv := range sortedDesc(bySys, top) {
+		fmt.Fprintf(w, "  %-12s %14d  %5.1f%%\n", kv.k, kv.v, 100*float64(kv.v)/float64(sn.TotalCycles))
+	}
+	fmt.Fprintln(w, "\ncycles by process:")
+	for _, kv := range sortedDesc(byProc, top) {
+		fmt.Fprintf(w, "  %-14s %14d  %5.1f%%\n", kv.k, kv.v, 100*float64(kv.v)/float64(sn.TotalCycles))
+	}
+
+	if len(sn.Histograms) > 0 {
+		fmt.Fprintln(w, "\nlatency histograms (cycles):")
+		names := make([]string, 0, len(sn.Histograms))
+		for n := range sn.Histograms {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			h := sn.Histograms[n]
+			fmt.Fprintf(w, "  %-20s n=%-8d mean=%-10.0f p50<=%-8d p99<=%-10d max=%d\n",
+				n, h.Count, h.Mean, h.P50, h.P99, h.Max)
+		}
+	}
+
+	fmt.Fprintf(w, "\nattribution identity ok: folded-stack lines sum to %d == machine elapsed\n", sn.TotalCycles)
+}
+
+type kv struct {
+	k string
+	v int64
+}
+
+func sortedDesc(m map[string]int64, top int) []kv {
+	out := make([]kv, 0, len(m))
+	for k, v := range m {
+		out = append(out, kv{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].v != out[j].v {
+			return out[i].v > out[j].v
+		}
+		return out[i].k < out[j].k
+	})
+	if len(out) > top {
+		out = out[:top]
+	}
+	return out
+}

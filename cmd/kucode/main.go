@@ -4,13 +4,18 @@
 //
 // Usage:
 //
-//	kucode [-full] [-md] [e1 e2 ... e8 | ablations | all]
+//	kucode [-full] [-md] [-perf] [e1 e2 ... e8 | ablations | all]
+//
+// -perf boots every experiment with kperf instrumentation and prints
+// a per-subsystem cycle-attribution summary under each table; the
+// simulated results are bit-identical with or without it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/bench"
@@ -19,6 +24,7 @@ import (
 func main() {
 	full := flag.Bool("full", false, "include the slowest configurations (e.g. E1's 100,000-file point)")
 	md := flag.Bool("md", false, "emit Markdown (the EXPERIMENTS.md body)")
+	perf := flag.Bool("perf", false, "enable kperf instrumentation and print cycle attribution per experiment")
 	flag.Parse()
 
 	wanted := flag.Args()
@@ -36,13 +42,13 @@ func main() {
 		fn func() (*bench.Table, error)
 	}
 	exps := []exp{
-		{"e1", func() (*bench.Table, error) { return bench.E1(*full) }},
-		{"e2", bench.E2},
-		{"e3", bench.E3},
-		{"e4", bench.E4},
-		{"e5", bench.E5},
-		{"e6", bench.E6},
-		{"e7", bench.E7},
+		{"e1", func() (*bench.Table, error) { return bench.E1(*full, *perf) }},
+		{"e2", func() (*bench.Table, error) { return bench.E2(*perf) }},
+		{"e3", func() (*bench.Table, error) { return bench.E3(*perf) }},
+		{"e4", func() (*bench.Table, error) { return bench.E4(*perf) }},
+		{"e5", func() (*bench.Table, error) { return bench.E5(*perf) }},
+		{"e6", func() (*bench.Table, error) { return bench.E6(*perf) }},
+		{"e7", func() (*bench.Table, error) { return bench.E7(*perf) }},
 		{"e8", bench.E8},
 	}
 
@@ -57,6 +63,9 @@ func main() {
 			os.Exit(1)
 		}
 		render(tbl, *md)
+		if *perf {
+			renderPerf(tbl)
+		}
 		if !tbl.AllPass() {
 			failed = true
 		}
@@ -86,4 +95,33 @@ func render(t *bench.Table, md bool) {
 		return
 	}
 	fmt.Println(t.String())
+}
+
+// renderPerf prints the experiment's cycle attribution by subsystem
+// and the accounting identity (attributed+setup+idle == elapsed).
+func renderPerf(t *bench.Table) {
+	if t.Perf == nil {
+		return
+	}
+	sn := t.Perf
+	subs := make([]string, 0, len(sn.SubsystemCycles))
+	for s := range sn.SubsystemCycles {
+		subs = append(subs, s)
+	}
+	sort.Slice(subs, func(i, j int) bool {
+		return sn.SubsystemCycles[subs[i]] > sn.SubsystemCycles[subs[j]]
+	})
+	fmt.Printf("  kperf: %d cycles attributed (setup %d, idle %d), %d trace records (%d dropped)\n",
+		sn.TotalCycles-sn.SetupCycles-sn.IdleCycles, sn.SetupCycles, sn.IdleCycles,
+		sn.TraceRecords, sn.TraceDrops)
+	for _, s := range subs {
+		c := sn.SubsystemCycles[s]
+		fmt.Printf("    %-10s %14d cycles (%.1f%%)\n", s, c, 100*float64(c)/float64(sn.TotalCycles))
+	}
+	if err := sn.CheckTotal(t.PerfElapsed); err != nil {
+		fmt.Printf("  kperf identity VIOLATION: %v\n", err)
+	} else {
+		fmt.Printf("  kperf identity ok: %d cycles == machines' elapsed total\n", sn.TotalCycles)
+	}
+	fmt.Println()
 }

@@ -4,7 +4,10 @@ import "testing"
 
 // Each experiment runs once and must land inside its acceptance band
 // (the paper's reported result ± the tolerance DESIGN.md documents).
-// Failures print the full paper-vs-measured table.
+// Failures print the full paper-vs-measured table. The experiments
+// run with kperf enabled here, so every table also proves the
+// attribution identity: the snapshot's cycle total equals the booted
+// machines' elapsed cycles.
 
 func checkTable(t *testing.T, tbl *Table, err error) {
 	t.Helper()
@@ -15,40 +18,48 @@ func checkTable(t *testing.T, tbl *Table, err error) {
 	if !tbl.AllPass() {
 		t.Errorf("%s has rows outside the acceptance band", tbl.ID)
 	}
+	if tbl.Perf != nil {
+		if err := tbl.Perf.CheckTotal(tbl.PerfElapsed); err != nil {
+			t.Errorf("%s attribution identity: %v", tbl.ID, err)
+		}
+		if tbl.Perf.TraceRecords == 0 {
+			t.Errorf("%s: kperf enabled but no trace records captured", tbl.ID)
+		}
+	}
 }
 
 func TestE1(t *testing.T) {
-	tbl, err := E1(false)
+	tbl, err := E1(false, true)
 	checkTable(t, tbl, err)
 }
 
 func TestE2(t *testing.T) {
-	tbl, err := E2()
+	tbl, err := E2(true)
 	checkTable(t, tbl, err)
 }
 
 func TestE3(t *testing.T) {
-	tbl, err := E3()
+	tbl, err := E3(true)
 	checkTable(t, tbl, err)
 }
 
 func TestE4(t *testing.T) {
-	tbl, err := E4()
+	tbl, err := E4(true)
 	checkTable(t, tbl, err)
 }
 
 func TestE5(t *testing.T) {
-	tbl, err := E5()
+	tbl, err := E5(true)
 	checkTable(t, tbl, err)
 }
 
 func TestE6(t *testing.T) {
-	tbl, err := E6()
+	tbl, err := E6(true)
 	checkTable(t, tbl, err)
 }
 
 func TestE7(t *testing.T) {
-	tbl, err := E7()
+	tbl, err := E7(true)
 	checkTable(t, tbl, err)
 }
 

@@ -14,8 +14,10 @@ var E1Sizes = []int{10, 100, 1000, 10000, 100000}
 
 // E1 reproduces §2.2's readdirplus evaluation: "elapsed, system, and
 // user times improved 60.6-63.8%, 55.7-59.3%, and 82.8-84.0%,
-// respectively", consistently across directory sizes.
-func E1(full bool) (*Table, error) {
+// respectively", consistently across directory sizes. perf enables
+// kperf instrumentation on every booted system; the cycle results are
+// bit-identical either way (the perfgate test asserts it).
+func E1(full, perf bool) (*Table, error) {
 	t := &Table{ID: "E1", Title: "readdirplus vs readdir+stat (improvement by directory size)"}
 	sizes := E1Sizes
 	if !full {
@@ -30,7 +32,7 @@ func E1(full bool) (*Table, error) {
 	opts := core.Options{CacheBlocks: 1 << 19}
 	for i, n := range sizes {
 		cfg := workload.DefaultDirSweep(n)
-		oldPh, _, err := RunPhase(opts, nil,
+		oldPh, oldSys, err := RunPhase(perfOpts(opts, perf), nil,
 			func(pr *sys.Proc) error { return workload.DirSweepSetup(pr, cfg) },
 			func(pr *sys.Proc) error {
 				got, err := workload.ReaddirStat(pr, cfg)
@@ -42,7 +44,7 @@ func E1(full bool) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		newPh, _, err := RunPhase(opts, nil,
+		newPh, newSys, err := RunPhase(perfOpts(opts, perf), nil,
 			func(pr *sys.Proc) error { return workload.DirSweepSetup(pr, cfg) },
 			func(pr *sys.Proc) error {
 				got, err := workload.ReaddirPlusSweep(pr, cfg)
@@ -56,6 +58,8 @@ func E1(full bool) (*Table, error) {
 		}
 		t.Observe(oldPh)
 		t.Observe(newPh)
+		t.ObservePerf(oldSys)
+		t.ObservePerf(newSys)
 		el := improvement(oldPh.Elapsed, newPh.Elapsed)
 		sy := improvement(oldPh.Sys, newPh.Sys)
 		us := improvement(oldPh.User, newPh.User)

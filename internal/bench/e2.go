@@ -17,9 +17,9 @@ import (
 // 32,250,041 bytes. We would also do far fewer system calls — 17,251
 // instead of 171,975. This would translate to a savings of about
 // 28.15 seconds per hour."
-func E2() (*Table, error) {
+func E2(perf bool) (*Table, error) {
 	t := &Table{ID: "E2", Title: "interactive-trace consolidation savings (readdirplus)"}
-	s, err := core.New(core.Options{})
+	s, err := core.New(perfOpts(core.Options{}, perf))
 	if err != nil {
 		return nil, err
 	}
@@ -36,6 +36,7 @@ func E2() (*Table, error) {
 		return nil, err
 	}
 	t.ObserveCycles(s.M.Elapsed())
+	t.ObservePerf(s)
 
 	sav := trace.EstimateReaddirplus(rec, s.M.Costs)
 	callRatio := float64(sav.CallsAfter) / float64(sav.CallsBefore)

@@ -14,7 +14,7 @@ import (
 // E3 reproduces §2.3's micro-benchmarks: "individual system calls are
 // sped up by 40-90% for common CPU-bound user applications" when run
 // as compounds.
-func E3() (*Table, error) {
+func E3(perf bool) (*Table, error) {
 	t := &Table{ID: "E3", Title: "Cosy micro-benchmarks (per-sequence speedup)"}
 	micro := []struct {
 		name  string
@@ -30,7 +30,7 @@ func E3() (*Table, error) {
 	}
 	var lo, hi float64 = 2, -1
 	for _, m := range micro {
-		base, _, err := RunPhase(core.Options{}, nil, microSetup,
+		base, baseSys, err := RunPhase(perfOpts(core.Options{}, perf), nil, microSetup,
 			func(pr *sys.Proc) error { return m.plain(pr, m.iters) })
 		if err != nil {
 			return nil, fmt.Errorf("%s (plain): %w", m.name, err)
@@ -40,7 +40,7 @@ func E3() (*Table, error) {
 			return nil, fmt.Errorf("%s (compile): %w", m.name, err)
 		}
 		var e *kext.Engine
-		cosyPh, _, err := RunPhase(core.Options{},
+		cosyPh, cosySys, err := RunPhase(perfOpts(core.Options{}, perf),
 			func(s *core.System) { e = s.CosyEngine(kext.ModeDataSeg) },
 			microSetup,
 			func(pr *sys.Proc) error {
@@ -56,6 +56,8 @@ func E3() (*Table, error) {
 		}
 		t.Observe(base)
 		t.Observe(cosyPh)
+		t.ObservePerf(baseSys)
+		t.ObservePerf(cosySys)
 		sp := improvement(base.CPU(), cosyPh.CPU())
 		lo, hi = minf(lo, sp), maxf(hi, sp)
 		t.Add(m.name, "40-90%", pct(sp), inBand(sp, 0.35, 0.95))

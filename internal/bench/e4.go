@@ -14,7 +14,7 @@ import (
 // (e.g., a database) to use Cosy. For CPU bound applications, with
 // very minimal code changes, we achieved a performance speedup of up
 // to 20-80% over that of unmodified versions."
-func E4() (*Table, error) {
+func E4(perf bool) (*Table, error) {
 	t := &Table{ID: "E4", Title: "Cosy application benchmarks (database access patterns)"}
 	cfg := workload.DefaultDB()
 
@@ -42,7 +42,7 @@ func E4() (*Table, error) {
 	setup := func(pr *sys.Proc) error { return workload.DBSetup(pr, cfg) }
 	var lo, hi float64 = 2, -1
 	for _, v := range variants {
-		base, _, err := RunPhase(core.Options{}, nil, setup, func(pr *sys.Proc) error {
+		base, baseSys, err := RunPhase(perfOpts(core.Options{}, perf), nil, setup, func(pr *sys.Proc) error {
 			_, err := v.plain(pr)
 			return err
 		})
@@ -50,7 +50,7 @@ func E4() (*Table, error) {
 			return nil, err
 		}
 		var e *kext.Engine
-		cosyPh, _, err := RunPhase(core.Options{},
+		cosyPh, cosySys, err := RunPhase(perfOpts(core.Options{}, perf),
 			func(s *core.System) { e = s.CosyEngine(kext.ModeDataSeg) },
 			setup, func(pr *sys.Proc) error {
 				_, err := v.cosy(pr, e)
@@ -61,6 +61,8 @@ func E4() (*Table, error) {
 		}
 		t.Observe(base)
 		t.Observe(cosyPh)
+		t.ObservePerf(baseSys)
+		t.ObservePerf(cosySys)
 		sp := improvement(base.CPU(), cosyPh.CPU())
 		lo, hi = minf(lo, sp), maxf(hi, sp)
 		t.Add(v.name, "20-80%", pct(sp), inBand(sp, 0.15, 0.85))

@@ -15,7 +15,7 @@ import (
 // time ... the maximum number of outstanding allocated pages during
 // the compilation ... was 2,085 and the average size of each memory
 // allocation was 80 bytes."
-func E5() (*Table, error) {
+func E5(perf bool) (*Table, error) {
 	t := &Table{ID: "E5", Title: "Kefence-instrumented wrapfs under a compile workload"}
 	cfg := workload.DefaultCompile()
 	setup := func(pr *sys.Proc) error { return workload.CompileSetup(pr, cfg) }
@@ -24,16 +24,18 @@ func E5() (*Table, error) {
 		return err
 	}
 
-	vanilla, _, err := RunPhase(core.Options{Wrap: core.WrapKmalloc}, nil, setup, work)
+	vanilla, vsys, err := RunPhase(perfOpts(core.Options{Wrap: core.WrapKmalloc}, perf), nil, setup, work)
 	if err != nil {
 		return nil, err
 	}
-	guarded, gsys, err := RunPhase(core.Options{Wrap: core.WrapKefence}, nil, setup, work)
+	guarded, gsys, err := RunPhase(perfOpts(core.Options{Wrap: core.WrapKefence}, perf), nil, setup, work)
 	if err != nil {
 		return nil, err
 	}
 	t.Observe(vanilla)
 	t.Observe(guarded)
+	t.ObservePerf(vsys)
+	t.ObservePerf(gsys)
 
 	ov := overhead(vanilla.Elapsed, guarded.Elapsed)
 	t.Add("elapsed overhead", "1.4%", pct(ov), inBand(ov, 0.002, 0.05))

@@ -21,7 +21,7 @@ import (
 // user-space program that acts like the logger but does not write to
 // disk still gave a 61% overhead, and system time was effectively
 // constant for all runs."
-func E6() (*Table, error) {
+func E6(perf bool) (*Table, error) {
 	t := &Table{ID: "E6", Title: "event monitoring overhead under PostMark"}
 	// PostMark against a real disk (small cache), as in the paper:
 	// the workload mixes CPU with I/O waits, which is what shapes the
@@ -35,7 +35,7 @@ func E6() (*Table, error) {
 		hits uint64
 	}
 	run := func(instrument, ring bool, logger *workload.LoggerConfig) (result, error) {
-		s, err := core.New(core.Options{CacheBlocks: 1024})
+		s, err := core.New(perfOpts(core.Options{CacheBlocks: 1024}, perf))
 		if err != nil {
 			return result{}, err
 		}
@@ -73,6 +73,7 @@ func E6() (*Table, error) {
 		if err := s.Run(); err != nil {
 			return result{}, err
 		}
+		t.ObservePerf(s)
 		return result{ph: ph, hits: s.NS.Dc.Lock.Acquisitions}, nil
 	}
 

@@ -15,17 +15,18 @@ import (
 // while the elapsed time was 20% greater. We also ran the
 // I/O-intensive benchmark PostMark: in this case, the system time was
 // 14 times greater ... while the elapsed time was 3 times greater."
-func E7() (*Table, error) {
+func E7(perf bool) (*Table, error) {
 	t := &Table{ID: "E7", Title: "KGCC-instrumented btfs (Reiserfs analog)"}
 
 	compileCfg := workload.DefaultCompile()
 	compile := func(instrumented bool) (Phase, error) {
-		ph, _, err := RunPhase(core.Options{FS: core.FSBtfs, KGCCModule: instrumented}, nil,
+		ph, s, err := RunPhase(perfOpts(core.Options{FS: core.FSBtfs, KGCCModule: instrumented}, perf), nil,
 			func(pr *sys.Proc) error { return workload.CompileSetup(pr, compileCfg) },
 			func(pr *sys.Proc) error {
 				_, err := workload.Compile(pr, compileCfg)
 				return err
 			})
+		t.ObservePerf(s)
 		return ph, err
 	}
 	// PostMark runs against a small buffer cache, as the paper's
@@ -34,12 +35,13 @@ func E7() (*Table, error) {
 	// its system-time ratio (14x).
 	pmCfg := workload.DefaultPostMark()
 	postmark := func(instrumented bool) (Phase, error) {
-		ph, _, err := RunPhase(core.Options{FS: core.FSBtfs, KGCCModule: instrumented, CacheBlocks: 16384}, nil,
+		ph, s, err := RunPhase(perfOpts(core.Options{FS: core.FSBtfs, KGCCModule: instrumented, CacheBlocks: 16384}, perf), nil,
 			nil,
 			func(pr *sys.Proc) error {
 				_, err := workload.PostMark(pr, pmCfg)
 				return err
 			})
+		t.ObservePerf(s)
 		return ph, err
 	}
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/kperf"
 	"repro/internal/sim"
 )
 
@@ -35,6 +36,15 @@ type TrialResult struct {
 	SimElapsed  sim.Cycles `json:"sim_elapsed_cycles"`
 	AllPass     bool       `json:"all_pass"`
 	Err         string     `json:"error,omitempty"`
+
+	// Perf is the experiment's merged kperf snapshot (nil when the
+	// trial ran with instrumentation off). PerfIdentity records the
+	// attribution identity check — "ok" when the snapshot's cycle
+	// total equals the booted machines' elapsed cycles, otherwise the
+	// violation. PerfElapsed is that elapsed total.
+	Perf         *kperf.Snapshot `json:"kperf,omitempty"`
+	PerfElapsed  sim.Cycles      `json:"kperf_elapsed_cycles,omitempty"`
+	PerfIdentity string          `json:"kperf_identity,omitempty"`
 
 	// Table carries the full result for rendering; not serialized.
 	Table *Table `json:"-"`
@@ -87,20 +97,31 @@ func runTrial(tr Trial) TrialResult {
 	res.SimSys = tbl.SimSys
 	res.SimElapsed = tbl.SimElapsed
 	res.AllPass = tbl.AllPass()
+	if tbl.Perf != nil {
+		res.Perf = tbl.Perf
+		res.PerfElapsed = tbl.PerfElapsed
+		if err := tbl.Perf.CheckTotal(tbl.PerfElapsed); err != nil {
+			res.PerfIdentity = err.Error()
+		} else {
+			res.PerfIdentity = "ok"
+		}
+	}
 	return res
 }
 
-// Suite returns the standard experiment trial list: E1-E8 plus the
-// ablation set, one trial per experiment.
-func Suite(full bool) []Trial {
+// Suite returns the standard experiment trial list, one trial per
+// experiment. perf boots every experiment's systems with kperf
+// instrumentation; E8 is static analysis (no machine), so the flag
+// does not apply to it.
+func Suite(full, perf bool) []Trial {
 	return []Trial{
-		{Name: "E1", Run: func() (*Table, error) { return E1(full) }},
-		{Name: "E2", Run: E2},
-		{Name: "E3", Run: E3},
-		{Name: "E4", Run: E4},
-		{Name: "E5", Run: E5},
-		{Name: "E6", Run: E6},
-		{Name: "E7", Run: E7},
+		{Name: "E1", Run: func() (*Table, error) { return E1(full, perf) }},
+		{Name: "E2", Run: func() (*Table, error) { return E2(perf) }},
+		{Name: "E3", Run: func() (*Table, error) { return E3(perf) }},
+		{Name: "E4", Run: func() (*Table, error) { return E4(perf) }},
+		{Name: "E5", Run: func() (*Table, error) { return E5(perf) }},
+		{Name: "E6", Run: func() (*Table, error) { return E6(perf) }},
+		{Name: "E7", Run: func() (*Table, error) { return E7(perf) }},
 		{Name: "E8", Run: E8},
 	}
 }

@@ -11,8 +11,8 @@ import (
 // the cost model shows up here as a cycle diff.
 func TestParallelDeterminism(t *testing.T) {
 	trials := []Trial{
-		{Name: "E1", Run: func() (*Table, error) { return E1(false) }},
-		{Name: "E3", Run: E3},
+		{Name: "E1", Run: func() (*Table, error) { return E1(false, false) }},
+		{Name: "E3", Run: func() (*Table, error) { return E3(false) }},
 	}
 	serial := RunTrials(trials, 1)
 	parallel := RunTrials(trials, 4)

@@ -59,3 +59,30 @@ func RunPhase(opts core.Options, attach func(s *core.System),
 	}
 	return ph, s, nil
 }
+
+// perfOpts installs a fresh kperf set into opts when enabled. Each
+// booted system gets its own set (per-system gauges would collide on
+// a shared registry); Table.ObservePerf merges the snapshots.
+func perfOpts(opts core.Options, perf bool) core.Options {
+	if perf {
+		opts.Perf = core.NewPerf(0)
+	}
+	return opts
+}
+
+// ObservePerf folds a system's kperf snapshot into the table and
+// accumulates the machine's elapsed cycles for the attribution
+// identity (Perf.CheckTotal(PerfElapsed)). A system booted without
+// instrumentation is a no-op.
+func (t *Table) ObservePerf(s *core.System) {
+	if s == nil || s.Perf == nil {
+		return
+	}
+	sn := s.Perf.Snapshot()
+	if t.Perf == nil {
+		t.Perf = sn
+	} else {
+		t.Perf.Merge(sn)
+	}
+	t.PerfElapsed += s.M.Elapsed()
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/kperf"
 	"repro/internal/sim"
 )
 
@@ -32,6 +33,15 @@ type Table struct {
 	// BENCH_repro.json so wall-clock trajectories can be compared
 	// across PRs while proving the simulated results did not move.
 	SimUser, SimSys, SimElapsed sim.Cycles
+
+	// Perf is the merged kperf snapshot over every system the
+	// experiment booted with instrumentation enabled (nil when the
+	// experiment ran with kperf off). PerfElapsed accumulates those
+	// machines' elapsed cycles, so Perf.CheckTotal(PerfElapsed) is the
+	// attribution identity: every simulated cycle is accounted to
+	// exactly one (process, mode, subsystem) cell.
+	Perf        *kperf.Snapshot
+	PerfElapsed sim.Cycles
 }
 
 // Observe accumulates a measured phase's simulated times into the

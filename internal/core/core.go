@@ -16,6 +16,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/kgcc"
 	"repro/internal/kmon"
+	"repro/internal/kperf"
 	"repro/internal/sim"
 	"repro/internal/sys"
 	"repro/internal/trace"
@@ -76,6 +77,21 @@ type Options struct {
 	KGCCModule bool
 	// KGCCObjects sizes the instrumented module's object map.
 	KGCCObjects int
+	// Perf enables the kperf observability layer (kperf.New(...)).
+	// Instrumentation reads the clock and observes existing charges
+	// only, so simulated cycle counts are bit-identical with it on or
+	// off — the determinism suite asserts exactly that.
+	Perf *kperf.Set
+}
+
+// NewPerf creates a kperf set sized for this kernel's syscall table,
+// with syscall names wired for the exporters. Pass it in
+// Options.Perf; shardRecords caps each process's trace shard (0:
+// kperf.DefaultShardRecords).
+func NewPerf(shardRecords int) *kperf.Set {
+	p := kperf.New(sys.Count(), shardRecords)
+	p.SyscallName = func(nr int) string { return sys.Nr(nr).String() }
+	return p
 }
 
 // System is a booted machine with its kernel services.
@@ -93,6 +109,9 @@ type System struct {
 	Rec    *trace.Recorder
 	Module *kgcc.Module
 
+	// Perf mirrors Options.Perf (nil: instrumentation disabled).
+	Perf *kperf.Set
+
 	IO *vfs.IOModel
 
 	wrapAlloc alloc.Allocator
@@ -100,8 +119,8 @@ type System struct {
 
 // New boots a system.
 func New(opts Options) (*System, error) {
-	s := &System{}
-	s.M = kernel.New(kernel.Config{PhysBytes: opts.PhysBytes, Costs: opts.Costs})
+	s := &System{Perf: opts.Perf}
+	s.M = kernel.New(kernel.Config{PhysBytes: opts.PhysBytes, Costs: opts.Costs, Perf: opts.Perf})
 
 	prof := opts.Disk
 	if prof.Name == "" {
@@ -149,7 +168,7 @@ func New(opts Options) (*System, error) {
 		s.Wrap = wrapfs.New(base, s.M.KAS, s.wrapAlloc)
 		s.Root = s.Wrap
 	case WrapKefence:
-		s.Kef = kefence.New(s.M.KAS, &s.M.Costs, s.chargeCurrent, s.M.Log)
+		s.Kef = kefence.New(s.M.KAS, &s.M.Costs, s.M.ChargeTagged(kperf.SubKefence), s.M.Log)
 		s.Kef.Mode = opts.KefenceMode
 		s.Kef.GuardBefore = opts.KefenceUnderflow
 		s.wrapAlloc = s.Kef
@@ -168,12 +187,44 @@ func New(opts Options) (*System, error) {
 	}
 	s.Mon = kmon.New(s.M, ringCap)
 	s.NS.RegisterDevice("/dev/kernevents", &kmon.Dev{Mon: s.Mon})
+	if s.Perf != nil {
+		s.wirePerf()
+	}
 	return s, nil
 }
 
-// chargeCurrent forwards subsystem charges to the machine.
-func (s *System) chargeCurrent(c sim.Cycles) {
-	s.M.KAS.Charge(c)
+// wirePerf attaches the lazy gauges and the disk-latency histogram.
+// GaugeFuncs read counters the subsystems already maintain and only
+// run at snapshot time, so the wiring costs nothing during a run.
+func (s *System) wirePerf() {
+	reg := s.Perf.Reg
+	s.IO.Dev.Perf = reg.Histogram("disk.access.cycles")
+
+	reg.GaugeFunc("io.cache.hits", func() int64 { return s.IO.Hits })
+	reg.GaugeFunc("io.cache.misses", func() int64 { return s.IO.Misses })
+	reg.GaugeFunc("io.cache.writebacks", func() int64 { return s.IO.Writebacks })
+	reg.GaugeFunc("io.cache.sync_writes", func() int64 { return s.IO.SyncWrites })
+	reg.GaugeFunc("io.cache.throttles", func() int64 { return s.IO.Throttles })
+
+	reg.GaugeFunc("mem.tlb.hits", func() int64 { h, _, _, _ := s.M.MemTotals(); return int64(h) })
+	reg.GaugeFunc("mem.tlb.misses", func() int64 { _, m, _, _ := s.M.MemTotals(); return int64(m) })
+	reg.GaugeFunc("mem.faults", func() int64 { _, _, f, _ := s.M.MemTotals(); return int64(f) })
+	reg.GaugeFunc("mem.guard.promotions", func() int64 { _, _, _, g := s.M.MemTotals(); return int64(g) })
+
+	reg.GaugeFunc("sched.ctx_switches", func() int64 { return s.M.CtxSwitches })
+	reg.GaugeFunc("sys.calls.total", func() int64 { return s.K.TotalCalls() })
+	reg.GaugeFunc("sys.bytes.copyin", func() int64 { return s.K.BytesIn })
+	reg.GaugeFunc("sys.bytes.copyout", func() int64 { return s.K.BytesOut })
+	for nr := 0; nr < sys.Count(); nr++ {
+		nr := sys.Nr(nr)
+		reg.GaugeFunc("sys.calls."+nr.String(), func() int64 { return s.K.Calls[nr] })
+	}
+
+	reg.GaugeFunc("kmon.logged", func() int64 { return s.Mon.Logged })
+	reg.GaugeFunc("kmon.enqueued", func() int64 { return s.Mon.Enqueued })
+	reg.GaugeFunc("kmon.ring.drops", func() int64 { return int64(s.Mon.Ring.Drops.Load()) })
+	reg.GaugeFunc("klog.entries", func() int64 { return int64(s.M.Log.Len()) })
+	reg.GaugeFunc("klog.dropped", func() int64 { return int64(s.M.Log.Dropped()) })
 }
 
 // Spawn starts a process whose body receives a syscall context.
@@ -186,10 +237,12 @@ func (s *System) Spawn(name string, fn func(pr *sys.Proc) error) *kernel.Process
 // Run drives the machine to completion.
 func (s *System) Run() error { return s.M.Run() }
 
-// EnableTrace installs a syscall recorder and returns it.
+// EnableTrace installs a syscall recorder and returns it. The
+// recorder is added to the kernel's hook fan-out, so it composes with
+// any other observers already attached.
 func (s *System) EnableTrace() *trace.Recorder {
 	s.Rec = trace.NewRecorder(&s.M.Clock)
-	s.K.Hook = s.Rec
+	s.K.AddHook(s.Rec)
 	return s.Rec
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/cosy/lang"
 	"repro/internal/kernel"
+	"repro/internal/kperf"
 	"repro/internal/mem"
 	"repro/internal/seg"
 	"repro/internal/sim"
@@ -148,6 +149,8 @@ func (e *Engine) Exec(pr *sys.Proc, encoded []byte, shm *Shm) (int64, error) {
 func (e *Engine) execInKernel(pr *sys.Proc, encoded []byte, shm *Shm) (int64, error) {
 	costs := &e.K.M.Costs
 	p := pr.P
+	p.Perf.Push(kperf.SubCosy)
+	defer p.Perf.Pop()
 
 	c, err := lang.Decode(encoded)
 	if err != nil {

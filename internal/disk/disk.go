@@ -7,6 +7,7 @@
 package disk
 
 import (
+	"repro/internal/kperf"
 	"repro/internal/sim"
 )
 
@@ -68,6 +69,10 @@ type Device struct {
 	lastBlock int64
 	hasPos    bool
 	stats     Stats
+
+	// Perf, when set, observes every request's computed latency in a
+	// kperf histogram. The latency itself is unaffected.
+	Perf *kperf.Histogram
 }
 
 // New creates a device with the given profile.
@@ -102,6 +107,9 @@ func (d *Device) AccessTime(block int64, nbytes int, write bool) sim.Cycles {
 	} else {
 		d.stats.Reads++
 		d.stats.BytesRead += int64(nbytes)
+	}
+	if d.Perf != nil {
+		d.Perf.Observe(t)
 	}
 	return t
 }

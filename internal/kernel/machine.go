@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/klog"
+	"repro/internal/kperf"
 	"repro/internal/mem"
 	"repro/internal/ring"
 	"repro/internal/sim"
@@ -36,6 +37,11 @@ type Machine struct {
 	Vm  *alloc.Vmalloc
 	Log *klog.Log
 
+	// Perf is the machine's observability bundle; nil disables all
+	// instrumentation. kperf only observes charges the machine makes
+	// anyway, so enabling it never moves a simulated cycle.
+	Perf *kperf.Set
+
 	procs   map[int]*Process
 	ready   *ring.Deque[*Process]
 	current *Process
@@ -47,6 +53,11 @@ type Machine struct {
 	CtxSwitches int64
 	// IdleCycles accumulates time when no process was runnable.
 	IdleCycles sim.Cycles
+
+	// Memory stats of retired processes, folded in as each process
+	// exits so MemTotals covers the machine's whole life.
+	retiredTLBHits, retiredTLBMisses uint64
+	retiredFaults, retiredPromos    uint64
 }
 
 // Config controls machine creation.
@@ -55,6 +66,8 @@ type Config struct {
 	PhysBytes int64
 	// Costs overrides the cost model; nil selects sim.DefaultCosts.
 	Costs *sim.Costs
+	// Perf, when set, enables the kperf observability layer.
+	Perf *kperf.Set
 }
 
 // New creates a machine.
@@ -69,15 +82,29 @@ func New(cfg Config) *Machine {
 	m := &Machine{
 		Costs:   costs,
 		Phys:    mem.NewPhys(cfg.PhysBytes),
+		Perf:    cfg.Perf,
 		procs:   make(map[int]*Process),
 		ready:   ring.NewDeque[*Process](16),
 		nextPID: 1,
 	}
 	m.KAS = mem.NewAddressSpace("kernel", m.Phys, &m.Costs)
-	m.KAS.Charge = m.chargeCurrent
-	m.Km = alloc.NewKmalloc(m.KAS, &m.Costs, m.chargeCurrent)
-	m.Vm = alloc.NewVmalloc(m.KAS, &m.Costs, m.chargeCurrent)
+	m.KAS.Charge = m.ChargeTagged(kperf.SubMem)
+	m.Km = alloc.NewKmalloc(m.KAS, &m.Costs, m.ChargeTagged(kperf.SubAlloc))
+	m.Vm = alloc.NewVmalloc(m.KAS, &m.Costs, m.ChargeTagged(kperf.SubAlloc))
 	m.Log = klog.New(&m.Clock, 0)
+	if m.Perf != nil {
+		m.Log.Span = func() uint64 {
+			if p := m.current; p != nil {
+				return p.Perf.CurrentSpan()
+			}
+			return 0
+		}
+		m.KAS.FaultProbe = func(f *mem.Fault) {
+			if p := m.current; p != nil {
+				p.Perf.Fault(m.Clock.Now(), f.Guard, f.Access == mem.AccessWrite)
+			}
+		}
+	}
 	return m
 }
 
@@ -90,7 +117,25 @@ func (m *Machine) chargeCurrent(c sim.Cycles) {
 		p.Charge(c)
 		return
 	}
+	m.Perf.OnSetup(c)
 	m.Clock.Advance(c)
+}
+
+// ChargeTagged returns a charge function that attributes through the
+// current process with the given kperf subsystem tag. The charge
+// itself is identical to chargeCurrent — the tag only routes the
+// cycles to the right attribution cell.
+func (m *Machine) ChargeTagged(sub kperf.Subsys) func(sim.Cycles) {
+	return func(c sim.Cycles) {
+		if p := m.current; p != nil {
+			p.Perf.Push(sub)
+			p.Charge(c)
+			p.Perf.Pop()
+			return
+		}
+		m.Perf.OnSetup(c)
+		m.Clock.Advance(c)
+	}
 }
 
 // Elapsed reports total virtual time since boot.
@@ -112,6 +157,17 @@ func (m *Machine) Spawn(name string, fn func(*Process) error) *Process {
 	m.nextPID++
 	p.UAS = mem.NewAddressSpace(fmt.Sprintf("user-%s-%d", name, p.PID), m.Phys, &m.Costs)
 	p.UAS.Charge = p.Charge
+	if m.Perf != nil {
+		p.Perf = m.Perf.NewProc(p.PID, name)
+		p.UAS.Charge = func(c sim.Cycles) {
+			p.Perf.Push(kperf.SubMem)
+			p.Charge(c)
+			p.Perf.Pop()
+		}
+		p.UAS.FaultProbe = func(f *mem.Fault) {
+			p.Perf.Fault(m.Clock.Now(), f.Guard, f.Access == mem.AccessWrite)
+		}
+	}
 	m.procs[p.PID] = p
 	m.ready.PushBack(p)
 	go p.top(fn)
@@ -132,7 +188,9 @@ func (m *Machine) Run() error {
 			}
 			ev := m.events.pop()
 			if ev.when > m.Clock.Now() {
-				m.IdleCycles += ev.when - m.Clock.Now()
+				gap := ev.when - m.Clock.Now()
+				m.IdleCycles += gap
+				m.Perf.OnIdle(gap)
 				m.Clock.AdvanceTo(ev.when)
 			}
 			ev.proc.wake()
@@ -148,6 +206,7 @@ func (m *Machine) Run() error {
 			if p.err != nil && firstErr == nil {
 				firstErr = fmt.Errorf("process %s: %w", p.Name, p.err)
 			}
+			m.retireMemStats(p.UAS)
 			delete(m.procs, p.PID)
 		case stateReady:
 			m.ready.PushBack(p)
@@ -164,6 +223,9 @@ func (m *Machine) dispatch(p *Process) {
 		m.CtxSwitches++
 		m.Clock.Advance(m.Costs.CtxSwitch)
 		p.sysCycles += m.Costs.CtxSwitch
+		p.Perf.Push(kperf.SubSched)
+		p.Perf.OnCycles(m.Costs.CtxSwitch, true)
+		p.Perf.Pop()
 		p.UAS.TLBFlush()
 		m.KAS.TLBFlush()
 	}
@@ -171,9 +233,11 @@ func (m *Machine) dispatch(p *Process) {
 	m.current = p
 	p.state = stateRunning
 	p.sliceLeft = p.sliceLen()
+	start := m.Clock.Now()
 	p.resume <- struct{}{}
 	<-p.yield
 	m.current = nil
+	p.Perf.SchedSpan(start, m.Clock.Now())
 }
 
 // runnableOthers reports whether any process other than the current
@@ -210,3 +274,29 @@ func (m *Machine) deliverDue() {
 
 // Procs reports the number of live processes.
 func (m *Machine) Procs() int { return len(m.procs) }
+
+// retireMemStats folds an exiting process's address-space counters
+// into the machine totals before the process is forgotten.
+func (m *Machine) retireMemStats(as *mem.AddressSpace) {
+	m.retiredTLBHits += as.TLBHits
+	m.retiredTLBMisses += as.TLBMisses
+	m.retiredFaults += as.Faults
+	m.retiredPromos += as.GuardPromos
+}
+
+// MemTotals aggregates TLB/fault/guard-promotion counts over the
+// kernel address space and every user address space, including
+// processes that already exited.
+func (m *Machine) MemTotals() (tlbHits, tlbMisses, faults, guardPromos uint64) {
+	tlbHits = m.retiredTLBHits + m.KAS.TLBHits
+	tlbMisses = m.retiredTLBMisses + m.KAS.TLBMisses
+	faults = m.retiredFaults + m.KAS.Faults
+	guardPromos = m.retiredPromos + m.KAS.GuardPromos
+	for _, p := range m.procs {
+		tlbHits += p.UAS.TLBHits
+		tlbMisses += p.UAS.TLBMisses
+		faults += p.UAS.Faults
+		guardPromos += p.UAS.GuardPromos
+	}
+	return tlbHits, tlbMisses, faults, guardPromos
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/kperf"
 	"repro/internal/mem"
 	"repro/internal/sim"
 )
@@ -43,6 +44,10 @@ type Process struct {
 	Name string
 	// UAS is the process's user address space.
 	UAS *mem.AddressSpace
+
+	// Perf is the process's kperf state (nil when the machine was
+	// built without instrumentation; every method is nil-safe).
+	Perf *kperf.ProcState
 
 	// OnPreempt, if set, runs every time the process is about to be
 	// scheduled out (timeslice expiry). This is the hook the Cosy
@@ -140,6 +145,7 @@ func (p *Process) Charge(c sim.Cycles) {
 		} else {
 			p.userCycles += step
 		}
+		p.Perf.OnCycles(step, p.inKernel > 0)
 		p.sliceLeft -= step
 		c -= step
 		if p.sliceLeft == 0 {
@@ -162,6 +168,7 @@ func (p *Process) ChargeUser(c sim.Cycles) {
 func (p *Process) ChargeSys(c sim.Cycles) {
 	p.M.Clock.Advance(c)
 	p.sysCycles += c
+	p.Perf.OnCycles(c, true)
 	if p.inKernel > 0 {
 		p.kernelStreak += c
 	}
@@ -226,6 +233,14 @@ func (p *Process) Yield() {
 // BlockFor suspends the process for d cycles of simulated I/O or
 // sleep; the time lands in the wait bucket, not user or system.
 func (p *Process) BlockFor(d sim.Cycles) {
+	p.BlockOn(kperf.SubKern, d)
+}
+
+// BlockOn is BlockFor with a kperf subsystem tag naming what the
+// process is waiting on (SubDisk for block I/O); the blocked interval
+// appears in the timeline but — like all wait time — advances no CPU
+// attribution.
+func (p *Process) BlockOn(sub kperf.Subsys, d sim.Cycles) {
 	if d <= 0 {
 		p.Yield()
 		return
@@ -244,6 +259,7 @@ func (p *Process) BlockFor(d sim.Cycles) {
 	}
 	p.sliceLeft = p.sliceLen()
 	p.waitCycles += p.M.Clock.Now() - start
+	p.Perf.BlockSpan(sub, start, p.M.Clock.Now())
 }
 
 // wake moves a blocked process back to the run queue. Called by the

@@ -42,6 +42,11 @@ type Entry struct {
 	Time  sim.Cycles
 	Level Level
 	Msg   string
+	// Span is the kperf trace-span id of the syscall the entry was
+	// emitted under (0: outside any syscall, or tracing disabled). It
+	// lets a syslog line be correlated with the exact timeline span
+	// that produced it.
+	Span uint64
 }
 
 func (e Entry) String() string {
@@ -51,6 +56,11 @@ func (e Entry) String() string {
 // Log is a bounded kernel log. When full, the oldest entries are
 // dropped, like a real dmesg ring.
 type Log struct {
+	// Span, when set, supplies the current trace-span id stamped into
+	// each entry (wired by the machine to the running process's kperf
+	// state).
+	Span func() uint64
+
 	mu      sync.Mutex
 	clock   *sim.Clock
 	max     int
@@ -75,7 +85,11 @@ func (l *Log) Printf(level Level, format string, args ...any) {
 	if l.clock != nil {
 		t = l.clock.Now()
 	}
-	l.entries = append(l.entries, Entry{Time: t, Level: level, Msg: fmt.Sprintf(format, args...)})
+	var span uint64
+	if l.Span != nil {
+		span = l.Span()
+	}
+	l.entries = append(l.entries, Entry{Time: t, Level: level, Msg: fmt.Sprintf(format, args...), Span: span})
 	if len(l.entries) > l.max {
 		over := len(l.entries) - l.max
 		l.entries = append(l.entries[:0:0], l.entries[over:]...)

@@ -12,6 +12,7 @@ package kmon
 
 import (
 	"repro/internal/kernel"
+	"repro/internal/kperf"
 	"repro/internal/ring"
 	"repro/internal/sim"
 )
@@ -137,6 +138,7 @@ func (mon *Monitor) Register(cb Callback) {
 // context, including the simulated equivalent of interrupt handlers.
 func (mon *Monitor) LogEvent(p *kernel.Process, obj uint64, typ EventType, file FileID, line int32) {
 	c := &mon.M.Costs
+	p.Perf.Push(kperf.SubMon)
 	p.ChargeSys(c.EventDispatch)
 	mon.Logged++
 	ev := Event{Obj: obj, Type: typ, File: file, Line: line, Time: mon.M.Clock.Now()}
@@ -149,6 +151,7 @@ func (mon *Monitor) LogEvent(p *kernel.Process, obj uint64, typ EventType, file 
 		mon.Ring.TryPush(ev)
 		mon.Enqueued++
 	}
+	p.Perf.Pop()
 }
 
 // AttachSpinLock instruments a kernel spinlock so every acquire and

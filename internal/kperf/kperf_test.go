@@ -1,0 +1,259 @@
+package kperf
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCounterGaugeRegistry(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sys.calls")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("sys.calls") != c {
+		t.Fatal("Counter not idempotent by name")
+	}
+	g := r.Gauge("cache.size")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	lazy := int64(0)
+	r.GaugeFunc("lazy.reads", func() int64 { return lazy })
+	lazy = 42
+	sn := r.Snapshot()
+	if sn.Counters["sys.calls"] != 5 || sn.Gauges["cache.size"] != 7 || sn.Gauges["lazy.reads"] != 42 {
+		t.Fatalf("snapshot mismatch: %+v", sn)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	for _, v := range []sim.Cycles{1, 2, 3, 100, 1000, 1_000_000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Sum() != 1_001_106 {
+		t.Fatalf("count %d sum %d", h.Count(), h.Sum())
+	}
+	sn := h.Snapshot()
+	if sn.Min != 1 || sn.Max != 1_000_000 {
+		t.Fatalf("min/max %d/%d", sn.Min, sn.Max)
+	}
+	// Quantile returns the upper bound of the bucket holding the q-th
+	// observation: the 4th of {1,2,3,100,1000,1e6} is 100 → bucket 2^7.
+	if sn.P50 != 128 {
+		t.Fatalf("p50 upper estimate %d, want 128", sn.P50)
+	}
+	if sn.P99 < 1_000_000 {
+		t.Fatalf("p99 %d below max observation's bucket", sn.P99)
+	}
+	h.Observe(-5) // clamps, does not panic
+	if h.Snapshot().Min != 0 {
+		t.Fatal("negative observation should clamp to 0")
+	}
+}
+
+func TestTracerShardRecordsAndDrops(t *testing.T) {
+	tr := NewTracer(4)
+	sh := tr.Shard(7, "worker")
+	sh.Span(EvSchedSpan, 0, 10, 20)
+	sh.Instant(EvFault, 3, 15)
+	id := sh.Begin(2, 30)
+	if id == 0 {
+		t.Fatal("Begin returned zero id")
+	}
+	if got := sh.CurrentSpan(); got != id {
+		t.Fatalf("CurrentSpan = %d, want %d", got, id)
+	}
+	sh.End(40)
+	if got := sh.CurrentSpan(); got != 0 {
+		t.Fatalf("CurrentSpan after End = %d, want 0", got)
+	}
+	sh.Span(EvBlockSpan, uint32(SubDisk), 50, 60)
+	// Shard is full (4 records); further writes drop.
+	sh.Span(EvSchedSpan, 0, 70, 80)
+	if sh.Drops() != 1 {
+		t.Fatalf("drops = %d, want 1", sh.Drops())
+	}
+	evs := sh.Events()
+	if len(evs) != 4 {
+		t.Fatalf("events = %d, want 4", len(evs))
+	}
+	want := []EventKind{EvSchedSpan, EvFault, EvSyscallSpan, EvBlockSpan}
+	for i, ev := range evs {
+		if ev.Kind != want[i] {
+			t.Fatalf("event %d kind %v, want %v", i, ev.Kind, want[i])
+		}
+		if ev.PID != 7 {
+			t.Fatalf("event %d pid %d", i, ev.PID)
+		}
+	}
+	if evs[2].Arg != 2 || evs[2].Start != 30 || evs[2].End != 40 {
+		t.Fatalf("syscall span decoded wrong: %+v", evs[2])
+	}
+	records, drops := tr.Totals()
+	if records != 4 || drops != 1 {
+		t.Fatalf("totals = %d/%d", records, drops)
+	}
+}
+
+func TestAttributionCellsAndFoldedSum(t *testing.T) {
+	set := New(8, 64)
+	set.SyscallName = func(nr int) string { return "call" }
+	ps := set.NewProc(1, "proc")
+
+	ps.OnCycles(100, false) // user compute
+	ps.SyscallEnter(3, 0)
+	ps.Push(SubBoundary)
+	ps.OnCycles(50, false) // user-side dispatch
+	ps.OnCycles(70, true)  // trap
+	ps.Pop()
+	ps.OnCycles(200, true) // syscall body
+	ps.Push(SubMem)
+	ps.OnCycles(30, true) // tlb miss inside the call
+	ps.Pop()
+	ps.SyscallExit(350)
+	set.OnSetup(11)
+	set.OnIdle(9)
+
+	sn := set.Snapshot()
+	if sn.TotalCycles != 100+50+70+200+30+11+9 {
+		t.Fatalf("total = %d", sn.TotalCycles)
+	}
+	if err := sn.CheckTotal(sim.Cycles(470)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sn.CheckTotal(sim.Cycles(471)); err == nil {
+		t.Fatal("CheckTotal should reject a mismatched elapsed")
+	}
+	if sn.SubsystemCycles["mem"] != 30 || sn.SubsystemCycles["boundary"] != 120 {
+		t.Fatalf("subsystem cycles: %v", sn.SubsystemCycles)
+	}
+	folded := sn.FoldedStacks()
+	if !strings.Contains(folded, "proc-1;kernel;kern;call 200") {
+		t.Fatalf("folded missing kernel body line:\n%s", folded)
+	}
+	if !strings.Contains(folded, "proc-1;user;user;- 100") {
+		t.Fatalf("folded missing user line:\n%s", folded)
+	}
+	if !strings.Contains(folded, "machine;idle;idle;- 9") {
+		t.Fatalf("folded missing idle line:\n%s", folded)
+	}
+	// Folded lines must sum to the total.
+	var sum int64
+	for _, line := range strings.Split(strings.TrimSpace(folded), "\n") {
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			t.Fatalf("bad folded line %q", line)
+		}
+		c, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += c
+	}
+	if sum != sn.TotalCycles {
+		t.Fatalf("folded sum %d != total %d", sum, sn.TotalCycles)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := New(4, 64)
+	pa := a.NewProc(1, "a")
+	pa.OnCycles(10, true)
+	a.Reg.Counter("x").Add(1)
+	a.Reg.Histogram("h").Observe(8)
+
+	b := New(4, 64)
+	pb := b.NewProc(1, "b")
+	pb.OnCycles(20, false)
+	b.Reg.Counter("x").Add(2)
+	b.Reg.Histogram("h").Observe(100)
+
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.TotalCycles != 30 || sa.Counters["x"] != 3 {
+		t.Fatalf("merge: total %d counter %d", sa.TotalCycles, sa.Counters["x"])
+	}
+	h := sa.Histograms["h"]
+	if h.Count != 2 || h.Sum != 108 || h.Min != 8 || h.Max != 100 {
+		t.Fatalf("merged histogram %+v", h)
+	}
+}
+
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	set := New(8, 64)
+	set.SyscallName = func(nr int) string { return "open" }
+	ps := set.NewProc(1, "app")
+	ps.SchedSpan(0, 500)
+	ps.SyscallEnter(0, 100)
+	ps.SyscallExit(300)
+	ps.BlockSpan(SubDisk, 300, 450)
+	ps.Fault(120, true, false)
+
+	var buf bytes.Buffer
+	if err := set.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Unit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.Unit)
+	}
+	// metadata + sched + syscall + block + fault
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("events = %d, want 5", len(doc.TraceEvents))
+	}
+	kinds := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		kinds[ph] = true
+		if ph == "X" {
+			if _, ok := ev["dur"].(float64); !ok {
+				t.Fatalf("complete event missing dur: %v", ev)
+			}
+		}
+	}
+	if !kinds["M"] || !kinds["X"] || !kinds["i"] {
+		t.Fatalf("missing event phases: %v", kinds)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var set *Set
+	var ps *ProcState
+	// All hot-path entry points must tolerate nil receivers.
+	ps.OnCycles(1, true)
+	ps.Push(SubMem)
+	ps.Pop()
+	ps.SyscallEnter(1, 0)
+	ps.SyscallExit(1)
+	ps.BlockSpan(SubDisk, 0, 1)
+	ps.SchedSpan(0, 1)
+	ps.Fault(0, false, false)
+	if ps.CurrentSpan() != 0 {
+		t.Fatal("nil ProcState CurrentSpan != 0")
+	}
+	set.OnSetup(1)
+	set.OnIdle(1)
+	if set.NewProc(1, "x") != nil {
+		t.Fatal("nil set NewProc should return nil")
+	}
+	if set.Snapshot() != nil {
+		t.Fatal("nil set Snapshot should return nil")
+	}
+}

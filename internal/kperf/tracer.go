@@ -1,0 +1,226 @@
+package kperf
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// EventKind classifies one trace record.
+type EventKind uint8
+
+// Trace record kinds. Span kinds carry a start and an end stamp;
+// instant kinds carry only a start.
+const (
+	// EvSchedSpan is one scheduler dispatch: the process held the CPU
+	// from Start to End. Arg is the context-switch count at dispatch.
+	EvSchedSpan EventKind = iota + 1
+	// EvSyscallSpan is one system call; Arg is the syscall number.
+	EvSyscallSpan
+	// EvBlockSpan is a blocked interval (I/O wait or sleep); Arg is
+	// the Subsys the process was waiting on (SubDisk for disk I/O).
+	EvBlockSpan
+	// EvFault is an instant page-fault event; Arg bit 0 marks a guard
+	// (Kefence) fault, bit 1 a write access.
+	EvFault
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvSchedSpan:
+		return "sched"
+	case EvSyscallSpan:
+		return "syscall"
+	case EvBlockSpan:
+		return "blocked"
+	case EvFault:
+		return "fault"
+	}
+	return "?"
+}
+
+// recordBytes is the fixed on-ring size of one binary record:
+// kind(1) pad(3) arg(4) start(8) end(8).
+const recordBytes = 24
+
+// TraceEvent is one decoded trace record.
+type TraceEvent struct {
+	PID        int
+	Kind       EventKind
+	Arg        uint32
+	Start, End sim.Cycles
+}
+
+// Shard is one process's private slice of the tracer: a bounded
+// binary ring of fixed-size records. When the ring is full new
+// records are dropped and counted — tracing never blocks and never
+// reallocates, so the hot path is a bounds check and a 24-byte
+// encode.
+type Shard struct {
+	pid  int
+	name string
+
+	buf     []byte // capacity*recordBytes, append-only until full
+	used    int    // bytes written
+	drops   int64
+	records int64
+
+	// Open-span bookkeeping for syscall spans: Begin pushes, End pops
+	// and writes the completed record. IDs are per-shard sequence
+	// numbers; CurrentSpan exposes the innermost open id so other
+	// subsystems (klog) can stamp their records with it.
+	spanSeq  uint64
+	open     [maxOpenSpans]openSpan
+	openDeep int
+}
+
+type openSpan struct {
+	id    uint64
+	arg   uint32
+	start sim.Cycles
+}
+
+// maxOpenSpans bounds syscall-span nesting per process. Syscalls do
+// not nest in this kernel (compounds run under a single NrCosy span),
+// so 8 is generous; deeper nesting drops the span.
+const maxOpenSpans = 8
+
+// PID reports the shard's process id.
+func (s *Shard) PID() int { return s.pid }
+
+// Name reports the shard's process name.
+func (s *Shard) Name() string { return s.name }
+
+// Drops reports records discarded because the ring was full.
+func (s *Shard) Drops() int64 { return s.drops }
+
+// Records reports records retained.
+func (s *Shard) Records() int64 { return s.records }
+
+// Span records a completed span.
+func (s *Shard) Span(kind EventKind, arg uint32, start, end sim.Cycles) {
+	s.write(kind, arg, start, end)
+}
+
+// Instant records a point event.
+func (s *Shard) Instant(kind EventKind, arg uint32, at sim.Cycles) {
+	s.write(kind, arg, at, at)
+}
+
+// Begin opens a span (syscall entry) and returns its id.
+func (s *Shard) Begin(arg uint32, at sim.Cycles) uint64 {
+	s.spanSeq++
+	if s.openDeep >= maxOpenSpans {
+		s.drops++
+		return 0
+	}
+	s.open[s.openDeep] = openSpan{id: s.spanSeq, arg: arg, start: at}
+	s.openDeep++
+	return s.spanSeq
+}
+
+// End closes the innermost open span, writing the completed record.
+func (s *Shard) End(at sim.Cycles) {
+	if s.openDeep == 0 {
+		return
+	}
+	s.openDeep--
+	sp := s.open[s.openDeep]
+	s.write(EvSyscallSpan, sp.arg, sp.start, at)
+}
+
+// CurrentSpan reports the innermost open span id, 0 when none. klog
+// stamps log records with this so a syslog line can be correlated
+// with the syscall it was emitted under.
+func (s *Shard) CurrentSpan() uint64 {
+	if s == nil || s.openDeep == 0 {
+		return 0
+	}
+	return s.open[s.openDeep-1].id
+}
+
+func (s *Shard) write(kind EventKind, arg uint32, start, end sim.Cycles) {
+	if s.used+recordBytes > len(s.buf) {
+		s.drops++
+		return
+	}
+	b := s.buf[s.used : s.used+recordBytes]
+	b[0] = byte(kind)
+	b[1], b[2], b[3] = 0, 0, 0
+	binary.LittleEndian.PutUint32(b[4:], arg)
+	binary.LittleEndian.PutUint64(b[8:], uint64(start))
+	binary.LittleEndian.PutUint64(b[16:], uint64(end))
+	s.used += recordBytes
+	s.records++
+}
+
+// Events decodes the shard's retained records in write order.
+func (s *Shard) Events() []TraceEvent {
+	out := make([]TraceEvent, 0, s.used/recordBytes)
+	for off := 0; off+recordBytes <= s.used; off += recordBytes {
+		b := s.buf[off : off+recordBytes]
+		out = append(out, TraceEvent{
+			PID:   s.pid,
+			Kind:  EventKind(b[0]),
+			Arg:   binary.LittleEndian.Uint32(b[4:]),
+			Start: sim.Cycles(binary.LittleEndian.Uint64(b[8:])),
+			End:   sim.Cycles(binary.LittleEndian.Uint64(b[16:])),
+		})
+	}
+	return out
+}
+
+// DefaultShardRecords bounds each process shard; at 24 bytes a record
+// this is 1.5MB of host memory per busy process.
+const DefaultShardRecords = 1 << 16
+
+// Tracer owns the per-process shards. Shard creation happens at
+// process spawn (never on a hot path) under a mutex; record writes go
+// straight to the process's own shard with no locking, relying on the
+// machine's strict goroutine hand-off.
+type Tracer struct {
+	// ShardRecords caps each shard's record count (0 selects
+	// DefaultShardRecords).
+	ShardRecords int
+
+	mu     sync.Mutex
+	shards []*Shard
+}
+
+// NewTracer creates a tracer whose shards hold shardRecords records
+// each (0 selects DefaultShardRecords).
+func NewTracer(shardRecords int) *Tracer {
+	return &Tracer{ShardRecords: shardRecords}
+}
+
+// Shard creates the shard for one process.
+func (t *Tracer) Shard(pid int, name string) *Shard {
+	n := t.ShardRecords
+	if n <= 0 {
+		n = DefaultShardRecords
+	}
+	s := &Shard{pid: pid, name: name, buf: make([]byte, n*recordBytes)}
+	t.mu.Lock()
+	t.shards = append(t.shards, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Shards returns the shards in creation (pid) order.
+func (t *Tracer) Shards() []*Shard {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Shard, len(t.shards))
+	copy(out, t.shards)
+	return out
+}
+
+// Totals reports records retained and dropped across all shards.
+func (t *Tracer) Totals() (records, drops int64) {
+	for _, s := range t.Shards() {
+		records += s.records
+		drops += s.drops
+	}
+	return records, drops
+}

@@ -144,6 +144,11 @@ type AddressSpace struct {
 	Charge ChargeFunc
 	costs  *sim.Costs
 
+	// FaultProbe, when set, observes every delivered fault (after the
+	// fault is counted and charged, before the handler runs). It is an
+	// observability tap: it must not repair mappings or charge cycles.
+	FaultProbe func(f *Fault)
+
 	tlb      [tlbSize]Addr
 	tlbValid [tlbSize]bool
 
@@ -153,6 +158,9 @@ type AddressSpace struct {
 	// Stats.
 	TLBHits, TLBMisses uint64
 	Faults             uint64
+	// GuardPromos counts guard pages promoted to real mappings by
+	// SetPerm (Kefence's log-and-continue auto-map).
+	GuardPromos uint64
 
 	next Addr // region reservation cursor
 }
@@ -247,6 +255,7 @@ func (as *AddressSpace) SetPerm(va Addr, perm Perm) error {
 		}
 		pte.Frame = f
 		pte.Guard = false
+		as.GuardPromos++
 	}
 	pte.Perm = perm
 	as.pages.set(va, pte)
@@ -374,6 +383,9 @@ func (as *AddressSpace) translateSlow(va, page Addr, access Access) (PTE, error)
 		as.Faults++
 		if as.costs != nil {
 			as.chargeCost(as.costs.PageFault)
+		}
+		if as.FaultProbe != nil {
+			as.FaultProbe(f)
 		}
 		if as.Handler == nil || attempt > 4 {
 			return PTE{}, f

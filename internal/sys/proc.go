@@ -5,26 +5,42 @@ import (
 	"fmt"
 
 	"repro/internal/kernel"
+	"repro/internal/kperf"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/vfs"
 )
 
-// Kernel bundles the machine, the mount namespace, and the optional
-// trace hook: everything the syscall layer needs.
+// Kernel bundles the machine, the mount namespace, and the syscall
+// observers: everything the syscall layer needs.
 type Kernel struct {
 	M  *kernel.Machine
 	NS *vfs.Namespace
-	// Hook, when set, observes every syscall (strace/auditing).
-	Hook Hook
 	// Calls counts syscall invocations by number.
 	Calls [nrCount]int64
+	// BytesIn/BytesOut count bytes copied across the user/kernel
+	// boundary in each direction (copyin/copyout).
+	BytesIn, BytesOut int64
+
+	// hooks fan out every completed syscall to the registered
+	// observers (trace recorder, monitors); see AddHook.
+	hooks []Hook
 }
 
 // NewKernel wires a syscall layer over machine and namespace.
 func NewKernel(m *kernel.Machine, ns *vfs.Namespace) *Kernel {
 	return &Kernel{M: m, NS: ns}
 }
+
+// AddHook registers a syscall observer. Hooks run in registration
+// order after each syscall completes; any number may be attached
+// concurrently (tracer, kperf taps, event monitors).
+func (k *Kernel) AddHook(h Hook) {
+	k.hooks = append(k.hooks, h)
+}
+
+// Hooks reports the number of registered syscall observers.
+func (k *Kernel) Hooks() int { return len(k.hooks) }
 
 // TotalCalls reports the total number of system calls served.
 func (k *Kernel) TotalCalls() int64 {
@@ -127,12 +143,16 @@ func (pr *Proc) Peek(ub UserBuf, n int) ([]byte, error) {
 // arguments.
 func (pr *Proc) enter(nr Nr, in int) {
 	c := &pr.K.M.Costs
+	pr.P.Perf.SyscallEnter(uint16(nr), pr.K.M.Clock.Now())
+	pr.P.Perf.Push(kperf.SubBoundary)
 	pr.P.ChargeUser(c.UserDispatch)
 	pr.P.EnterKernel()
 	pr.P.Charge(c.Trap)
 	if in > 0 {
 		pr.P.Charge(sim.Cycles(in) * c.CopyUserByte)
+		pr.K.BytesIn += int64(in)
 	}
+	pr.P.Perf.Pop()
 	pr.K.Calls[nr]++
 }
 
@@ -141,11 +161,15 @@ func (pr *Proc) enter(nr Nr, in int) {
 func (pr *Proc) exit(nr Nr, in, out int) {
 	c := &pr.K.M.Costs
 	if out > 0 {
+		pr.P.Perf.Push(kperf.SubBoundary)
 		pr.P.Charge(sim.Cycles(out) * c.CopyUserByte)
+		pr.P.Perf.Pop()
+		pr.K.BytesOut += int64(out)
 	}
 	pr.P.ExitKernel()
-	if pr.K.Hook != nil {
-		pr.K.Hook.Syscall(pr.P.PID, nr, in, out)
+	pr.P.Perf.SyscallExit(pr.K.M.Clock.Now())
+	for _, h := range pr.K.hooks {
+		h.Syscall(pr.P.PID, nr, in, out)
 	}
 }
 

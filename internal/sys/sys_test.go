@@ -459,7 +459,7 @@ func (h *recHook) Syscall(pid int, nr Nr, in, out int) {
 func TestHookObservesCalls(t *testing.T) {
 	m, k := env()
 	h := &recHook{}
-	k.Hook = h
+	k.AddHook(h)
 	run(t, m, k, func(pr *Proc) error {
 		fd, _ := pr.Creat("/f")
 		_ = pr.Close(fd)

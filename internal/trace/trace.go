@@ -34,7 +34,7 @@ type Recorder struct {
 	Events []Event
 	Graph  *sysgraph.Graph
 
-	calls       [64]int64
+	calls       []int64
 	bytesIn     int64
 	bytesOut    int64
 	first, last sim.Cycles
@@ -47,6 +47,7 @@ func NewRecorder(clock *sim.Clock) *Recorder {
 		clock:      clock,
 		KeepEvents: true,
 		Graph:      sysgraph.New(func(n sysgraph.Node) string { return sys.Nr(n).String() }),
+		calls:      make([]int64, sys.Count()),
 	}
 }
 
@@ -78,8 +79,15 @@ func (r *Recorder) TotalCalls() int64 {
 	return t
 }
 
-// Calls reports the count for one syscall.
-func (r *Recorder) Calls(nr sys.Nr) int64 { return r.calls[nr] }
+// Calls reports the count for one syscall. Out-of-range numbers
+// report zero rather than panicking (Syscall quietly ignores them
+// too, so the two stay consistent).
+func (r *Recorder) Calls(nr sys.Nr) int64 {
+	if int(nr) >= len(r.calls) {
+		return 0
+	}
+	return r.calls[nr]
+}
 
 // TotalBytes reports all bytes copied across the boundary.
 func (r *Recorder) TotalBytes() int64 { return r.bytesIn + r.bytesOut }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/kernel"
+	"repro/internal/kperf"
 	"repro/internal/sim"
 )
 
@@ -109,7 +110,7 @@ func (io *IOModel) evictIfNeeded(p *kernel.Process) {
 		if victim.dirty {
 			io.dirty--
 			io.Writebacks++
-			p.BlockFor(io.Dev.AccessTime(diskBlock(victim.key), disk.BlockSize, true))
+			p.BlockOn(kperf.SubDisk, io.Dev.AccessTime(diskBlock(victim.key), disk.BlockSize, true))
 		}
 	}
 }
@@ -122,7 +123,7 @@ func (io *IOModel) ReadBlock(p *kernel.Process, key BlockKey) {
 		return
 	}
 	io.Misses++
-	p.BlockFor(io.Dev.AccessTime(diskBlock(key), disk.BlockSize, false))
+	p.BlockOn(kperf.SubDisk, io.Dev.AccessTime(diskBlock(key), disk.BlockSize, false))
 	e := &cacheEntry{key: key}
 	io.table[key] = e
 	io.pushFront(e)
@@ -178,7 +179,7 @@ func (io *IOModel) throttle(p *kernel.Process) {
 // WriteThrough writes a block synchronously to the disk (journal
 // commits), leaving it clean in the cache.
 func (io *IOModel) WriteThrough(p *kernel.Process, key BlockKey) {
-	p.BlockFor(io.Dev.AccessTime(diskBlock(key), disk.BlockSize, true))
+	p.BlockOn(kperf.SubDisk, io.Dev.AccessTime(diskBlock(key), disk.BlockSize, true))
 	if e, ok := io.table[key]; ok {
 		if e.dirty {
 			e.dirty = false
@@ -220,7 +221,7 @@ func (io *IOModel) Sync(p *kernel.Process) {
 		e.dirty = false
 		io.dirty--
 		io.SyncWrites++
-		p.BlockFor(io.Dev.AccessTime(diskBlock(e.key), disk.BlockSize, true))
+		p.BlockOn(kperf.SubDisk, io.Dev.AccessTime(diskBlock(e.key), disk.BlockSize, true))
 	}
 }
 
