@@ -9,6 +9,13 @@
 //
 //	kprof [-workload postmark|compile|interactive|dbscan|monitor]
 //	      [-trace FILE.json] [-folded FILE.folded] [-records N] [-top N]
+//	      [-proc NAME] [-subsystem NAME]
+//
+// -proc and -subsystem restrict the exported timeline and folded
+// stacks to one process (by name or name-pid) and/or one subsystem
+// (e.g. disk, probe, kmon), so a flamegraph of just the probe
+// overhead or just one process's disk waits is a single flag away.
+// The text summary always covers the whole machine.
 //
 // The "monitor" workload reproduces E6's shape — PostMark with the
 // dcache lock instrumented plus a user-space logger process — and is
@@ -45,7 +52,10 @@ func main() {
 	foldedOut := flag.String("folded", "", "write a folded-stack cycle profile to this file")
 	records := flag.Int("records", 0, "per-process trace shard capacity in records (0: 65536)")
 	top := flag.Int("top", 12, "rows per summary section")
+	proc := flag.String("proc", "", "restrict trace/folded exports to this process (name or name-pid)")
+	subsystem := flag.String("subsystem", "", "restrict trace/folded exports to this subsystem")
 	flag.Parse()
+	filter := kperf.TraceFilter{Proc: *proc, Subsystem: *subsystem}
 
 	s, err := run(*name, *records)
 	if err != nil {
@@ -67,7 +77,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "kprof: %v\n", err)
 			os.Exit(1)
 		}
-		if err := s.Perf.WriteChromeTrace(f); err == nil {
+		if err := s.Perf.WriteChromeTraceFiltered(f, filter); err == nil {
 			err = f.Close()
 		} else {
 			f.Close()
@@ -79,7 +89,7 @@ func main() {
 		fmt.Printf("wrote %s (load in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
 	}
 	if *foldedOut != "" {
-		if err := os.WriteFile(*foldedOut, []byte(sn.FoldedStacks()), 0o644); err != nil {
+		if err := os.WriteFile(*foldedOut, []byte(sn.FoldedStacksFiltered(filter)), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "kprof: write folded: %v\n", err)
 			os.Exit(1)
 		}

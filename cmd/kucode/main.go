@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	kucode [-full] [-md] [-perf] [e1 e2 ... e8 | ablations | all]
+//	kucode [-full] [-md] [-perf] [e1 e2 ... e9 | ablations | all]
 //
 // -perf boots every experiment with kperf instrumentation and prints
 // a per-subsystem cycle-attribution summary under each table; the
@@ -50,6 +50,7 @@ func main() {
 		{"e6", func() (*bench.Table, error) { return bench.E6(*perf) }},
 		{"e7", func() (*bench.Table, error) { return bench.E7(*perf) }},
 		{"e8", bench.E8},
+		{"e9", func() (*bench.Table, error) { return bench.E9(*perf) }},
 	}
 
 	failed := false

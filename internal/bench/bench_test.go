@@ -68,6 +68,14 @@ func TestE8(t *testing.T) {
 	checkTable(t, tbl, err)
 }
 
+func TestE9(t *testing.T) {
+	tbl, err := E9(true)
+	checkTable(t, tbl, err)
+	if tbl.Perf == nil || tbl.Perf.SubsystemCycles["probe"] <= 0 {
+		t.Errorf("E9: no cycles attributed to the probe subsystem")
+	}
+}
+
 func TestAblations(t *testing.T) {
 	tables, err := Ablations()
 	if err != nil {

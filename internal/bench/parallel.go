@@ -123,6 +123,7 @@ func Suite(full, perf bool) []Trial {
 		{Name: "E6", Run: func() (*Table, error) { return E6(perf) }},
 		{Name: "E7", Run: func() (*Table, error) { return E7(perf) }},
 		{Name: "E8", Run: E8},
+		{Name: "E9", Run: func() (*Table, error) { return E9(perf) }},
 	}
 }
 

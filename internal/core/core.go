@@ -17,6 +17,7 @@ import (
 	"repro/internal/kgcc"
 	"repro/internal/kmon"
 	"repro/internal/kperf"
+	"repro/internal/kprobe"
 	"repro/internal/sim"
 	"repro/internal/sys"
 	"repro/internal/trace"
@@ -108,6 +109,9 @@ type System struct {
 	Mon    *kmon.Monitor
 	Rec    *trace.Recorder
 	Module *kgcc.Module
+	// Probes is the kprobe subsystem, always booted: with no programs
+	// attached its tracepoints cost exactly zero simulated cycles.
+	Probes *kprobe.Manager
 
 	// Perf mirrors Options.Perf (nil: instrumentation disabled).
 	Perf *kperf.Set
@@ -187,6 +191,11 @@ func New(opts Options) (*System, error) {
 	}
 	s.Mon = kmon.New(s.M, ringCap)
 	s.NS.RegisterDevice("/dev/kernevents", &kmon.Dev{Mon: s.Mon})
+
+	s.Probes = kprobe.NewManager(s.M)
+	s.K.Probes = s.Probes
+	s.M.Tap = s.Probes
+
 	if s.Perf != nil {
 		s.wirePerf()
 	}
@@ -219,6 +228,8 @@ func (s *System) wirePerf() {
 		nr := sys.Nr(nr)
 		reg.GaugeFunc("sys.calls."+nr.String(), func() int64 { return s.K.Calls[nr] })
 	}
+
+	s.Probes.WirePerf(reg)
 
 	reg.GaugeFunc("kmon.logged", func() int64 { return s.Mon.Logged })
 	reg.GaugeFunc("kmon.enqueued", func() int64 { return s.Mon.Enqueued })

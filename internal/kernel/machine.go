@@ -25,6 +25,24 @@ import (
 	"repro/internal/sim"
 )
 
+// ProbeTap is the kprobe dispatch seam: the machine announces
+// tracepoint events through it and charges whatever cycle cost the
+// probe subsystem reports, tagged to the probe kperf subsystem. The
+// kernel package stays ignorant of kprobe itself; internal/kprobe's
+// Manager implements this interface and core wires it in. A nil Tap
+// — or a Tap with nothing attached, which must return 0 — costs
+// nothing, preserving the zero-cost observability gate.
+type ProbeTap interface {
+	// CtxSwitch fires on every process-to-process switch, in
+	// scheduler context, with the process being switched in.
+	CtxSwitch(p *Process) sim.Cycles
+	// Fault fires after a page fault has been handled.
+	Fault(p *Process, guard, write bool) sim.Cycles
+	// DiskWait fires when a process wakes from a disk wait of d
+	// cycles.
+	DiskWait(p *Process, d sim.Cycles) sim.Cycles
+}
+
 // Machine is the simulated computer.
 type Machine struct {
 	Clock sim.Clock
@@ -41,6 +59,12 @@ type Machine struct {
 	// instrumentation. kperf only observes charges the machine makes
 	// anyway, so enabling it never moves a simulated cycle.
 	Perf *kperf.Set
+
+	// Tap is the kprobe tracepoint seam (nil = no probe subsystem).
+	// Unlike Perf, a tap may charge simulated cycles — probe
+	// execution is real, measured work — but only when a program is
+	// attached at the firing tracepoint.
+	Tap ProbeTap
 
 	procs   map[int]*Process
 	ready   *ring.Deque[*Process]
@@ -99,13 +123,44 @@ func New(cfg Config) *Machine {
 			}
 			return 0
 		}
-		m.KAS.FaultProbe = func(f *mem.Fault) {
-			if p := m.current; p != nil {
-				p.Perf.Fault(m.Clock.Now(), f.Guard, f.Access == mem.AccessWrite)
-			}
+	}
+	// The fault probe is installed unconditionally: kperf's Fault is
+	// nil-safe and the kprobe tap attaches programs at runtime, so
+	// the seam must exist even on machines booted without Perf.
+	m.KAS.FaultProbe = func(f *mem.Fault) {
+		if p := m.current; p != nil {
+			p.Perf.Fault(m.Clock.Now(), f.Guard, f.Access == mem.AccessWrite)
+			m.probeFault(p, f)
 		}
 	}
 	return m
+}
+
+// probeFault dispatches the page-fault tracepoint and charges the
+// probe cost to the faulting process as kernel time under the probe
+// subsystem.
+func (m *Machine) probeFault(p *Process, f *mem.Fault) {
+	if m.Tap == nil {
+		return
+	}
+	if c := m.Tap.Fault(p, f.Guard, f.Access == mem.AccessWrite); c > 0 {
+		p.Perf.Push(kperf.SubProbe)
+		p.ChargeSys(c)
+		p.Perf.Pop()
+	}
+}
+
+// probeDiskWait dispatches the disk-wait tracepoint when a process
+// wakes from blocking on disk.
+func (m *Machine) probeDiskWait(p *Process, d sim.Cycles) {
+	if m.Tap == nil {
+		return
+	}
+	if c := m.Tap.DiskWait(p, d); c > 0 {
+		p.Perf.Push(kperf.SubProbe)
+		p.ChargeSys(c)
+		p.Perf.Pop()
+	}
 }
 
 // chargeCurrent attributes cycles from subsystems (MMU, allocators) to
@@ -164,9 +219,10 @@ func (m *Machine) Spawn(name string, fn func(*Process) error) *Process {
 			p.Charge(c)
 			p.Perf.Pop()
 		}
-		p.UAS.FaultProbe = func(f *mem.Fault) {
-			p.Perf.Fault(m.Clock.Now(), f.Guard, f.Access == mem.AccessWrite)
-		}
+	}
+	p.UAS.FaultProbe = func(f *mem.Fault) {
+		p.Perf.Fault(m.Clock.Now(), f.Guard, f.Access == mem.AccessWrite)
+		m.probeFault(p, f)
 	}
 	m.procs[p.PID] = p
 	m.ready.PushBack(p)
@@ -228,6 +284,18 @@ func (m *Machine) dispatch(p *Process) {
 		p.Perf.Pop()
 		p.UAS.TLBFlush()
 		m.KAS.TLBFlush()
+		if m.Tap != nil {
+			// Scheduler context: charge like the switch itself —
+			// advance the clock and bill the incoming process's
+			// system time directly (ChargeSys would preempt here).
+			if c := m.Tap.CtxSwitch(p); c > 0 {
+				m.Clock.Advance(c)
+				p.sysCycles += c
+				p.Perf.Push(kperf.SubProbe)
+				p.Perf.OnCycles(c, true)
+				p.Perf.Pop()
+			}
+		}
 	}
 	m.lastRun = p
 	m.current = p

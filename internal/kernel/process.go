@@ -260,6 +260,9 @@ func (p *Process) BlockOn(sub kperf.Subsys, d sim.Cycles) {
 	p.sliceLeft = p.sliceLen()
 	p.waitCycles += p.M.Clock.Now() - start
 	p.Perf.BlockSpan(sub, start, p.M.Clock.Now())
+	if sub == kperf.SubDisk {
+		p.M.probeDiskWait(p, p.M.Clock.Now()-start)
+	}
 }
 
 // wake moves a blocked process back to the run queue. Called by the

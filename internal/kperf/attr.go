@@ -36,6 +36,9 @@ const (
 	SubKefence
 	// SubMon is the event-monitor dispatch path (kmon).
 	SubMon
+	// SubProbe is kprobe program execution: verified in-kernel probe
+	// programs plus their map updates and attach-time verification.
+	SubProbe
 	// SubDisk tags blocked-on-disk spans; disk waits advance no CPU
 	// cycles, so this appears in the timeline, not the CPU profile.
 	SubDisk
@@ -44,7 +47,7 @@ const (
 
 var subsysNames = [...]string{
 	"kern", "user", "boundary", "mem", "alloc", "sched", "cosy",
-	"kefence", "kmon", "disk",
+	"kefence", "kmon", "probe", "disk",
 }
 
 func (s Subsys) String() string {

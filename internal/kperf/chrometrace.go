@@ -41,20 +41,67 @@ const machinePID = 1
 // cyclesToUs converts simulated cycles to trace microseconds.
 func cyclesToUs(c int64) float64 { return float64(c) / 1700.0 }
 
+// TraceFilter restricts the exporters to one process and/or one
+// subsystem. Proc matches a process name or its "name-pid" label;
+// Subsystem matches the event's attributed subsystem (scheduler spans
+// count as "sched", syscall spans as "kern", faults as "mem", blocked
+// intervals as the subsystem they waited on). Zero-value fields match
+// everything.
+type TraceFilter struct {
+	Proc      string
+	Subsystem string
+}
+
+// MatchProc reports whether a process passes the filter.
+func (f TraceFilter) MatchProc(name string, pid int) bool {
+	return f.Proc == "" || f.Proc == name || f.Proc == fmt.Sprintf("%s-%d", name, pid)
+}
+
+func (f TraceFilter) matchSub(sub string) bool {
+	return f.Subsystem == "" || f.Subsystem == sub
+}
+
 // WriteChromeTrace renders the set's trace as Chrome trace_event
 // JSON.
 func (s *Set) WriteChromeTrace(w io.Writer) error {
+	return s.WriteChromeTraceFiltered(w, TraceFilter{})
+}
+
+// WriteChromeTraceFiltered is WriteChromeTrace restricted to the
+// processes and subsystems the filter selects.
+func (s *Set) WriteChromeTraceFiltered(w io.Writer, f TraceFilter) error {
 	if s == nil {
 		return fmt.Errorf("kperf: no set")
 	}
 	doc := chromeDoc{DisplayTimeUnit: "ms"}
 	for _, sh := range s.Trace.Shards() {
+		if !f.MatchProc(sh.name, sh.pid) {
+			continue
+		}
 		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 			Name: "thread_name", Cat: "__metadata", Ph: "M",
 			PID: machinePID, TID: sh.pid,
 			Args: map[string]any{"name": fmt.Sprintf("%s-%d", sh.name, sh.pid)},
 		})
 		for _, ev := range sh.Events() {
+			switch ev.Kind {
+			case EvSchedSpan:
+				if !f.matchSub("sched") {
+					continue
+				}
+			case EvSyscallSpan:
+				if !f.matchSub("kern") {
+					continue
+				}
+			case EvBlockSpan:
+				if !f.matchSub(Subsys(ev.Arg).String()) {
+					continue
+				}
+			case EvFault:
+				if !f.matchSub("mem") {
+					continue
+				}
+			}
 			ce := chromeEvent{
 				PID: machinePID,
 				TID: sh.pid,

@@ -3,6 +3,7 @@ package kperf
 import (
 	"bytes"
 	"encoding/json"
+	"math/rand"
 	"strconv"
 	"strings"
 	"testing"
@@ -190,6 +191,46 @@ func TestSnapshotMerge(t *testing.T) {
 	}
 }
 
+// TestHistogramMergeEqualsCombined is the exactness contract for
+// snapshot merging: because the buckets are power-of-two, merging two
+// histogram snapshots must produce exactly the summary a single
+// histogram would have reported after seeing every observation —
+// including P50/P99, which are recomputed from the merged buckets
+// rather than approximated from either side.
+func TestHistogramMergeEqualsCombined(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var ha, hb, combined Histogram
+	for i := 0; i < 5000; i++ {
+		v := sim.Cycles(rng.Int63n(1 << uint(rng.Intn(40))))
+		if i%3 == 0 {
+			ha.Observe(v)
+		} else {
+			hb.Observe(v)
+		}
+		combined.Observe(v)
+	}
+	got := mergeHist(ha.Snapshot(), hb.Snapshot())
+	want := combined.Snapshot()
+	if got.Count != want.Count || got.Sum != want.Sum ||
+		got.Min != want.Min || got.Max != want.Max ||
+		got.Mean != want.Mean || got.P50 != want.P50 || got.P99 != want.P99 {
+		t.Fatalf("merged snapshot differs from combined:\n got %+v\nwant %+v", got, want)
+	}
+	if len(got.Buckets) != len(want.Buckets) {
+		t.Fatalf("bucket lengths differ: %d vs %d", len(got.Buckets), len(want.Buckets))
+	}
+	for i := range got.Buckets {
+		if got.Buckets[i] != want.Buckets[i] {
+			t.Fatalf("bucket %d: merged %d, combined %d", i, got.Buckets[i], want.Buckets[i])
+		}
+	}
+	// Merging in the other order must agree too.
+	rev := mergeHist(hb.Snapshot(), ha.Snapshot())
+	if rev.P50 != want.P50 || rev.P99 != want.P99 || rev.Count != want.Count {
+		t.Fatalf("merge is order-sensitive: %+v vs %+v", rev, want)
+	}
+}
+
 func TestChromeTraceIsValidJSON(t *testing.T) {
 	set := New(8, 64)
 	set.SyscallName = func(nr int) string { return "open" }
@@ -230,6 +271,88 @@ func TestChromeTraceIsValidJSON(t *testing.T) {
 	}
 	if !kinds["M"] || !kinds["X"] || !kinds["i"] {
 		t.Fatalf("missing event phases: %v", kinds)
+	}
+}
+
+func TestTraceFilter(t *testing.T) {
+	set := New(8, 64)
+	set.SyscallName = func(nr int) string { return "open" }
+	app := set.NewProc(1, "app")
+	app.SchedSpan(0, 500)
+	app.SyscallEnter(0, 100)
+	app.SyscallExit(300)
+	app.BlockSpan(SubDisk, 300, 450)
+	other := set.NewProc(2, "bg")
+	other.SchedSpan(500, 600)
+
+	count := func(f TraceFilter) int {
+		var buf bytes.Buffer
+		if err := set.WriteChromeTraceFiltered(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, ev := range doc.TraceEvents {
+			if cat, _ := ev["cat"].(string); cat != "__metadata" {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(TraceFilter{}); got != 4 {
+		t.Fatalf("unfiltered events = %d, want 4", got)
+	}
+	if got := count(TraceFilter{Proc: "app"}); got != 3 {
+		t.Fatalf("proc=app events = %d, want 3", got)
+	}
+	if got := count(TraceFilter{Proc: "app-1"}); got != 3 {
+		t.Fatalf("proc=app-1 events = %d, want 3", got)
+	}
+	if got := count(TraceFilter{Subsystem: "disk"}); got != 1 {
+		t.Fatalf("subsystem=disk events = %d, want 1", got)
+	}
+	if got := count(TraceFilter{Proc: "bg", Subsystem: "sched"}); got != 1 {
+		t.Fatalf("bg sched events = %d, want 1", got)
+	}
+	if got := count(TraceFilter{Proc: "nope"}); got != 0 {
+		t.Fatalf("proc=nope events = %d, want 0", got)
+	}
+
+	sn := &Snapshot{
+		Attribution: []AttrRow{
+			{Process: "app-1", Mode: "kernel", Subsys: "disk", Syscall: "read", Cycles: 100},
+			{Process: "app-1", Mode: "user", Subsys: "kern", Syscall: "-", Cycles: 50},
+			{Process: "bg-2", Mode: "kernel", Subsys: "disk", Syscall: "write", Cycles: 25},
+		},
+		SetupCycles: 7,
+		IdleCycles:  3,
+	}
+	lineCount := func(f TraceFilter) int {
+		s := sn.FoldedStacksFiltered(f)
+		if s == "" {
+			return 0
+		}
+		return strings.Count(s, "\n")
+	}
+	if got := lineCount(TraceFilter{}); got != 5 {
+		t.Fatalf("unfiltered folded lines = %d, want 5", got)
+	}
+	if got := lineCount(TraceFilter{Proc: "app"}); got != 2 {
+		t.Fatalf("proc=app folded lines = %d, want 2", got)
+	}
+	if got := lineCount(TraceFilter{Subsystem: "disk"}); got != 2 {
+		t.Fatalf("subsystem=disk folded lines = %d, want 2", got)
+	}
+	if got := lineCount(TraceFilter{Proc: "machine"}); got != 2 {
+		t.Fatalf("proc=machine folded lines = %d, want 2", got)
+	}
+	if got := lineCount(TraceFilter{Proc: "bg", Subsystem: "disk"}); got != 1 {
+		t.Fatalf("bg disk folded lines = %d, want 1", got)
 	}
 }
 

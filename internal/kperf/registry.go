@@ -68,6 +68,20 @@ func (g *Gauge) Value() int64 { return g.v }
 // 1.7GHz) and the overflow lands in the final slot.
 const histBuckets = 48
 
+// HistBuckets exposes the bucket count so other subsystems (kprobe's
+// in-kernel aggregation maps) can reuse the same scheme and their
+// histograms stay mergeable with kperf's.
+const HistBuckets = histBuckets
+
+// BucketOf exposes the bucket rule: the index of the power-of-two
+// bucket that would receive an observation of v cycles.
+func BucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	return bucketFor(v)
+}
+
 // Histogram is a cycle-bucketed histogram: observations are binned by
 // the position of their highest set bit, which makes Observe a few
 // integer instructions and no allocation.
@@ -128,44 +142,63 @@ func (h *Histogram) Mean() float64 {
 // boundaries: it returns the upper bound of the bucket containing the
 // q-th observation, i.e. an upper estimate within 2x.
 func (h *Histogram) Quantile(q float64) int64 {
-	if h.count == 0 {
+	return bucketQuantile(h.buckets[:], h.count, h.max, q)
+}
+
+// bucketQuantile is the shared quantile scan over power-of-two
+// buckets, used both for live histograms and for merged snapshots
+// (bucket counts merge exactly, so merged quantiles are as precise as
+// single-histogram ones).
+func bucketQuantile(buckets []int64, count, max int64, q float64) int64 {
+	if count == 0 {
 		return 0
 	}
-	target := int64(q * float64(h.count))
-	if target >= h.count {
-		target = h.count - 1
+	target := int64(q * float64(count))
+	if target >= count {
+		target = count - 1
 	}
 	var seen int64
-	for i, n := range h.buckets {
+	for i, n := range buckets {
 		seen += n
 		if seen > target {
 			return int64(1) << uint(i)
 		}
 	}
-	return h.max
+	return max
 }
 
-// HistogramSnapshot is the serializable view of a histogram.
+// HistogramSnapshot is the serializable view of a histogram. Buckets
+// carries the raw power-of-two bucket counts (trimmed of trailing
+// zeros) so snapshots merge exactly; it is omitted from JSON to keep
+// BENCH_repro.json compact.
 type HistogramSnapshot struct {
-	Count int64   `json:"count"`
-	Sum   int64   `json:"sum"`
-	Min   int64   `json:"min"`
-	Max   int64   `json:"max"`
-	Mean  float64 `json:"mean"`
-	P50   int64   `json:"p50_upper"`
-	P99   int64   `json:"p99_upper"`
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Min     int64   `json:"min"`
+	Max     int64   `json:"max"`
+	Mean    float64 `json:"mean"`
+	P50     int64   `json:"p50_upper"`
+	P99     int64   `json:"p99_upper"`
+	Buckets []int64 `json:"-"`
 }
 
 // Snapshot summarizes the histogram.
 func (h *Histogram) Snapshot() HistogramSnapshot {
+	last := 0
+	for i, n := range h.buckets {
+		if n != 0 {
+			last = i + 1
+		}
+	}
 	return HistogramSnapshot{
-		Count: h.count,
-		Sum:   h.sum,
-		Min:   h.min,
-		Max:   h.max,
-		Mean:  h.Mean(),
-		P50:   h.Quantile(0.50),
-		P99:   h.Quantile(0.99),
+		Count:   h.count,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
+		Mean:    h.Mean(),
+		P50:     h.Quantile(0.50),
+		P99:     h.Quantile(0.99),
+		Buckets: append([]int64(nil), h.buckets[:last]...),
 	}
 }
 

@@ -153,13 +153,20 @@ func mergeHist(a, b HistogramSnapshot) HistogramSnapshot {
 		out.Max = b.Max
 	}
 	out.Mean = float64(out.Sum) / float64(out.Count)
-	// Quantiles cannot be merged exactly from summaries; keep the
-	// larger side's estimate.
-	if a.Count >= b.Count {
-		out.P50, out.P99 = a.P50, a.P99
-	} else {
-		out.P50, out.P99 = b.P50, b.P99
+	// Power-of-two buckets merge exactly: sum the counts and rescan
+	// for the quantiles, which are then as precise as if one histogram
+	// had seen every observation.
+	n := len(a.Buckets)
+	if len(b.Buckets) > n {
+		n = len(b.Buckets)
 	}
+	out.Buckets = make([]int64, n)
+	copy(out.Buckets, a.Buckets)
+	for i, v := range b.Buckets {
+		out.Buckets[i] += v
+	}
+	out.P50 = bucketQuantile(out.Buckets, out.Count, out.Max, 0.50)
+	out.P99 = bucketQuantile(out.Buckets, out.Count, out.Max, 0.99)
 	return out
 }
 
@@ -169,15 +176,33 @@ func mergeHist(a, b HistogramSnapshot) HistogramSnapshot {
 // sinks appear under a "machine" root so the lines sum to elapsed
 // cycles.
 func (sn *Snapshot) FoldedStacks() string {
+	return sn.FoldedStacksFiltered(TraceFilter{})
+}
+
+// FoldedStacksFiltered renders only the attribution cells the filter
+// selects (the machine's setup/idle sinks count as process "machine",
+// subsystems "setup" and "idle"). With a zero filter the lines sum to
+// TotalCycles; with a filter they sum to that slice of it.
+func (sn *Snapshot) FoldedStacksFiltered(f TraceFilter) string {
 	lines := make([]string, 0, len(sn.Attribution)+2)
+	matchRow := func(procLabel, sub string) bool {
+		if f.Proc != "" && f.Proc != procLabel &&
+			!strings.HasPrefix(procLabel, f.Proc+"-") {
+			return false
+		}
+		return f.Subsystem == "" || f.Subsystem == sub
+	}
 	for _, row := range sn.Attribution {
+		if !matchRow(row.Process, row.Subsys) {
+			continue
+		}
 		lines = append(lines, fmt.Sprintf("%s;%s;%s;%s %d",
 			row.Process, row.Mode, row.Subsys, row.Syscall, row.Cycles))
 	}
-	if sn.SetupCycles > 0 {
+	if sn.SetupCycles > 0 && matchRow("machine", "setup") {
 		lines = append(lines, fmt.Sprintf("machine;kernel;setup;- %d", sn.SetupCycles))
 	}
-	if sn.IdleCycles > 0 {
+	if sn.IdleCycles > 0 && matchRow("machine", "idle") {
 		lines = append(lines, fmt.Sprintf("machine;idle;idle;- %d", sn.IdleCycles))
 	}
 	sort.Strings(lines)

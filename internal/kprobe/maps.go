@@ -1,0 +1,311 @@
+package kprobe
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/kperf"
+)
+
+// MapKind enumerates the aggregation map types a probe program can
+// declare.
+type MapKind uint8
+
+// Map kinds.
+const (
+	// MapHash is a u64-keyed sum map: map_add(id, key, delta)
+	// accumulates delta into the key's slot. Counters are the
+	// delta=1 special case; keying by pid*256+nr gives the paper's
+	// (pid, syscall) aggregation.
+	MapHash MapKind = iota
+	// MapHist is a u64-keyed power-of-two cycle histogram reusing
+	// kperf's bucket scheme: map_hist(id, key, value) bins value by
+	// its highest set bit and tracks count/sum/min/max per key.
+	MapHist
+	nMapKinds
+)
+
+var mapKindNames = [...]string{"hash", "hist"}
+
+func (k MapKind) String() string {
+	if int(k) < len(mapKindNames) {
+		return mapKindNames[k]
+	}
+	return "?"
+}
+
+// ParseMapKind resolves a map kind name ("hash", "hist").
+func ParseMapKind(s string) (MapKind, error) {
+	for i, n := range mapKindNames {
+		if n == s {
+			return MapKind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("kprobe: unknown map kind %q (want hash or hist)", s)
+}
+
+// MapSpec declares one aggregation map in an attach spec. Probe code
+// refers to maps by declaration index (the constant first argument of
+// map_add/map_hist); readers see them by name.
+type MapSpec struct {
+	Name string  `json:"name"`
+	Kind MapKind `json:"kind"`
+}
+
+// Map is one in-kernel aggregation map. All state lives kernel-side;
+// user space only ever sees the serialized snapshot from probe_read.
+type Map struct {
+	Name string
+	Kind MapKind
+
+	hash map[uint64]int64
+	hist map[uint64]*histCell
+}
+
+// histCell is the per-key histogram state of a MapHist.
+type histCell struct {
+	count, sum, min, max int64
+	buckets              [kperf.HistBuckets]int64
+}
+
+func newMap(spec MapSpec) *Map {
+	m := &Map{Name: spec.Name, Kind: spec.Kind}
+	switch spec.Kind {
+	case MapHash:
+		m.hash = make(map[uint64]int64)
+	case MapHist:
+		m.hist = make(map[uint64]*histCell)
+	}
+	return m
+}
+
+// add accumulates delta into key's slot (MapHash only).
+func (m *Map) add(key uint64, delta int64) {
+	m.hash[key] += delta
+}
+
+// observe records one value in key's histogram (MapHist only).
+func (m *Map) observe(key uint64, v int64) {
+	if v < 0 {
+		v = 0
+	}
+	c := m.hist[key]
+	if c == nil {
+		c = &histCell{min: v, max: v}
+		m.hist[key] = c
+	}
+	if v < c.min {
+		c.min = v
+	}
+	if v > c.max {
+		c.max = v
+	}
+	c.count++
+	c.sum += v
+	c.buckets[kperf.BucketOf(v)]++
+}
+
+// entries reports the number of distinct keys.
+func (m *Map) entries() int {
+	if m.Kind == MapHash {
+		return len(m.hash)
+	}
+	return len(m.hist)
+}
+
+// HistEntry is the decoded state of one histogram key.
+type HistEntry struct {
+	Count, Sum, Min, Max int64
+	// Buckets maps power-of-two bucket index to count; only nonzero
+	// buckets are serialized.
+	Buckets map[int]int64
+}
+
+// Mean reports the average observation.
+func (e HistEntry) Mean() float64 {
+	if e.Count == 0 {
+		return 0
+	}
+	return float64(e.Sum) / float64(e.Count)
+}
+
+// Quantile returns the upper bound of the bucket containing the
+// q-quantile observation, like kperf.Histogram.Quantile.
+func (e HistEntry) Quantile(q float64) int64 {
+	if e.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(e.Count))
+	if target >= e.Count {
+		target = e.Count - 1
+	}
+	idxs := make([]int, 0, len(e.Buckets))
+	for i := range e.Buckets {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	var seen int64
+	for _, i := range idxs {
+		seen += e.Buckets[i]
+		if seen > target {
+			return int64(1) << uint(i)
+		}
+	}
+	return e.Max
+}
+
+// MapSnapshot is the user-space view of one aggregation map, decoded
+// from a probe_read buffer. Exactly one of Hash/Hist is populated.
+type MapSnapshot struct {
+	Name string
+	Kind MapKind
+	Hash map[uint64]int64
+	Hist map[uint64]HistEntry
+}
+
+// encodeMaps serializes maps into the probe_read wire format. Keys
+// are sorted so the byte stream is deterministic, and histogram cells
+// only carry their nonzero buckets (the whole point of in-kernel
+// aggregation is that this summary is small).
+func encodeMaps(maps []*Map) []byte {
+	var out []byte
+	var tmp [8]byte
+	putU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		out = append(out, tmp[:]...)
+	}
+	putU32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		out = append(out, tmp[:4]...)
+	}
+	out = append(out, byte(len(maps)))
+	for _, m := range maps {
+		out = append(out, byte(m.Kind), byte(len(m.Name)))
+		out = append(out, m.Name...)
+		putU32(uint32(m.entries()))
+		switch m.Kind {
+		case MapHash:
+			keys := make([]uint64, 0, len(m.hash))
+			for k := range m.hash {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			for _, k := range keys {
+				putU64(k)
+				putU64(uint64(m.hash[k]))
+			}
+		case MapHist:
+			keys := make([]uint64, 0, len(m.hist))
+			for k := range m.hist {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			for _, k := range keys {
+				c := m.hist[k]
+				putU64(k)
+				putU64(uint64(c.count))
+				putU64(uint64(c.sum))
+				putU64(uint64(c.min))
+				putU64(uint64(c.max))
+				n := 0
+				for _, b := range c.buckets {
+					if b != 0 {
+						n++
+					}
+				}
+				out = append(out, byte(n))
+				for i, b := range c.buckets {
+					if b != 0 {
+						out = append(out, byte(i))
+						putU64(uint64(b))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DecodeSnapshot parses a probe_read buffer back into map snapshots.
+func DecodeSnapshot(b []byte) ([]MapSnapshot, error) {
+	pos := 0
+	need := func(n int) error {
+		if pos+n > len(b) {
+			return fmt.Errorf("kprobe: truncated snapshot at byte %d (need %d of %d)", pos, n, len(b))
+		}
+		return nil
+	}
+	u64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(b[pos:])
+		pos += 8
+		return v
+	}
+	if err := need(1); err != nil {
+		return nil, err
+	}
+	nMaps := int(b[pos])
+	pos++
+	out := make([]MapSnapshot, 0, nMaps)
+	for mi := 0; mi < nMaps; mi++ {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		kind := MapKind(b[pos])
+		nameLen := int(b[pos+1])
+		pos += 2
+		if kind >= nMapKinds {
+			return nil, fmt.Errorf("kprobe: snapshot map %d has unknown kind %d", mi, kind)
+		}
+		if err := need(nameLen + 4); err != nil {
+			return nil, err
+		}
+		name := string(b[pos : pos+nameLen])
+		pos += nameLen
+		nKeys := int(binary.LittleEndian.Uint32(b[pos:]))
+		pos += 4
+		sn := MapSnapshot{Name: name, Kind: kind}
+		switch kind {
+		case MapHash:
+			sn.Hash = make(map[uint64]int64, nKeys)
+			for i := 0; i < nKeys; i++ {
+				if err := need(16); err != nil {
+					return nil, err
+				}
+				k := u64()
+				sn.Hash[k] = int64(u64())
+			}
+		case MapHist:
+			sn.Hist = make(map[uint64]HistEntry, nKeys)
+			for i := 0; i < nKeys; i++ {
+				if err := need(41); err != nil {
+					return nil, err
+				}
+				k := u64()
+				e := HistEntry{
+					Count:   int64(u64()),
+					Sum:     int64(u64()),
+					Min:     int64(u64()),
+					Max:     int64(u64()),
+					Buckets: make(map[int]int64),
+				}
+				n := int(b[pos])
+				pos++
+				for j := 0; j < n; j++ {
+					if err := need(9); err != nil {
+						return nil, err
+					}
+					idx := int(b[pos])
+					pos++
+					e.Buckets[idx] = int64(u64())
+				}
+				sn.Hist[k] = e
+			}
+		}
+		out = append(out, sn)
+	}
+	if pos != len(b) {
+		return nil, fmt.Errorf("kprobe: %d trailing bytes after snapshot", len(b)-pos)
+	}
+	return out, nil
+}

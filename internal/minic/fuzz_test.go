@@ -1,0 +1,63 @@
+package minic
+
+import "testing"
+
+// FuzzParse drives arbitrary byte strings through the full front end
+// — parse, type-check/lower, optimize — asserting it never panics:
+// untrusted probe programs enter the kernel through this path
+// (kprobe's probe_attach), so a parser crash would be a kernel crash.
+// Errors are fine; only panics and hangs count.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// Probe-shaped programs (the kprobe helper ABI).
+		`int probe() {
+			int k;
+			k = ctx_pid() * 256 + ctx_nr();
+			map_hist(0, k, ctx_cycles());
+			map_add(1, k, 1);
+			return 0;
+		}`,
+		`int probe() { int x; x = 7; return &x; }`,
+		`int probe() { map_add(4, 1, 1); return 0; }`,
+		// Kernel-corpus idioms (the KGCC check-elimination shapes).
+		`int memcpy_like(int *dst, int *src2, int n) {
+			for (int i = 0; i < n; i++) { dst[i] = src2[i]; }
+			return n;
+		}`,
+		`int strnlen_like(char *s, int max) {
+			int n = 0;
+			while (n < max && s[n] != 0) { n++; }
+			return n;
+		}`,
+		`int checksum(char *buf, int len) {
+			int sum = 0;
+			for (int i = 0; i < len; i++) { sum = sum + buf[i] * 31; }
+			return sum;
+		}`,
+		`int f() { char s[8]; s[0] = 'x'; return s[0]; }`,
+		`int g(int a, int b) { return a / b + a % b - -a; }`,
+		`int h() { int *p; p = 0; return *p; }`,
+		`int s() { return "literal"[0]; }`,
+		// Degenerate inputs.
+		``,
+		`int`,
+		`int f( {`,
+		`/* unterminated`,
+		`"unterminated`,
+		`int f() { return 1 +; }`,
+		`int f() { { { { } } }`,
+		`int 0x() { return 09; }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		unit, err := CompileSource(src)
+		if err != nil || unit == nil {
+			return
+		}
+		for _, name := range unit.Order {
+			Optimize(unit.Fn(name))
+		}
+	})
+}

@@ -340,6 +340,14 @@ func evalBin(op string, a, b int64) (int64, error) {
 	return 0, fmt.Errorf("minic: unknown operator %q", op)
 }
 
+// EvalBin evaluates a binary operator over two constants with the
+// interpreter's exact semantics. Static analyses that fold constants
+// (the kprobe verifier) use this so their folding can never disagree
+// with execution.
+func EvalBin(op string, a, b int64) (int64, error) {
+	return evalBin(op, a, b)
+}
+
 func b2i(b bool) int64 {
 	if b {
 		return 1

@@ -84,6 +84,25 @@ type Costs struct {
 	// SpinLock/SpinUnlock are the uncontended lock primitive costs.
 	SpinLock, SpinUnlock Cycles
 
+	// ProbeDispatch is the fixed cost of firing a tracepoint that has
+	// at least one kprobe program attached (context setup + program
+	// table walk). Tracepoints with no programs attached charge
+	// nothing at all.
+	ProbeDispatch Cycles
+
+	// ProbeInstr is the per-IR-instruction cost of executing a
+	// verified kprobe program in the in-kernel interpreter.
+	ProbeInstr Cycles
+
+	// ProbeMapOp is the cost of one aggregation-map helper operation
+	// (hash update or histogram observe) from a kprobe program.
+	ProbeMapOp Cycles
+
+	// ProbeVerifyInstr is the attach-time, per-IR-instruction cost of
+	// the static verifier pass; it is charged once per probe_attach,
+	// never on the tracepoint hot path.
+	ProbeVerifyInstr Cycles
+
 	// MaxKernelCycles is the Cosy watchdog limit: a compound that has
 	// accumulated more kernel time than this when the process is
 	// scheduled out is terminated.
@@ -131,6 +150,11 @@ func DefaultCosts() Costs {
 
 		SpinLock:   40,
 		SpinUnlock: 30,
+
+		ProbeDispatch:    80,
+		ProbeInstr:       6,
+		ProbeMapOp:       70,
+		ProbeVerifyInstr: 45,
 
 		MaxKernelCycles: 170_000_000, // 100ms of kernel time
 	}

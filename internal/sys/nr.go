@@ -42,6 +42,10 @@ const (
 	NrOpenFstat
 	// NrCosy executes a compound (§2.3).
 	NrCosy
+	// NrProbeAttach verifies and attaches a kprobe program;
+	// NrProbeRead reads its aggregation maps back in one crossing.
+	NrProbeAttach
+	NrProbeRead
 	nrCount
 )
 
@@ -49,7 +53,7 @@ var nrNames = [...]string{
 	"open", "close", "read", "write", "lseek", "stat", "fstat",
 	"getdents", "creat", "unlink", "mkdir", "rmdir", "rename", "fsync",
 	"getpid", "readdirplus", "open_read_close", "open_write_close",
-	"open_fstat", "cosy",
+	"open_fstat", "cosy", "probe_attach", "probe_read",
 }
 
 func (n Nr) String() string {

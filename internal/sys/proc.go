@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/kperf"
+	"repro/internal/kprobe"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/vfs"
@@ -22,9 +23,30 @@ type Kernel struct {
 	// boundary in each direction (copyin/copyout).
 	BytesIn, BytesOut int64
 
+	// Probes is the kprobe subsystem (nil on kernels booted without
+	// it); enter/exit dispatch its syscall tracepoints.
+	Probes *kprobe.Manager
+
 	// hooks fan out every completed syscall to the registered
 	// observers (trace recorder, monitors); see AddHook.
 	hooks []Hook
+
+	// exitTaps observe syscall completion from kernel context with
+	// the span duration, before the kernel->user return. Unlike
+	// hooks, a tap runs while the syscall is still open, so charges
+	// it makes (e.g. kmon event dispatch) attribute inside the
+	// syscall's kperf slot — the seam E9's streaming bridge uses.
+	exitTaps []ExitTap
+}
+
+// ExitTap observes one completed syscall in kernel context: the
+// process, the call, the boundary byte counts, and the span duration
+// in cycles.
+type ExitTap func(p *kernel.Process, nr Nr, in, out int, dur sim.Cycles)
+
+// AddExitTap registers a kernel-context syscall-completion observer.
+func (k *Kernel) AddExitTap(t ExitTap) {
+	k.exitTaps = append(k.exitTaps, t)
 }
 
 // NewKernel wires a syscall layer over machine and namespace.
@@ -82,6 +104,10 @@ type Proc struct {
 	// copies in Read/Write, reused across syscalls so the host does
 	// not allocate per call; see kbuf.
 	scratch []byte
+
+	// lastEnter is the clock at the current syscall's entry; exit
+	// taps and the syscall_exit tracepoint use it for span durations.
+	lastEnter sim.Cycles
 }
 
 // kbuf returns an n-byte kernel staging buffer, reusing the
@@ -143,7 +169,8 @@ func (pr *Proc) Peek(ub UserBuf, n int) ([]byte, error) {
 // arguments.
 func (pr *Proc) enter(nr Nr, in int) {
 	c := &pr.K.M.Costs
-	pr.P.Perf.SyscallEnter(uint16(nr), pr.K.M.Clock.Now())
+	pr.lastEnter = pr.K.M.Clock.Now()
+	pr.P.Perf.SyscallEnter(uint16(nr), pr.lastEnter)
 	pr.P.Perf.Push(kperf.SubBoundary)
 	pr.P.ChargeUser(c.UserDispatch)
 	pr.P.EnterKernel()
@@ -154,6 +181,20 @@ func (pr *Proc) enter(nr Nr, in int) {
 	}
 	pr.P.Perf.Pop()
 	pr.K.Calls[nr]++
+	if pr.K.Probes != nil {
+		if cost := pr.K.Probes.SyscallEnter(pr.P.PID, int(nr), in); cost > 0 {
+			pr.chargeProbe(cost)
+		}
+	}
+}
+
+// chargeProbe bills probe-program execution to the process as kernel
+// time tagged with the probe subsystem: observer overhead is itself a
+// measured, attributable quantity.
+func (pr *Proc) chargeProbe(c sim.Cycles) {
+	pr.P.Perf.Push(kperf.SubProbe)
+	pr.P.Charge(c)
+	pr.P.Perf.Pop()
 }
 
 // exit performs the kernel->user transition, charging copyout for
@@ -165,6 +206,15 @@ func (pr *Proc) exit(nr Nr, in, out int) {
 		pr.P.Charge(sim.Cycles(out) * c.CopyUserByte)
 		pr.P.Perf.Pop()
 		pr.K.BytesOut += int64(out)
+	}
+	dur := pr.K.M.Clock.Now() - pr.lastEnter
+	if pr.K.Probes != nil {
+		if cost := pr.K.Probes.SyscallExit(pr.P.PID, int(nr), in, out, dur); cost > 0 {
+			pr.chargeProbe(cost)
+		}
+	}
+	for _, t := range pr.K.exitTaps {
+		t(pr.P, nr, in, out, dur)
 	}
 	pr.P.ExitKernel()
 	pr.P.Perf.SyscallExit(pr.K.M.Clock.Now())
