@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	kucode [-full] [-md] [-perf] [e1 e2 ... e9 | ablations | all]
+//	kucode [-full] [-md] [-perf] [e1 e2 ... e10 | ablations | all]
 //
 // -perf boots every experiment with kperf instrumentation and prints
 // a per-subsystem cycle-attribution summary under each table; the
@@ -51,6 +51,7 @@ func main() {
 		{"e7", func() (*bench.Table, error) { return bench.E7(*perf) }},
 		{"e8", bench.E8},
 		{"e9", func() (*bench.Table, error) { return bench.E9(*perf) }},
+		{"e10", func() (*bench.Table, error) { return bench.E10(*perf) }},
 	}
 
 	failed := false

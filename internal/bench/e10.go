@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kgcc"
+	"repro/internal/sys"
+)
+
+// E10 measures what the kcheck abstract-interpretation engine buys a
+// kucode extension: the same user-written extension is loaded into
+// the kernel three times — with full BCC checks, with the paper's
+// linear elimination heuristics (KGCC), and with kcheck proof-based
+// elision on top — and driven through the ku_call path. Elision must
+// never change results or let a violation through; it may only make
+// the extension cheaper. The paper's §3.4 direction, applied to the
+// bounds checker itself: "static analysis should be used to reduce
+// runtime checking".
+func E10(perf bool) (*Table, error) {
+	t := &Table{ID: "E10", Title: "kucode extension: kcheck proof-based check elision"}
+
+	// The extension is a packet-filter-shaped kernel workload: a
+	// bounded table init, per-round buffer fills and checksums with
+	// loop indices the engine proves in range (widening + branch
+	// refinement), a masked histogram update, and a heap section no
+	// static analysis can prove (malloc bounds are runtime facts), so
+	// some checks must survive every elision level.
+	const src = `
+	int filt(int seed, int rounds) {
+		int tab[64];
+		int pkt[32];
+		int i;
+		int r;
+		int sum = seed & 63;
+		for (i = 0; i < 64; i++) { tab[i] = 0; }
+		for (r = 0; r < rounds; r++) {
+			for (i = 0; i < 32; i++) { pkt[i] = (seed + r * 31 + i * 7) & 255; }
+			for (i = 0; i < 32; i++) { sum = sum + pkt[i]; }
+			tab[sum & 63] = tab[sum & 63] + 1;
+		}
+		int *acc = malloc(64);
+		for (i = 0; i < 8; i++) { acc[i] = tab[i * 8]; }
+		sum = 0;
+		for (i = 0; i < 8; i++) { sum = sum + acc[i]; }
+		free(acc);
+		return sum;
+	}`
+	const calls = 64
+	const rounds = 40
+
+	type result struct {
+		ph     Phase
+		sum    int64
+		checks int64
+		stats  kgcc.Stats
+		rep    *kgcc.ElisionReport
+	}
+	runCfg := func(opts kgcc.Options) (result, error) {
+		var res result
+		var id int
+		ph, s, err := RunPhase(perfOpts(core.Options{}, perf), nil,
+			func(pr *sys.Proc) error {
+				var err error
+				id, err = pr.KuLoad(sys.KuSpec{Source: src, Entry: "filt", Checks: opts})
+				return err
+			},
+			func(pr *sys.Proc) error {
+				for c := 0; c < calls; c++ {
+					v, err := pr.KuCall(id, int64(c*13), rounds)
+					if err != nil {
+						return err
+					}
+					res.sum += v
+				}
+				ext, ok := pr.K.KuExt(id)
+				if !ok {
+					return fmt.Errorf("extension %d vanished", id)
+				}
+				res.checks = ext.ChecksRun()
+				res.stats = ext.Stats
+				res.rep = ext.Report
+				return nil
+			})
+		if err != nil {
+			return res, err
+		}
+		res.ph = ph
+		t.Observe(ph)
+		t.ObservePerf(s)
+		return res, nil
+	}
+
+	full, err := runCfg(kgcc.FullChecks())
+	if err != nil {
+		return nil, err
+	}
+	heur, err := runCfg(kgcc.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	prov, err := runCfg(kgcc.KcheckOptions())
+	if err != nil {
+		return nil, err
+	}
+
+	t.Add("results across check levels", "bit-identical",
+		fmt.Sprintf("full %d, heuristic %d, proven %d", full.sum, heur.sum, prov.sum),
+		full.sum == heur.sum && heur.sum == prov.sum)
+
+	staticRatio := prov.rep.ElisionRatio()
+	t.Add("static check sites elided (proofs+heuristics)", ">=30% of sites",
+		fmt.Sprintf("%s of %d sites (%d by dataflow proof)",
+			pct(staticRatio), prov.stats.Accesses+prov.stats.ArithSites, prov.stats.ElidedProven),
+		staticRatio >= 0.30 && prov.stats.ElidedProven > 0)
+
+	dynDrop := 0.0
+	if full.checks > 0 {
+		dynDrop = float64(full.checks-prov.checks) / float64(full.checks)
+	}
+	t.Add("dynamic checks eliminated vs full BCC", ">=30% fewer",
+		fmt.Sprintf("%d -> %d (%s fewer)", full.checks, prov.checks, pct(dynDrop)),
+		dynDrop >= 0.30)
+
+	t.Add("proofs beat the linear heuristics", "fewer dynamic checks than KGCC",
+		fmt.Sprintf("%d vs %d", prov.checks, heur.checks),
+		prov.checks < heur.checks)
+
+	imp := improvement(full.ph.Elapsed, prov.ph.Elapsed)
+	t.Add("ku_call time vs full BCC", "faster, >=10% saved",
+		fmt.Sprintf("%v -> %v cycles (%s saved)", full.ph.Elapsed, prov.ph.Elapsed, pct(imp)),
+		imp >= 0.10)
+
+	t.Add("unprovable accesses still checked", "heap checks survive elision",
+		fmt.Sprintf("%d dynamic checks remain", prov.checks),
+		prov.checks > 0)
+
+	t.Note("per-function elision report (proven level): %s",
+		compactReportLine(prov.rep))
+	return t, nil
+}
+
+// compactReportLine renders the total line of an elision report for a
+// table note.
+func compactReportLine(r *kgcc.ElisionReport) string {
+	return fmt.Sprintf("%d sites, %d retained, %d proven-elided, %d stack-elided, %d cse-elided (%s elided)",
+		r.Total.Accesses+r.Total.ArithSites, r.Total.Inserted, r.Total.ElidedProven,
+		r.Total.ElidedStack, r.Total.ElidedCSE, pct(r.ElisionRatio()))
+}

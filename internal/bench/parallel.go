@@ -124,6 +124,7 @@ func Suite(full, perf bool) []Trial {
 		{Name: "E7", Run: func() (*Table, error) { return E7(perf) }},
 		{Name: "E8", Run: E8},
 		{Name: "E9", Run: func() (*Table, error) { return E9(perf) }},
+		{Name: "E10", Run: func() (*Table, error) { return E10(perf) }},
 	}
 }
 

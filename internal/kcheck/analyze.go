@@ -1,0 +1,549 @@
+package kcheck
+
+import (
+	"repro/internal/minic"
+)
+
+// RegionKind classifies the memory object an abstract value points
+// into. Region facts are must-facts: RegFrame/RegStr mean "on every
+// execution this register holds object base + off for some off in
+// Off". RegMany means "definitely address-derived, but no single
+// provable object"; RegNone means "not known to be an address".
+type RegionKind uint8
+
+// Region kinds.
+const (
+	RegNone RegionKind = iota
+	RegFrame
+	RegStr
+	RegMany
+)
+
+func (r RegionKind) String() string {
+	switch r {
+	case RegFrame:
+		return "frame"
+	case RegStr:
+		return "str"
+	case RegMany:
+		return "many"
+	}
+	return "none"
+}
+
+// Val is one register's abstract value: an integer interval, plus —
+// when the register provably holds a pointer into a single object —
+// the object identity and the offset range relative to its base.
+type Val struct {
+	I      Interval
+	Region RegionKind
+	Obj    int // Locals index (RegFrame) or string index (RegStr)
+	Off    Interval
+}
+
+func topVal() Val { return Val{I: Top()} }
+
+func (v Val) eq(o Val) bool {
+	if v.I != o.I || v.Region != o.Region {
+		return false
+	}
+	if v.Region == RegFrame || v.Region == RegStr {
+		return v.Obj == o.Obj && v.Off == o.Off
+	}
+	return true
+}
+
+func (v Val) join(o Val) Val {
+	out := Val{I: v.I.Join(o.I)}
+	switch {
+	case v.Region == RegNone && o.Region == RegNone:
+		out.Region = RegNone
+	case v.Region == o.Region && v.Obj == o.Obj &&
+		(v.Region == RegFrame || v.Region == RegStr):
+		out.Region, out.Obj, out.Off = v.Region, v.Obj, v.Off.Join(o.Off)
+	default:
+		out.Region = RegMany
+		out.I = Top()
+	}
+	return out
+}
+
+func (v Val) widen(o Val) Val {
+	j := v.join(o)
+	j.I = v.I.Widen(j.I)
+	if j.Region == v.Region && (j.Region == RegFrame || j.Region == RegStr) && j.Obj == v.Obj {
+		j.Off = v.Off.Widen(j.Off)
+	}
+	return j
+}
+
+// pred records that a register was defined as "a cmp b", so a branch
+// on it can refine a and b on each edge. The fact is killed when the
+// register or either operand is redefined.
+type pred struct {
+	op   string
+	a, b minic.Reg
+}
+
+// state is the abstract machine state at one program point.
+type state struct {
+	regs  []Val
+	preds map[minic.Reg]pred
+}
+
+func newState(nregs int) *state {
+	s := &state{regs: make([]Val, nregs), preds: make(map[minic.Reg]pred)}
+	for i := range s.regs {
+		s.regs[i] = topVal()
+	}
+	return s
+}
+
+func (s *state) clone() *state {
+	c := &state{regs: make([]Val, len(s.regs)), preds: make(map[minic.Reg]pred, len(s.preds))}
+	copy(c.regs, s.regs)
+	for k, v := range s.preds {
+		c.preds[k] = v
+	}
+	return c
+}
+
+// setReg writes a register and kills every predicate mentioning it.
+func (s *state) setReg(r minic.Reg, v Val) {
+	if r == minic.NoReg {
+		return
+	}
+	s.regs[r] = v
+	delete(s.preds, r)
+	for k, p := range s.preds {
+		if p.a == r || p.b == r {
+			delete(s.preds, k)
+		}
+	}
+}
+
+// joinInto merges o into s (s is the accumulated in-state), returning
+// whether s changed. widen selects widening instead of plain join.
+func (s *state) joinInto(o *state, widen bool) bool {
+	changed := false
+	for i := range s.regs {
+		var nv Val
+		if widen {
+			nv = s.regs[i].widen(o.regs[i])
+		} else {
+			nv = s.regs[i].join(o.regs[i])
+		}
+		if !nv.eq(s.regs[i]) {
+			s.regs[i] = nv
+			changed = true
+		}
+	}
+	for k, p := range s.preds {
+		if op, ok := o.preds[k]; !ok || op != p {
+			delete(s.preds, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// widenAfter is the number of joins at a loop head before widening
+// kicks in (a couple of precise iterations first lets small constant
+// loops settle exactly).
+const widenAfter = 2
+
+// maxFixpointSteps bounds the worklist; widening guarantees
+// termination, this is a belt against analyzer bugs. On overrun the
+// analysis bails out soundly (no facts proven).
+const maxFixpointSteps = 200_000
+
+// analyzer carries one function's fixpoint computation.
+type analyzer struct {
+	fn       *minic.Fn
+	cfg      *CFG
+	localIdx map[string]int // local name -> Locals index
+	in       []*state       // per block (nil = not yet reached)
+	joins    []int          // per block join counter (for widening)
+	facts    *Facts
+}
+
+// run iterates the transfer function to a fixpoint over the CFG.
+func (a *analyzer) run() bool {
+	nb := len(a.cfg.Blocks)
+	a.in = make([]*state, nb)
+	a.joins = make([]int, nb)
+	if nb == 0 {
+		return true
+	}
+	entry := newState(a.fn.NumRegs)
+	// Parameters hold arbitrary caller values: top.
+	a.in[0] = entry
+
+	work := []int{0}
+	inWork := make([]bool, nb)
+	inWork[0] = true
+	steps := 0
+	for len(work) > 0 {
+		steps++
+		if steps > maxFixpointSteps {
+			return false
+		}
+		b := work[0]
+		work = work[1:]
+		inWork[b] = false
+		outs := a.transferBlock(b, a.in[b].clone(), nil)
+		for _, eo := range outs {
+			t := eo.to
+			if a.in[t] == nil {
+				a.in[t] = eo.st.clone()
+				a.joins[t]++
+			} else {
+				a.joins[t]++
+				widen := a.cfg.Blocks[t].LoopHead && a.joins[t] > widenAfter
+				if !a.in[t].joinInto(eo.st, widen) {
+					continue
+				}
+			}
+			if !inWork[t] {
+				work = append(work, t)
+				inWork[t] = true
+			}
+		}
+	}
+	return true
+}
+
+// edgeOut is the state flowing along one out-edge of a block.
+type edgeOut struct {
+	to int
+	st *state
+}
+
+// transferBlock executes block b's abstract transfer starting from
+// st, returning the out-edge states. When record is non-nil, per-pc
+// facts are captured into it as a side effect (the recording pass).
+func (a *analyzer) transferBlock(b int, st *state, record *Facts) []edgeOut {
+	blk := a.cfg.Blocks[b]
+	for pc := blk.Start; pc < blk.End; pc++ {
+		a.transferInstr(pc, st, record)
+	}
+	if blk.End == blk.Start {
+		return nil
+	}
+	last := &a.fn.Code[blk.End-1]
+	var outs []edgeOut
+	push := func(to int, s *state) {
+		if to < len(a.cfg.Blocks) {
+			outs = append(outs, edgeOut{to, s})
+		}
+	}
+	switch last.Op {
+	case minic.OpRet:
+		return nil
+	case minic.OpJump:
+		push(a.cfg.BlockOf[last.Imm], st)
+	case minic.OpBranchZ:
+		taken, fall := a.branchStates(last, st)
+		if taken != nil {
+			push(a.cfg.BlockOf[last.Imm], taken)
+		}
+		if fall != nil {
+			push(a.cfg.BlockOf[blk.End], fall)
+		}
+	default:
+		push(a.cfg.BlockOf[blk.End], st)
+	}
+	return outs
+}
+
+// branchStates splits st for a brz: the taken edge assumes A == 0,
+// the fallthrough assumes A != 0. A nil state marks an infeasible
+// edge. When A was defined by a comparison, the operands are refined
+// too — the narrowing that recovers loop-index bounds after widening.
+func (a *analyzer) branchStates(in *minic.Instr, st *state) (taken, fall *state) {
+	cond := in.A
+	cv := st.regs[cond]
+	p, hasPred := st.preds[cond]
+
+	mkEdge := func(truth bool) *state {
+		s := st.clone()
+		v := s.regs[cond]
+		if v.Region == RegNone {
+			var ok bool
+			if truth {
+				// A != 0
+				ni := trimPoint(v.I, 0)
+				if ni.Lo > ni.Hi {
+					return nil
+				}
+				v.I = ni
+			} else {
+				if v.I, ok = v.I.Meet(Single(0)); !ok {
+					return nil
+				}
+			}
+			s.regs[cond] = v
+		}
+		if hasPred {
+			av, bv := s.regs[p.a], s.regs[p.b]
+			na, nb, ok := refineCmp(p.op, truth, av.I, bv.I)
+			if !ok {
+				return nil
+			}
+			if av.Region == RegNone {
+				av.I = na
+				s.regs[p.a] = av
+			}
+			if bv.Region == RegNone {
+				bv.I = nb
+				s.regs[p.b] = bv
+			}
+		}
+		return s
+	}
+
+	// Decidable condition: only one edge is live.
+	if v, ok := cv.I.Const(); ok && cv.Region == RegNone {
+		if v == 0 {
+			return mkEdge(false), nil
+		}
+		return nil, mkEdge(true)
+	}
+	if cv.Region == RegFrame || cv.Region == RegStr {
+		// A single-object pointer is never null in the simulated
+		// address space (objects live in mapped regions above 0), but
+		// proving that is not worth an unsound shortcut: keep both
+		// edges.
+		return st.clone(), st.clone()
+	}
+	return mkEdge(false), mkEdge(true)
+}
+
+// transferInstr mirrors minic's interpreter semantics over the
+// abstract domain.
+func (a *analyzer) transferInstr(pc int, st *state, record *Facts) {
+	in := &a.fn.Code[pc]
+	switch in.Op {
+	case minic.OpNop, minic.OpMarker, minic.OpJump, minic.OpBranchZ, minic.OpRet, minic.OpCheck:
+	case minic.OpConst:
+		st.setReg(in.Dst, Val{I: Single(in.Imm)})
+	case minic.OpStrAddr:
+		st.setReg(in.Dst, Val{I: Top(), Region: RegStr, Obj: int(in.Imm), Off: Single(0)})
+	case minic.OpFrameAddr:
+		v := Val{I: Top(), Region: RegMany}
+		if idx, ok := a.localIdx[in.Sym]; ok {
+			v = Val{I: Top(), Region: RegFrame, Obj: idx, Off: Single(0)}
+		}
+		st.setReg(in.Dst, v)
+	case minic.OpMov:
+		src := st.regs[in.A]
+		sp, hasPred := st.preds[in.A]
+		st.setReg(in.Dst, src)
+		if hasPred && sp.a != in.Dst && sp.b != in.Dst {
+			st.preds[in.Dst] = sp
+		}
+	case minic.OpUn:
+		av := st.regs[in.A]
+		v := topVal()
+		switch in.UnOp {
+		case "neg":
+			if av.Region == RegNone {
+				v.I = negI(av.I)
+			}
+		case "not":
+			if av.Region == RegNone {
+				v.I = cmpI("==", av.I, Single(0))
+			} else {
+				// Pointers into live objects are non-zero, but stay
+				// conservative: !ptr ∈ [0,1].
+				v.I = Interval{0, 1}
+			}
+		case "bnot":
+			// ^x = -x - 1.
+			if av.Region == RegNone {
+				v.I = subI(negI(av.I), Single(1))
+			}
+		}
+		st.setReg(in.Dst, v)
+	case minic.OpBin:
+		a.transferBin(pc, in, st, record)
+	case minic.OpLoad:
+		if record != nil {
+			record.Access[pc] = a.accessFact(in, st, false)
+		}
+		st.setReg(in.Dst, topVal())
+	case minic.OpStore:
+		if record != nil {
+			record.Access[pc] = a.accessFact(in, st, true)
+		}
+	case minic.OpCall:
+		if record != nil {
+			args := make([]Interval, len(in.Args))
+			for i, r := range in.Args {
+				args[i] = st.regs[r].I
+			}
+			record.CallArgs[pc] = args
+		}
+		st.setReg(in.Dst, topVal())
+	case minic.OpArithCheck:
+		// The runtime hook always returns the derived value on the
+		// success path (a strict violation aborts execution, so the
+		// post-state is vacuous there): pass B through.
+		st.setReg(in.Dst, st.regs[in.B])
+	}
+}
+
+// transferBin models OpBin, including pointer derivation (PtrArith)
+// which tracks the offset range relative to the base object.
+func (a *analyzer) transferBin(pc int, in *minic.Instr, st *state, record *Facts) {
+	av, bv := st.regs[in.A], st.regs[in.B]
+	var v Val
+
+	ptrSide, intSide := av, bv
+	swapped := false
+	if (in.BinOp == "+" || in.BinOp == "-") &&
+		(bv.Region == RegFrame || bv.Region == RegStr || bv.Region == RegMany) &&
+		av.Region == RegNone {
+		ptrSide, intSide, swapped = bv, av, true
+	}
+
+	switch {
+	case in.PtrArith && (in.BinOp == "+" || in.BinOp == "-") &&
+		(ptrSide.Region == RegFrame || ptrSide.Region == RegStr) &&
+		intSide.Region == RegNone:
+		// ptr ± int: the new offset interval. "int - ptr" has no
+		// pointer meaning; only "ptr - int" keeps the region.
+		var off Interval
+		if in.BinOp == "+" {
+			off = addI(ptrSide.Off, intSide.I)
+		} else if !swapped {
+			off = subI(ptrSide.Off, intSide.I)
+		} else {
+			v = Val{I: Top(), Region: RegMany}
+			break
+		}
+		if off.IsTop() {
+			// A wrapped offset could alias anything.
+			v = Val{I: Top(), Region: RegMany}
+		} else {
+			v = Val{I: Top(), Region: ptrSide.Region, Obj: ptrSide.Obj, Off: off}
+		}
+	case av.Region == RegNone && bv.Region == RegNone:
+		v = Val{I: binI(in.BinOp, av.I, bv.I)}
+		switch in.BinOp {
+		case "==", "!=", "<", "<=", ">", ">=":
+			st.setReg(in.Dst, v)
+			if in.Dst != in.A && in.Dst != in.B {
+				st.preds[in.Dst] = pred{op: in.BinOp, a: in.A, b: in.B}
+			}
+			return
+		}
+	default:
+		// Pointer values leaking into integer arithmetic (comparisons
+		// of pointers, ptr - ptr, unflagged mixes): result is an
+		// unknown integer, except comparisons stay in [0,1].
+		v = topVal()
+		switch in.BinOp {
+		case "==", "!=", "<", "<=", ">", ">=":
+			v.I = Interval{0, 1}
+		case "-":
+			if av.Region == bv.Region && av.Obj == bv.Obj &&
+				(av.Region == RegFrame || av.Region == RegStr) {
+				// Same-object pointer difference is the offset delta.
+				v.I = subI(av.Off, bv.Off)
+			}
+		}
+	}
+
+	if record != nil && in.PtrArith {
+		record.Arith[pc] = a.arithFact(in, st, v)
+	}
+	st.setReg(in.Dst, v)
+}
+
+// objSize returns the byte size of a region object, or -1 when
+// unknown.
+func (a *analyzer) objSize(region RegionKind, obj int) int64 {
+	switch region {
+	case RegFrame:
+		if obj >= 0 && obj < len(a.fn.Locals) {
+			return int64(a.fn.Locals[obj].T.Size())
+		}
+	case RegStr:
+		if obj >= 0 && obj < len(a.fn.Strings) {
+			return int64(len(a.fn.Strings[obj]) + 1) // includes NUL
+		}
+	}
+	return -1
+}
+
+func (a *analyzer) objName(region RegionKind, obj int) string {
+	switch region {
+	case RegFrame:
+		if obj >= 0 && obj < len(a.fn.Locals) {
+			return a.fn.Locals[obj].Name
+		}
+	case RegStr:
+		return "string literal"
+	}
+	return "?"
+}
+
+// accessFact derives the fact for a load/store at pc from the address
+// register's abstract value.
+func (a *analyzer) accessFact(in *minic.Instr, st *state, store bool) AccessFact {
+	addr := st.regs[in.A]
+	f := AccessFact{
+		Size:   in.Size,
+		Store:  store,
+		Region: addr.Region,
+		Obj:    addr.Obj,
+		Off:    addr.Off,
+		Pos:    in.Pos,
+	}
+	if addr.Region != RegFrame && addr.Region != RegStr {
+		return f
+	}
+	size := a.objSize(addr.Region, addr.Obj)
+	if size < 0 {
+		f.Region = RegMany
+		return f
+	}
+	f.ObjSize = size
+	end, ok := addOv(addr.Off.Hi, int64(in.Size))
+	f.Proven = ok && addr.Off.Lo >= 0 && end <= size
+	// Provably out of bounds on *every* execution reaching here:
+	// either the whole range starts before the object, or even the
+	// smallest offset runs past its end.
+	lowEnd, lok := addOv(addr.Off.Lo, int64(in.Size))
+	f.ProvenOOB = addr.Off.Hi < 0 || !lok || lowEnd > size
+	f.ObjName = a.objName(addr.Region, addr.Obj)
+	return f
+}
+
+// arithFact derives the fact for a PtrArith site: both the base
+// pointer and the derived pointer must be proven inside [0, size)
+// for the runtime arith check to be a guaranteed no-op.
+func (a *analyzer) arithFact(in *minic.Instr, st *state, derived Val) ArithFact {
+	// The runtime check is Map.PtrArith(regs[in.A], derived): the base
+	// the map looks up is strictly operand A, so the proof must be
+	// about A, not about whichever operand happened to be the pointer.
+	base := st.regs[in.A]
+	f := ArithFact{Pos: in.Pos}
+	if derived.Region != RegFrame && derived.Region != RegStr {
+		return f
+	}
+	f.Region, f.Obj, f.Off = derived.Region, derived.Obj, derived.Off
+	size := a.objSize(derived.Region, derived.Obj)
+	if size < 0 {
+		return f
+	}
+	f.ObjSize = size
+	inObj := func(v Val) bool {
+		return (v.Region == RegFrame || v.Region == RegStr) &&
+			v.Region == derived.Region && v.Obj == derived.Obj &&
+			v.Off.Lo >= 0 && v.Off.Hi < size
+	}
+	f.Proven = inObj(base) && inObj(derived)
+	return f
+}

@@ -1,0 +1,228 @@
+package kcheck
+
+import (
+	"fmt"
+
+	"repro/internal/minic"
+)
+
+// Block is one basic block: the half-open instruction range
+// [Start, End) plus its edges.
+type Block struct {
+	ID         int
+	Start, End int
+	Succs      []int
+	Preds      []int
+	// IDom is the immediate dominator block id (-1 for entry and
+	// unreachable blocks).
+	IDom int
+	// LoopHead marks a block that is the target of a back edge.
+	LoopHead bool
+}
+
+// Edge is one CFG edge, used to report back edges.
+type Edge struct {
+	From, To int // block ids
+	// FromPC is the pc of the branch/jump instruction (or End-1 for
+	// fallthroughs).
+	FromPC int
+}
+
+// CFG is the control-flow graph of one function.
+type CFG struct {
+	Fn     *minic.Fn
+	Blocks []*Block
+	// BlockOf maps each pc to its block id.
+	BlockOf []int
+	// RPO is a reverse-postorder of the reachable blocks.
+	RPO []int
+	// BackEdges are edges whose target dominates their source
+	// (natural-loop back edges).
+	BackEdges []Edge
+}
+
+// BuildCFG partitions fn into basic blocks and computes dominators
+// and back edges. It fails only on malformed IR: a jump target
+// outside [0, len(Code)].
+func BuildCFG(fn *minic.Fn) (*CFG, error) {
+	n := len(fn.Code)
+	for pc := range fn.Code {
+		in := &fn.Code[pc]
+		if in.Op == minic.OpJump || in.Op == minic.OpBranchZ {
+			if in.Imm < 0 || in.Imm > int64(n) {
+				return nil, fmt.Errorf("kcheck: pc %d: jump target %d out of code range", pc, in.Imm)
+			}
+		}
+	}
+
+	leader := make([]bool, n+1)
+	leader[0] = true
+	for pc := range fn.Code {
+		switch fn.Code[pc].Op {
+		case minic.OpJump, minic.OpBranchZ:
+			leader[fn.Code[pc].Imm] = true
+			leader[pc+1] = true
+		case minic.OpRet:
+			leader[pc+1] = true
+		}
+	}
+
+	g := &CFG{Fn: fn, BlockOf: make([]int, n+1)}
+	for pc := 0; pc < n; pc++ {
+		if leader[pc] {
+			g.Blocks = append(g.Blocks, &Block{ID: len(g.Blocks), Start: pc, IDom: -1})
+		}
+		g.BlockOf[pc] = len(g.Blocks) - 1
+	}
+	g.BlockOf[n] = len(g.Blocks) // virtual exit
+	for i, b := range g.Blocks {
+		if i+1 < len(g.Blocks) {
+			b.End = g.Blocks[i+1].Start
+		} else {
+			b.End = n
+		}
+	}
+
+	addEdge := func(from, to int) {
+		if to >= len(g.Blocks) {
+			return // jump to end of code = return
+		}
+		b := g.Blocks[from]
+		for _, s := range b.Succs {
+			if s == to {
+				return
+			}
+		}
+		b.Succs = append(b.Succs, to)
+		g.Blocks[to].Preds = append(g.Blocks[to].Preds, from)
+	}
+	for _, b := range g.Blocks {
+		if b.End == b.Start {
+			continue
+		}
+		last := &fn.Code[b.End-1]
+		switch last.Op {
+		case minic.OpJump:
+			addEdge(b.ID, g.BlockOf[last.Imm])
+		case minic.OpBranchZ:
+			addEdge(b.ID, g.BlockOf[last.Imm]) // taken (A == 0)
+			if b.End < n {
+				addEdge(b.ID, g.BlockOf[b.End]) // fallthrough
+			}
+		case minic.OpRet:
+		default:
+			if b.End < n {
+				addEdge(b.ID, g.BlockOf[b.End])
+			}
+		}
+	}
+
+	g.computeRPO()
+	g.computeDominators()
+	g.findBackEdges()
+	return g, nil
+}
+
+func (g *CFG) computeRPO() {
+	seen := make([]bool, len(g.Blocks))
+	var post []int
+	var dfs func(int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, s := range g.Blocks[b].Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if len(g.Blocks) > 0 {
+		dfs(0)
+	}
+	g.RPO = make([]int, len(post))
+	for i, b := range post {
+		g.RPO[len(post)-1-i] = b
+	}
+}
+
+// computeDominators is the iterative Cooper–Harvey–Kennedy algorithm
+// over the RPO ordering.
+func (g *CFG) computeDominators() {
+	if len(g.RPO) == 0 {
+		return
+	}
+	rpoNum := make([]int, len(g.Blocks))
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range g.RPO {
+		rpoNum[b] = i
+	}
+	entry := g.RPO[0]
+	g.Blocks[entry].IDom = entry
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = g.Blocks[a].IDom
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = g.Blocks[b].IDom
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.RPO[1:] {
+			newIdom := -1
+			for _, p := range g.Blocks[b].Preds {
+				if g.Blocks[p].IDom < 0 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom >= 0 && g.Blocks[b].IDom != newIdom {
+				g.Blocks[b].IDom = newIdom
+				changed = true
+			}
+		}
+	}
+	g.Blocks[entry].IDom = -1
+}
+
+// Dominates reports whether block a dominates block b (reflexive).
+func (g *CFG) Dominates(a, b int) bool {
+	for b >= 0 {
+		if a == b {
+			return true
+		}
+		if b == g.RPO[0] {
+			return false
+		}
+		b = g.Blocks[b].IDom
+	}
+	return false
+}
+
+func (g *CFG) findBackEdges() {
+	for _, b := range g.Blocks {
+		if b.End == b.Start {
+			continue
+		}
+		for _, s := range b.Succs {
+			if g.Reachable(b.ID) && g.Dominates(s, b.ID) {
+				g.BackEdges = append(g.BackEdges, Edge{From: b.ID, To: s, FromPC: b.End - 1})
+				g.Blocks[s].LoopHead = true
+			}
+		}
+	}
+}
+
+// Reachable reports whether block b is reachable from the entry.
+func (g *CFG) Reachable(b int) bool {
+	return b == 0 && len(g.Blocks) > 0 || (b < len(g.Blocks) && g.Blocks[b].IDom >= 0)
+}

@@ -1,0 +1,201 @@
+package kcheck_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/kgcc"
+	"repro/internal/mem"
+	"repro/internal/minic"
+	"repro/internal/sim"
+)
+
+// runOutcome is one program execution's observable behaviour: the
+// returned value, or a normalized trap classification. Error strings
+// embed pcs and addresses that legitimately differ between
+// instrumentation levels (checks shift code layout), so traps compare
+// by kind, not text.
+type runOutcome struct {
+	ok     bool
+	ret    int64
+	budget bool
+	trap   string
+	elided int
+	checks int64
+}
+
+// runInstrumented compiles src fresh, instruments it with opts, and
+// executes entry, classifying the outcome.
+func runInstrumented(t *testing.T, src, entry string, opts kgcc.Options) runOutcome {
+	t.Helper()
+	unit, err := minic.CompileSource(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	stats := kgcc.InstrumentUnit(unit, opts)
+	costs := sim.DefaultCosts()
+	as := mem.NewAddressSpace("diff", mem.NewPhys(64<<20), &costs)
+	ip, err := minic.NewInterp(as, unit)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	ip.MaxSteps = 2_000_000
+	km := kgcc.NewMap(nil, nil)
+	kgcc.Attach(ip, km)
+
+	out := runOutcome{
+		elided: stats.ElidedProven,
+	}
+	ret, err := ip.Call(entry)
+	out.checks = km.Checks + km.ArithOps
+	switch {
+	case err == nil:
+		out.ok = true
+		out.ret = ret
+	case errors.Is(err, minic.ErrBudget):
+		out.budget = true
+	case errors.Is(err, kgcc.ErrViolation):
+		kind := "?"
+		if n := len(km.Violations); n > 0 {
+			kind = km.Violations[n-1].Kind
+		}
+		out.trap = "violation:" + kind
+	default:
+		out.trap = "error:" + stripDigits(err.Error())
+	}
+	return out
+}
+
+// stripDigits normalizes an error message by erasing the numbers
+// (pcs, addresses, sizes) so layouts can differ without the kinds
+// diverging.
+func stripDigits(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// TestElisionDifferential is the soundness gate for proof-based check
+// elision: over a corpus of clean and buggy programs, a fully checked
+// run and a kcheck-elided run must produce identical results and
+// identical trap behaviour — elision may remove only checks that can
+// never fire. At least one corpus program must actually elide
+// something, so the test cannot pass vacuously.
+func TestElisionDifferential(t *testing.T) {
+	corpus := []struct {
+		name  string
+		entry string
+		src   string
+	}{
+		{"provable loops", "main", `int main() {
+			int a[64]; int i; int s = 0;
+			for (i = 0; i < 64; i++) { a[i] = i * 3; }
+			for (i = 0; i < 64; i++) { s = s + a[i]; }
+			return s;
+		}`},
+		{"masked index", "main", `int main() {
+			int a[16]; int i; int s = 0;
+			for (i = 0; i < 100; i++) { a[i & 15] = i; s = s + a[i & 15]; }
+			return s;
+		}`},
+		{"clamped index", "main", `int main() {
+			int a[8]; int i;
+			i = 23;
+			if (i > 7) { i = 7; }
+			if (i < 0) { i = 0; }
+			a[i] = 5;
+			return a[i];
+		}`},
+		{"stack off-by-one", "main", `int main() {
+			int a[4]; int i;
+			for (i = 0; i <= 4; i++) { a[i] = i; }
+			return a[0];
+		}`},
+		{"constant oob store", "main", `int main() { int a[4]; a[5] = 1; return 0; }`},
+		{"heap clean", "main", `int main() {
+			int *p = malloc(80); int i; int s = 0;
+			for (i = 0; i < 10; i++) { p[i] = i; }
+			for (i = 0; i < 10; i++) { s = s + p[i]; }
+			free(p);
+			return s;
+		}`},
+		{"heap overflow", "main", `int main() {
+			char *p = malloc(16); int i;
+			for (i = 0; i <= 16; i++) { p[i] = 1; }
+			free(p);
+			return 0;
+		}`},
+		{"use after free", "main", `int main() {
+			int *p = malloc(8);
+			free(p);
+			return *p;
+		}`},
+		{"oob pointer round trip", "main", `int main() {
+			int a[8];
+			int *p;
+			a[4] = 77;
+			p = &a[0] + 96;
+			p = p - 64;
+			return *p;
+		}`},
+		{"null deref", "main", `int main() { int *p; p = 0; return *p; }`},
+		{"branch join same object", "main", `int main() {
+			int a[8]; int *p;
+			a[1] = 10; a[6] = 20;
+			if (a[1] > 5) { p = &a[1]; } else { p = &a[6]; }
+			return *p;
+		}`},
+		{"string literal", "main", `int main() { return "kernel"[3]; }`},
+		{"call boundary", "main", `
+			int fill(int *dst, int n) {
+				int i;
+				for (i = 0; i < n; i++) { dst[i] = i; }
+				return n;
+			}
+			int main() {
+				int buf[32];
+				fill(&buf[0], 32);
+				return buf[31];
+			}`},
+	}
+
+	anyElided := false
+	for _, tc := range corpus {
+		t.Run(tc.name, func(t *testing.T) {
+			full := runInstrumented(t, tc.src, tc.entry, kgcc.FullChecks())
+			elided := runInstrumented(t, tc.src, tc.entry, kgcc.KcheckOptions())
+			if elided.elided > 0 {
+				anyElided = true
+			}
+			// A budget bail-out on either side makes the comparison
+			// meaningless (the full run executes more instructions);
+			// none of the corpus programs should hit it.
+			if full.budget || elided.budget {
+				t.Skipf("instruction budget hit (full=%v elided=%v)", full.budget, elided.budget)
+			}
+			if full.ok != elided.ok {
+				t.Fatalf("divergence: full ok=%v (%q), elided ok=%v (%q)",
+					full.ok, full.trap, elided.ok, elided.trap)
+			}
+			if full.ok && full.ret != elided.ret {
+				t.Fatalf("result divergence: full %d, elided %d", full.ret, elided.ret)
+			}
+			if !full.ok && full.trap != elided.trap {
+				t.Fatalf("trap divergence: full %q, elided %q", full.trap, elided.trap)
+			}
+			if elided.checks > full.checks {
+				t.Fatalf("elided run executed MORE checks (%d) than full (%d)",
+					elided.checks, full.checks)
+			}
+		})
+	}
+	if !anyElided {
+		t.Fatal("no corpus program elided any check; the differential is vacuous")
+	}
+}

@@ -1,0 +1,538 @@
+package kcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/minic"
+)
+
+// AccessFact is what the engine proved about one load/store.
+type AccessFact struct {
+	Size   int
+	Store  bool
+	Region RegionKind
+	Obj    int
+	Off    Interval // offset range relative to the object base
+	// ObjSize/ObjName are filled when Region is RegFrame/RegStr.
+	ObjSize int64
+	ObjName string
+	// Proven: on every execution the access is inside the object, so
+	// the KGCC runtime check is a guaranteed no-op and may be elided.
+	Proven bool
+	// ProvenOOB: on every execution the access misses the object — a
+	// definite bug worth a diagnostic.
+	ProvenOOB bool
+	Pos       minic.Pos
+}
+
+// ArithFact is what the engine proved about one pointer-arithmetic
+// site: Proven means both the runtime base operand and the derived
+// pointer stay strictly inside the same object, so Map.PtrArith
+// cannot create an OOB peer or flag a violation.
+type ArithFact struct {
+	Region  RegionKind
+	Obj     int
+	Off     Interval
+	ObjSize int64
+	Proven  bool
+	Pos     minic.Pos
+}
+
+// LoopFact describes one natural loop.
+type LoopFact struct {
+	HeadPC int // first pc of the loop-header block
+	BackPC int // pc of the back-edge jump
+	// Bounded: some in-loop branch confines a loop-carried register
+	// to a finite interval (the engine's loop-bound inference). An
+	// unbounded loop is not an error, but kvet warns about it.
+	Bounded bool
+	Bound   Interval
+	Pos     minic.Pos
+}
+
+// Warning is a lint finding with a source position.
+type Warning struct {
+	Code string // "unreachable", "oob", "unbounded-loop", "recursion", "deep-stack"
+	Msg  string
+	Pos  minic.Pos
+}
+
+func (w Warning) String() string {
+	return fmt.Sprintf("%d:%d: %s [%s]", w.Pos.Line, w.Pos.Col, w.Msg, w.Code)
+}
+
+// Facts is the queryable result of analyzing one function.
+type Facts struct {
+	Fn  *minic.Fn
+	CFG *CFG
+	// Access maps pc -> fact for every OpLoad/OpStore.
+	Access map[int]AccessFact
+	// Arith maps pc -> fact for every pointer-arithmetic OpBin.
+	Arith map[int]ArithFact
+	// CallArgs maps an OpCall pc to the interval of each argument
+	// (the kprobe verifier reads map-id constants from it).
+	CallArgs map[int][]Interval
+	// Tainted marks registers that may ever hold an address-derived
+	// value — a sticky may-fact over the whole body, mirroring the
+	// escape analysis the kprobe verifier always had.
+	Tainted []bool
+	// Loops lists the natural loops found in the CFG.
+	Loops []LoopFact
+	// Warnings are kvet-grade findings.
+	Warnings []Warning
+	// Converged is false when the fixpoint bailed out; all Proven
+	// fields are then false (soundly nothing is proven).
+	Converged bool
+}
+
+// AccessProven reports whether the load/store at pc is proven safe.
+func (f *Facts) AccessProven(pc int) bool {
+	if f == nil {
+		return false
+	}
+	a, ok := f.Access[pc]
+	return ok && a.Proven
+}
+
+// ArithProven reports whether the pointer-arithmetic at pc is proven
+// to stay in-object.
+func (f *Facts) ArithProven(pc int) bool {
+	if f == nil {
+		return false
+	}
+	a, ok := f.Arith[pc]
+	return ok && a.Proven
+}
+
+// ArgConst returns the compile-time constant value of call argument
+// arg at call-site pc, if proven.
+func (f *Facts) ArgConst(pc, arg int) (int64, bool) {
+	if f == nil {
+		return 0, false
+	}
+	args, ok := f.CallArgs[pc]
+	if !ok || arg < 0 || arg >= len(args) {
+		return 0, false
+	}
+	return args[arg].Const()
+}
+
+// Analyze runs the full abstract interpretation over fn and returns
+// its facts. It never fails: malformed IR (out-of-range jumps) yields
+// a Facts with a warning and nothing proven. Analyze does not modify
+// fn; callers usually run minic.Optimize first, since folding is what
+// makes offsets provable.
+func Analyze(fn *minic.Fn) *Facts {
+	f := &Facts{
+		Fn:       fn,
+		Access:   make(map[int]AccessFact),
+		Arith:    make(map[int]ArithFact),
+		CallArgs: make(map[int][]Interval),
+		Tainted:  make([]bool, fn.NumRegs),
+	}
+	cfg, err := BuildCFG(fn)
+	if err != nil {
+		f.Warnings = append(f.Warnings, Warning{Code: "malformed", Msg: err.Error()})
+		return f
+	}
+	f.CFG = cfg
+
+	a := &analyzer{fn: fn, cfg: cfg, localIdx: make(map[string]int), facts: f}
+	for i, l := range fn.Locals {
+		a.localIdx[l.Name] = i
+	}
+	f.Converged = a.run()
+	if f.Converged {
+		// Recording pass: re-run each reachable block's transfer from
+		// its final in-state, capturing per-pc facts.
+		for _, b := range cfg.RPO {
+			if a.in[b] == nil {
+				continue
+			}
+			a.transferBlock(b, a.in[b].clone(), f)
+		}
+	}
+
+	f.computeTaint()
+	f.findLoops(a)
+	f.collectWarnings(a)
+	return f
+}
+
+// computeTaint is a flow-insensitive may-analysis: once a register
+// can hold an address-derived value anywhere in the body, it stays
+// tainted (matching the original kprobe escape rule, which never
+// cleared taint).
+func (f *Facts) computeTaint() {
+	fn := f.Fn
+	for changed := true; changed; {
+		changed = false
+		mark := func(r minic.Reg) {
+			if r != minic.NoReg && !f.Tainted[r] {
+				f.Tainted[r] = true
+				changed = true
+			}
+		}
+		for pc := range fn.Code {
+			in := &fn.Code[pc]
+			switch in.Op {
+			case minic.OpFrameAddr, minic.OpStrAddr:
+				mark(in.Dst)
+			case minic.OpMov, minic.OpUn:
+				if in.A != minic.NoReg && f.Tainted[in.A] {
+					mark(in.Dst)
+				}
+			case minic.OpBin:
+				if (in.A != minic.NoReg && f.Tainted[in.A]) ||
+					(in.B != minic.NoReg && f.Tainted[in.B]) {
+					mark(in.Dst)
+				}
+			case minic.OpArithCheck:
+				if in.B != minic.NoReg && f.Tainted[in.B] {
+					mark(in.Dst)
+				}
+			}
+		}
+	}
+}
+
+// findLoops records the natural loops and infers bounds: a loop
+// counts as bounded when, inside it, some register the analysis sees
+// at the header is confined to a finite interval by the loop's own
+// branch (the widen-then-refine pattern leaves exactly that
+// signature).
+func (f *Facts) findLoops(a *analyzer) {
+	if f.CFG == nil {
+		return
+	}
+	for _, e := range f.CFG.BackEdges {
+		head := f.CFG.Blocks[e.To]
+		lf := LoopFact{HeadPC: head.Start, BackPC: e.FromPC}
+		if head.Start < len(f.Fn.Code) {
+			lf.Pos = firstPos(f.Fn, head.Start, head.End)
+		}
+		if lf.Pos.Line == 0 {
+			// Headers often hold only a position-less branch; fall back
+			// to the loop body up to the back edge.
+			lf.Pos = firstPos(f.Fn, head.Start, e.FromPC+1)
+		}
+		// The header's branch splits into an in-loop and an exit edge;
+		// the loop counts as bounded when the *in-loop* edge confines
+		// some register to a finite interval (the exit edge's
+		// refinement says nothing about staying in the loop).
+		members := loopMembers(f.CFG, e)
+		if a.in != nil && a.in[head.ID] != nil && head.End > head.Start {
+			last := &f.Fn.Code[head.End-1]
+			if last.Op == minic.OpBranchZ {
+				st := a.in[head.ID].clone()
+				for pc := head.Start; pc < head.End; pc++ {
+					a.transferInstr(pc, st, nil)
+				}
+				taken, fall := a.branchStates(last, st)
+				takenBlk := f.CFG.BlockOf[last.Imm]
+				check := func(edge *state, to int) {
+					if edge == nil || !members[to] {
+						return
+					}
+					for r := range edge.regs {
+						before, after := st.regs[r], edge.regs[r]
+						if after.Region == RegNone && !after.I.IsTop() &&
+							after.I != before.I && !isTopSided(after.I) {
+							lf.Bounded = true
+							lf.Bound = after.I
+						}
+					}
+				}
+				check(taken, takenBlk)
+				if head.End < len(f.Fn.Code) {
+					check(fall, f.CFG.BlockOf[head.End])
+				}
+			}
+		}
+		f.Loops = append(f.Loops, lf)
+	}
+	sort.Slice(f.Loops, func(i, j int) bool { return f.Loops[i].HeadPC < f.Loops[j].HeadPC })
+}
+
+// isTopSided reports an interval unbounded on either side.
+func isTopSided(i Interval) bool {
+	return i == Top() || i.Lo == Top().Lo || i.Hi == Top().Hi
+}
+
+// loopMembers computes the natural loop of back edge e: the header
+// plus every block that reaches the back-edge source without passing
+// through the header.
+func loopMembers(g *CFG, e Edge) map[int]bool {
+	members := map[int]bool{e.To: true}
+	stack := []int{e.From}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if members[b] {
+			continue
+		}
+		members[b] = true
+		stack = append(stack, g.Blocks[b].Preds...)
+	}
+	return members
+}
+
+func firstPos(fn *minic.Fn, start, end int) minic.Pos {
+	for pc := start; pc < end && pc < len(fn.Code); pc++ {
+		if p := fn.Code[pc].Pos; p.Line != 0 {
+			return p
+		}
+	}
+	return minic.Pos{}
+}
+
+// collectWarnings derives the kvet findings from the analysis.
+func (f *Facts) collectWarnings(a *analyzer) {
+	if f.CFG == nil {
+		return
+	}
+	for _, b := range f.CFG.Blocks {
+		if b.ID != 0 && a.in != nil && a.in[b.ID] == nil && b.End > b.Start {
+			if allDead(f.Fn, b) {
+				continue
+			}
+			f.Warnings = append(f.Warnings, Warning{
+				Code: "unreachable",
+				Msg:  fmt.Sprintf("unreachable code (pc %d..%d)", b.Start, b.End-1),
+				Pos:  firstPos(f.Fn, b.Start, b.End),
+			})
+		}
+	}
+	for pc := 0; pc < len(f.Fn.Code); pc++ {
+		af, ok := f.Access[pc]
+		if !ok || !af.ProvenOOB {
+			continue
+		}
+		kind := "load"
+		if af.Store {
+			kind = "store"
+		}
+		f.Warnings = append(f.Warnings, Warning{
+			Code: "oob",
+			Msg: fmt.Sprintf("%s of %d bytes at offset %s of %s (%d bytes) is always out of bounds",
+				kind, af.Size, af.Off, af.ObjName, af.ObjSize),
+			Pos: af.Pos,
+		})
+	}
+	for _, lf := range f.Loops {
+		if !lf.Bounded {
+			f.Warnings = append(f.Warnings, Warning{
+				Code: "unbounded-loop",
+				Msg:  fmt.Sprintf("no finite bound inferred for loop at pc %d (possibly unbounded)", lf.HeadPC),
+				Pos:  lf.Pos,
+			})
+		}
+	}
+	sort.SliceStable(f.Warnings, func(i, j int) bool {
+		return f.Warnings[i].Pos.Line < f.Warnings[j].Pos.Line
+	})
+}
+
+// allDead reports a block of only nops/markers (the optimizer leaves
+// those behind; not worth an unreachable warning).
+func allDead(fn *minic.Fn, b *Block) bool {
+	for pc := b.Start; pc < b.End; pc++ {
+		in := fn.Code[pc]
+		switch in.Op {
+		case minic.OpNop, minic.OpMarker:
+		case minic.OpRet:
+			// The compiler appends a bare safety-net ret with no source
+			// position after every function; flagging it as unreachable
+			// is noise, not a finding.
+			if in.A == minic.NoReg && in.Pos.Line == 0 {
+				continue
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Summary renders the per-function fact table kvet prints.
+func (f *Facts) Summary() string {
+	var sb strings.Builder
+	fn := f.Fn
+	proven, total := 0, 0
+	for _, af := range f.Access {
+		total++
+		if af.Proven {
+			proven++
+		}
+	}
+	aproven, atotal := 0, 0
+	for _, af := range f.Arith {
+		atotal++
+		if af.Proven {
+			aproven++
+		}
+	}
+	fmt.Fprintf(&sb, "func %s: frame %d bytes, %d blocks, %d loops\n",
+		fn.Name, fn.FrameSize, len(f.CFGBlocks()), len(f.Loops))
+	fmt.Fprintf(&sb, "  accesses proven in-bounds: %d/%d, pointer derivations proven: %d/%d\n",
+		proven, total, aproven, atotal)
+	for _, lf := range f.Loops {
+		b := "unbounded?"
+		if lf.Bounded {
+			b = "bound " + lf.Bound.String()
+		}
+		fmt.Fprintf(&sb, "  loop head pc %d (line %d): %s\n", lf.HeadPC, lf.Pos.Line, b)
+	}
+	pcs := make([]int, 0, len(f.Access))
+	for pc := range f.Access {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+	for _, pc := range pcs {
+		af := f.Access[pc]
+		kind := "load"
+		if af.Store {
+			kind = "store"
+		}
+		state := "retained"
+		if af.Proven {
+			state = "proven"
+		} else if af.ProvenOOB {
+			state = "OOB!"
+		}
+		target := af.Region.String()
+		if af.Region == RegFrame || af.Region == RegStr {
+			target = fmt.Sprintf("%s+%s/%d", af.ObjName, af.Off, af.ObjSize)
+		}
+		fmt.Fprintf(&sb, "  pc %4d: %-5s %d bytes  %-24s %s\n", pc, kind, af.Size, target, state)
+	}
+	return sb.String()
+}
+
+// CFGBlocks returns the CFG blocks (nil-safe).
+func (f *Facts) CFGBlocks() []*Block {
+	if f.CFG == nil {
+		return nil
+	}
+	return f.CFG.Blocks
+}
+
+// UnitFacts aggregates per-function facts plus whole-unit call-graph
+// analysis: recursion detection and worst-case static stack depth.
+type UnitFacts struct {
+	Fns map[string]*Facts
+	// Recursive lists functions on a call-graph cycle.
+	Recursive []string
+	// MaxStackBytes is the deepest acyclic call path's summed
+	// (16-byte aligned, as the interpreter pads) frame sizes; -1 when
+	// recursion makes it unbounded.
+	MaxStackBytes int
+	// DeepestPath names that path.
+	DeepestPath []string
+	Warnings    []Warning
+}
+
+// AnalyzeUnit analyzes every function and the unit call graph.
+func AnalyzeUnit(u *minic.Unit) *UnitFacts {
+	uf := &UnitFacts{Fns: make(map[string]*Facts)}
+	for _, name := range u.Order {
+		uf.Fns[name] = Analyze(u.Fns[name])
+	}
+
+	// Call graph over unit-local functions (builtins have no frames).
+	callees := make(map[string][]string)
+	for _, name := range u.Order {
+		seen := map[string]bool{}
+		for _, in := range u.Fns[name].Code {
+			if in.Op == minic.OpCall && u.Fn(in.Sym) != nil && !seen[in.Sym] {
+				seen[in.Sym] = true
+				callees[name] = append(callees[name], in.Sym)
+			}
+		}
+	}
+
+	// Recursion: DFS cycle detection.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	onCycle := make(map[string]bool)
+	var visit func(n string, stack []string)
+	visit = func(n string, stack []string) {
+		color[n] = grey
+		stack = append(stack, n)
+		for _, c := range callees[n] {
+			switch color[c] {
+			case white:
+				visit(c, stack)
+			case grey:
+				for i := len(stack) - 1; i >= 0; i-- {
+					onCycle[stack[i]] = true
+					if stack[i] == c {
+						break
+					}
+				}
+			}
+		}
+		color[n] = black
+	}
+	for _, name := range u.Order {
+		if color[name] == white {
+			visit(name, nil)
+		}
+	}
+	for _, name := range u.Order {
+		if onCycle[name] {
+			uf.Recursive = append(uf.Recursive, name)
+		}
+	}
+
+	// Static stack depth (meaningful only without recursion).
+	if len(uf.Recursive) > 0 {
+		uf.MaxStackBytes = -1
+		uf.Warnings = append(uf.Warnings, Warning{
+			Code: "recursion",
+			Msg:  fmt.Sprintf("recursive call cycle through %s: stack depth unbounded", strings.Join(uf.Recursive, ", ")),
+		})
+	} else {
+		memo := make(map[string]int)
+		path := make(map[string][]string)
+		var depth func(n string) int
+		depth = func(n string) int {
+			if d, ok := memo[n]; ok {
+				return d
+			}
+			frame := (u.Fns[n].FrameSize + 15) &^ 15
+			best, bestCallee := 0, ""
+			for _, c := range callees[n] {
+				if d := depth(c); d > best {
+					best, bestCallee = d, c
+				}
+			}
+			memo[n] = frame + best
+			if bestCallee != "" {
+				path[n] = append([]string{n}, path[bestCallee]...)
+			} else {
+				path[n] = []string{n}
+			}
+			return memo[n]
+		}
+		for _, name := range u.Order {
+			d := depth(name)
+			if d > uf.MaxStackBytes ||
+				(d == uf.MaxStackBytes && len(path[name]) > len(uf.DeepestPath)) {
+				uf.MaxStackBytes = d
+				uf.DeepestPath = path[name]
+			}
+		}
+	}
+	for _, name := range u.Order {
+		uf.Warnings = append(uf.Warnings, uf.Fns[name].Warnings...)
+	}
+	return uf
+}

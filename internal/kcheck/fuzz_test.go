@@ -1,0 +1,136 @@
+package kcheck_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/kcheck"
+	"repro/internal/kgcc"
+	"repro/internal/mem"
+	"repro/internal/minic"
+	"repro/internal/sim"
+)
+
+// FuzzKcheck drives arbitrary programs through the analysis engine
+// and the elision differential. Two properties must hold for every
+// input the front end accepts:
+//
+//  1. the analyzer never panics or diverges, whatever the CFG shape;
+//  2. elision is sound: a kcheck-elided run behaves exactly like a
+//     fully checked run — same result, same trap kind — so the engine
+//     never removes a check the full-check interpreter would fire.
+//
+// Seeds mirror minic.FuzzParse (the kernel's untrusted-input path)
+// plus shapes that stress the interval/region domains.
+func FuzzKcheck(f *testing.F) {
+	seeds := []string{
+		// FuzzParse's probe- and kernel-shaped seeds.
+		`int probe() {
+			int k;
+			k = ctx_pid() * 256 + ctx_nr();
+			map_hist(0, k, ctx_cycles());
+			map_add(1, k, 1);
+			return 0;
+		}`,
+		`int probe() { int x; x = 7; return &x; }`,
+		`int memcpy_like(int *dst, int *src2, int n) {
+			for (int i = 0; i < n; i++) { dst[i] = src2[i]; }
+			return n;
+		}`,
+		`int strnlen_like(char *s, int max) {
+			int n = 0;
+			while (n < max && s[n] != 0) { n++; }
+			return n;
+		}`,
+		`int f() { char s[8]; s[0] = 'x'; return s[0]; }`,
+		`int g(int a, int b) { return a / b + a % b - -a; }`,
+		`int h() { int *p; p = 0; return *p; }`,
+		`int s() { return "literal"[0]; }`,
+		// Interval/region stress shapes.
+		`int main() { int a[64]; int i; for (i = 0; i < 64; i++) { a[i] = i; } return a[63]; }`,
+		`int main() { int a[16]; int i; i = 99; if (i > 15) { i = 15; } a[i] = 1; return a[i]; }`,
+		`int main() { int a[4]; a[5] = 1; return 0; }`,
+		`int main() { int *p = malloc(8); free(p); return 0; }`,
+		`int main() { int a[8]; int *p; p = &a[0] + 96; p = p - 64; return *p; }`,
+		`int main() { int i; int s = 0; for (i = 0; i != 7; i = i + 3) { s++; if (s > 99) { return s; } } return s; }`,
+		``,
+		`int f( {`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		unit, err := minic.CompileSource(src)
+		if err != nil || unit == nil {
+			return
+		}
+		// Property 1: analysis never panics (per function and unit).
+		for _, name := range unit.Order {
+			fn := unit.Fn(name)
+			minic.Optimize(fn)
+			_ = kcheck.Analyze(fn).Summary()
+		}
+		_ = kcheck.AnalyzeUnit(unit)
+
+		// Property 2: the elision differential on every zero-argument
+		// entry point.
+		for _, name := range unit.Order {
+			if unit.Fns[name].NumParams != 0 {
+				continue
+			}
+			full, fok := fuzzRun(src, name, kgcc.FullChecks())
+			elided, eok := fuzzRun(src, name, kgcc.KcheckOptions())
+			if !fok || !eok {
+				continue // interpreter setup failed identically or not at all: nothing to compare
+			}
+			if full.budget || elided.budget {
+				continue // step budgets differ across instrumentation levels
+			}
+			if full.ok != elided.ok ||
+				(full.ok && full.ret != elided.ret) ||
+				(!full.ok && full.trap != elided.trap) {
+				t.Fatalf("elision changed behaviour of %s:\n full: ok=%v ret=%d trap=%q\n elided: ok=%v ret=%d trap=%q\n%s",
+					name, full.ok, full.ret, full.trap, elided.ok, elided.ret, elided.trap, src)
+			}
+		}
+	})
+}
+
+// fuzzRun is runInstrumented without the testing.T plumbing: compile
+// errors and interpreter setup failures return ok=false instead of
+// failing, since fuzz inputs legitimately produce them.
+func fuzzRun(src, entry string, opts kgcc.Options) (runOutcome, bool) {
+	unit, err := minic.CompileSource(src)
+	if err != nil {
+		return runOutcome{}, false
+	}
+	kgcc.InstrumentUnit(unit, opts)
+	costs := sim.DefaultCosts()
+	as := mem.NewAddressSpace("fuzz", mem.NewPhys(64<<20), &costs)
+	ip, err := minic.NewInterp(as, unit)
+	if err != nil {
+		return runOutcome{}, false
+	}
+	ip.MaxSteps = 300_000
+	km := kgcc.NewMap(nil, nil)
+	kgcc.Attach(ip, km)
+
+	var out runOutcome
+	ret, err := ip.Call(entry)
+	switch {
+	case err == nil:
+		out.ok = true
+		out.ret = ret
+	case errors.Is(err, minic.ErrBudget):
+		out.budget = true
+	case errors.Is(err, kgcc.ErrViolation):
+		kind := "?"
+		if n := len(km.Violations); n > 0 {
+			kind = km.Violations[n-1].Kind
+		}
+		out.trap = "violation:" + kind
+	default:
+		out.trap = "error:" + stripDigits(err.Error())
+	}
+	return out, true
+}

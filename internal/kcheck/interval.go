@@ -1,0 +1,404 @@
+// Package kcheck is a reusable forward-dataflow / abstract-
+// interpretation engine over minic IR: CFG construction with
+// dominators, interval analysis for integer values, pointer-region +
+// offset-range analysis for memory, and loop-bound / stack-depth
+// inference with widening.
+//
+// Two clients sit on top of it. The KGCC instrumentation pass
+// (kgcc.Options.ElideProven) elides runtime checks for accesses the
+// engine proves in bounds — the paper's "static analysis should be
+// used to reduce runtime checking" applied to the bounds checker
+// itself. The kprobe verifier queries the same facts to decide which
+// probe programs may enter the kernel. cmd/kvet exposes the facts and
+// warnings as a standalone lint.
+//
+// Soundness contract: every fact is a *must*-fact about what holds on
+// every execution reaching that program point. Constant folding goes
+// through minic.EvalBin so the engine can never disagree with the
+// interpreter; anything that may wrap, escape, or alias collapses to
+// top. Facts about unreachable code are vacuous (the checks stay).
+package kcheck
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/minic"
+)
+
+// Interval is an inclusive integer range [Lo, Hi] in the abstract
+// domain of int64 values. The full range is top ("unknown").
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Top returns the unbounded interval.
+func Top() Interval { return Interval{math.MinInt64, math.MaxInt64} }
+
+// Single returns the singleton interval {v}.
+func Single(v int64) Interval { return Interval{v, v} }
+
+// IsTop reports whether i carries no information.
+func (i Interval) IsTop() bool { return i.Lo == math.MinInt64 && i.Hi == math.MaxInt64 }
+
+// Const returns the value and true when i is a singleton.
+func (i Interval) Const() (int64, bool) { return i.Lo, i.Lo == i.Hi }
+
+// Contains reports v ∈ i.
+func (i Interval) Contains(v int64) bool { return i.Lo <= v && v <= i.Hi }
+
+// Join is the least upper bound (interval hull).
+func (i Interval) Join(o Interval) Interval {
+	return Interval{min64(i.Lo, o.Lo), max64(i.Hi, o.Hi)}
+}
+
+// Widen accelerates convergence at loop heads: any bound that moved
+// since the previous iterate jumps straight to infinity.
+func (i Interval) Widen(o Interval) Interval {
+	w := i
+	if o.Lo < i.Lo {
+		w.Lo = math.MinInt64
+	}
+	if o.Hi > i.Hi {
+		w.Hi = math.MaxInt64
+	}
+	return w
+}
+
+// Meet intersects two intervals; ok is false when the intersection is
+// empty (the program point is unreachable under the constraint).
+func (i Interval) Meet(o Interval) (Interval, bool) {
+	m := Interval{max64(i.Lo, o.Lo), min64(i.Hi, o.Hi)}
+	return m, m.Lo <= m.Hi
+}
+
+func (i Interval) String() string {
+	if i.IsTop() {
+		return "⊤"
+	}
+	if v, ok := i.Const(); ok {
+		return fmt.Sprintf("{%d}", v)
+	}
+	lo, hi := "-inf", "+inf"
+	if i.Lo != math.MinInt64 {
+		lo = fmt.Sprintf("%d", i.Lo)
+	}
+	if i.Hi != math.MaxInt64 {
+		hi = fmt.Sprintf("%d", i.Hi)
+	}
+	return fmt.Sprintf("[%s,%s]", lo, hi)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// addOv adds with overflow detection.
+func addOv(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+func subOv(a, b int64) (int64, bool) {
+	s := a - b
+	if (b < 0 && s < a) || (b > 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+func mulOv(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if a == math.MinInt64 || b == math.MinInt64 {
+		// MinInt64 * anything but 1 overflows; *1 is fine.
+		if a == 1 || b == 1 {
+			return a * b, true
+		}
+		return 0, false
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+// satAdd saturates instead of wrapping (for conservative upper
+// bounds).
+func satAdd(a, b int64) int64 {
+	if s, ok := addOv(a, b); ok {
+		return s
+	}
+	if a > 0 {
+		return math.MaxInt64
+	}
+	return math.MinInt64
+}
+
+// addI/subI/mulI are overflow-conservative: if any endpoint
+// combination may wrap, the result is top, because the interpreter
+// wraps (Go int64 semantics) and a wrapped value can be anything.
+func addI(a, b Interval) Interval {
+	lo, ok1 := addOv(a.Lo, b.Lo)
+	hi, ok2 := addOv(a.Hi, b.Hi)
+	if !ok1 || !ok2 {
+		return Top()
+	}
+	return Interval{lo, hi}
+}
+
+func subI(a, b Interval) Interval {
+	lo, ok1 := subOv(a.Lo, b.Hi)
+	hi, ok2 := subOv(a.Hi, b.Lo)
+	if !ok1 || !ok2 {
+		return Top()
+	}
+	return Interval{lo, hi}
+}
+
+func mulI(a, b Interval) Interval {
+	if a.IsTop() || b.IsTop() {
+		return Top()
+	}
+	corners := [4][2]int64{{a.Lo, b.Lo}, {a.Lo, b.Hi}, {a.Hi, b.Lo}, {a.Hi, b.Hi}}
+	lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+	for _, c := range corners {
+		p, ok := mulOv(c[0], c[1])
+		if !ok {
+			return Top()
+		}
+		lo, hi = min64(lo, p), max64(hi, p)
+	}
+	return Interval{lo, hi}
+}
+
+func negI(a Interval) Interval {
+	if a.Lo == math.MinInt64 {
+		// -MinInt64 wraps to itself.
+		return Top()
+	}
+	return Interval{-a.Hi, -a.Lo}
+}
+
+// binI abstracts minic's evalBin over intervals. Singletons fold
+// through minic.EvalBin, so the engine's arithmetic can never
+// disagree with execution (division by zero folds to top: the
+// interpreter stops there, so the value is vacuous).
+func binI(op string, a, b Interval) Interval {
+	if av, aok := a.Const(); aok {
+		if bv, bok := b.Const(); bok {
+			if v, err := minic.EvalBin(op, av, bv); err == nil {
+				return Single(v)
+			}
+			return Top()
+		}
+	}
+	switch op {
+	case "+":
+		return addI(a, b)
+	case "-":
+		return subI(a, b)
+	case "*":
+		return mulI(a, b)
+	case "/":
+		if a.Lo >= 0 && b.Lo >= 1 {
+			return Interval{a.Lo / b.Hi, a.Hi / b.Lo}
+		}
+	case "%":
+		if a.Lo >= 0 && b.Lo >= 1 {
+			return Interval{0, min64(a.Hi, b.Hi-1)}
+		}
+	case "&":
+		// Masking with a non-negative value lands in [0, mask] no
+		// matter the other operand's sign (two's complement: the sign
+		// bit is cleared by the mask).
+		if a.Lo >= 0 && b.Lo >= 0 {
+			return Interval{0, min64(a.Hi, b.Hi)}
+		}
+		if b.Lo >= 0 {
+			return Interval{0, b.Hi}
+		}
+		if a.Lo >= 0 {
+			return Interval{0, a.Hi}
+		}
+	case "|", "^":
+		// For non-negative x, y: x|y <= x+y and x^y <= x+y (no carry
+		// can exceed the sum).
+		if a.Lo >= 0 && b.Lo >= 0 {
+			return Interval{0, satAdd(a.Hi, b.Hi)}
+		}
+	case "<<":
+		if c, ok := b.Const(); ok && c >= 0 && c < 63 && a.Lo >= 0 &&
+			a.Hi <= math.MaxInt64>>uint(c) {
+			return Interval{a.Lo << uint(c), a.Hi << uint(c)}
+		}
+	case ">>":
+		if a.Lo >= 0 && b.Lo >= 0 {
+			// The interpreter masks the shift by &63; any masked shift
+			// of a non-negative value stays in [0, a.Hi].
+			return Interval{0, a.Hi}
+		}
+	case "==", "!=", "<", "<=", ">", ">=":
+		return cmpI(op, a, b)
+	}
+	return Top()
+}
+
+// cmpI decides a comparison over intervals when the ranges are
+// disjoint enough, else returns the boolean range [0,1].
+func cmpI(op string, a, b Interval) Interval {
+	bothTrue := Single(1)
+	bothFalse := Single(0)
+	unknown := Interval{0, 1}
+	switch op {
+	case "<":
+		if a.Hi < b.Lo {
+			return bothTrue
+		}
+		if a.Lo >= b.Hi {
+			return bothFalse
+		}
+	case "<=":
+		if a.Hi <= b.Lo {
+			return bothTrue
+		}
+		if a.Lo > b.Hi {
+			return bothFalse
+		}
+	case ">":
+		if a.Lo > b.Hi {
+			return bothTrue
+		}
+		if a.Hi <= b.Lo {
+			return bothFalse
+		}
+	case ">=":
+		if a.Lo >= b.Hi {
+			return bothTrue
+		}
+		if a.Hi < b.Lo {
+			return bothFalse
+		}
+	case "==":
+		av, aok := a.Const()
+		bv, bok := b.Const()
+		if aok && bok {
+			if av == bv {
+				return bothTrue
+			}
+			return bothFalse
+		}
+		if _, ok := a.Meet(b); !ok {
+			return bothFalse
+		}
+	case "!=":
+		av, aok := a.Const()
+		bv, bok := b.Const()
+		if aok && bok {
+			if av != bv {
+				return bothTrue
+			}
+			return bothFalse
+		}
+		if _, ok := a.Meet(b); !ok {
+			return bothTrue
+		}
+	}
+	return unknown
+}
+
+// refineCmp narrows a and b under the assumption that "a op b" holds
+// (truth=true) or fails (truth=false). ok is false when the
+// assumption is infeasible (the branch edge is dead).
+func refineCmp(op string, truth bool, a, b Interval) (Interval, Interval, bool) {
+	if !truth {
+		op = negateCmp(op)
+		if op == "" {
+			return a, b, true
+		}
+	}
+	switch op {
+	case "==":
+		m, ok := a.Meet(b)
+		return m, m, ok
+	case "!=":
+		// Representable only when one side is a singleton at the
+		// other's boundary.
+		if v, ok := b.Const(); ok {
+			a = trimPoint(a, v)
+		}
+		if v, ok := a.Const(); ok {
+			b = trimPoint(b, v)
+		}
+		return a, b, a.Lo <= a.Hi && b.Lo <= b.Hi
+	case "<":
+		if b.Hi == math.MinInt64 {
+			return a, b, false
+		}
+		na, ok1 := a.Meet(Interval{math.MinInt64, b.Hi - 1})
+		if a.Lo == math.MaxInt64 {
+			return a, b, false
+		}
+		nb, ok2 := b.Meet(Interval{a.Lo + 1, math.MaxInt64})
+		return na, nb, ok1 && ok2
+	case "<=":
+		na, ok1 := a.Meet(Interval{math.MinInt64, b.Hi})
+		nb, ok2 := b.Meet(Interval{a.Lo, math.MaxInt64})
+		return na, nb, ok1 && ok2
+	case ">":
+		nb, na, ok := refineCmp("<", true, b, a)
+		return na, nb, ok
+	case ">=":
+		nb, na, ok := refineCmp("<=", true, b, a)
+		return na, nb, ok
+	}
+	return a, b, true
+}
+
+// trimPoint removes v from i when v sits on a boundary (the only
+// exclusion an interval can express).
+func trimPoint(i Interval, v int64) Interval {
+	if c, ok := i.Const(); ok && c == v {
+		// Empty: encode as inverted interval; callers check Lo<=Hi.
+		return Interval{1, 0}
+	}
+	if i.Lo == v {
+		i.Lo++
+	} else if i.Hi == v {
+		i.Hi--
+	}
+	return i
+}
+
+func negateCmp(op string) string {
+	switch op {
+	case "==":
+		return "!="
+	case "!=":
+		return "=="
+	case "<":
+		return ">="
+	case "<=":
+		return ">"
+	case ">":
+		return "<="
+	case ">=":
+		return "<"
+	}
+	return ""
+}

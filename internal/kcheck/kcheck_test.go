@@ -1,0 +1,281 @@
+package kcheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kcheck"
+	"repro/internal/minic"
+)
+
+// analyzeFn compiles src, optimizes fn (the pipeline kgcc runs before
+// instrumenting), and analyzes it.
+func analyzeFn(t *testing.T, src, fn string) *kcheck.Facts {
+	t.Helper()
+	u, err := minic.CompileSource(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	f := u.Fn(fn)
+	if f == nil {
+		t.Fatalf("no function %q", fn)
+	}
+	minic.Optimize(f)
+	return kcheck.Analyze(f)
+}
+
+// provenCounts tallies (proven, total) over access facts.
+func provenCounts(f *kcheck.Facts) (proven, total int) {
+	for _, af := range f.Access {
+		total++
+		if af.Proven {
+			proven++
+		}
+	}
+	return
+}
+
+func TestConstantIndexProven(t *testing.T) {
+	f := analyzeFn(t, `int f() { int a[4]; a[0] = 1; a[3] = 2; return a[0] + a[3]; }`, "f")
+	p, n := provenCounts(f)
+	if n == 0 || p != n {
+		t.Fatalf("want all %d accesses proven, got %d", n, p)
+	}
+}
+
+// The classic widen-then-refine shape: a loop index is widened to
+// [0,+inf] at the header, then the i<64 branch refines the in-loop
+// copy back to [0,63], proving every a[i] in bounds.
+func TestLoopIndexProvenByRefinement(t *testing.T) {
+	f := analyzeFn(t, `int f() {
+		int a[64];
+		int i;
+		int s = 0;
+		for (i = 0; i < 64; i++) { a[i] = i; }
+		for (i = 0; i < 64; i++) { s = s + a[i]; }
+		return s;
+	}`, "f")
+	p, n := provenCounts(f)
+	if n == 0 || p != n {
+		t.Fatalf("want all %d loop accesses proven, got %d proven:\n%s", n, p, f.Summary())
+	}
+	if len(f.Loops) != 2 {
+		t.Fatalf("want 2 loops, got %d", len(f.Loops))
+	}
+	for _, lf := range f.Loops {
+		if !lf.Bounded {
+			t.Errorf("loop at pc %d not inferred bounded", lf.HeadPC)
+		}
+	}
+}
+
+func TestMaskedIndexProven(t *testing.T) {
+	f := analyzeFn(t, `int f(int x) { int a[64]; int b = x & 63; a[b] = 1; return a[b]; }`, "f")
+	p, n := provenCounts(f)
+	if n == 0 || p != n {
+		t.Fatalf("want masked-index accesses proven (%d/%d):\n%s", p, n, f.Summary())
+	}
+}
+
+func TestOutOfRangeIndexNotProven(t *testing.T) {
+	f := analyzeFn(t, `int f(int i) { int a[4]; return a[i]; }`, "f")
+	p, _ := provenCounts(f)
+	if p != 0 {
+		t.Fatalf("unbounded index must not be proven:\n%s", f.Summary())
+	}
+}
+
+func TestProvenOOBWarning(t *testing.T) {
+	f := analyzeFn(t, `int f() { int a[4]; a[5] = 1; return 0; }`, "f")
+	found := false
+	for _, w := range f.Warnings {
+		if w.Code == "oob" {
+			found = true
+			if w.Pos.Line == 0 {
+				t.Errorf("oob warning missing position: %v", w)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("want an oob warning, got %v", f.Warnings)
+	}
+}
+
+func TestHeapPointerNotProven(t *testing.T) {
+	f := analyzeFn(t, `int f() {
+		int *p = malloc(32);
+		p[0] = 1;
+		int v = p[0];
+		free(p);
+		return v;
+	}`, "f")
+	p, n := provenCounts(f)
+	if p != 0 || n == 0 {
+		t.Fatalf("heap accesses must not be proven (%d/%d)", p, n)
+	}
+}
+
+func TestBranchJoinSameObjectStaysProven(t *testing.T) {
+	// Both branches leave p inside the same object: the join keeps
+	// the region fact with a joined offset range.
+	f := analyzeFn(t, `int f(int c) {
+		int a[8];
+		int *p;
+		if (c) { p = &a[1]; } else { p = &a[6]; }
+		*p = 7;
+		return *p;
+	}`, "f")
+	p, n := provenCounts(f)
+	if n == 0 || p != n {
+		t.Fatalf("same-object join should stay proven (%d/%d):\n%s", p, n, f.Summary())
+	}
+}
+
+func TestBranchJoinDifferentObjectsNotProven(t *testing.T) {
+	f := analyzeFn(t, `int f(int c) {
+		int a[8];
+		int b[8];
+		int *p;
+		if (c) { p = &a[1]; } else { p = &b[2]; }
+		return *p;
+	}`, "f")
+	for pc, af := range f.Access {
+		if af.Proven {
+			t.Fatalf("pc %d proven across different objects", pc)
+		}
+	}
+}
+
+func TestUnreachableWarning(t *testing.T) {
+	f := analyzeFn(t, `int f() {
+		int x = 1;
+		if (x - x) { return 99; }
+		return 0;
+	}`, "f")
+	// The optimizer may fold the whole branch away; accept either no
+	// code for it or an unreachable warning, but if the branch body
+	// survives it must be flagged.
+	hasBlocks := len(f.CFGBlocks()) > 2
+	found := false
+	for _, w := range f.Warnings {
+		if w.Code == "unreachable" {
+			found = true
+		}
+	}
+	if hasBlocks && !found {
+		t.Skipf("optimizer folded the dead branch; nothing to flag")
+	}
+}
+
+func TestUnboundedLoopWarning(t *testing.T) {
+	f := analyzeFn(t, `int f(int n) { int s = 0; while (n) { s++; } return s; }`, "f")
+	found := false
+	for _, w := range f.Warnings {
+		if w.Code == "unbounded-loop" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want unbounded-loop warning, got %v", f.Warnings)
+	}
+}
+
+func TestClampThenIndexProven(t *testing.T) {
+	f := analyzeFn(t, `int f(int i) {
+		int a[16];
+		if (i < 0) { i = 0; }
+		if (i > 15) { i = 15; }
+		a[i] = 1;
+		return a[i];
+	}`, "f")
+	p, n := provenCounts(f)
+	if n == 0 || p != n {
+		t.Fatalf("clamped index should be proven (%d/%d):\n%s", p, n, f.Summary())
+	}
+}
+
+func TestStringLiteralProven(t *testing.T) {
+	f := analyzeFn(t, `int f() { return "hi"[1]; }`, "f")
+	p, n := provenCounts(f)
+	if n == 0 || p != n {
+		t.Fatalf("constant string index should be proven (%d/%d):\n%s", p, n, f.Summary())
+	}
+}
+
+func TestTaintTracksAddresses(t *testing.T) {
+	src := `int f() { int x; int *p; p = &x; int q = p + 0; return q; }`
+	u, err := minic.CompileSource(src)
+	if err != nil {
+		t.Skipf("front end rejects the shape: %v", err)
+	}
+	fn := u.Fn("f")
+	minic.Optimize(fn)
+	facts := kcheck.Analyze(fn)
+	// The returned register must be tainted through the p chain.
+	for pc := range fn.Code {
+		in := fn.Code[pc]
+		if in.Op == minic.OpRet && in.A != minic.NoReg && !facts.Tainted[in.A] {
+			t.Fatalf("return of address-derived value not tainted")
+		}
+	}
+}
+
+func TestUnitStackDepthAndRecursion(t *testing.T) {
+	u, err := minic.CompileSource(`
+		int leaf() { int buf[32]; buf[0] = 1; return buf[0]; }
+		int mid() { return leaf() + 1; }
+		int top() { return mid() + 1; }
+	`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	for _, n := range u.Order {
+		minic.Optimize(u.Fns[n])
+	}
+	uf := kcheck.AnalyzeUnit(u)
+	if len(uf.Recursive) != 0 {
+		t.Fatalf("no recursion expected, got %v", uf.Recursive)
+	}
+	if uf.MaxStackBytes < 32*8 {
+		t.Fatalf("stack depth %d below leaf frame", uf.MaxStackBytes)
+	}
+	if len(uf.DeepestPath) != 3 || uf.DeepestPath[0] != "top" {
+		t.Fatalf("deepest path %v", uf.DeepestPath)
+	}
+
+	r, err := minic.CompileSource(`int rec(int n) { if (n) { return rec(n - 1); } return 0; }`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	rf := kcheck.AnalyzeUnit(r)
+	if len(rf.Recursive) != 1 || rf.MaxStackBytes != -1 {
+		t.Fatalf("recursion not detected: %v depth %d", rf.Recursive, rf.MaxStackBytes)
+	}
+	hasWarn := false
+	for _, w := range rf.Warnings {
+		if w.Code == "recursion" && strings.Contains(w.Msg, "rec") {
+			hasWarn = true
+		}
+	}
+	if !hasWarn {
+		t.Fatalf("want recursion warning, got %v", rf.Warnings)
+	}
+}
+
+func TestAnalyzeNeverPanicsOnDegenerate(t *testing.T) {
+	srcs := []string{
+		`int f() { return 0; }`,
+		`int f() { while (1) { } return 0; }`,
+		`int f(int n) { int i; for (i = 0; i < n; i++) { } return i; }`,
+		`int f() { int a[1]; int i; for (i = 0; i >= 0; i++) { a[0] = i; } return 0; }`,
+	}
+	for _, src := range srcs {
+		u, err := minic.CompileSource(src)
+		if err != nil {
+			t.Fatalf("compile %q: %v", src, err)
+		}
+		fn := u.Fn("f")
+		minic.Optimize(fn)
+		_ = kcheck.Analyze(fn).Summary()
+	}
+}

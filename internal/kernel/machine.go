@@ -81,7 +81,7 @@ type Machine struct {
 	// Memory stats of retired processes, folded in as each process
 	// exits so MemTotals covers the machine's whole life.
 	retiredTLBHits, retiredTLBMisses uint64
-	retiredFaults, retiredPromos    uint64
+	retiredFaults, retiredPromos     uint64
 }
 
 // Config controls machine creation.

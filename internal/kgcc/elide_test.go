@@ -1,0 +1,115 @@
+package kgcc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minic"
+)
+
+// elideSrc has loop-index accesses kcheck proves in bounds (widening
+// plus branch refinement), which the linear safe-stack heuristic
+// cannot see.
+const elideSrc = `
+int work(int seed) {
+	int tab[64];
+	int i;
+	int s = seed & 63;
+	for (i = 0; i < 64; i++) { tab[i] = i; }
+	for (i = 0; i < 64; i++) { s = s + tab[i]; }
+	return s + tab[s & 63];
+}`
+
+func TestElideProvenReducesChecks(t *testing.T) {
+	ipFull, mFull, sFull := build(t, elideSrc, FullChecks())
+	ipK, mK, sK := build(t, elideSrc, KcheckOptions())
+
+	if sK.ElidedProven == 0 {
+		t.Fatalf("kcheck elided nothing: %s", sK)
+	}
+	if sK.Inserted >= sFull.Inserted {
+		t.Fatalf("kcheck inserted %d checks, full %d", sK.Inserted, sFull.Inserted)
+	}
+
+	vFull, err := ipFull.Call("work", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vK, err := ipK.Call("work", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vFull != vK {
+		t.Fatalf("elision changed the result: full %d, elided %d", vFull, vK)
+	}
+	if len(mFull.Violations) != 0 || len(mK.Violations) != 0 {
+		t.Fatalf("violations in clean code: %v / %v", mFull.Violations, mK.Violations)
+	}
+	if mK.Checks+mK.ArithOps >= mFull.Checks+mFull.ArithOps {
+		t.Fatalf("dynamic checks not reduced: full %d, elided %d",
+			mFull.Checks+mFull.ArithOps, mK.Checks+mK.ArithOps)
+	}
+}
+
+func TestElisionStillCatchesRealBugs(t *testing.T) {
+	// The off-by-one access is NOT provable, so its check must stay
+	// and still fire under full elision.
+	src := `
+int main() {
+	int a[4];
+	int i;
+	for (i = 0; i <= 4; i++) { a[i] = i; }
+	return a[0];
+}`
+	ip, m, _ := build(t, src, KcheckOptions())
+	if _, err := ip.Call("main"); err == nil {
+		t.Fatal("off-by-one survived elided instrumentation")
+	}
+	if len(m.Violations) == 0 {
+		t.Fatal("no violation recorded")
+	}
+}
+
+func TestElisionReport(t *testing.T) {
+	unit, err := minic.CompileSource(elideSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep := InstrumentUnitReport(unit, KcheckOptions())
+	if len(rep.Fns) != 1 || rep.Fns[0].Name != "work" {
+		t.Fatalf("report fns: %+v", rep.Fns)
+	}
+	f := rep.Fns[0]
+	if f.Sites != f.Elided+f.Retained {
+		t.Fatalf("sites %d != elided %d + retained %d", f.Sites, f.Elided, f.Retained)
+	}
+	if rep.ElisionRatio() < 0.3 {
+		t.Fatalf("elision ratio %.2f below 30%%\n%s", rep.ElisionRatio(), rep)
+	}
+	out := rep.String()
+	for _, want := range []string{"function", "work", "total", "proven"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// A stale OOB peer left inside a newly registered object's range must
+// not shadow the object: re-registering the memory drops the peer.
+func TestRegisterDropsStaleOOBPeers(t *testing.T) {
+	m := NewMap(nil, nil)
+	m.Register(0x1000, 16, KindStack, "a")
+	// Walk the pointer out of bounds: a peer appears at 0x1010.
+	if _, err := m.PtrArith(0x1000, 0x1010); err != nil {
+		t.Fatal(err)
+	}
+	if o := m.Find(0x1010); o == nil || o.Kind != KindOOB {
+		t.Fatalf("expected an OOB peer at 0x1010, got %+v", o)
+	}
+	m.Unregister(0x1000)
+	// New frame reuses the memory, covering the stale peer.
+	m.Register(0x1008, 32, KindStack, "b")
+	if err := m.CheckAccess(0x1010, 8); err != nil {
+		t.Fatalf("stale OOB peer shadowed the new object: %v", err)
+	}
+}

@@ -2,7 +2,9 @@ package kgcc
 
 import (
 	"fmt"
+	"strings"
 
+	"repro/internal/kcheck"
 	"repro/internal/minic"
 )
 
@@ -25,25 +27,41 @@ type Options struct {
 	// basic block ("common subexpression elimination allowed us to
 	// reduce the number of checks inserted by more than half").
 	CSEChecks bool
+	// ElideProven consults the kcheck abstract-interpretation engine
+	// and skips checks it proves are runtime no-ops: accesses whose
+	// offset range is inside their object on every execution, and
+	// pointer arithmetic that provably stays in-object. Unlike the
+	// linear heuristics above, these proofs survive joins and loops
+	// (interval widening plus branch refinement), so variable-index
+	// accesses under a bounding branch are elided too.
+	ElideProven bool
 }
 
 // FullChecks instruments everything (plain BCC).
 func FullChecks() Options { return Options{} }
 
-// DefaultOptions enables all elimination heuristics (KGCC).
+// DefaultOptions enables the paper's linear elimination heuristics
+// (KGCC).
 func DefaultOptions() Options {
 	return Options{ElideSafeStack: true, CSEChecks: true}
 }
 
+// KcheckOptions enables every elimination layer, including the
+// kcheck dataflow proofs.
+func KcheckOptions() Options {
+	return Options{ElideSafeStack: true, CSEChecks: true, ElideProven: true}
+}
+
 // Stats reports what instrumentation did to one function.
 type Stats struct {
-	BaseInstrs  int // non-nop instructions before instrumentation
-	Accesses    int // loads + stores encountered
-	ArithSites  int // pointer-arithmetic sites encountered
-	Inserted    int // checks actually inserted (access + arith)
-	ElidedStack int // removed by the safe-stack heuristic
-	ElidedCSE   int // removed by check CSE
-	FinalInstrs int
+	BaseInstrs   int // non-nop instructions before instrumentation
+	Accesses     int // loads + stores encountered
+	ArithSites   int // pointer-arithmetic sites encountered
+	Inserted     int // checks actually inserted (access + arith)
+	ElidedStack  int // removed by the safe-stack heuristic
+	ElidedCSE    int // removed by check CSE
+	ElidedProven int // removed by a kcheck dataflow proof
+	FinalInstrs  int
 }
 
 // Add accumulates another function's stats.
@@ -54,6 +72,7 @@ func (s *Stats) Add(o Stats) {
 	s.Inserted += o.Inserted
 	s.ElidedStack += o.ElidedStack
 	s.ElidedCSE += o.ElidedCSE
+	s.ElidedProven += o.ElidedProven
 	s.FinalInstrs += o.FinalInstrs
 }
 
@@ -68,8 +87,8 @@ func (s Stats) ExpandedFactor() float64 {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("base %d instrs, %d accesses, %d checks inserted (%d stack-elided, %d cse-elided), %.1fx expanded",
-		s.BaseInstrs, s.Accesses, s.Inserted, s.ElidedStack, s.ElidedCSE, s.ExpandedFactor())
+	return fmt.Sprintf("base %d instrs, %d accesses, %d checks inserted (%d stack-elided, %d cse-elided, %d proven-elided), %.1fx expanded",
+		s.BaseInstrs, s.Accesses, s.Inserted, s.ElidedStack, s.ElidedCSE, s.ElidedProven, s.ExpandedFactor())
 }
 
 // Instrument rewrites fn in place, inserting OpCheck before every
@@ -81,6 +100,13 @@ func Instrument(fn *minic.Fn, opts Options) Stats {
 		if in.Op != minic.OpNop {
 			stats.BaseInstrs++
 		}
+	}
+
+	// The kcheck dataflow proofs are computed over the
+	// pre-instrumentation IR the pcs below index into.
+	var facts *kcheck.Facts
+	if opts.ElideProven {
+		facts = kcheck.Analyze(fn)
 	}
 
 	// defKind[r] describes the instruction that most recently defined
@@ -161,6 +187,8 @@ func Instrument(fn *minic.Fn, opts Options) Stats {
 			d := defs[addr]
 			key := fmt.Sprintf("%s:%d", vnOf(addr), in.Size)
 			switch {
+			case opts.ElideProven && facts.AccessProven(i):
+				stats.ElidedProven++
 			case opts.ElideSafeStack && staticallySafe(d, in.Size):
 				stats.ElidedStack++
 			case opts.CSEChecks && checked[key]:
@@ -213,6 +241,8 @@ func Instrument(fn *minic.Fn, opts Options) Stats {
 					}
 				}
 				switch {
+				case opts.ElideProven && facts.ArithProven(i):
+					stats.ElidedProven++
 				case opts.ElideSafeStack && d.baseOK:
 					stats.ElidedStack++
 				case opts.CSEChecks && arithChecked[newVN]:
@@ -268,11 +298,73 @@ func Instrument(fn *minic.Fn, opts Options) Stats {
 // folding is what lets the safe-stack heuristic prove constant
 // indices in bounds.
 func InstrumentUnit(u *minic.Unit, opts Options) Stats {
+	s, _ := InstrumentUnitReport(u, opts)
+	return s
+}
+
+// FnElision is one function's row in the elision report.
+type FnElision struct {
+	Name     string
+	Stats    Stats
+	Sites    int // accesses + pointer-arithmetic sites
+	Elided   int // all elisions (stack + CSE + proven)
+	Retained int // checks actually inserted
+}
+
+// ElisionReport is the per-module elided-versus-retained accounting
+// the check-elision pass emits.
+type ElisionReport struct {
+	Fns   []FnElision
+	Total Stats
+}
+
+// ElisionRatio is the fraction of check sites that needed no runtime
+// check.
+func (r *ElisionReport) ElisionRatio() float64 {
+	sites := r.Total.Accesses + r.Total.ArithSites
+	if sites == 0 {
+		return 0
+	}
+	return float64(sites-r.Total.Inserted) / float64(sites)
+}
+
+func (r *ElisionReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-20s %8s %8s %8s %8s %8s %8s\n",
+		"function", "sites", "retained", "proven", "stack", "cse", "elided%")
+	for _, f := range r.Fns {
+		ep := 0.0
+		if f.Sites > 0 {
+			ep = float64(f.Elided) / float64(f.Sites) * 100
+		}
+		fmt.Fprintf(&sb, "%-20s %8d %8d %8d %8d %8d %7.1f%%\n",
+			f.Name, f.Sites, f.Retained, f.Stats.ElidedProven,
+			f.Stats.ElidedStack, f.Stats.ElidedCSE, ep)
+	}
+	fmt.Fprintf(&sb, "%-20s %8d %8d %8d %8d %8d %7.1f%%\n", "total",
+		r.Total.Accesses+r.Total.ArithSites, r.Total.Inserted,
+		r.Total.ElidedProven, r.Total.ElidedStack, r.Total.ElidedCSE,
+		r.ElisionRatio()*100)
+	return sb.String()
+}
+
+// InstrumentUnitReport is InstrumentUnit plus the per-function
+// elided/retained report.
+func InstrumentUnitReport(u *minic.Unit, opts Options) (Stats, *ElisionReport) {
 	var total Stats
+	rep := &ElisionReport{}
 	for _, name := range u.Order {
 		minic.Optimize(u.Fns[name])
 		s := Instrument(u.Fns[name], opts)
 		total.Add(s)
+		rep.Fns = append(rep.Fns, FnElision{
+			Name:     name,
+			Stats:    s,
+			Sites:    s.Accesses + s.ArithSites,
+			Elided:   s.ElidedStack + s.ElidedCSE + s.ElidedProven,
+			Retained: s.Inserted,
+		})
 	}
-	return total
+	rep.Total = total
+	return total, rep
 }

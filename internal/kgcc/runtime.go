@@ -131,8 +131,23 @@ func (m *Map) chargeLookup(before uint64) {
 	m.charge(m.costs.CheckBase + sim.Cycles(nodes)*m.costs.CheckSplayNode)
 }
 
-// Register adds an object to the map.
+// Register adds an object to the map. Any stale OOB peers left
+// inside the new object's range (from frames or allocations that
+// previously occupied this memory) are dropped first: they describe
+// pointers into memory that no longer exists, and leaving them in
+// place would make a legal access to the new object look like an
+// oob-deref when the splay lookup lands on the peer instead of the
+// object.
 func (m *Map) Register(base, size uint64, kind ObjKind, name string) *Object {
+	if size > 0 {
+		for {
+			k, o, ok := m.tree.FindFloor(base + size - 1)
+			if !ok || k < base || o == nil || o.Kind != KindOOB {
+				break
+			}
+			m.tree.Delete(k)
+		}
+	}
 	o := &Object{Base: base, Size: size, Kind: kind, Name: name}
 	m.tree.Insert(base, o)
 	return o

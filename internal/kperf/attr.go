@@ -39,6 +39,10 @@ const (
 	// SubProbe is kprobe program execution: verified in-kernel probe
 	// programs plus their map updates and attach-time verification.
 	SubProbe
+	// SubKu is kucode extension execution: user-written extension code
+	// loaded into the kernel, including its KGCC check overhead and
+	// load-time static analysis.
+	SubKu
 	// SubDisk tags blocked-on-disk spans; disk waits advance no CPU
 	// cycles, so this appears in the timeline, not the CPU profile.
 	SubDisk
@@ -47,7 +51,7 @@ const (
 
 var subsysNames = [...]string{
 	"kern", "user", "boundary", "mem", "alloc", "sched", "cosy",
-	"kefence", "kmon", "probe", "disk",
+	"kefence", "kmon", "probe", "kucode", "disk",
 }
 
 func (s Subsys) String() string {

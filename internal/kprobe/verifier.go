@@ -3,11 +3,14 @@ package kprobe
 import (
 	"fmt"
 
+	"repro/internal/kcheck"
 	"repro/internal/minic"
 )
 
 // VerifyError is a static-verifier rejection. Attach surfaces it
-// verbatim as the probe_attach diagnostic.
+// verbatim as the probe_attach diagnostic. PC is the instruction
+// index the rejection points at, or -1 for whole-function rules
+// (entry signature, malformed control flow discovered structurally).
 type VerifyError struct {
 	Fn     string
 	PC     int
@@ -15,6 +18,9 @@ type VerifyError struct {
 }
 
 func (e *VerifyError) Error() string {
+	if e.PC < 0 {
+		return fmt.Sprintf("kprobe: verifier rejected %s: %s", e.Fn, e.Reason)
+	}
 	return fmt.Sprintf("kprobe: verifier rejected %s at pc %d: %s", e.Fn, e.PC, e.Reason)
 }
 
@@ -42,40 +48,39 @@ var helpers = map[string]helperSig{
 	"map_hist":   {args: 3, mapID: 0, kind: MapHist},
 }
 
-// frameFact is a must-fact about a register holding a frame address:
-// its current offset from the frame base and the bounds [lo, hi) of
-// the local object it was derived from.
-type frameFact struct {
-	off, lo, hi int64
-}
-
 // verify statically checks fn against the probe sandbox rules:
 //
 //   - termination: every jump target is strictly forward, so the
 //     classic eBPF no-back-edge rule bounds execution by code length
 //     (loops must be unrolled or expressed as repeated attachment);
 //   - memory safety: every load/store address must be provably inside
-//     the bounds of one of the probe's own stack locals, with a
-//     constant offset (a fact tracked linearly and dropped at join
-//     points, so only straight-line-provable accesses pass);
+//     the bounds of one of the probe's own objects (stack locals or
+//     string literals) on every execution;
 //   - ABI confinement: calls resolve only against the helper table,
 //     with exact arity, and map-id arguments must be compile-time
 //     constants naming a declared map of the right kind;
 //   - no pointer escape: an address-derived value may not be passed
-//     to a helper or returned, so no frame address ever leaves the
+//     to a helper or returned, so no probe address ever leaves the
 //     program.
+//
+// The memory, constant, and taint facts come from the kcheck
+// abstract-interpretation engine — the same facts KGCC's check
+// elision consults — so the verifier proves accesses across joins
+// and refinements the old linear scan dropped (for example an index
+// clamped by branches on both paths). The structural no-back-edge
+// rule stays: kcheck can bound many loops, but the probe contract is
+// straight-line execution.
 //
 // The verifier runs after minic.Optimize (constant folding is what
 // proves most frame offsets) and before kgcc instrumentation, which
 // then adds the dynamic belt-and-braces checks.
 func verify(fn *minic.Fn, maps []MapSpec) error {
 	if fn.NumParams != 0 {
-		return &VerifyError{Fn: fn.Name, Reason: "probe entry must take no parameters (use the ctx_* helpers)"}
+		return &VerifyError{Fn: fn.Name, PC: -1, Reason: "probe entry must take no parameters (use the ctx_* helpers)"}
 	}
 
-	// Pass 1: control flow and call targets. All edges forward means
-	// instruction order is a topological order, which pass 2 relies on.
-	leaders := make([]bool, len(fn.Code)+1)
+	// Pass 1: structural control flow and call targets. All edges
+	// forward bounds execution by code length.
 	for pc := range fn.Code {
 		in := &fn.Code[pc]
 		switch in.Op {
@@ -87,7 +92,6 @@ func verify(fn *minic.Fn, maps []MapSpec) error {
 			if t <= pc {
 				return &VerifyError{fn.Name, pc, fmt.Sprintf("unbounded loop: back-edge to pc %d (probe programs must terminate; unroll the loop)", t)}
 			}
-			leaders[t] = true
 		case minic.OpCall:
 			h, ok := helpers[in.Sym]
 			if !ok {
@@ -99,106 +103,39 @@ func verify(fn *minic.Fn, maps []MapSpec) error {
 		}
 	}
 
-	// Pass 2: linear dataflow. consts and frames are must-facts,
-	// dropped at every join point (conservative); addr is a may-fact
-	// accumulated over the whole (topologically ordered) body, so a
-	// register that can ever hold an address stays tainted.
-	consts := make(map[minic.Reg]int64)
-	frames := make(map[minic.Reg]frameFact)
-	addr := make(map[minic.Reg]bool)
-
-	clobber := func(d minic.Reg) {
-		delete(consts, d)
-		delete(frames, d)
-	}
-	checkAccess := func(pc int, a minic.Reg, size int, what string) error {
-		f, ok := frames[a]
-		if !ok {
-			return &VerifyError{fn.Name, pc, fmt.Sprintf("%s through r%d not provably inside the probe frame (only constant-offset accesses to probe locals are allowed)", what, a)}
-		}
-		if f.off < f.lo || f.off+int64(size) > f.hi {
-			return &VerifyError{fn.Name, pc, fmt.Sprintf("out-of-range memory access: %s at frame offset %d..%d outside object bounds [%d,%d)", what, f.off, f.off+int64(size), f.lo, f.hi)}
-		}
-		return nil
-	}
+	// Pass 2: dataflow facts from the kcheck engine. Access proofs are
+	// must-facts (hold on every execution reaching the pc); taint is a
+	// sticky may-fact, so a register that can ever hold an address
+	// stays tainted.
+	facts := kcheck.Analyze(fn)
 
 	for pc := range fn.Code {
-		if leaders[pc] {
-			consts = make(map[minic.Reg]int64)
-			frames = make(map[minic.Reg]frameFact)
-		}
 		in := &fn.Code[pc]
 		switch in.Op {
-		case minic.OpNop, minic.OpMarker, minic.OpJump:
-		case minic.OpConst:
-			clobber(in.Dst)
-			consts[in.Dst] = in.Imm
-		case minic.OpStrAddr:
-			clobber(in.Dst)
-			addr[in.Dst] = true
-		case minic.OpFrameAddr:
-			clobber(in.Dst)
-			f := frameFact{off: in.Imm, lo: in.Imm, hi: int64(fn.FrameSize)}
-			if l := fn.Local(in.Sym); l != nil {
-				f.hi = in.Imm + int64(l.T.Size())
+		case minic.OpNop, minic.OpMarker, minic.OpJump, minic.OpBranchZ,
+			minic.OpConst, minic.OpStrAddr, minic.OpFrameAddr,
+			minic.OpMov, minic.OpUn, minic.OpBin:
+		case minic.OpLoad, minic.OpStore:
+			what := "load"
+			if in.Op == minic.OpStore {
+				what = "store"
 			}
-			frames[in.Dst] = f
-			addr[in.Dst] = true
-		case minic.OpMov:
-			clobber(in.Dst)
-			if v, ok := consts[in.A]; ok {
-				consts[in.Dst] = v
+			af, ok := facts.Access[pc]
+			if !ok || (af.Region != kcheck.RegFrame && af.Region != kcheck.RegStr) {
+				return &VerifyError{fn.Name, pc, fmt.Sprintf("%s through r%d not provably inside the probe frame (only accesses to probe locals are allowed)", what, in.A)}
 			}
-			if f, ok := frames[in.A]; ok {
-				frames[in.Dst] = f
-			}
-			if addr[in.A] {
-				addr[in.Dst] = true
-			}
-		case minic.OpUn:
-			clobber(in.Dst)
-			if addr[in.A] {
-				addr[in.Dst] = true
-			}
-		case minic.OpBin:
-			fa, aIsFrame := frames[in.A]
-			fb, bIsFrame := frames[in.B]
-			ca, aIsConst := consts[in.A]
-			cb, bIsConst := consts[in.B]
-			clobber(in.Dst)
-			switch {
-			case in.BinOp == "+" && aIsFrame && bIsConst:
-				frames[in.Dst] = frameFact{off: fa.off + cb, lo: fa.lo, hi: fa.hi}
-			case in.BinOp == "+" && bIsFrame && aIsConst:
-				frames[in.Dst] = frameFact{off: fb.off + ca, lo: fb.lo, hi: fb.hi}
-			case in.BinOp == "-" && aIsFrame && bIsConst:
-				frames[in.Dst] = frameFact{off: fa.off - cb, lo: fa.lo, hi: fa.hi}
-			case aIsConst && bIsConst:
-				if v, err := minic.EvalBin(in.BinOp, ca, cb); err == nil {
-					consts[in.Dst] = v
-				}
-			}
-			if addr[in.A] || addr[in.B] {
-				addr[in.Dst] = true
-			}
-		case minic.OpLoad:
-			if err := checkAccess(pc, in.A, in.Size, "load"); err != nil {
-				return err
-			}
-			clobber(in.Dst)
-		case minic.OpStore:
-			if err := checkAccess(pc, in.A, in.Size, "store"); err != nil {
-				return err
+			if !af.Proven {
+				return &VerifyError{fn.Name, pc, fmt.Sprintf("out-of-range memory access: %s of %d bytes at offset %s of %q (object size %d)", what, af.Size, af.Off, af.ObjName, af.ObjSize)}
 			}
 		case minic.OpCall:
 			h := helpers[in.Sym]
 			for i, a := range in.Args {
-				if addr[a] {
+				if facts.Tainted[a] {
 					return &VerifyError{fn.Name, pc, fmt.Sprintf("pointer escape: argument %d of %s is derived from an address", i, in.Sym)}
 				}
 			}
 			if h.mapID >= 0 {
-				id, ok := consts[in.Args[h.mapID]]
+				id, ok := facts.ArgConst(pc, h.mapID)
 				if !ok {
 					return &VerifyError{fn.Name, pc, fmt.Sprintf("map id argument of %s must be a compile-time constant", in.Sym)}
 				}
@@ -209,15 +146,10 @@ func verify(fn *minic.Fn, maps []MapSpec) error {
 					return &VerifyError{fn.Name, pc, fmt.Sprintf("%s needs a %s map, but map %d (%q) is a %s map", in.Sym, h.kind, id, maps[id].Name, maps[id].Kind)}
 				}
 			}
-			if in.Dst != minic.NoReg {
-				clobber(in.Dst)
-			}
 		case minic.OpRet:
-			if in.A != minic.NoReg && addr[in.A] {
+			if in.A != minic.NoReg && facts.Tainted[in.A] {
 				return &VerifyError{fn.Name, pc, "pointer escape: probe returns an address-derived value"}
 			}
-		case minic.OpBranchZ:
-			// Target direction was validated in pass 1.
 		default:
 			return &VerifyError{fn.Name, pc, fmt.Sprintf("instruction %v not allowed in probe programs", in.Op)}
 		}

@@ -1,0 +1,221 @@
+package sys
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/kcheck"
+	"repro/internal/kgcc"
+	"repro/internal/kperf"
+	"repro/internal/mem"
+	"repro/internal/minic"
+	"repro/internal/sim"
+)
+
+// ErrKuDead is returned when calling an extension that was killed by
+// a runtime violation.
+var ErrKuDead = errors.New("sys: kucode extension killed by a runtime violation")
+
+// KuSpec is a ku_load request: the paper's "user-level code in the
+// kernel". The source is compiled, statically analyzed with kcheck,
+// and KGCC-instrumented inside the kernel; Checks selects which
+// check-elimination layers the instrumentation applies (FullChecks
+// for plain BCC, KcheckOptions for proof-based elision — E10 measures
+// the difference).
+type KuSpec struct {
+	Source string
+	// Entry is the function KuCall invokes; empty selects "main".
+	Entry string
+	// Checks are the KGCC instrumentation options.
+	Checks kgcc.Options
+}
+
+// KuExt is one loaded kucode extension.
+type KuExt struct {
+	ID    int
+	Entry string
+	// Insns is the pre-instrumentation instruction count.
+	Insns int
+	// Stats and Report describe what instrumentation did: how many
+	// checks were inserted and how many each elimination layer elided.
+	Stats  kgcc.Stats
+	Report *kgcc.ElisionReport
+	// Calls counts invocations; Cycles accumulates their in-kernel
+	// cost.
+	Calls  int64
+	Cycles sim.Cycles
+	// Err is the first runtime violation; like a kprobe program, an
+	// extension that trips a check is dead and never runs again.
+	Err error
+
+	ip   *minic.Interp
+	km   *kgcc.Map
+	dead bool
+}
+
+// ChecksRun reports the dynamic runtime checks this extension has
+// executed (bounds lookups plus pointer-arithmetic validations).
+func (e *KuExt) ChecksRun() int64 { return e.km.Checks + e.km.ArithOps }
+
+// kuState is the kernel's kucode subsystem: the extensions' shared
+// kernel address space and the registry, created on first ku_load.
+type kuState struct {
+	as      *mem.AddressSpace
+	pending sim.Cycles
+	exts    map[int]*KuExt
+	nextID  int
+}
+
+func (k *Kernel) ku() *kuState {
+	if k.Ku == nil {
+		ku := &kuState{exts: make(map[int]*KuExt), nextID: 1}
+		ku.as = mem.NewAddressSpace("kucode", k.M.Phys, &k.M.Costs)
+		ku.as.Charge = func(c sim.Cycles) { ku.pending += c }
+		k.Ku = ku
+	}
+	return k.Ku
+}
+
+// KuExt returns the loaded extension with the given id.
+func (k *Kernel) KuExt(id int) (*KuExt, bool) {
+	if k.Ku == nil {
+		return nil, false
+	}
+	e, ok := k.Ku.exts[id]
+	return e, ok
+}
+
+// chargeKu bills kucode work to the process as kernel time tagged
+// with the kucode subsystem.
+func (pr *Proc) chargeKu(c sim.Cycles) {
+	pr.P.Perf.Push(kperf.SubKu)
+	pr.P.Charge(c)
+	pr.P.Perf.Pop()
+}
+
+// KuLoad is the ku_load system call: copy the extension source in,
+// compile + analyze + instrument it kernel-side, and install it. Load
+// time charges a per-instruction static-analysis cost (the same rate
+// the kprobe verifier charges) plus the interpreter setup; it is paid
+// once, never on the call path.
+//
+// Loading rejects extensions the kcheck unit analysis proves unsafe
+// to host: recursive call cycles (unbounded kernel stack) and
+// accesses that are out of bounds on every execution. Everything else
+// is allowed in — the KGCC instrumentation is the runtime backstop,
+// exactly the layering the paper prescribes ("static analysis should
+// be used to reduce runtime checking").
+func (pr *Proc) KuLoad(spec KuSpec) (int, error) {
+	in := len(spec.Source) + len(spec.Entry) + 8
+	pr.enter(NrKuLoad, in)
+	id, cost, err := pr.K.ku().load(pr.K, spec)
+	if cost > 0 {
+		pr.chargeKu(cost)
+	}
+	pr.exit(NrKuLoad, in, 8)
+	if err != nil {
+		return -1, err
+	}
+	return id, nil
+}
+
+func (ku *kuState) load(k *Kernel, spec KuSpec) (int, sim.Cycles, error) {
+	entry := spec.Entry
+	if entry == "" {
+		entry = "main"
+	}
+	unit, err := minic.CompileSource(spec.Source)
+	if err != nil {
+		return -1, 0, fmt.Errorf("sys: ku_load compile: %w", err)
+	}
+	if unit.Fn(entry) == nil {
+		return -1, 0, fmt.Errorf("sys: ku_load: entry function %q not defined", entry)
+	}
+	insns := 0
+	for _, name := range unit.Order {
+		minic.Optimize(unit.Fns[name])
+		insns += len(unit.Fns[name].Code)
+	}
+	uf := kcheck.AnalyzeUnit(unit)
+	for _, w := range uf.Warnings {
+		if w.Code == "recursion" || w.Code == "oob" {
+			return -1, sim.Cycles(insns) * k.M.Costs.ProbeVerifyInstr,
+				fmt.Errorf("sys: ku_load rejected: %s", w)
+		}
+	}
+	// The unit is already optimized above; Instrument per function so
+	// InstrumentUnitReport's second Optimize pass is a no-op either way.
+	stats, rep := kgcc.InstrumentUnitReport(unit, spec.Checks)
+
+	ku.pending = 0
+	ip, err := minic.NewInterp(ku.as, unit)
+	if err != nil {
+		ku.pending = 0
+		return -1, 0, fmt.Errorf("sys: ku_load: %w", err)
+	}
+	ip.PerInstr = k.M.Costs.ProbeInstr
+	ip.Charge = func(c sim.Cycles) { ku.pending += c }
+	km := kgcc.NewMap(&k.M.Costs, func(c sim.Cycles) { ku.pending += c })
+	kgcc.Attach(ip, km)
+
+	e := &KuExt{
+		ID:     ku.nextID,
+		Entry:  entry,
+		Insns:  insns,
+		Stats:  stats,
+		Report: rep,
+		ip:     ip,
+		km:     km,
+	}
+	ku.nextID++
+	ku.exts[e.ID] = e
+
+	cost := ku.pending + sim.Cycles(insns)*k.M.Costs.ProbeVerifyInstr
+	ku.pending = 0
+	e.Cycles += cost
+	return e.ID, cost, nil
+}
+
+// KuCall is the ku_call system call: invoke extension id's entry
+// point with the given arguments in a single crossing. The extension
+// runs in kernel mode at interpreter speed plus whatever runtime
+// checks survived elision; its whole cost lands in the kucode kperf
+// subsystem. A runtime violation kills the extension and returns the
+// violation to the caller.
+func (pr *Proc) KuCall(id int, args ...int64) (int64, error) {
+	in := 8 + 8*len(args)
+	pr.enter(NrKuCall, in)
+	var ret int64
+	var err error
+	ku := pr.K.Ku
+	e := (*KuExt)(nil)
+	if ku != nil {
+		e = ku.exts[id]
+	}
+	switch {
+	case e == nil:
+		err = fmt.Errorf("sys: ku_call: no extension %d", id)
+	case e.dead:
+		err = ErrKuDead
+	default:
+		ku.pending = 0
+		e.ip.Steps = 0
+		ret, err = e.ip.Call(e.Entry, args...)
+		if err != nil {
+			e.Err = err
+			e.dead = true
+		}
+		e.Calls++
+		cost := ku.pending
+		ku.pending = 0
+		e.Cycles += cost
+		if cost > 0 {
+			pr.chargeKu(cost)
+		}
+	}
+	pr.exit(NrKuCall, in, 8)
+	if err != nil {
+		return 0, err
+	}
+	return ret, nil
+}

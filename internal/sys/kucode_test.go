@@ -1,0 +1,125 @@
+package sys
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/kgcc"
+)
+
+func TestKuLoadCallRoundTrip(t *testing.T) {
+	m, k := env()
+	const src = `
+	int scale(int x) {
+		int tab[16];
+		int i;
+		for (i = 0; i < 16; i++) { tab[i] = i * x; }
+		return tab[15];
+	}`
+	p := run(t, m, k, func(pr *Proc) error {
+		id, err := pr.KuLoad(KuSpec{Source: src, Entry: "scale", Checks: kgcc.KcheckOptions()})
+		if err != nil {
+			return err
+		}
+		v, err := pr.KuCall(id, 3)
+		if err != nil {
+			return err
+		}
+		if v != 45 {
+			t.Errorf("ku_call = %d; want 45", v)
+		}
+		ext, ok := k.KuExt(id)
+		if !ok {
+			t.Fatal("loaded extension not registered")
+		}
+		if ext.Calls != 1 {
+			t.Errorf("ext.Calls = %d", ext.Calls)
+		}
+		if ext.Stats.ElidedProven == 0 {
+			t.Errorf("kcheck elided nothing at load: %s", ext.Stats)
+		}
+		if k.Calls[NrKuLoad] != 1 || k.Calls[NrKuCall] != 1 {
+			t.Errorf("syscall counts: ku_load %d, ku_call %d", k.Calls[NrKuLoad], k.Calls[NrKuCall])
+		}
+		return nil
+	})
+	if _, sysT, _ := p.Times(); sysT == 0 {
+		t.Error("kucode execution charged no kernel time")
+	}
+}
+
+func TestKuLoadRejectsUnsafeUnits(t *testing.T) {
+	m, k := env()
+	cases := []struct {
+		name, src, want string
+	}{
+		{
+			name: "recursion",
+			src:  `int main(int n) { if (n) { return main(n - 1); } return 0; }`,
+			want: "recursion",
+		},
+		{
+			name: "provable oob",
+			src:  `int main() { int a[4]; a[9] = 1; return 0; }`,
+			want: "out of bounds",
+		},
+	}
+	run(t, m, k, func(pr *Proc) error {
+		for _, tc := range cases {
+			id, err := pr.KuLoad(KuSpec{Source: tc.src, Checks: kgcc.KcheckOptions()})
+			if err == nil {
+				t.Errorf("%s: loaded (id %d); want rejection", tc.name, id)
+				continue
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("%s: diagnostic %q does not mention %q", tc.name, err, tc.want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestKuCallViolationKillsExtension(t *testing.T) {
+	m, k := env()
+	// The off-by-one depends on the argument, so no load-time analysis
+	// can reject it; the retained runtime check catches it and the
+	// extension dies, exactly like a kprobe program.
+	const src = `
+	int main(int n) {
+		int a[4];
+		int i;
+		for (i = 0; i < n; i++) { a[i] = i; }
+		return a[0];
+	}`
+	run(t, m, k, func(pr *Proc) error {
+		id, err := pr.KuLoad(KuSpec{Source: src, Checks: kgcc.KcheckOptions()})
+		if err != nil {
+			return err
+		}
+		if _, err := pr.KuCall(id, 4); err != nil {
+			t.Fatalf("in-bounds call failed: %v", err)
+		}
+		if _, err := pr.KuCall(id, 5); !errors.Is(err, kgcc.ErrViolation) {
+			t.Fatalf("out-of-bounds call: err = %v; want a kgcc violation", err)
+		}
+		if _, err := pr.KuCall(id, 4); !errors.Is(err, ErrKuDead) {
+			t.Fatalf("call after violation: err = %v; want ErrKuDead", err)
+		}
+		ext, _ := k.KuExt(id)
+		if ext.Err == nil {
+			t.Error("extension Err not recorded")
+		}
+		return nil
+	})
+}
+
+func TestKuCallUnknownExtension(t *testing.T) {
+	m, k := env()
+	run(t, m, k, func(pr *Proc) error {
+		if _, err := pr.KuCall(42); err == nil {
+			t.Error("ku_call on unknown id succeeded")
+		}
+		return nil
+	})
+}

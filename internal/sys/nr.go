@@ -46,6 +46,10 @@ const (
 	// NrProbeRead reads its aggregation maps back in one crossing.
 	NrProbeAttach
 	NrProbeRead
+	// NrKuLoad compiles, analyzes, and instruments a kucode extension
+	// in the kernel; NrKuCall invokes its entry point in one crossing.
+	NrKuLoad
+	NrKuCall
 	nrCount
 )
 
@@ -53,7 +57,8 @@ var nrNames = [...]string{
 	"open", "close", "read", "write", "lseek", "stat", "fstat",
 	"getdents", "creat", "unlink", "mkdir", "rmdir", "rename", "fsync",
 	"getpid", "readdirplus", "open_read_close", "open_write_close",
-	"open_fstat", "cosy", "probe_attach", "probe_read",
+	"open_fstat", "cosy", "probe_attach", "probe_read", "ku_load",
+	"ku_call",
 }
 
 func (n Nr) String() string {

@@ -27,6 +27,10 @@ type Kernel struct {
 	// it); enter/exit dispatch its syscall tracepoints.
 	Probes *kprobe.Manager
 
+	// Ku is the kucode extension subsystem, created lazily on the
+	// first ku_load.
+	Ku *kuState
+
 	// hooks fan out every completed syscall to the registered
 	// observers (trace recorder, monitors); see AddHook.
 	hooks []Hook
