@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/bench"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/cosy/kext"
 	"repro/internal/cosy/lang"
 	"repro/internal/kgcc"
+	"repro/internal/kprobe"
 	"repro/internal/mem"
 	"repro/internal/minic"
 	"repro/internal/ring"
@@ -261,6 +263,110 @@ int work(int n) {
 		if _, err := ip.Call("work", 3); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMinicEngines compares the tree-walking interpreter with
+// the bytecode VM on both in-kernel execution shapes (probe fire and
+// ku_call) at several program sizes. The VM rows should show the
+// flat-bytecode dispatch win growing with program length, at zero
+// allocations per call.
+func BenchmarkMinicEngines(b *testing.B) {
+	for _, n := range []int{16, 128, 1024} {
+		n := n
+		b.Run(fmt.Sprintf("probe/n=%d/interp", n), func(b *testing.B) { bench.BenchMinicProbeInterp(b, n) })
+		b.Run(fmt.Sprintf("probe/n=%d/vm", n), func(b *testing.B) { bench.BenchMinicProbeVM(b, n) })
+		b.Run(fmt.Sprintf("call/n=%d/interp", n), func(b *testing.B) { bench.BenchMinicCallInterp(b, n) })
+		b.Run(fmt.Sprintf("call/n=%d/vm", n), func(b *testing.B) { bench.BenchMinicCallVM(b, n) })
+	}
+}
+
+// BenchmarkProbeFireE9 measures the host cost of one probe fire of
+// E9's exact aggregation program through the Manager dispatch path:
+// tracepoint lookup, VM entry, three context helpers, one histogram
+// observe, and one hash-map add. This is the paper-relevant hot loop
+// the bytecode VM exists for; it must run with zero heap allocations
+// per fire.
+func BenchmarkProbeFireE9(b *testing.B) {
+	s, err := core.New(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const probeSrc = `
+	int probe() {
+		int k;
+		k = ctx_pid() * 256 + ctx_nr();
+		map_hist(0, k, ctx_cycles());
+		map_add(1, k, 1);
+		return 0;
+	}`
+	if _, _, err := s.Probes.Attach(kprobe.Spec{
+		Tracepoint: kprobe.TpSyscallExit,
+		Source:     probeSrc,
+		Maps: []kprobe.MapSpec{
+			{Name: "lat", Kind: kprobe.MapHist},
+			{Name: "calls", Kind: kprobe.MapHash},
+		},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Probes.SyscallExit(1, 3, 64, 0, 1234)
+	}
+}
+
+// BenchmarkKuCallE10 measures one E10 filt() invocation through the
+// ku_call path with full KGCC checks.
+func BenchmarkKuCallE10(b *testing.B) { benchKuCall(b, kgcc.FullChecks()) }
+
+// BenchmarkKuCallE10Elided is the same call with kcheck proof-based
+// elision (E10's third config), where the interpretation loop itself
+// dominates the remaining cost.
+func BenchmarkKuCallE10Elided(b *testing.B) { benchKuCall(b, kgcc.KcheckOptions()) }
+
+func benchKuCall(b *testing.B, opts kgcc.Options) {
+	const src = `
+	int filt(int seed, int rounds) {
+		int tab[64];
+		int pkt[32];
+		int i;
+		int r;
+		int sum = seed & 63;
+		for (i = 0; i < 64; i++) { tab[i] = 0; }
+		for (r = 0; r < rounds; r++) {
+			for (i = 0; i < 32; i++) { pkt[i] = (seed + r * 31 + i * 7) & 255; }
+			for (i = 0; i < 32; i++) { sum = sum + pkt[i]; }
+			tab[sum & 63] = tab[sum & 63] + 1;
+		}
+		int *acc = malloc(64);
+		for (i = 0; i < 8; i++) { acc[i] = tab[i * 8]; }
+		sum = 0;
+		for (i = 0; i < 8; i++) { sum = sum + acc[i]; }
+		free(acc);
+		return sum;
+	}`
+	s, err := core.New(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Spawn("bench", func(pr *sys.Proc) error {
+		id, err := pr.KuLoad(sys.KuSpec{Source: src, Entry: "filt", Checks: opts})
+		if err != nil {
+			return err
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pr.KuCall(id, int64(i&63)*13, 40); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -7,6 +7,9 @@
 //
 //	ktap -tx 500
 //	ktap -t syscall_exit -f myprobe.mc -m lat:hist,calls:hash -json
+//	ktap -f myprobe.mc -emit myprobe.kmod      # verify+compile once
+//	ktap -module myprobe.kmod                  # attach the artifact
+//	ktap -cachedir ~/.ktap-cache               # both, keyed by content hash
 //	ktap -list
 //
 // The probe source is minic; it may only call the helper ABI
@@ -20,12 +23,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/kprobe"
+	"repro/internal/minic"
 	"repro/internal/sys"
 	"repro/internal/workload"
 )
@@ -54,6 +59,9 @@ func main() {
 	decode := flag.String("decode", "pidnr", "render map keys as pid:syscall (pidnr) or raw integers (raw)")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of text")
 	list := flag.Bool("list", false, "list tracepoints, map kinds, and helpers, then exit")
+	emit := flag.String("emit", "", "compile and verify the probe program, write the encoded module to this file, and exit")
+	modFile := flag.String("module", "", "attach a pre-compiled module file instead of compiling source")
+	cacheDir := flag.String("cachedir", "", "content-hash module cache directory: reuse <hash>.kmod when present, write it after a fresh compile")
 	flag.Parse()
 
 	if *list {
@@ -93,12 +101,55 @@ func main() {
 		}
 	}
 
+	spec := kprobe.Spec{Tracepoint: tracepoint, Source: program, Entry: *entry, Maps: maps}
+
+	if *emit != "" {
+		mod, err := kprobe.BuildModule(spec)
+		if err != nil {
+			fatal(err)
+		}
+		enc := minic.EncodeModule(mod)
+		if err := os.WriteFile(*emit, enc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d bytes, key %s\n", *emit, len(enc), mod.Key)
+		return
+	}
+
+	if *modFile != "" {
+		b, err := os.ReadFile(*modFile)
+		if err != nil {
+			fatal(err)
+		}
+		spec = kprobe.Spec{Tracepoint: tracepoint, Module: b, Entry: *entry, Maps: maps}
+	} else if *cacheDir != "" {
+		// Disk-backed content-hash cache: a prior -emit or run already
+		// paid the compile+verify, this run just decodes the artifact.
+		path := filepath.Join(*cacheDir, kprobe.SpecKey(spec).String()+".kmod")
+		if b, err := os.ReadFile(path); err == nil {
+			fmt.Printf("module cache hit: %s\n", path)
+			spec = kprobe.Spec{Tracepoint: tracepoint, Module: b, Entry: *entry, Maps: maps}
+		} else {
+			mod, err := kprobe.BuildModule(spec)
+			if err != nil {
+				fatal(err)
+			}
+			enc := minic.EncodeModule(mod)
+			if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(path, enc, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("module cache miss: wrote %s\n", path)
+			spec = kprobe.Spec{Tracepoint: tracepoint, Module: enc, Entry: *entry, Maps: maps}
+		}
+	}
+
 	s, err := core.New(core.Options{CacheBlocks: 1024})
 	if err != nil {
 		fatal(err)
 	}
-
-	spec := kprobe.Spec{Tracepoint: tracepoint, Source: program, Entry: *entry, Maps: maps}
 	var done atomic.Bool
 	var snaps []kprobe.MapSnapshot
 	var readBytes int

@@ -189,6 +189,18 @@ func MicroSuite() []MicroResult {
 		}
 		return res
 	}
+	// compareVM rows record the bytecode VM against the tree-walking
+	// interpreter as the baseline: the host-side speedup the minivm
+	// compiler buys on in-kernel execution paths.
+	compareVM := func(name string, vm, interp func(b *testing.B)) MicroResult {
+		res := row(name, vm)
+		base := testing.Benchmark(interp)
+		res.BaselineNsPerOp = nsPerOp(base)
+		if res.NsPerOp > 0 {
+			res.Speedup = res.BaselineNsPerOp / res.NsPerOp
+		}
+		return res
+	}
 	return []MicroResult{
 		compare("bulk-copy-512B", 512),
 		compare("bulk-copy-4KiB", 4096),
@@ -197,5 +209,11 @@ func MicroSuite() []MicroResult {
 		row("read-u64", BenchReadU64),
 		row("syscall-round-trip", BenchSyscallRoundTrip),
 		row("scheduler-dispatch", BenchSchedulerDispatch),
+		compareVM("minic-vm-probe-128",
+			func(b *testing.B) { BenchMinicProbeVM(b, 128) },
+			func(b *testing.B) { BenchMinicProbeInterp(b, 128) }),
+		compareVM("minic-vm-call-128",
+			func(b *testing.B) { BenchMinicCallVM(b, 128) },
+			func(b *testing.B) { BenchMinicCallInterp(b, 128) }),
 	}
 }

@@ -81,7 +81,7 @@ func (v Val) widen(o Val) Val {
 // on it can refine a and b on each edge. The fact is killed when the
 // register or either operand is redefined.
 type pred struct {
-	op   string
+	op   minic.BinOp
 	a, b minic.Reg
 }
 
@@ -346,19 +346,19 @@ func (a *analyzer) transferInstr(pc int, st *state, record *Facts) {
 		av := st.regs[in.A]
 		v := topVal()
 		switch in.UnOp {
-		case "neg":
+		case minic.UnNeg:
 			if av.Region == RegNone {
 				v.I = negI(av.I)
 			}
-		case "not":
+		case minic.UnNot:
 			if av.Region == RegNone {
-				v.I = cmpI("==", av.I, Single(0))
+				v.I = cmpI(minic.BinEq, av.I, Single(0))
 			} else {
 				// Pointers into live objects are non-zero, but stay
 				// conservative: !ptr ∈ [0,1].
 				v.I = Interval{0, 1}
 			}
-		case "bnot":
+		case minic.UnBnot:
 			// ^x = -x - 1.
 			if av.Region == RegNone {
 				v.I = subI(negI(av.I), Single(1))
@@ -401,20 +401,20 @@ func (a *analyzer) transferBin(pc int, in *minic.Instr, st *state, record *Facts
 
 	ptrSide, intSide := av, bv
 	swapped := false
-	if (in.BinOp == "+" || in.BinOp == "-") &&
+	if (in.BinOp == minic.BinAdd || in.BinOp == minic.BinSub) &&
 		(bv.Region == RegFrame || bv.Region == RegStr || bv.Region == RegMany) &&
 		av.Region == RegNone {
 		ptrSide, intSide, swapped = bv, av, true
 	}
 
 	switch {
-	case in.PtrArith && (in.BinOp == "+" || in.BinOp == "-") &&
+	case in.PtrArith && (in.BinOp == minic.BinAdd || in.BinOp == minic.BinSub) &&
 		(ptrSide.Region == RegFrame || ptrSide.Region == RegStr) &&
 		intSide.Region == RegNone:
 		// ptr ± int: the new offset interval. "int - ptr" has no
 		// pointer meaning; only "ptr - int" keeps the region.
 		var off Interval
-		if in.BinOp == "+" {
+		if in.BinOp == minic.BinAdd {
 			off = addI(ptrSide.Off, intSide.I)
 		} else if !swapped {
 			off = subI(ptrSide.Off, intSide.I)
@@ -430,8 +430,7 @@ func (a *analyzer) transferBin(pc int, in *minic.Instr, st *state, record *Facts
 		}
 	case av.Region == RegNone && bv.Region == RegNone:
 		v = Val{I: binI(in.BinOp, av.I, bv.I)}
-		switch in.BinOp {
-		case "==", "!=", "<", "<=", ">", ">=":
+		if in.BinOp.IsCmp() {
 			st.setReg(in.Dst, v)
 			if in.Dst != in.A && in.Dst != in.B {
 				st.preds[in.Dst] = pred{op: in.BinOp, a: in.A, b: in.B}
@@ -443,10 +442,10 @@ func (a *analyzer) transferBin(pc int, in *minic.Instr, st *state, record *Facts
 		// of pointers, ptr - ptr, unflagged mixes): result is an
 		// unknown integer, except comparisons stay in [0,1].
 		v = topVal()
-		switch in.BinOp {
-		case "==", "!=", "<", "<=", ">", ">=":
+		switch {
+		case in.BinOp.IsCmp():
 			v.I = Interval{0, 1}
-		case "-":
+		case in.BinOp == minic.BinSub:
 			if av.Region == bv.Region && av.Obj == bv.Obj &&
 				(av.Region == RegFrame || av.Region == RegStr) {
 				// Same-object pointer difference is the offset delta.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/kgcc"
 	"repro/internal/mem"
 	"repro/internal/minic"
+	"repro/internal/minic/mctest"
 	"repro/internal/sim"
 )
 
@@ -45,7 +46,7 @@ func runInstrumented(t *testing.T, src, entry string, opts kgcc.Options) runOutc
 	kgcc.Attach(ip, km)
 
 	out := runOutcome{
-		elided: stats.ElidedProven,
+		elided: stats.ElidedProven + stats.ElidedStack + stats.ElidedCSE,
 	}
 	ret, err := ip.Call(entry)
 	out.checks = km.Checks + km.ArithOps
@@ -81,121 +82,64 @@ func stripDigits(s string) string {
 	return b.String()
 }
 
-// TestElisionDifferential is the soundness gate for proof-based check
-// elision: over a corpus of clean and buggy programs, a fully checked
-// run and a kcheck-elided run must produce identical results and
-// identical trap behaviour — elision may remove only checks that can
-// never fire. At least one corpus program must actually elide
-// something, so the test cannot pass vacuously.
-func TestElisionDifferential(t *testing.T) {
-	corpus := []struct {
-		name  string
-		entry string
-		src   string
-	}{
-		{"provable loops", "main", `int main() {
-			int a[64]; int i; int s = 0;
-			for (i = 0; i < 64; i++) { a[i] = i * 3; }
-			for (i = 0; i < 64; i++) { s = s + a[i]; }
-			return s;
-		}`},
-		{"masked index", "main", `int main() {
-			int a[16]; int i; int s = 0;
-			for (i = 0; i < 100; i++) { a[i & 15] = i; s = s + a[i & 15]; }
-			return s;
-		}`},
-		{"clamped index", "main", `int main() {
-			int a[8]; int i;
-			i = 23;
-			if (i > 7) { i = 7; }
-			if (i < 0) { i = 0; }
-			a[i] = 5;
-			return a[i];
-		}`},
-		{"stack off-by-one", "main", `int main() {
-			int a[4]; int i;
-			for (i = 0; i <= 4; i++) { a[i] = i; }
-			return a[0];
-		}`},
-		{"constant oob store", "main", `int main() { int a[4]; a[5] = 1; return 0; }`},
-		{"heap clean", "main", `int main() {
-			int *p = malloc(80); int i; int s = 0;
-			for (i = 0; i < 10; i++) { p[i] = i; }
-			for (i = 0; i < 10; i++) { s = s + p[i]; }
-			free(p);
-			return s;
-		}`},
-		{"heap overflow", "main", `int main() {
-			char *p = malloc(16); int i;
-			for (i = 0; i <= 16; i++) { p[i] = 1; }
-			free(p);
-			return 0;
-		}`},
-		{"use after free", "main", `int main() {
-			int *p = malloc(8);
-			free(p);
-			return *p;
-		}`},
-		{"oob pointer round trip", "main", `int main() {
-			int a[8];
-			int *p;
-			a[4] = 77;
-			p = &a[0] + 96;
-			p = p - 64;
-			return *p;
-		}`},
-		{"null deref", "main", `int main() { int *p; p = 0; return *p; }`},
-		{"branch join same object", "main", `int main() {
-			int a[8]; int *p;
-			a[1] = 10; a[6] = 20;
-			if (a[1] > 5) { p = &a[1]; } else { p = &a[6]; }
-			return *p;
-		}`},
-		{"string literal", "main", `int main() { return "kernel"[3]; }`},
-		{"call boundary", "main", `
-			int fill(int *dst, int n) {
-				int i;
-				for (i = 0; i < n; i++) { dst[i] = i; }
-				return n;
-			}
-			int main() {
-				int buf[32];
-				fill(&buf[0], 32);
-				return buf[31];
-			}`},
+// checkElisionAgrees runs one program fully checked and kcheck-elided
+// and fails on any behavioural divergence. Reports whether the elided
+// run removed at least one check.
+func checkElisionAgrees(t *testing.T, p mctest.Program) bool {
+	t.Helper()
+	full := runInstrumented(t, p.Src, p.Entry, kgcc.FullChecks())
+	elided := runInstrumented(t, p.Src, p.Entry, kgcc.KcheckOptions())
+	// A budget bail-out on either side makes the comparison
+	// meaningless (the full run executes more instructions); none of
+	// the corpus programs should hit it.
+	if full.budget || elided.budget {
+		t.Skipf("instruction budget hit (full=%v elided=%v)", full.budget, elided.budget)
 	}
+	if full.ok != elided.ok {
+		t.Fatalf("divergence: full ok=%v (%q), elided ok=%v (%q)\n%s",
+			full.ok, full.trap, elided.ok, elided.trap, p.Src)
+	}
+	if full.ok && full.ret != elided.ret {
+		t.Fatalf("result divergence: full %d, elided %d\n%s", full.ret, elided.ret, p.Src)
+	}
+	if !full.ok && full.trap != elided.trap {
+		t.Fatalf("trap divergence: full %q, elided %q\n%s", full.trap, elided.trap, p.Src)
+	}
+	if elided.checks > full.checks {
+		t.Fatalf("elided run executed MORE checks (%d) than full (%d)\n%s",
+			elided.checks, full.checks, p.Src)
+	}
+	return elided.elided > 0
+}
 
+// TestElisionDifferential is the soundness gate for proof-based check
+// elision: over the shared mctest corpus of clean and buggy programs,
+// a fully checked run and a kcheck-elided run must produce identical
+// results and identical trap behaviour — elision may remove only
+// checks that can never fire. At least one corpus program must
+// actually elide something, so the test cannot pass vacuously.
+func TestElisionDifferential(t *testing.T) {
 	anyElided := false
-	for _, tc := range corpus {
-		t.Run(tc.name, func(t *testing.T) {
-			full := runInstrumented(t, tc.src, tc.entry, kgcc.FullChecks())
-			elided := runInstrumented(t, tc.src, tc.entry, kgcc.KcheckOptions())
-			if elided.elided > 0 {
+	for _, tc := range mctest.Corpus {
+		t.Run(tc.Name, func(t *testing.T) {
+			if checkElisionAgrees(t, tc) {
 				anyElided = true
-			}
-			// A budget bail-out on either side makes the comparison
-			// meaningless (the full run executes more instructions);
-			// none of the corpus programs should hit it.
-			if full.budget || elided.budget {
-				t.Skipf("instruction budget hit (full=%v elided=%v)", full.budget, elided.budget)
-			}
-			if full.ok != elided.ok {
-				t.Fatalf("divergence: full ok=%v (%q), elided ok=%v (%q)",
-					full.ok, full.trap, elided.ok, elided.trap)
-			}
-			if full.ok && full.ret != elided.ret {
-				t.Fatalf("result divergence: full %d, elided %d", full.ret, elided.ret)
-			}
-			if !full.ok && full.trap != elided.trap {
-				t.Fatalf("trap divergence: full %q, elided %q", full.trap, elided.trap)
-			}
-			if elided.checks > full.checks {
-				t.Fatalf("elided run executed MORE checks (%d) than full (%d)",
-					elided.checks, full.checks)
 			}
 		})
 	}
 	if !anyElided {
 		t.Fatal("no corpus program elided any check; the differential is vacuous")
+	}
+}
+
+// TestElisionDifferentialRandom replays seeded random programs through
+// the same gate: whatever the generator emits, full and elided runs
+// must agree.
+func TestElisionDifferentialRandom(t *testing.T) {
+	for seed := int64(0); seed < 64; seed++ {
+		p := mctest.Random(seed)
+		t.Run(p.Name, func(t *testing.T) {
+			checkElisionAgrees(t, p)
+		})
 	}
 }

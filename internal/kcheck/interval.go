@@ -14,7 +14,7 @@
 //
 // Soundness contract: every fact is a *must*-fact about what holds on
 // every execution reaching that program point. Constant folding goes
-// through minic.EvalBin so the engine can never disagree with the
+// through minic.EvalBinOp so the engine can never disagree with the
 // interpreter; anything that may wrap, escape, or alias collapses to
 // top. Facts about unreachable code are vacuous (the checks stay).
 package kcheck
@@ -195,35 +195,38 @@ func negI(a Interval) Interval {
 	return Interval{-a.Hi, -a.Lo}
 }
 
-// binI abstracts minic's evalBin over intervals. Singletons fold
-// through minic.EvalBin, so the engine's arithmetic can never
+// binI abstracts minic's EvalBinOp over intervals. Singletons fold
+// through minic.EvalBinOp, so the engine's arithmetic can never
 // disagree with execution (division by zero folds to top: the
 // interpreter stops there, so the value is vacuous).
-func binI(op string, a, b Interval) Interval {
+func binI(op minic.BinOp, a, b Interval) Interval {
 	if av, aok := a.Const(); aok {
 		if bv, bok := b.Const(); bok {
-			if v, err := minic.EvalBin(op, av, bv); err == nil {
+			if v, err := minic.EvalBinOp(op, av, bv); err == nil {
 				return Single(v)
 			}
 			return Top()
 		}
 	}
+	if op.IsCmp() {
+		return cmpI(op, a, b)
+	}
 	switch op {
-	case "+":
+	case minic.BinAdd:
 		return addI(a, b)
-	case "-":
+	case minic.BinSub:
 		return subI(a, b)
-	case "*":
+	case minic.BinMul:
 		return mulI(a, b)
-	case "/":
+	case minic.BinDiv:
 		if a.Lo >= 0 && b.Lo >= 1 {
 			return Interval{a.Lo / b.Hi, a.Hi / b.Lo}
 		}
-	case "%":
+	case minic.BinMod:
 		if a.Lo >= 0 && b.Lo >= 1 {
 			return Interval{0, min64(a.Hi, b.Hi-1)}
 		}
-	case "&":
+	case minic.BinAnd:
 		// Masking with a non-negative value lands in [0, mask] no
 		// matter the other operand's sign (two's complement: the sign
 		// bit is cleared by the mask).
@@ -236,65 +239,63 @@ func binI(op string, a, b Interval) Interval {
 		if a.Lo >= 0 {
 			return Interval{0, a.Hi}
 		}
-	case "|", "^":
+	case minic.BinOr, minic.BinXor:
 		// For non-negative x, y: x|y <= x+y and x^y <= x+y (no carry
 		// can exceed the sum).
 		if a.Lo >= 0 && b.Lo >= 0 {
 			return Interval{0, satAdd(a.Hi, b.Hi)}
 		}
-	case "<<":
+	case minic.BinShl:
 		if c, ok := b.Const(); ok && c >= 0 && c < 63 && a.Lo >= 0 &&
 			a.Hi <= math.MaxInt64>>uint(c) {
 			return Interval{a.Lo << uint(c), a.Hi << uint(c)}
 		}
-	case ">>":
+	case minic.BinShr:
 		if a.Lo >= 0 && b.Lo >= 0 {
 			// The interpreter masks the shift by &63; any masked shift
 			// of a non-negative value stays in [0, a.Hi].
 			return Interval{0, a.Hi}
 		}
-	case "==", "!=", "<", "<=", ">", ">=":
-		return cmpI(op, a, b)
 	}
 	return Top()
 }
 
 // cmpI decides a comparison over intervals when the ranges are
 // disjoint enough, else returns the boolean range [0,1].
-func cmpI(op string, a, b Interval) Interval {
+func cmpI(op minic.BinOp, a, b Interval) Interval {
 	bothTrue := Single(1)
 	bothFalse := Single(0)
 	unknown := Interval{0, 1}
 	switch op {
-	case "<":
+	case minic.BinLt:
 		if a.Hi < b.Lo {
 			return bothTrue
 		}
 		if a.Lo >= b.Hi {
 			return bothFalse
 		}
-	case "<=":
+	case minic.BinLe:
 		if a.Hi <= b.Lo {
 			return bothTrue
 		}
 		if a.Lo > b.Hi {
 			return bothFalse
 		}
-	case ">":
+	case minic.BinGt:
 		if a.Lo > b.Hi {
 			return bothTrue
 		}
 		if a.Hi <= b.Lo {
 			return bothFalse
 		}
-	case ">=":
+	case minic.BinGe:
 		if a.Lo >= b.Hi {
 			return bothTrue
 		}
 		if a.Hi < b.Lo {
 			return bothFalse
 		}
-	case "==":
+	case minic.BinEq:
 		av, aok := a.Const()
 		bv, bok := b.Const()
 		if aok && bok {
@@ -306,7 +307,7 @@ func cmpI(op string, a, b Interval) Interval {
 		if _, ok := a.Meet(b); !ok {
 			return bothFalse
 		}
-	case "!=":
+	case minic.BinNe:
 		av, aok := a.Const()
 		bv, bok := b.Const()
 		if aok && bok {
@@ -325,18 +326,19 @@ func cmpI(op string, a, b Interval) Interval {
 // refineCmp narrows a and b under the assumption that "a op b" holds
 // (truth=true) or fails (truth=false). ok is false when the
 // assumption is infeasible (the branch edge is dead).
-func refineCmp(op string, truth bool, a, b Interval) (Interval, Interval, bool) {
+func refineCmp(op minic.BinOp, truth bool, a, b Interval) (Interval, Interval, bool) {
 	if !truth {
-		op = negateCmp(op)
-		if op == "" {
+		neg, ok := op.Negate()
+		if !ok {
 			return a, b, true
 		}
+		op = neg
 	}
 	switch op {
-	case "==":
+	case minic.BinEq:
 		m, ok := a.Meet(b)
 		return m, m, ok
-	case "!=":
+	case minic.BinNe:
 		// Representable only when one side is a singleton at the
 		// other's boundary.
 		if v, ok := b.Const(); ok {
@@ -346,7 +348,7 @@ func refineCmp(op string, truth bool, a, b Interval) (Interval, Interval, bool) 
 			b = trimPoint(b, v)
 		}
 		return a, b, a.Lo <= a.Hi && b.Lo <= b.Hi
-	case "<":
+	case minic.BinLt:
 		if b.Hi == math.MinInt64 {
 			return a, b, false
 		}
@@ -356,15 +358,15 @@ func refineCmp(op string, truth bool, a, b Interval) (Interval, Interval, bool) 
 		}
 		nb, ok2 := b.Meet(Interval{a.Lo + 1, math.MaxInt64})
 		return na, nb, ok1 && ok2
-	case "<=":
+	case minic.BinLe:
 		na, ok1 := a.Meet(Interval{math.MinInt64, b.Hi})
 		nb, ok2 := b.Meet(Interval{a.Lo, math.MaxInt64})
 		return na, nb, ok1 && ok2
-	case ">":
-		nb, na, ok := refineCmp("<", true, b, a)
+	case minic.BinGt:
+		nb, na, ok := refineCmp(minic.BinLt, true, b, a)
 		return na, nb, ok
-	case ">=":
-		nb, na, ok := refineCmp("<=", true, b, a)
+	case minic.BinGe:
+		nb, na, ok := refineCmp(minic.BinLe, true, b, a)
 		return na, nb, ok
 	}
 	return a, b, true
@@ -383,22 +385,4 @@ func trimPoint(i Interval, v int64) Interval {
 		i.Hi--
 	}
 	return i
-}
-
-func negateCmp(op string) string {
-	switch op {
-	case "==":
-		return "!="
-	case "!=":
-		return "=="
-	case "<":
-		return ">="
-	case "<=":
-		return ">"
-	case ">":
-		return "<="
-	case ">=":
-		return "<"
-	}
-	return ""
 }

@@ -37,6 +37,13 @@ type Options struct {
 	ElideProven bool
 }
 
+// CacheString renders the options as a stable string for content-hash
+// cache keys: specs with different instrumentation compile to
+// different bytecode and must cache under different keys.
+func (o Options) CacheString() string {
+	return fmt.Sprintf("stack=%t,cse=%t,proven=%t", o.ElideSafeStack, o.CSEChecks, o.ElideProven)
+}
+
 // FullChecks instruments everything (plain BCC).
 func FullChecks() Options { return Options{} }
 
@@ -230,13 +237,20 @@ func Instrument(fn *minic.Fn, opts Options) Stats {
 			newVN := fmt.Sprintf("(%s%s%s)", vnOf(in.A), in.BinOp, vnOf(in.B))
 			if in.PtrArith {
 				stats.ArithSites++
-				// Frame array base + constant offset, statically in
-				// bounds?
+				// Frame array base ± constant offset, statically in
+				// bounds? The signed resulting offset matters: `a - 8`
+				// derives an out-of-bounds pointer even though 8 is a
+				// fine index for `a + 8`.
 				base, idxConst := defs[in.A], consts[in.B]
 				_, haveConst := consts[in.B]
-				if base.op == minic.OpFrameAddr && haveConst {
-					if l := localByName[base.sym]; l != nil && idxConst >= 0 &&
-						idxConst < int64(l.T.Size()) {
+				if base.op == minic.OpFrameAddr && haveConst &&
+					(in.BinOp == minic.BinAdd || in.BinOp == minic.BinSub) {
+					off := idxConst
+					if in.BinOp == minic.BinSub {
+						off = -off
+					}
+					if l := localByName[base.sym]; l != nil && off >= 0 &&
+						off < int64(l.T.Size()) {
 						d.baseOK = true
 					}
 				}

@@ -7,16 +7,25 @@ import (
 	"repro/internal/minic"
 )
 
-// Runtime wires a Map into a minic interpreter: checks, pointer
+// Runtime wires a Map into a minic execution engine: checks, pointer
 // arithmetic, stack-frame registration, and the malloc/free builtins
 // with object-map bookkeeping ("malloc/free checking").
 type Runtime struct {
 	Map *Map
-	ip  *minic.Interp
+	env minic.Env
 
 	heap map[uint64]heapInfo
-	// frames tracks per-frame registered bases for unregistration.
-	frames []frameRec
+	// frames tracks each live frame's registered objects for
+	// unregistration; frameCache reuses the Object structs (and their
+	// composed names) across calls of the same function at the same
+	// stack position, so a steady-state probe fire registers its frame
+	// without allocating. It is a move-to-front slice rather than a
+	// map: the population is tiny (distinct functions × stack depths)
+	// and a probe firing in a loop hits entry 0 with one pointer-equal
+	// string compare, where a map lookup hashes the function name on
+	// every fire.
+	frames     [][]*Object
+	frameCache []frameEntry
 }
 
 type heapInfo struct {
@@ -24,60 +33,96 @@ type heapInfo struct {
 	size  int
 }
 
-type frameRec struct {
-	fn    *minic.Fn
-	bases []uint64
+type frameEntry struct {
+	fn   string
+	base uint64
+	objs []*Object
 }
 
-// Attach installs the KGCC runtime into ip. Compiled code must have
-// been instrumented (Instrument/InstrumentUnit) for checks to fire;
-// uninstrumented code runs unchecked, exactly like linking against
-// the BCC runtime without compiling with BCC.
-func Attach(ip *minic.Interp, m *Map) *Runtime {
-	rt := &Runtime{Map: m, ip: ip, heap: make(map[uint64]heapInfo)}
-	ip.Hooks.Check = func(kind minic.CheckKind, addr uint64, size int) error {
+// Attach installs the KGCC runtime into an execution engine — the
+// tree-walking interpreter or the bytecode VM; both implement
+// minic.Env, and the runtime behaves identically on either. Compiled
+// code must have been instrumented (Instrument/InstrumentUnit) for
+// checks to fire; uninstrumented code runs unchecked, exactly like
+// linking against the BCC runtime without compiling with BCC.
+func Attach(env minic.Env, m *Map) *Runtime {
+	rt := &Runtime{
+		Map: m, env: env,
+		heap: make(map[uint64]heapInfo),
+	}
+	var h minic.Hooks
+	h.Check = func(kind minic.CheckKind, addr uint64, size int) error {
 		return m.CheckAccess(addr, size)
 	}
-	ip.Hooks.Arith = m.PtrArith
-	ip.Hooks.FrameEnter = func(fn *minic.Fn, frameBase mem.Addr) {
-		rec := frameRec{fn: fn}
-		for _, l := range fn.Locals {
-			if !l.InMemory {
-				continue
-			}
-			base := uint64(frameBase) + uint64(l.Offset)
-			m.Register(base, uint64(l.T.Size()), KindStack, fn.Name+"."+l.Name)
-			rec.bases = append(rec.bases, base)
+	h.Arith = m.PtrArith
+	h.FrameEnter = func(fn string, objs []minic.FrameObj, frameBase mem.Addr) {
+		// Frames with no addressable locals (every register-only probe)
+		// have nothing to register; FrameExit applies the same guard, so
+		// the frames stack stays balanced.
+		if len(objs) == 0 {
+			return
 		}
-		rt.frames = append(rt.frames, rec)
+		base := uint64(frameBase)
+		hit := -1
+		for i := range rt.frameCache {
+			e := &rt.frameCache[i]
+			if e.base == base && e.fn == fn {
+				hit = i
+				break
+			}
+		}
+		if hit < 0 {
+			var built []*Object
+			for _, o := range objs {
+				built = append(built, &Object{
+					Base: base + uint64(o.Off),
+					Size: uint64(o.Size),
+					Kind: KindStack,
+					Name: fn + "." + o.Name,
+				})
+			}
+			rt.frameCache = append(rt.frameCache, frameEntry{fn: fn, base: base, objs: built})
+			hit = len(rt.frameCache) - 1
+		}
+		if hit > 0 {
+			e := rt.frameCache[hit]
+			copy(rt.frameCache[1:hit+1], rt.frameCache[:hit])
+			rt.frameCache[0] = e
+		}
+		cached := rt.frameCache[0].objs
+		for _, o := range cached {
+			m.RegisterObj(o)
+		}
+		rt.frames = append(rt.frames, cached)
 	}
-	ip.Hooks.FrameExit = func(fn *minic.Fn, frameBase mem.Addr) {
-		if len(rt.frames) == 0 {
+	h.FrameExit = func(fn string, objs []minic.FrameObj, frameBase mem.Addr) {
+		if len(objs) == 0 || len(rt.frames) == 0 {
 			return
 		}
 		rec := rt.frames[len(rt.frames)-1]
 		rt.frames = rt.frames[:len(rt.frames)-1]
-		for _, b := range rec.bases {
-			m.Unregister(b)
+		for _, o := range rec {
+			m.Unregister(o.Base)
 		}
 	}
-	ip.Builtins["malloc"] = rt.builtinMalloc
-	ip.Builtins["free"] = rt.builtinFree
+	env.SetHooks(h)
+	env.SetBuiltin("malloc", rt.builtinMalloc)
+	env.SetBuiltin("free", rt.builtinFree)
 
 	// String literals are global objects.
-	ip.EachString(func(addr mem.Addr, size int) {
+	env.EachString(func(addr mem.Addr, size int) {
 		m.Register(uint64(addr), uint64(size), KindGlobal, "strlit")
 	})
 	return rt
 }
 
-func (rt *Runtime) builtinMalloc(ip *minic.Interp, args []int64) (int64, error) {
+func (rt *Runtime) builtinMalloc(env minic.Env, args []int64) (int64, error) {
 	if len(args) != 1 || args[0] <= 0 {
 		return 0, fmt.Errorf("kgcc: malloc expects one positive argument")
 	}
 	size := int(args[0])
 	pages := mem.PagesFor(size)
-	base, err := ip.AS.MapRegion(pages, mem.PermRW)
+	base, err := env.Mem().MapRegion(pages, mem.PermRW)
 	if err != nil {
 		return 0, err
 	}
@@ -86,7 +131,7 @@ func (rt *Runtime) builtinMalloc(ip *minic.Interp, args []int64) (int64, error) 
 	return int64(base), nil
 }
 
-func (rt *Runtime) builtinFree(ip *minic.Interp, args []int64) (int64, error) {
+func (rt *Runtime) builtinFree(env minic.Env, args []int64) (int64, error) {
 	if len(args) != 1 {
 		return 0, fmt.Errorf("kgcc: free expects one argument")
 	}
@@ -100,7 +145,7 @@ func (rt *Runtime) builtinFree(ip *minic.Interp, args []int64) (int64, error) {
 	delete(rt.heap, base)
 	rt.Map.Unregister(base)
 	for i := 0; i < info.pages; i++ {
-		if err := ip.AS.Unmap(mem.Addr(base) + mem.Addr(i*mem.PageSize)); err != nil {
+		if err := env.Mem().Unmap(mem.Addr(base) + mem.Addr(i*mem.PageSize)); err != nil {
 			return 0, err
 		}
 	}

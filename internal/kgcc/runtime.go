@@ -139,18 +139,26 @@ func (m *Map) chargeLookup(before uint64) {
 // oob-deref when the splay lookup lands on the peer instead of the
 // object.
 func (m *Map) Register(base, size uint64, kind ObjKind, name string) *Object {
-	if size > 0 {
+	o := &Object{Base: base, Size: size, Kind: kind, Name: name}
+	m.RegisterObj(o)
+	return o
+}
+
+// RegisterObj inserts a caller-owned object, dropping stale OOB peers
+// in its range exactly like Register. Callers that re-register the
+// same frame objects on every call (the per-probe-fire hot path) use
+// this to keep registration allocation-free.
+func (m *Map) RegisterObj(o *Object) {
+	if o.Size > 0 {
 		for {
-			k, o, ok := m.tree.FindFloor(base + size - 1)
-			if !ok || k < base || o == nil || o.Kind != KindOOB {
+			k, old, ok := m.tree.FindFloor(o.Base + o.Size - 1)
+			if !ok || k < o.Base || old == nil || old.Kind != KindOOB {
 				break
 			}
 			m.tree.Delete(k)
 		}
 	}
-	o := &Object{Base: base, Size: size, Kind: kind, Name: name}
-	m.tree.Insert(base, o)
-	return o
+	m.tree.Insert(o.Base, o)
 }
 
 // Unregister removes the object at base, along with nothing else: OOB
@@ -196,20 +204,26 @@ func (m *Map) CheckAccess(addr uint64, size int) error {
 		return nil
 	}
 	m.Checks++
+	// Charged explicitly on every return path (not deferred): this is
+	// the per-check hot path and a defer closure costs more than the
+	// check's own splay hit in steady state.
 	before := m.tree.Touches
-	defer func() { m.chargeLookup(before) }()
 	obj := m.Find(addr)
 	if obj == nil {
+		m.chargeLookup(before)
 		return m.violate(Violation{Addr: addr, Size: size, Kind: "unknown-object"})
 	}
 	if obj.Kind == KindOOB {
 		// "Our KGCC runtime permits only pointer arithmetic on OOB
 		// objects" — dereferencing one is the bug BCC exists to find.
+		m.chargeLookup(before)
 		return m.violate(Violation{Addr: addr, Size: size, Kind: "oob-deref", Obj: obj})
 	}
 	if addr+uint64(size) > obj.Base+obj.Size {
+		m.chargeLookup(before)
 		return m.violate(Violation{Addr: addr, Size: size, Kind: "overflow", Obj: obj})
 	}
+	m.chargeLookup(before)
 	return nil
 }
 
@@ -223,11 +237,12 @@ func (m *Map) PtrArith(base, derived uint64) (uint64, error) {
 		return derived, nil
 	}
 	m.ArithOps++
+	// Explicit chargeLookup on every return, as in CheckAccess.
 	beforeT := m.tree.Touches
-	defer func() { m.chargeLookup(beforeT) }()
 	obj := m.Find(base)
 	if obj == nil {
 		// Arithmetic on a pointer we never saw: BCC flags this.
+		m.chargeLookup(beforeT)
 		return derived, m.violate(Violation{Addr: base, Size: 0, Kind: "unknown-object"})
 	}
 	real := obj
@@ -237,11 +252,13 @@ func (m *Map) PtrArith(base, derived uint64) (uint64, error) {
 	if real.contains(derived) {
 		// Back in bounds (or still in bounds): the expression
 		// "ptr+i-j" has safely returned to O's bounds.
+		m.chargeLookup(beforeT)
 		return derived, nil
 	}
 	// Out of bounds: create (or reuse) the peer at the new address.
 	if existing := m.Find(derived); existing != nil {
 		if existing.Kind == KindOOB && existing.Peer == real {
+			m.chargeLookup(beforeT)
 			return derived, nil
 		}
 		// The derived address aliases another live object. Inserting
@@ -249,10 +266,12 @@ func (m *Map) PtrArith(base, derived uint64) (uint64, error) {
 		// it — the same blind spot the replacement-based approach
 		// has; a dereference through this pointer hits the aliased
 		// object and is indistinguishable from a legal access.
+		m.chargeLookup(beforeT)
 		return derived, nil
 	}
 	peer := &Object{Base: derived, Size: 1, Kind: KindOOB, Name: real.Name + "+oob", Peer: real}
 	m.tree.Insert(derived, peer)
 	m.OOBCreated++
+	m.chargeLookup(beforeT)
 	return derived, nil
 }

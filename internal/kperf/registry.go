@@ -26,6 +26,7 @@
 package kperf
 
 import (
+	"math/bits"
 	"sort"
 	"sync"
 
@@ -113,11 +114,7 @@ func (h *Histogram) Observe(c sim.Cycles) {
 // bucketFor returns the bucket index of v: the number of bits needed
 // to represent it, clamped to the table.
 func bucketFor(v int64) int {
-	i := 0
-	for v > 0 {
-		v >>= 1
-		i++
-	}
+	i := bits.Len64(uint64(v))
 	if i >= histBuckets {
 		i = histBuckets - 1
 	}

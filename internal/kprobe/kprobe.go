@@ -97,13 +97,17 @@ type Ctx struct {
 }
 
 // Spec is a probe_attach request: where to attach, the program
-// source, its entry function, and the maps it declares.
+// source (or a pre-compiled module), its entry function, and the maps
+// it declares.
 type Spec struct {
 	Tracepoint Tracepoint `json:"tracepoint"`
 	Source     string     `json:"source"`
 	// Entry is the entry function name; empty selects "probe".
 	Entry string    `json:"entry,omitempty"`
 	Maps  []MapSpec `json:"maps,omitempty"`
+	// Module, when non-empty, is an encoded pre-compiled module
+	// (minic.EncodeModule output) attached instead of compiling Source.
+	Module []byte `json:"module,omitempty"`
 }
 
 // MaxMaps bounds the maps one program may declare.
@@ -124,8 +128,13 @@ type Prog struct {
 	// being killed by the runtime).
 	Err error
 
-	ip   *minic.Interp
-	dead bool
+	vm *minic.VM
+	// entryIdx is Entry resolved to a module function index at attach
+	// time, so a fire dispatches without a per-fire name lookup. -1
+	// means unresolved (the fire falls back to Call and dies with the
+	// interpreter's undefined-function error).
+	entryIdx int
+	dead     bool
 }
 
 // Manager owns every attached probe program and the tracepoint
@@ -153,12 +162,19 @@ type Manager struct {
 	pending sim.Cycles
 	ctx     Ctx
 
+	// cache holds verified compiled modules by content hash. The key
+	// excludes the tracepoint, so attaching the same program at five
+	// sites verifies and compiles once — eBPF's "verify once, attach
+	// everywhere" economics.
+	cache minic.ModuleCache
+
 	// Stats (kperf exposes them as lazy gauges).
-	Attached int64
-	Fired    int64
-	MapOps   int64
-	Skipped  int64
-	Cycles   sim.Cycles
+	Attached  int64
+	Fired     int64
+	MapOps    int64
+	Skipped   int64
+	CacheHits int64
+	Cycles    sim.Cycles
 }
 
 // NewManager creates the probe subsystem for a machine.
@@ -169,12 +185,19 @@ func NewManager(m *kernel.Machine) *Manager {
 	return mgr
 }
 
-// Attach compiles, verifies, instruments, and installs a probe
-// program. It returns the program id and the simulated cycles the
-// attach itself cost (verification plus interpreter setup); the
-// syscall layer charges them to the attaching process under the probe
-// subsystem. A verifier rejection returns a *VerifyError and attaches
-// nothing.
+// Attach verifies (or fetches from the module cache), compiles, and
+// installs a probe program. It returns the program id and the
+// simulated cycles the attach itself cost (verification plus VM
+// setup); the syscall layer charges them to the attaching process
+// under the probe subsystem. A verifier rejection returns a
+// *VerifyError and attaches nothing.
+//
+// The admission pipeline — parse, optimize, verify, instrument,
+// compile to bytecode — runs once per distinct program content: the
+// resulting module is cached by content hash (excluding the
+// tracepoint), so re-attaching the same program, at the same or any
+// other tracepoint, skips both the host-side work and the simulated
+// per-instruction verification charge.
 func (mgr *Manager) Attach(spec Spec) (int, sim.Cycles, error) {
 	if spec.Tracepoint < 0 || spec.Tracepoint >= nTracepoints {
 		return 0, 0, fmt.Errorf("kprobe: invalid tracepoint %d", spec.Tracepoint)
@@ -186,44 +209,58 @@ func (mgr *Manager) Attach(spec Spec) (int, sim.Cycles, error) {
 	if entry == "" {
 		entry = "probe"
 	}
-	unit, err := minic.CompileSource(spec.Source)
-	if err != nil {
-		return 0, 0, fmt.Errorf("kprobe: compile: %w", err)
+
+	var key minic.CacheKey
+	if len(spec.Module) > 0 {
+		key = minic.HashBytes(spec.Module)
+	} else {
+		key = SpecKey(spec)
 	}
-	fn := unit.Fn(entry)
-	if fn == nil {
-		return 0, 0, fmt.Errorf("kprobe: entry function %q not defined", entry)
+	mod, hit := mgr.cache.Get(key)
+	if hit {
+		mgr.CacheHits++
+	} else {
+		var err error
+		if len(spec.Module) > 0 {
+			mod, err = minic.DecodeModule(spec.Module)
+			if err != nil {
+				return 0, 0, fmt.Errorf("kprobe: %w", err)
+			}
+			if err := verifyModule(mod, entry, spec.Maps); err != nil {
+				return 0, 0, err
+			}
+		} else {
+			mod, err = BuildModule(spec)
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+		mod.Key = key
+		mgr.cache.Put(key, mod)
 	}
-	// Optimize first (constant folding feeds the verifier's map-id
-	// and frame-offset proofs), verify the code that will actually
-	// run, then harden it with full KGCC checks.
-	minic.Optimize(fn)
-	if err := verify(fn, spec.Maps); err != nil {
-		return 0, 0, err
-	}
-	insns := len(fn.Code)
-	kgcc.Instrument(fn, kgcc.FullChecks())
+	insns := mod.SrcInsns
 
 	mgr.pending = 0
-	ip, err := minic.NewInterp(mgr.as, unit)
+	vm, err := minic.NewVM(mgr.as, mod)
 	if err != nil {
 		mgr.pending = 0
 		return 0, 0, fmt.Errorf("kprobe: %w", err)
 	}
-	ip.PerInstr = mgr.m.Costs.ProbeInstr
-	ip.Charge = func(c sim.Cycles) { mgr.pending += c }
+	vm.PerInstr = mgr.m.Costs.ProbeInstr
+	vm.Charge = func(c sim.Cycles) { mgr.pending += c }
 	// Generous per-dispatch belt: the verifier already bounds
 	// execution by code length, so hitting this means a verifier bug.
-	ip.MaxSteps = 1_000_000
+	vm.MaxSteps = 1_000_000
 	km := kgcc.NewMap(&mgr.m.Costs, func(c sim.Cycles) { mgr.pending += c })
-	kgcc.Attach(ip, km)
+	kgcc.Attach(vm, km)
 
 	pg := &Prog{
-		ID:    mgr.nextID,
-		TP:    spec.Tracepoint,
-		Entry: entry,
-		Insns: insns,
-		ip:    ip,
+		ID:       mgr.nextID,
+		TP:       spec.Tracepoint,
+		Entry:    entry,
+		Insns:    insns,
+		vm:       vm,
+		entryIdx: mod.FnIndex(entry),
 	}
 	mgr.nextID++
 	for _, ms := range spec.Maps {
@@ -235,7 +272,12 @@ func (mgr *Manager) Attach(spec Spec) (int, sim.Cycles, error) {
 	mgr.byID[pg.ID] = pg
 	mgr.Attached++
 
-	cost := mgr.pending + sim.Cycles(insns)*mgr.m.Costs.ProbeVerifyInstr
+	// A cache hit skips the simulated verification charge: the kernel
+	// already admitted this exact program content.
+	cost := mgr.pending
+	if !hit {
+		cost += sim.Cycles(insns) * mgr.m.Costs.ProbeVerifyInstr
+	}
 	mgr.pending = 0
 	mgr.Cycles += cost
 	return pg.ID, cost, nil
@@ -247,43 +289,42 @@ func (mgr *Manager) Attach(spec Spec) (int, sim.Cycles, error) {
 // the runtime checks here are pure defense in depth.
 func (mgr *Manager) installHelpers(pg *Prog) {
 	costs := &mgr.m.Costs
-	pg.ip.Builtins["ctx_pid"] = func(*minic.Interp, []int64) (int64, error) { return mgr.ctx.Pid, nil }
-	pg.ip.Builtins["ctx_nr"] = func(*minic.Interp, []int64) (int64, error) { return mgr.ctx.Nr, nil }
-	pg.ip.Builtins["ctx_arg"] = func(*minic.Interp, []int64) (int64, error) { return mgr.ctx.Arg, nil }
-	pg.ip.Builtins["ctx_cycles"] = func(*minic.Interp, []int64) (int64, error) { return mgr.ctx.Cycles, nil }
-	pg.ip.Builtins["now"] = func(*minic.Interp, []int64) (int64, error) { return int64(mgr.m.Clock.Now()), nil }
-	mapArg := func(args []int64, kind MapKind) (*Map, error) {
+	pg.vm.SetBuiltin("ctx_pid", func(minic.Env, []int64) (int64, error) { return mgr.ctx.Pid, nil })
+	pg.vm.SetBuiltin("ctx_nr", func(minic.Env, []int64) (int64, error) { return mgr.ctx.Nr, nil })
+	pg.vm.SetBuiltin("ctx_arg", func(minic.Env, []int64) (int64, error) { return mgr.ctx.Arg, nil })
+	pg.vm.SetBuiltin("ctx_cycles", func(minic.Env, []int64) (int64, error) { return mgr.ctx.Cycles, nil })
+	pg.vm.SetBuiltin("now", func(minic.Env, []int64) (int64, error) { return int64(mgr.m.Clock.Now()), nil })
+	// The map-helper argument checks are written out in each closure
+	// (rather than shared through an inner function) so each helper is
+	// one call frame on the probe fire path.
+	mapArgErr := func(args []int64, kind MapKind) error {
 		if len(args) != 3 {
-			return nil, fmt.Errorf("kprobe: map helper takes 3 arguments, got %d", len(args))
+			return fmt.Errorf("kprobe: map helper takes 3 arguments, got %d", len(args))
 		}
 		id := args[0]
 		if id < 0 || id >= int64(len(pg.Maps)) {
-			return nil, fmt.Errorf("kprobe: map id %d out of range", id)
+			return fmt.Errorf("kprobe: map id %d out of range", id)
 		}
-		m := pg.Maps[id]
-		if m.Kind != kind {
-			return nil, fmt.Errorf("kprobe: map %d is a %s map", id, m.Kind)
+		return fmt.Errorf("kprobe: map %d is a %s map", id, pg.Maps[id].Kind)
+	}
+	pg.vm.SetBuiltin("map_add", func(_ minic.Env, args []int64) (int64, error) {
+		if len(args) != 3 || args[0] < 0 || args[0] >= int64(len(pg.Maps)) || pg.Maps[args[0]].Kind != MapHash {
+			return 0, mapArgErr(args, MapHash)
 		}
 		mgr.MapOps++
 		mgr.pending += costs.ProbeMapOp
-		return m, nil
-	}
-	pg.ip.Builtins["map_add"] = func(_ *minic.Interp, args []int64) (int64, error) {
-		m, err := mapArg(args, MapHash)
-		if err != nil {
-			return 0, err
-		}
-		m.add(uint64(args[1]), args[2])
+		pg.Maps[args[0]].add(uint64(args[1]), args[2])
 		return 0, nil
-	}
-	pg.ip.Builtins["map_hist"] = func(_ *minic.Interp, args []int64) (int64, error) {
-		m, err := mapArg(args, MapHist)
-		if err != nil {
-			return 0, err
+	})
+	pg.vm.SetBuiltin("map_hist", func(_ minic.Env, args []int64) (int64, error) {
+		if len(args) != 3 || args[0] < 0 || args[0] >= int64(len(pg.Maps)) || pg.Maps[args[0]].Kind != MapHist {
+			return 0, mapArgErr(args, MapHist)
 		}
-		m.observe(uint64(args[1]), args[2])
+		mgr.MapOps++
+		mgr.pending += costs.ProbeMapOp
+		pg.Maps[args[0]].observe(uint64(args[1]), args[2])
 		return 0, nil
-	}
+	})
 }
 
 // Detach removes a program; its tracepoint goes back to costing zero
@@ -356,8 +397,14 @@ func (mgr *Manager) dispatch(tp Tracepoint, ctx Ctx) sim.Cycles {
 		}
 		pg.Fired++
 		mgr.Fired++
-		pg.ip.Steps = 0
-		if _, err := pg.ip.Call(pg.Entry); err != nil {
+		pg.vm.Steps = 0
+		var err error
+		if pg.entryIdx >= 0 {
+			_, err = pg.vm.CallIndex(pg.entryIdx)
+		} else {
+			_, err = pg.vm.Call(pg.Entry)
+		}
+		if err != nil {
 			pg.Err = err
 			pg.dead = true
 		}
@@ -409,5 +456,6 @@ func (mgr *Manager) WirePerf(reg *kperf.Registry) {
 	reg.GaugeFunc("kprobe.fired", func() int64 { return mgr.Fired })
 	reg.GaugeFunc("kprobe.map_ops", func() int64 { return mgr.MapOps })
 	reg.GaugeFunc("kprobe.skipped", func() int64 { return mgr.Skipped })
+	reg.GaugeFunc("kprobe.cache_hits", func() int64 { return mgr.CacheHits })
 	reg.GaugeFunc("kprobe.cycles", func() int64 { return int64(mgr.Cycles) })
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/kprobe"
+	"repro/internal/minic"
 	"repro/internal/sim"
 	"repro/internal/sys"
 )
@@ -327,6 +328,68 @@ func TestProbeDeterminism(t *testing.T) {
 	}
 	if string(raw1) != string(raw2) {
 		t.Fatalf("probe_read bytes differ across identical runs (%d vs %d bytes)", len(raw1), len(raw2))
+	}
+}
+
+// TestAttachCacheHitSkipsVerification pins "verify once, attach
+// everywhere": re-attaching byte-identical program content — at the
+// same tracepoint, at a different tracepoint, or as a pre-compiled
+// module blob — hits the content-hash module cache and skips the
+// per-instruction verification charge, while a different program
+// misses.
+func TestAttachCacheHitSkipsVerification(t *testing.T) {
+	s := boot(t, core.Options{})
+	spec := kprobe.Spec{Tracepoint: kprobe.TpSyscallExit, Source: aggSrc, Maps: aggMaps}
+	_, cost1, err := s.Probes.Attach(spec)
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	if s.Probes.CacheHits != 0 {
+		t.Fatalf("first attach hit the cache")
+	}
+	_, cost2, err := s.Probes.Attach(spec)
+	if err != nil {
+		t.Fatalf("re-attach: %v", err)
+	}
+	if s.Probes.CacheHits != 1 {
+		t.Fatalf("identical re-attach missed the cache (hits = %d)", s.Probes.CacheHits)
+	}
+	if cost2 >= cost1 {
+		t.Fatalf("cache-hit attach cost %d not below miss cost %d", cost2, cost1)
+	}
+	// The cache key excludes the tracepoint: the same program at
+	// another site is still a hit.
+	other := spec
+	other.Tracepoint = kprobe.TpSyscallEnter
+	if _, cost3, err := s.Probes.Attach(other); err != nil {
+		t.Fatalf("attach at second tracepoint: %v", err)
+	} else if s.Probes.CacheHits != 2 || cost3 >= cost1 {
+		t.Fatalf("cross-tracepoint attach: hits = %d, cost %d (miss cost %d)",
+			s.Probes.CacheHits, cost3, cost1)
+	}
+	// A pre-compiled module blob is cached under its content hash too.
+	mod, err := kprobe.BuildModule(spec)
+	if err != nil {
+		t.Fatalf("build module: %v", err)
+	}
+	enc := minic.EncodeModule(mod)
+	mspec := kprobe.Spec{Tracepoint: kprobe.TpSyscallExit, Module: enc, Maps: aggMaps}
+	if _, _, err := s.Probes.Attach(mspec); err != nil {
+		t.Fatalf("module attach: %v", err)
+	}
+	if _, mcost, err := s.Probes.Attach(mspec); err != nil {
+		t.Fatalf("module re-attach: %v", err)
+	} else if s.Probes.CacheHits != 3 || mcost >= cost1 {
+		t.Fatalf("module re-attach: hits = %d, cost %d", s.Probes.CacheHits, mcost)
+	}
+	// Different program content misses.
+	diff := spec
+	diff.Source = strings.Replace(aggSrc, "* 256", "* 512", 1)
+	if _, _, err := s.Probes.Attach(diff); err != nil {
+		t.Fatalf("attach different program: %v", err)
+	}
+	if s.Probes.CacheHits != 3 {
+		t.Fatalf("different program content hit the cache")
 	}
 }
 

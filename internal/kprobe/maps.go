@@ -53,14 +53,33 @@ type MapSpec struct {
 	Kind MapKind `json:"kind"`
 }
 
+// mapCacheSize is the direct-mapped lookup cache in front of each
+// aggregation map (power of two). Probe key schemes concentrate on a
+// small working set — E9's pid*256+nr keys put the syscall number in
+// the low bits, so the cache index spreads across syscalls and a
+// steady-state fire updates its cell with one compare instead of a
+// map hash+probe.
+const mapCacheSize = 64
+
 // Map is one in-kernel aggregation map. All state lives kernel-side;
 // user space only ever sees the serialized snapshot from probe_read.
+// Cells are pointers so the lookup cache can hold them across map
+// growth (Go map values have no stable address).
 type Map struct {
 	Name string
 	Kind MapKind
 
-	hash map[uint64]int64
+	hash map[uint64]*hashCell
 	hist map[uint64]*histCell
+
+	ckey  [mapCacheSize]uint64
+	chash [mapCacheSize]*hashCell
+	chist [mapCacheSize]*histCell
+}
+
+// hashCell is the per-key sum of a MapHash.
+type hashCell struct {
+	v int64
 }
 
 // histCell is the per-key histogram state of a MapHist.
@@ -73,7 +92,7 @@ func newMap(spec MapSpec) *Map {
 	m := &Map{Name: spec.Name, Kind: spec.Kind}
 	switch spec.Kind {
 	case MapHash:
-		m.hash = make(map[uint64]int64)
+		m.hash = make(map[uint64]*hashCell)
 	case MapHist:
 		m.hist = make(map[uint64]*histCell)
 	}
@@ -82,7 +101,18 @@ func newMap(spec MapSpec) *Map {
 
 // add accumulates delta into key's slot (MapHash only).
 func (m *Map) add(key uint64, delta int64) {
-	m.hash[key] += delta
+	s := key & (mapCacheSize - 1)
+	if c := m.chash[s]; c != nil && m.ckey[s] == key {
+		c.v += delta
+		return
+	}
+	c := m.hash[key]
+	if c == nil {
+		c = &hashCell{}
+		m.hash[key] = c
+	}
+	m.ckey[s], m.chash[s] = key, c
+	c.v += delta
 }
 
 // observe records one value in key's histogram (MapHist only).
@@ -90,10 +120,15 @@ func (m *Map) observe(key uint64, v int64) {
 	if v < 0 {
 		v = 0
 	}
-	c := m.hist[key]
-	if c == nil {
-		c = &histCell{min: v, max: v}
-		m.hist[key] = c
+	s := key & (mapCacheSize - 1)
+	c := m.chist[s]
+	if c == nil || m.ckey[s] != key {
+		c = m.hist[key]
+		if c == nil {
+			c = &histCell{min: v, max: v}
+			m.hist[key] = c
+		}
+		m.ckey[s], m.chist[s] = key, c
 	}
 	if v < c.min {
 		c.min = v
@@ -193,7 +228,7 @@ func encodeMaps(maps []*Map) []byte {
 			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 			for _, k := range keys {
 				putU64(k)
-				putU64(uint64(m.hash[k]))
+				putU64(uint64(m.hash[k].v))
 			}
 		case MapHist:
 			keys := make([]uint64, 0, len(m.hist))

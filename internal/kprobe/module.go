@@ -1,0 +1,124 @@
+package kprobe
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/kgcc"
+	"repro/internal/minic"
+)
+
+// Module admission: the compile-and-verify half of Attach, split out
+// so user space can run it ahead of time (ktap/kucode -emit), ship the
+// encoded module, and so the manager's content-hash cache has a single
+// producer.
+
+// SpecKey derives the content-hash cache key for a source-based spec.
+// It covers everything that determines the compiled module — entry,
+// source text, and the declared map signature (map ids and kinds are
+// verified statically) — and deliberately excludes the tracepoint:
+// the same program attached at another site is the same module.
+func SpecKey(spec Spec) minic.CacheKey {
+	entry := spec.Entry
+	if entry == "" {
+		entry = "probe"
+	}
+	parts := []string{"kprobe-module-v1", entry, spec.Source}
+	for _, ms := range spec.Maps {
+		parts = append(parts, fmt.Sprintf("%s:%s", ms.Name, ms.Kind))
+	}
+	return minic.HashParts(parts...)
+}
+
+// BuildModule runs the full admission pipeline on a source spec:
+// parse, optimize (constant folding feeds the verifier's map-id and
+// frame-offset proofs), statically verify the entry function,
+// instrument with full KGCC checks, and compile to bytecode. The
+// returned module is what the kernel caches and every VM executes;
+// SrcInsns records the pre-instrumentation instruction count that
+// attach-time verification charges for.
+func BuildModule(spec Spec) (*minic.Module, error) {
+	entry := spec.Entry
+	if entry == "" {
+		entry = "probe"
+	}
+	unit, err := minic.CompileSource(spec.Source)
+	if err != nil {
+		return nil, fmt.Errorf("kprobe: compile: %w", err)
+	}
+	fn := unit.Fn(entry)
+	if fn == nil {
+		return nil, fmt.Errorf("kprobe: entry function %q not defined", entry)
+	}
+	minic.Optimize(fn)
+	if err := verify(fn, spec.Maps); err != nil {
+		return nil, err
+	}
+	insns := len(fn.Code)
+	kgcc.Instrument(fn, kgcc.FullChecks())
+	mod, err := minic.CompileUnit(unit)
+	if err != nil {
+		return nil, fmt.Errorf("kprobe: %w", err)
+	}
+	mod.SrcInsns = insns
+	mod.Key = SpecKey(spec)
+	return mod, nil
+}
+
+// verifyModule structurally admits a pre-compiled module: the entry
+// must exist with no parameters, every jump must be strictly forward
+// (the eBPF no-back-edge termination rule, directly checkable on
+// bytecode), and every call must resolve against the helper ABI with
+// exact arity. Memory safety is enforced by the KGCC check opcodes
+// the module carries plus the strict runtime object map — a module
+// compiled without checks simply traps on its first unproven access —
+// and map-id validity is enforced by the helpers at call time.
+func verifyModule(m *minic.Module, entry string, maps []MapSpec) error {
+	efc := m.Fn(entry)
+	if efc == nil {
+		return fmt.Errorf("kprobe: entry function %q not defined", entry)
+	}
+	if efc.NumParams != 0 {
+		return &VerifyError{Fn: entry, PC: -1, Reason: "probe entry must take no parameters (use the ctx_* helpers)"}
+	}
+	for _, fc := range m.Funcs {
+		for pc := range fc.Code {
+			in := &fc.Code[pc]
+			switch in.Op {
+			case minic.VJump, minic.VBrz:
+				if int(in.Imm) <= pc {
+					return &VerifyError{fc.Name, pc, fmt.Sprintf("unbounded loop: back-edge to pc %d (probe programs must terminate; unroll the loop)", in.Imm)}
+				}
+			case minic.VCall:
+				if in.Imm >= 0 {
+					// Unit-internal calls are outside the probe sandbox,
+					// same as in the source verifier.
+					return &VerifyError{fc.Name, pc, fmt.Sprintf("call to %q outside the helper ABI (allowed: %s)", m.Funcs[in.Imm].Name, helperNames())}
+				}
+				name := m.Builtins[-(in.Imm + 1)]
+				h, ok := helpers[name]
+				if !ok {
+					return &VerifyError{fc.Name, pc, fmt.Sprintf("call to %q outside the helper ABI (allowed: %s)", name, helperNames())}
+				}
+				if int(in.B) != h.args {
+					return &VerifyError{fc.Name, pc, fmt.Sprintf("%s takes %d arguments, got %d", name, h.args, in.B)}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func helperNames() string {
+	names := make([]string, 0, len(helpers))
+	for n := range helpers {
+		names = append(names, n)
+	}
+	// Deterministic diagnostic.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,309 @@
+package minic
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format for compiled modules (EncodeModule/DecodeModule): a
+// 4-byte magic and version byte, then length-prefixed sections using
+// unsigned varints for counts and zigzag varints for signed operands.
+// Encoding is fully deterministic — everything is emitted from slices
+// in definition order, so the same Module always produces the same
+// bytes (the cache layer relies on this for byte-stable round trips).
+// Decoding is fully defensive: every count is bounded against both a
+// hard limit and the remaining input, and the decoded module is run
+// through Module.Validate before it is returned, so hostile or
+// corrupted bytes produce an error, never a panic or an out-of-range
+// VM access.
+
+var moduleMagic = [4]byte{'M', 'C', 'B', 'C'}
+
+const moduleVersion = 1
+
+// Structural limits enforced by Validate and the decoder. Far above
+// anything the compiler emits for real programs, low enough that a
+// hostile length prefix cannot drive a large allocation.
+const (
+	maxRegs      = 1 << 20
+	maxFrameSize = 1 << 24
+	maxFuncs     = 1 << 16
+	maxCodeLen   = 1 << 22
+	maxPoolLen   = 1 << 22
+	maxStringLen = 1 << 20
+	maxNameLen   = 1 << 12
+)
+
+// ErrBadModule wraps every decode failure.
+var ErrBadModule = errors.New("minic: bad module")
+
+// EncodeModule serializes a compiled module. The output is
+// deterministic: encoding the same module twice yields identical
+// bytes.
+func EncodeModule(m *Module) []byte {
+	var b []byte
+	b = append(b, moduleMagic[:]...)
+	b = append(b, moduleVersion)
+	b = putUvarint(b, uint64(m.SrcInsns))
+	b = putUvarint(b, uint64(len(m.Builtins)))
+	for _, name := range m.Builtins {
+		b = putString(b, name)
+	}
+	b = putUvarint(b, uint64(len(m.Funcs)))
+	for _, fc := range m.Funcs {
+		b = putString(b, fc.Name)
+		b = putUvarint(b, uint64(fc.NumParams))
+		b = putUvarint(b, uint64(fc.NumRegs))
+		b = putUvarint(b, uint64(fc.FrameSize))
+		b = putUvarint(b, uint64(len(fc.ParamRegs)))
+		for _, r := range fc.ParamRegs {
+			b = putVarint(b, int64(r))
+		}
+		b = putUvarint(b, uint64(len(fc.Code)))
+		for i := range fc.Code {
+			in := &fc.Code[i]
+			b = append(b, byte(in.Op), in.Sz)
+			b = putVarint(b, int64(in.Dst))
+			b = putVarint(b, int64(in.A))
+			b = putVarint(b, int64(in.B))
+			b = putVarint(b, in.Imm)
+			b = putUvarint(b, uint64(in.Src))
+		}
+		for _, p := range fc.Pos {
+			b = putUvarint(b, uint64(p.Line))
+			b = putUvarint(b, uint64(p.Col))
+		}
+		b = putUvarint(b, uint64(len(fc.Args)))
+		for _, r := range fc.Args {
+			b = putVarint(b, int64(r))
+		}
+		b = putUvarint(b, uint64(len(fc.Strings)))
+		for _, s := range fc.Strings {
+			b = putString(b, s)
+		}
+		b = putUvarint(b, uint64(len(fc.Objs)))
+		for _, o := range fc.Objs {
+			b = putString(b, o.Name)
+			b = putUvarint(b, uint64(o.Off))
+			b = putUvarint(b, uint64(o.Size))
+		}
+	}
+	return b
+}
+
+// DecodeModule deserializes and validates a module. Arbitrary input —
+// truncated, bit-flipped, or hostile — yields an error wrapping
+// ErrBadModule; a nil error guarantees the module passed Validate.
+func DecodeModule(data []byte) (*Module, error) {
+	r := &reader{data: data}
+	var magic [4]byte
+	r.bytes(magic[:])
+	if r.err == nil && magic != moduleMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadModule, magic[:])
+	}
+	if v := r.byte(); r.err == nil && v != moduleVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadModule, v)
+	}
+	m := &Module{}
+	m.SrcInsns = int(r.scalar(maxCodeLen, "src insns"))
+	nb := r.count(maxFuncs, "builtins")
+	for i := uint64(0); i < nb && r.err == nil; i++ {
+		m.Builtins = append(m.Builtins, r.str(maxNameLen, "builtin name"))
+	}
+	nf := r.count(maxFuncs, "functions")
+	for i := uint64(0); i < nf && r.err == nil; i++ {
+		fc := &Funcode{}
+		fc.Name = r.str(maxNameLen, "function name")
+		fc.NumParams = int(r.scalar(maxRegs, "params"))
+		fc.NumRegs = int(r.scalar(maxRegs, "registers"))
+		fc.FrameSize = int(r.scalar(maxFrameSize, "frame size"))
+		np := r.count(maxRegs, "param registers")
+		for j := uint64(0); j < np && r.err == nil; j++ {
+			fc.ParamRegs = append(fc.ParamRegs, int32(r.reg("param register")))
+		}
+		nc := r.count(maxCodeLen, "code length")
+		for j := uint64(0); j < nc && r.err == nil; j++ {
+			var in VInstr
+			in.Op = VOp(r.byte())
+			in.Sz = r.byte()
+			in.Dst = int32(r.reg("dst"))
+			in.A = int32(r.reg("a"))
+			in.B = int32(r.reg("b"))
+			in.Imm = r.varint()
+			in.Src = int32(r.scalar(maxCodeLen, "source pc"))
+			fc.Code = append(fc.Code, in)
+		}
+		for j := uint64(0); j < nc && r.err == nil; j++ {
+			var p Pos
+			p.Line = int(r.scalar(1<<30, "line"))
+			p.Col = int(r.scalar(1<<30, "col"))
+			fc.Pos = append(fc.Pos, p)
+		}
+		na := r.count(maxPoolLen, "arg pool")
+		for j := uint64(0); j < na && r.err == nil; j++ {
+			fc.Args = append(fc.Args, int32(r.reg("arg register")))
+		}
+		ns := r.count(maxPoolLen, "strings")
+		for j := uint64(0); j < ns && r.err == nil; j++ {
+			fc.Strings = append(fc.Strings, r.str(maxStringLen, "string literal"))
+		}
+		no := r.count(maxPoolLen, "frame objects")
+		for j := uint64(0); j < no && r.err == nil; j++ {
+			var o FrameObj
+			o.Name = r.str(maxNameLen, "object name")
+			o.Off = int(r.scalar(maxFrameSize, "object offset"))
+			o.Size = int(r.scalar(maxFrameSize, "object size"))
+			fc.Objs = append(fc.Objs, o)
+		}
+		m.Funcs = append(m.Funcs, fc)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.data) != r.off {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadModule, len(r.data)-r.off)
+	}
+	m.buildIndex()
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadModule, err)
+	}
+	return m, nil
+}
+
+func putUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func putVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+func putString(b []byte, s string) []byte {
+	b = putUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// reader decodes with sticky errors: after the first failure every
+// subsequent read returns zero values, and the caller checks r.err
+// once.
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrBadModule, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.data) {
+		r.fail("truncated at offset %d", r.off)
+		return 0
+	}
+	b := r.data[r.off]
+	r.off++
+	return b
+}
+
+func (r *reader) bytes(dst []byte) {
+	if r.err != nil {
+		return
+	}
+	if r.off+len(dst) > len(r.data) {
+		r.fail("truncated at offset %d", r.off)
+		return
+	}
+	copy(dst, r.data[r.off:])
+	r.off += len(dst)
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("bad varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("bad varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// count reads a length prefix, bounding it by both the hard limit and
+// the bytes remaining (each counted element needs at least one byte),
+// so a hostile prefix cannot drive a huge allocation.
+func (r *reader) count(limit uint64, what string) uint64 {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > limit {
+		r.fail("%s %d exceeds limit %d", what, v, limit)
+		return 0
+	}
+	if v > uint64(len(r.data)-r.off) {
+		r.fail("%s %d exceeds remaining input", what, v)
+		return 0
+	}
+	return v
+}
+
+// scalar reads a bounded unsigned value that is NOT an element count
+// (frame sizes, source positions): the hard limit applies, but not
+// count's remaining-input bound — a scalar's magnitude says nothing
+// about how many bytes must follow it.
+func (r *reader) scalar(limit uint64, what string) uint64 {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > limit {
+		r.fail("%s %d exceeds limit %d", what, v, limit)
+		return 0
+	}
+	return v
+}
+
+// reg reads a signed register operand with a sanity bound.
+func (r *reader) reg(what string) int64 {
+	v := r.varint()
+	if r.err != nil {
+		return 0
+	}
+	if v < -1 || v > maxRegs {
+		r.fail("%s %d out of range", what, v)
+		return 0
+	}
+	return v
+}
+
+func (r *reader) str(limit uint64, what string) string {
+	n := r.count(limit, what+" length")
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.data[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}

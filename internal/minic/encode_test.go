@@ -1,0 +1,72 @@
+package minic_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/kgcc"
+	"repro/internal/minic"
+	"repro/internal/minic/mctest"
+)
+
+func compileCorpus(t *testing.T, p mctest.Program) *minic.Module {
+	t.Helper()
+	unit, err := minic.CompileSource(p.Src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	kgcc.InstrumentUnit(unit, kgcc.FullChecks())
+	mod, err := minic.CompileUnit(unit)
+	if err != nil {
+		t.Fatalf("compile to bytecode: %v", err)
+	}
+	return mod
+}
+
+// TestEncodeDecodeRoundTrip is the serialization acceptance gate:
+// encode → decode → encode must be byte-stable for every corpus
+// program, and the decoded module must validate and disassemble
+// identically to the original.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, tc := range mctest.Corpus {
+		t.Run(tc.Name, func(t *testing.T) {
+			mod := compileCorpus(t, tc)
+			enc1 := minic.EncodeModule(mod)
+			dec, err := minic.DecodeModule(enc1)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			enc2 := minic.EncodeModule(dec)
+			if !bytes.Equal(enc1, enc2) {
+				t.Fatalf("round trip not byte-stable: %d vs %d bytes", len(enc1), len(enc2))
+			}
+			if mod.Disasm() != dec.Disasm() {
+				t.Fatal("decoded module disassembles differently")
+			}
+			if err := dec.Validate(); err != nil {
+				t.Fatalf("decoded module fails validation: %v", err)
+			}
+		})
+	}
+}
+
+// TestDecodeRejectsTruncation walks every prefix of a valid encoding:
+// each must fail cleanly with ErrBadModule, never panic, never
+// succeed (the format has no trailing padding to hide in).
+func TestDecodeRejectsTruncation(t *testing.T) {
+	enc := minic.EncodeModule(compileCorpus(t, mctest.Corpus[0]))
+	for n := 0; n < len(enc); n++ {
+		if _, err := minic.DecodeModule(enc[:n]); err == nil {
+			t.Fatalf("decode accepted a %d-byte truncation of a %d-byte module", n, len(enc))
+		}
+	}
+}
+
+// TestDecodeRejectsTrailing pins that extra bytes after a valid module
+// are an error, so a module blob hashes to exactly one cache key.
+func TestDecodeRejectsTrailing(t *testing.T) {
+	enc := minic.EncodeModule(compileCorpus(t, mctest.Corpus[0]))
+	if _, err := minic.DecodeModule(append(enc, 0)); err == nil {
+		t.Fatal("decode accepted trailing garbage")
+	}
+}

@@ -1,0 +1,63 @@
+package minic
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives arbitrary byte strings through the bytecode module
+// decoder: pre-compiled modules enter the kernel through this path
+// (ku_load and probe_attach with module bytes), so hostile input must
+// produce a clean ErrBadModule — never a panic, never a module that
+// fails validation. Seeds are real encodings of representative
+// programs so mutation explores near-valid space, not just the magic
+// check.
+func FuzzDecode(f *testing.F) {
+	seeds := []string{
+		`int main() { int a[8]; int i; for (i = 0; i < 8; i++) { a[i] = i; } return a[7]; }`,
+		`int probe() { map_add(0, ctx_pid(), 1); return 0; }`,
+		`int f(int n) { if (n <= 0) { return 1; } return n * f(n - 1); }
+		 int main() { return f(10); }`,
+		`int main() { return "seed"[2] + 1 / 1; }`,
+	}
+	for _, src := range seeds {
+		unit, err := CompileSource(src)
+		if err != nil {
+			f.Fatalf("seed does not compile: %v", err)
+		}
+		mod, err := CompileUnit(unit)
+		if err != nil {
+			f.Fatalf("seed does not lower: %v", err)
+		}
+		f.Add(EncodeModule(mod))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{'M', 'C', 'B', 'C'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mod, err := DecodeModule(data)
+		if err != nil {
+			if mod != nil {
+				t.Fatal("decode returned both a module and an error")
+			}
+			return
+		}
+		// Anything the decoder accepts must satisfy the same
+		// structural invariants the compiler guarantees — the VM
+		// dispatch loop relies on them instead of bounds checks.
+		if err := mod.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid module: %v", err)
+		}
+		// And it must re-encode to something that decodes to the same
+		// module (varints are accepted non-canonically, so bytes may
+		// shrink, but the second generation must be a fixed point).
+		enc := EncodeModule(mod)
+		mod2, err := DecodeModule(enc)
+		if err != nil {
+			t.Fatalf("re-encoding of an accepted module does not decode: %v", err)
+		}
+		if !bytes.Equal(enc, EncodeModule(mod2)) {
+			t.Fatal("re-encoding is not a fixed point")
+		}
+	})
+}

@@ -24,10 +24,33 @@ func (k CheckKind) String() string {
 	return "load"
 }
 
+// Env is what a host-provided builtin (or the KGCC runtime) sees of
+// the executing engine: the simulated address space plus the string
+// and hook plumbing. Both the tree-walking Interp and the bytecode VM
+// implement it, so builtins and the KGCC runtime attach to either.
+type Env interface {
+	// Mem returns the simulated address space the engine executes
+	// against.
+	Mem() *mem.AddressSpace
+	// ReadCString reads a NUL-terminated string from simulated memory.
+	ReadCString(addr mem.Addr) (string, error)
+	// EachString visits every materialized string literal with its
+	// address and size (including the NUL).
+	EachString(fn func(addr mem.Addr, size int))
+	// SetBuiltin installs (or replaces) a named builtin.
+	SetBuiltin(name string, b Builtin)
+	// SetHooks installs the instrumentation callbacks.
+	SetHooks(h Hooks)
+}
+
 // Builtin is a host-provided function callable from minic code. It
-// receives the interpreter (for memory access) and the evaluated
-// arguments.
-type Builtin func(ip *Interp, args []int64) (int64, error)
+// receives the executing engine (for memory access) and the evaluated
+// arguments. Builtins are leaf functions: they must not call back
+// into the engine (Call/CallIndex) or touch its step counters — the
+// VM relies on this to keep its counters in host registers across
+// builtin calls instead of spilling them around every helper on a
+// probe's fire path.
+type Builtin func(env Env, args []int64) (int64, error)
 
 // Hooks are the instrumentation callbacks the KGCC runtime installs.
 type Hooks struct {
@@ -38,15 +61,22 @@ type Hooks struct {
 	// value to use — possibly an OOB peer.
 	Arith func(base, derived uint64) (uint64, error)
 	// FrameEnter/FrameExit observe stack frames so stack objects can
-	// be registered in the object map.
-	FrameEnter func(fn *Fn, frameBase mem.Addr)
-	FrameExit  func(fn *Fn, frameBase mem.Addr)
+	// be registered in the object map. objs are the frame's in-memory
+	// locals (offset/size relative to frameBase). Both engines invoke
+	// the hooks only for frames that have such locals: a register-only
+	// frame has nothing to register, and skipping the calls keeps them
+	// off the probe fire path.
+	FrameEnter func(fn string, objs []FrameObj, frameBase mem.Addr)
+	FrameExit  func(fn string, objs []FrameObj, frameBase mem.Addr)
 }
 
 // ErrBudget is returned when execution exceeds MaxSteps.
 var ErrBudget = errors.New("minic: instruction budget exceeded")
 
-// Interp executes compiled IR against a simulated address space.
+// Interp executes compiled IR against a simulated address space. It
+// is the reference engine: the bytecode VM must match it bit-for-bit
+// on results, simulated cycles, and trap behaviour, and the
+// differential tests hold it to that.
 type Interp struct {
 	AS   *mem.AddressSpace
 	Unit *Unit
@@ -72,6 +102,7 @@ type Interp struct {
 	stackSize int
 	stackOff  int
 	strAddrs  map[string][]mem.Addr // per function, per literal index
+	objs      map[string][]FrameObj // per function frame objects
 	depth     int
 }
 
@@ -79,7 +110,10 @@ type Interp struct {
 const defaultStackPages = 64
 
 // NewInterp creates an interpreter with a mapped stack region and all
-// string literals materialized in memory.
+// string literals materialized in memory. Literals are mapped in
+// declaration order (unit.Order), so the memory layout — and every
+// simulated cycle the mapping charges — is deterministic and
+// identical to NewVM's for the same unit.
 func NewInterp(as *mem.AddressSpace, unit *Unit) (*Interp, error) {
 	ip := &Interp{
 		AS:       as,
@@ -88,6 +122,7 @@ func NewInterp(as *mem.AddressSpace, unit *Unit) (*Interp, error) {
 		PerInstr: 2,
 		MaxSteps: 50_000_000,
 		strAddrs: make(map[string][]mem.Addr),
+		objs:     make(map[string][]FrameObj),
 	}
 	base, err := as.MapRegion(defaultStackPages, mem.PermRW)
 	if err != nil {
@@ -95,25 +130,37 @@ func NewInterp(as *mem.AddressSpace, unit *Unit) (*Interp, error) {
 	}
 	ip.stackBase = base
 	ip.stackSize = defaultStackPages * mem.PageSize
-	for name, fn := range unit.Fns {
+	for _, name := range unit.Order {
+		fn := unit.Fns[name]
 		var addrs []mem.Addr
 		for _, s := range fn.Strings {
-			pages := mem.PagesFor(len(s) + 1)
-			if pages == 0 {
-				pages = 1
-			}
-			a, err := as.MapRegion(pages, mem.PermRW)
+			a, err := mapString(as, s)
 			if err != nil {
-				return nil, err
-			}
-			if err := as.WriteBytes(a, append([]byte(s), 0)); err != nil {
 				return nil, err
 			}
 			addrs = append(addrs, a)
 		}
 		ip.strAddrs[name] = addrs
+		ip.objs[name] = fn.FrameObjs()
 	}
 	return ip, nil
+}
+
+// mapString materializes one string literal (NUL-terminated) in a
+// fresh region, shared by the interpreter and VM setup paths.
+func mapString(as *mem.AddressSpace, s string) (mem.Addr, error) {
+	pages := mem.PagesFor(len(s) + 1)
+	if pages == 0 {
+		pages = 1
+	}
+	a, err := as.MapRegion(pages, mem.PermRW)
+	if err != nil {
+		return 0, err
+	}
+	if err := as.WriteBytes(a, append([]byte(s), 0)); err != nil {
+		return 0, err
+	}
+	return a, nil
 }
 
 func (ip *Interp) charge(c sim.Cycles) {
@@ -121,6 +168,15 @@ func (ip *Interp) charge(c sim.Cycles) {
 		ip.Charge(c)
 	}
 }
+
+// Mem implements Env.
+func (ip *Interp) Mem() *mem.AddressSpace { return ip.AS }
+
+// SetBuiltin implements Env.
+func (ip *Interp) SetBuiltin(name string, b Builtin) { ip.Builtins[name] = b }
+
+// SetHooks implements Env.
+func (ip *Interp) SetHooks(h Hooks) { ip.Hooks = h }
 
 // Call executes the named function with the given arguments.
 func (ip *Interp) Call(name string, args ...int64) (int64, error) {
@@ -148,12 +204,12 @@ func (ip *Interp) exec(fn *Fn, args []int64) (int64, error) {
 	defer func() {
 		ip.stackOff -= frameSize
 		ip.depth--
-		if ip.Hooks.FrameExit != nil {
-			ip.Hooks.FrameExit(fn, frameBase)
+		if objs := ip.objs[fn.Name]; len(objs) > 0 && ip.Hooks.FrameExit != nil {
+			ip.Hooks.FrameExit(fn.Name, objs, frameBase)
 		}
 	}()
-	if ip.Hooks.FrameEnter != nil {
-		ip.Hooks.FrameEnter(fn, frameBase)
+	if objs := ip.objs[fn.Name]; len(objs) > 0 && ip.Hooks.FrameEnter != nil {
+		ip.Hooks.FrameEnter(fn.Name, objs, frameBase)
 	}
 
 	regs := make([]int64, fn.NumRegs)
@@ -179,24 +235,13 @@ func (ip *Interp) exec(fn *Fn, args []int64) (int64, error) {
 		case OpMov:
 			regs[in.Dst] = regs[in.A]
 		case OpBin:
-			v, err := evalBin(in.BinOp, regs[in.A], regs[in.B])
+			v, err := EvalBinOp(in.BinOp, regs[in.A], regs[in.B])
 			if err != nil {
 				return 0, fmt.Errorf("%s at %s pc=%d", err, fn.Name, pc)
 			}
 			regs[in.Dst] = v
 		case OpUn:
-			switch in.UnOp {
-			case "neg":
-				regs[in.Dst] = -regs[in.A]
-			case "not":
-				if regs[in.A] == 0 {
-					regs[in.Dst] = 1
-				} else {
-					regs[in.Dst] = 0
-				}
-			case "bnot":
-				regs[in.Dst] = ^regs[in.A]
-			}
+			regs[in.Dst] = EvalUnOp(in.UnOp, regs[in.A])
 		case OpLoad:
 			addr := mem.Addr(regs[in.A])
 			var v int64
@@ -296,58 +341,6 @@ func (ip *Interp) exec(fn *Fn, args []int64) (int64, error) {
 	return 0, nil
 }
 
-func evalBin(op string, a, b int64) (int64, error) {
-	switch op {
-	case "+":
-		return a + b, nil
-	case "-":
-		return a - b, nil
-	case "*":
-		return a * b, nil
-	case "/":
-		if b == 0 {
-			return 0, errors.New("minic: division by zero")
-		}
-		return a / b, nil
-	case "%":
-		if b == 0 {
-			return 0, errors.New("minic: modulo by zero")
-		}
-		return a % b, nil
-	case "&":
-		return a & b, nil
-	case "|":
-		return a | b, nil
-	case "^":
-		return a ^ b, nil
-	case "<<":
-		return a << (uint64(b) & 63), nil
-	case ">>":
-		return a >> (uint64(b) & 63), nil
-	case "==":
-		return b2i(a == b), nil
-	case "!=":
-		return b2i(a != b), nil
-	case "<":
-		return b2i(a < b), nil
-	case "<=":
-		return b2i(a <= b), nil
-	case ">":
-		return b2i(a > b), nil
-	case ">=":
-		return b2i(a >= b), nil
-	}
-	return 0, fmt.Errorf("minic: unknown operator %q", op)
-}
-
-// EvalBin evaluates a binary operator over two constants with the
-// interpreter's exact semantics. Static analyses that fold constants
-// (the kprobe verifier) use this so their folding can never disagree
-// with execution.
-func EvalBin(op string, a, b int64) (int64, error) {
-	return evalBin(op, a, b)
-}
-
 func b2i(b bool) int64 {
 	if b {
 		return 1
@@ -357,11 +350,11 @@ func b2i(b bool) int64 {
 
 // EachString visits every materialized string literal with its
 // address and size (including the NUL); the KGCC runtime registers
-// them as global objects.
+// them as global objects. Visit order follows unit.Order.
 func (ip *Interp) EachString(fn func(addr mem.Addr, size int)) {
-	for name, addrs := range ip.strAddrs {
+	for _, name := range ip.Unit.Order {
 		f := ip.Unit.Fn(name)
-		for i, a := range addrs {
+		for i, a := range ip.strAddrs[name] {
 			fn(a, len(f.Strings[i])+1)
 		}
 	}
@@ -370,10 +363,14 @@ func (ip *Interp) EachString(fn func(addr mem.Addr, size int)) {
 // ReadCString reads a NUL-terminated string from simulated memory
 // (builtins use this for path arguments).
 func (ip *Interp) ReadCString(addr mem.Addr) (string, error) {
+	return readCString(ip.AS, addr)
+}
+
+func readCString(as *mem.AddressSpace, addr mem.Addr) (string, error) {
 	var out []byte
 	var b [1]byte
 	for len(out) < 4096 {
-		if err := ip.AS.ReadBytes(addr, b[:]); err != nil {
+		if err := as.ReadBytes(addr, b[:]); err != nil {
 			return "", err
 		}
 		if b[0] == 0 {

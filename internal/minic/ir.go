@@ -69,15 +69,17 @@ func (o OpCode) String() string {
 	return fmt.Sprintf("op%d", int(o))
 }
 
-// Instr is one IR instruction.
+// Instr is one IR instruction. Operator fields are integer codes
+// (BinOp/UnOp); the string spellings exist only at the parse and
+// print boundaries.
 type Instr struct {
 	Op    OpCode
 	Dst   Reg
 	A, B  Reg
 	Imm   int64
 	Size  int
-	BinOp string
-	UnOp  string
+	BinOp BinOp
+	UnOp  UnOp
 	Sym   string
 	Args  []Reg
 	// PtrArith marks an OpBin that derives a pointer from a pointer.
@@ -177,6 +179,29 @@ func (f *Fn) Dump() string {
 		fmt.Fprintf(&b, "%4d: %s\n", i, in)
 	}
 	return b.String()
+}
+
+// FrameObj describes one in-memory object inside a function's stack
+// frame: the metadata the KGCC runtime needs to register stack
+// objects, shared by IR functions and compiled bytecode (which has no
+// *Local table).
+type FrameObj struct {
+	Name string
+	Off  int
+	Size int
+}
+
+// FrameObjs returns the in-memory locals of f as frame objects, in
+// declaration order.
+func (f *Fn) FrameObjs() []FrameObj {
+	var objs []FrameObj
+	for _, l := range f.Locals {
+		if !l.InMemory {
+			continue
+		}
+		objs = append(objs, FrameObj{Name: l.Name, Off: l.Offset, Size: l.T.Size()})
+	}
+	return objs
 }
 
 // CountOps tallies instructions by opcode (used by the E8 statistics).

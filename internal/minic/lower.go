@@ -355,9 +355,9 @@ func (lw *lowerer) assign(st *AssignStmt) error {
 			val := rhs
 			if st.Op != "=" {
 				val = lw.newReg()
-				op, scaled := stripAssign(st.Op), lw.scalePtrOperand(l.T, rhsT, rhs)
+				op, scaled := mustBinOp(stripAssign(st.Op)), lw.scalePtrOperand(l.T, rhsT, rhs)
 				lw.emit(Instr{Op: OpBin, Dst: val, A: l.Reg, B: scaled, BinOp: op,
-					PtrArith: l.T.Kind == TypePtr && (op == "+" || op == "-"), Pos: st.Pos})
+					PtrArith: l.T.Kind == TypePtr && (op == BinAdd || op == BinSub), Pos: st.Pos})
 			}
 			lw.emit(Instr{Op: OpMov, Dst: l.Reg, A: val, Pos: st.Pos})
 			return nil
@@ -372,9 +372,9 @@ func (lw *lowerer) assign(st *AssignStmt) error {
 		cur := lw.newReg()
 		lw.emit(Instr{Op: OpLoad, Dst: cur, A: addr, Size: elemT.Size(), Pos: st.Pos})
 		val = lw.newReg()
-		op, scaled := stripAssign(st.Op), lw.scalePtrOperand(elemT, rhsT, rhs)
+		op, scaled := mustBinOp(stripAssign(st.Op)), lw.scalePtrOperand(elemT, rhsT, rhs)
 		lw.emit(Instr{Op: OpBin, Dst: val, A: cur, B: scaled, BinOp: op,
-			PtrArith: elemT.Kind == TypePtr && (op == "+" || op == "-"), Pos: st.Pos})
+			PtrArith: elemT.Kind == TypePtr && (op == BinAdd || op == BinSub), Pos: st.Pos})
 	}
 	lw.emit(Instr{Op: OpStore, A: addr, B: val, Size: elemT.Size(), Pos: st.Pos})
 	return nil
@@ -393,7 +393,7 @@ func (lw *lowerer) scalePtrOperand(lhsT, rhsT *Type, rhs Reg) Reg {
 	c := lw.newReg()
 	lw.emit(Instr{Op: OpConst, Dst: c, Imm: int64(sz)})
 	out := lw.newReg()
-	lw.emit(Instr{Op: OpBin, Dst: out, A: rhs, B: c, BinOp: "*"})
+	lw.emit(Instr{Op: OpBin, Dst: out, A: rhs, B: c, BinOp: BinMul})
 	return out
 }
 
@@ -437,10 +437,10 @@ func (lw *lowerer) lvalueAddr(e Expr) (Reg, *Type, error) {
 			c := lw.newReg()
 			lw.emit(Instr{Op: OpConst, Dst: c, Imm: int64(elem.Size())})
 			scaled = lw.newReg()
-			lw.emit(Instr{Op: OpBin, Dst: scaled, A: idx, B: c, BinOp: "*"})
+			lw.emit(Instr{Op: OpBin, Dst: scaled, A: idx, B: c, BinOp: BinMul})
 		}
 		addr := lw.newReg()
-		lw.emit(Instr{Op: OpBin, Dst: addr, A: base, B: scaled, BinOp: "+", PtrArith: true, Pos: x.Pos})
+		lw.emit(Instr{Op: OpBin, Dst: addr, A: base, B: scaled, BinOp: BinAdd, PtrArith: true, Pos: x.Pos})
 		return addr, elem, nil
 	case *Unary:
 		if x.Op == "*" {
@@ -547,7 +547,7 @@ func (lw *lowerer) unaryExpr(x *Unary) (Reg, *Type, error) {
 			return NoReg, nil, err
 		}
 		dst := lw.newReg()
-		op := map[string]string{"-": "neg", "!": "not", "~": "bnot"}[x.Op]
+		op := map[string]UnOp{"-": UnNeg, "!": UnNot, "~": UnBnot}[x.Op]
 		lw.emit(Instr{Op: OpUn, Dst: dst, A: v, UnOp: op, Pos: x.Pos})
 		return dst, IntType, nil
 	}
@@ -566,7 +566,7 @@ func (lw *lowerer) binaryExpr(x *Binary) (Reg, *Type, error) {
 		zero := lw.newReg()
 		lw.emit(Instr{Op: OpConst, Dst: zero, Imm: 0})
 		norm := lw.newReg()
-		lw.emit(Instr{Op: OpBin, Dst: norm, A: a, B: zero, BinOp: "!="})
+		lw.emit(Instr{Op: OpBin, Dst: norm, A: a, B: zero, BinOp: BinNe})
 		lw.emit(Instr{Op: OpMov, Dst: dst, A: norm})
 		var skip int
 		if x.Op == "&&" {
@@ -575,7 +575,7 @@ func (lw *lowerer) binaryExpr(x *Binary) (Reg, *Type, error) {
 		} else {
 			// ||: if a is true, skip evaluating b.
 			notA := lw.newReg()
-			lw.emit(Instr{Op: OpUn, Dst: notA, A: a, UnOp: "not"})
+			lw.emit(Instr{Op: OpUn, Dst: notA, A: a, UnOp: UnNot})
 			skip = lw.emit(Instr{Op: OpBranchZ, A: notA})
 		}
 		b, _, err := lw.expr(x.Y)
@@ -585,7 +585,7 @@ func (lw *lowerer) binaryExpr(x *Binary) (Reg, *Type, error) {
 		zero2 := lw.newReg()
 		lw.emit(Instr{Op: OpConst, Dst: zero2, Imm: 0})
 		normB := lw.newReg()
-		lw.emit(Instr{Op: OpBin, Dst: normB, A: b, B: zero2, BinOp: "!="})
+		lw.emit(Instr{Op: OpBin, Dst: normB, A: b, B: zero2, BinOp: BinNe})
 		if x.Op == "&&" {
 			lw.emit(Instr{Op: OpMov, Dst: dst, A: normB})
 		} else {
@@ -620,7 +620,7 @@ func (lw *lowerer) binaryExpr(x *Binary) (Reg, *Type, error) {
 	case isPtrish(at) && isPtrish(bt) && x.Op == "-":
 		// Pointer difference: subtract then divide by element size.
 		diff := lw.newReg()
-		lw.emit(Instr{Op: OpBin, Dst: diff, A: a, B: b, BinOp: "-", Pos: x.Pos})
+		lw.emit(Instr{Op: OpBin, Dst: diff, A: a, B: b, BinOp: BinSub, Pos: x.Pos})
 		sz := elemSize(at)
 		if sz == 1 {
 			return diff, IntType, nil
@@ -628,11 +628,11 @@ func (lw *lowerer) binaryExpr(x *Binary) (Reg, *Type, error) {
 		c := lw.newReg()
 		lw.emit(Instr{Op: OpConst, Dst: c, Imm: int64(sz)})
 		out := lw.newReg()
-		lw.emit(Instr{Op: OpBin, Dst: out, A: diff, B: c, BinOp: "/", Pos: x.Pos})
+		lw.emit(Instr{Op: OpBin, Dst: out, A: diff, B: c, BinOp: BinDiv, Pos: x.Pos})
 		return out, IntType, nil
 	}
 	dst := lw.newReg()
-	lw.emit(Instr{Op: OpBin, Dst: dst, A: a, B: b, BinOp: x.Op, PtrArith: ptrArith, Pos: x.Pos})
+	lw.emit(Instr{Op: OpBin, Dst: dst, A: a, B: b, BinOp: mustBinOp(x.Op), PtrArith: ptrArith, Pos: x.Pos})
 	return dst, resT, nil
 }
 
@@ -661,6 +661,6 @@ func (lw *lowerer) scaleBy(r Reg, size int) Reg {
 	c := lw.newReg()
 	lw.emit(Instr{Op: OpConst, Dst: c, Imm: int64(size)})
 	out := lw.newReg()
-	lw.emit(Instr{Op: OpBin, Dst: out, A: r, B: c, BinOp: "*"})
+	lw.emit(Instr{Op: OpBin, Dst: out, A: r, B: c, BinOp: BinMul})
 	return out
 }

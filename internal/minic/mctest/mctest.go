@@ -1,0 +1,163 @@
+// Package mctest holds the shared minic test corpus: a fixed set of
+// clean and deliberately buggy programs, plus a seeded random program
+// generator. The differential harnesses (tree-walking interpreter vs
+// bytecode VM in internal/minic, full checks vs kcheck-elided checks
+// in internal/kcheck) all draw from here so a program that exposes a
+// divergence in one harness is automatically replayed by the others.
+//
+// The package is plain strings and math/rand — it imports neither
+// minic nor kgcc, so both can use it from their tests without cycles.
+package mctest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Program is one corpus entry: minic source plus the entry point to
+// call. Buggy programs are as much the point as clean ones — the
+// differential property is "identical behaviour", not "no traps".
+type Program struct {
+	Name  string
+	Entry string
+	Src   string
+}
+
+// Corpus is the fixed differential corpus. It covers provably-safe
+// loops (so elision has something to remove), off-by-one and constant
+// out-of-bounds bugs, heap lifetime bugs, pointer round trips through
+// out-of-bounds territory, and call boundaries.
+var Corpus = []Program{
+	{"provable loops", "main", `int main() {
+		int a[64]; int i; int s = 0;
+		for (i = 0; i < 64; i++) { a[i] = i * 3; }
+		for (i = 0; i < 64; i++) { s = s + a[i]; }
+		return s;
+	}`},
+	{"masked index", "main", `int main() {
+		int a[16]; int i; int s = 0;
+		for (i = 0; i < 100; i++) { a[i & 15] = i; s = s + a[i & 15]; }
+		return s;
+	}`},
+	{"clamped index", "main", `int main() {
+		int a[8]; int i;
+		i = 23;
+		if (i > 7) { i = 7; }
+		if (i < 0) { i = 0; }
+		a[i] = 5;
+		return a[i];
+	}`},
+	{"stack off-by-one", "main", `int main() {
+		int a[4]; int i;
+		for (i = 0; i <= 4; i++) { a[i] = i; }
+		return a[0];
+	}`},
+	{"constant oob store", "main", `int main() { int a[4]; a[5] = 1; return 0; }`},
+	{"heap clean", "main", `int main() {
+		int *p = malloc(80); int i; int s = 0;
+		for (i = 0; i < 10; i++) { p[i] = i; }
+		for (i = 0; i < 10; i++) { s = s + p[i]; }
+		free(p);
+		return s;
+	}`},
+	{"heap overflow", "main", `int main() {
+		char *p = malloc(16); int i;
+		for (i = 0; i <= 16; i++) { p[i] = 1; }
+		free(p);
+		return 0;
+	}`},
+	{"use after free", "main", `int main() {
+		int *p = malloc(8);
+		free(p);
+		return *p;
+	}`},
+	{"oob pointer round trip", "main", `int main() {
+		int a[8];
+		int *p;
+		a[4] = 77;
+		p = &a[0] + 96;
+		p = p - 64;
+		return *p;
+	}`},
+	{"null deref", "main", `int main() { int *p; p = 0; return *p; }`},
+	{"branch join same object", "main", `int main() {
+		int a[8]; int *p;
+		a[1] = 10; a[6] = 20;
+		if (a[1] > 5) { p = &a[1]; } else { p = &a[6]; }
+		return *p;
+	}`},
+	{"string literal", "main", `int main() { return "kernel"[3]; }`},
+	{"call boundary", "main", `
+		int fill(int *dst, int n) {
+			int i;
+			for (i = 0; i < n; i++) { dst[i] = i; }
+			return n;
+		}
+		int main() {
+			int buf[32];
+			fill(&buf[0], 32);
+			return buf[31];
+		}`},
+	{"division trap", "main", `int main() {
+		int i; int s = 1;
+		for (i = 3; i >= 0; i--) { s = s + 100 / i; }
+		return s;
+	}`},
+	{"deep recursion", "main", `
+		int down(int n) { if (n <= 0) { return 0; } return 1 + down(n - 1); }
+		int main() { return down(10000); }`},
+}
+
+// Random generates a syntactically valid program from the seed. The
+// generator is template-based — every emitted program parses — but
+// randomizes sizes, constants, operators, bounds, and whether the
+// program is clean or carries a planted bug (an off-by-one loop bound
+// or a divide that reaches zero), so both the ok path and the trap
+// path get coverage. The same seed always yields the same program.
+func Random(seed int64) Program {
+	r := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+
+	n := 4 + r.Intn(29) // array length, 4..32
+	bound := n
+	bug := "clean"
+	switch r.Intn(4) {
+	case 0:
+		bound = n + 1 // off-by-one overflow
+		bug = "oob"
+	case 1:
+		bug = "div"
+	}
+
+	binops := []string{"+", "-", "*", "&", "|", "^"}
+	op1 := binops[r.Intn(len(binops))]
+	op2 := binops[r.Intn(len(binops))]
+	k1 := 1 + r.Intn(9)
+	k2 := r.Intn(50)
+	shift := r.Intn(4)
+
+	fmt.Fprintf(&b, "int mix(int x, int y) { return (x %s y) %s %d; }\n", op1, op2, k1)
+	fmt.Fprintf(&b, "int main() {\n")
+	fmt.Fprintf(&b, "  int a[%d]; int i; int s = %d;\n", n, k2)
+	fmt.Fprintf(&b, "  for (i = 0; i < %d; i++) { a[i] = mix(i, %d); }\n", bound, k1)
+	fmt.Fprintf(&b, "  for (i = 0; i < %d; i++) { s = s + (a[i & %d] >> %d); }\n", n, n-1, shift)
+	if bug == "div" {
+		fmt.Fprintf(&b, "  for (i = %d; i >= 0; i--) { s = s + %d / i; }\n", r.Intn(4)+1, 7+r.Intn(90))
+	}
+	if r.Intn(2) == 0 {
+		fmt.Fprintf(&b, "  int *p = &a[0] + %d;\n", 8*r.Intn(n))
+		fmt.Fprintf(&b, "  s = s + *p + !s + ~i;\n")
+	}
+	if r.Intn(2) == 0 {
+		idx := r.Intn(6)
+		fmt.Fprintf(&b, "  s = s %s \"randomized\"[%d];\n", binops[r.Intn(3)], idx)
+	}
+	fmt.Fprintf(&b, "  return s;\n}\n")
+
+	return Program{
+		Name:  fmt.Sprintf("random-%d-%s", seed, bug),
+		Entry: "main",
+		Src:   b.String(),
+	}
+}

@@ -258,7 +258,7 @@ int main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ip.Builtins["host_add"] = func(ip *Interp, args []int64) (int64, error) {
+	ip.Builtins["host_add"] = func(env Env, args []int64) (int64, error) {
 		return args[0] + args[1], nil
 	}
 	v, err := ip.Call("main")
@@ -275,8 +275,8 @@ int pass(char *s) { return take(s); }`
 	as := mem.NewAddressSpace("m", mem.NewPhys(16<<20), &costs)
 	ip, _ := NewInterp(as, unit)
 	var got string
-	ip.Builtins["take"] = func(ip *Interp, args []int64) (int64, error) {
-		s, err := ip.ReadCString(mem.Addr(args[0]))
+	ip.Builtins["take"] = func(env Env, args []int64) (int64, error) {
+		s, err := env.ReadCString(mem.Addr(args[0]))
 		got = s
 		return 0, err
 	}

@@ -73,7 +73,7 @@ func foldConstants(fn *Fn, leaders map[int]bool) int {
 			a, okA := consts[in.A]
 			b, okB := consts[in.B]
 			if okA && okB && !in.PtrArith {
-				if v, err := evalBin(in.BinOp, a, b); err == nil {
+				if v, err := EvalBinOp(in.BinOp, a, b); err == nil {
 					*in = Instr{Op: OpConst, Dst: in.Dst, Imm: v, Pos: in.Pos}
 					consts[in.Dst] = v
 					folded++
@@ -83,15 +83,7 @@ func foldConstants(fn *Fn, leaders map[int]bool) int {
 			delete(consts, in.Dst)
 		case OpUn:
 			if a, ok := consts[in.A]; ok {
-				var v int64
-				switch in.UnOp {
-				case "neg":
-					v = -a
-				case "not":
-					v = b2i(a == 0)
-				case "bnot":
-					v = ^a
-				}
+				v := EvalUnOp(in.UnOp, a)
 				*in = Instr{Op: OpConst, Dst: in.Dst, Imm: v, Pos: in.Pos}
 				consts[in.Dst] = v
 				folded++

@@ -1,0 +1,516 @@
+package minic
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// VM executes compiled bytecode (a Module) against a simulated
+// address space. It implements Env, so builtins and the KGCC runtime
+// attach to it exactly as they do to the tree-walking Interp.
+//
+// The VM is the fast engine; the Interp is the oracle. Their observable
+// behaviour is bit-identical — return values, error strings, Steps,
+// ChecksRun, and every simulated cycle — because the bytecode maps IR
+// 1:1 and the cycle accounting only batches commutative sums. The
+// host-side speed comes from:
+//
+//   - a dense opcode switch (Go's jump-table approximation of threaded
+//     dispatch) over specialized integer opcodes — no string-keyed
+//     operator dispatch, no secondary Size switch on the hot path;
+//   - charge batching: one accumulator add per instruction, one Charge
+//     callback per Call instead of one per instruction;
+//   - zero allocations per call after warmup: register windows come
+//     from a reusable stack (vm.regs) and call arguments from a
+//     reusable pool (vm.argv), where the interpreter allocates a fresh
+//     register file and argument slice per frame.
+type VM struct {
+	AS  *mem.AddressSpace
+	Mod *Module
+	// Builtins resolve calls to names not defined in the module.
+	Builtins map[string]Builtin
+	Hooks    Hooks
+	// Charge receives batched per-instruction cost; PerInstr is the
+	// charge per executed instruction.
+	Charge   func(sim.Cycles)
+	PerInstr sim.Cycles
+	// CheckCost is charged per executed check on top of PerInstr.
+	CheckCost sim.Cycles
+
+	// MaxSteps bounds execution (0 = default 50M).
+	MaxSteps int64
+	// Steps counts executed instructions; ChecksRun counts executed
+	// checks.
+	Steps     int64
+	ChecksRun int64
+
+	stackBase mem.Addr
+	stackSize int
+	stackOff  int
+	strAddrs  [][]mem.Addr // per function index, per literal index
+	slots     []Builtin    // resolved builtin per Module.Builtins slot
+	regs      []int64      // register-window stack, reused across calls
+	regTop    int
+	argv      []int64 // call-argument pool, reused across calls
+	pend      sim.Cycles
+	depth     int
+}
+
+// NewVM creates a VM for a compiled module, with a mapped stack region
+// and all string literals materialized in memory. Setup mirrors
+// NewInterp instruction for instruction — same stack geometry, same
+// literal mapping order — so the simulated memory layout and every
+// cycle charged during setup are identical for the same unit. The
+// module itself is never mutated: many VMs may share one Module.
+func NewVM(as *mem.AddressSpace, mod *Module) (*VM, error) {
+	vm := &VM{
+		AS:       as,
+		Mod:      mod,
+		Builtins: make(map[string]Builtin),
+		PerInstr: 2,
+		MaxSteps: 50_000_000,
+		strAddrs: make([][]mem.Addr, len(mod.Funcs)),
+		slots:    make([]Builtin, len(mod.Builtins)),
+	}
+	base, err := as.MapRegion(defaultStackPages, mem.PermRW)
+	if err != nil {
+		return nil, err
+	}
+	vm.stackBase = base
+	vm.stackSize = defaultStackPages * mem.PageSize
+	for fi, fc := range mod.Funcs {
+		var addrs []mem.Addr
+		for _, s := range fc.Strings {
+			a, err := mapString(as, s)
+			if err != nil {
+				return nil, err
+			}
+			addrs = append(addrs, a)
+		}
+		vm.strAddrs[fi] = addrs
+	}
+	return vm, nil
+}
+
+// Mem implements Env.
+func (vm *VM) Mem() *mem.AddressSpace { return vm.AS }
+
+// SetBuiltin implements Env.
+func (vm *VM) SetBuiltin(name string, b Builtin) {
+	vm.Builtins[name] = b
+	for i, bn := range vm.Mod.Builtins {
+		if bn == name {
+			vm.slots[i] = b
+		}
+	}
+}
+
+// SetHooks implements Env.
+func (vm *VM) SetHooks(h Hooks) { vm.Hooks = h }
+
+// EachString implements Env; visit order follows module function order
+// (identical to the interpreter's unit.Order).
+func (vm *VM) EachString(fn func(addr mem.Addr, size int)) {
+	for fi, fc := range vm.Mod.Funcs {
+		for i, a := range vm.strAddrs[fi] {
+			fn(a, len(fc.Strings[i])+1)
+		}
+	}
+}
+
+// ReadCString implements Env.
+func (vm *VM) ReadCString(addr mem.Addr) (string, error) {
+	return readCString(vm.AS, addr)
+}
+
+// flush delivers the batched cycle charge.
+func (vm *VM) flush() {
+	if vm.Charge != nil && vm.pend > 0 {
+		vm.Charge(vm.pend)
+	}
+	vm.pend = 0
+}
+
+// Call executes the named function with the given arguments.
+func (vm *VM) Call(name string, args ...int64) (int64, error) {
+	fi := vm.Mod.FnIndex(name)
+	if fi < 0 {
+		return 0, fmt.Errorf("minic: undefined function %q (have: %v)", name, vm.Mod.Names())
+	}
+	return vm.CallIndex(fi, args...)
+}
+
+// CallIndex executes the function at module index fi (from
+// Module.FnIndex). Callers on a hot path resolve the index once and
+// skip the per-call name lookup.
+func (vm *VM) CallIndex(fi int, args ...int64) (int64, error) {
+	fc := vm.Mod.Funcs[fi]
+	if len(args) != fc.NumParams {
+		return 0, fmt.Errorf("minic: %s expects %d args, got %d", fc.Name, fc.NumParams, len(args))
+	}
+	ret, err := vm.exec(fi, args)
+	vm.flush()
+	return ret, err
+}
+
+func (vm *VM) exec(fi int, args []int64) (int64, error) {
+	fc := vm.Mod.Funcs[fi]
+	if vm.depth > 64 {
+		return 0, fmt.Errorf("minic: call depth exceeded in %s", fc.Name)
+	}
+	frameSize := (fc.FrameSize + 15) &^ 15
+	if vm.stackOff+frameSize > vm.stackSize {
+		return 0, fmt.Errorf("minic: stack overflow in %s", fc.Name)
+	}
+	frameBase := vm.stackBase + mem.Addr(vm.stackOff)
+	vm.stackOff += frameSize
+	vm.depth++
+	base := vm.regTop
+	nr := fc.NumRegs
+	if need := base + nr; need > len(vm.regs) {
+		if need <= cap(vm.regs) {
+			vm.regs = vm.regs[:need]
+		} else {
+			grown := make([]int64, need, need*2+16)
+			copy(grown, vm.regs)
+			vm.regs = grown
+		}
+	}
+	vm.regTop = base + nr
+	if len(fc.Objs) > 0 && vm.Hooks.FrameEnter != nil {
+		vm.Hooks.FrameEnter(fc.Name, fc.Objs, frameBase)
+	}
+
+	regs := vm.regs[base : base+nr]
+	for i := range regs {
+		regs[i] = 0
+	}
+	for i, r := range fc.ParamRegs {
+		regs[r] = args[i]
+	}
+	strs := vm.strAddrs[fi]
+	code := fc.Code
+	as := vm.AS
+
+	// The hot counters live in locals so the dispatch loop keeps them
+	// in registers; every exit funnels through the sync below, and
+	// nested calls sync/reload around the recursion, so the observable
+	// vm.Steps/vm.ChecksRun/vm.pend values are exactly the
+	// per-instruction ones the interpreter maintains. The batched cycle
+	// charge is not tracked per instruction at all: it is a commutative
+	// sum (PerInstr per completed instruction plus CheckCost per
+	// executed check), so the sync points derive it from the counter
+	// deltas. A budget-killed instruction counts in Steps but never
+	// completed, hence the `died` correction.
+	steps, maxSteps := vm.Steps, vm.MaxSteps
+	checksRun := vm.ChecksRun
+	perInstr, checkCost := vm.PerInstr, vm.CheckCost
+	steps0, checks0, pend0 := steps, checksRun, vm.pend
+	var died int64
+	var ret int64
+	var err error
+
+	pc := 0
+loop:
+	for pc < len(code) {
+		in := &code[pc]
+		// Fused opcodes stand for several IR instructions; advancing by
+		// their weight (and clamping a budget kill to maxSteps+1, the
+		// value the per-instruction walk would have died with) keeps
+		// Steps bit-identical to the interpreter.
+		steps += int64(in.Wt)
+		if steps > maxSteps {
+			if steps > maxSteps+1 {
+				steps = maxSteps + 1
+			}
+			err = fmt.Errorf("%w (in %s)", ErrBudget, fc.Name)
+			died = 1
+			break loop
+		}
+		switch in.Op {
+		case VNop:
+		case VConst:
+			regs[in.Dst] = in.Imm
+		case VStr:
+			regs[in.Dst] = int64(strs[in.Imm])
+		case VMov:
+			regs[in.Dst] = regs[in.A]
+		case VAdd:
+			regs[in.Dst] = regs[in.A] + regs[in.B]
+		case VSub:
+			regs[in.Dst] = regs[in.A] - regs[in.B]
+		case VMul:
+			regs[in.Dst] = regs[in.A] * regs[in.B]
+		case VDiv:
+			if regs[in.B] == 0 {
+				err = fmt.Errorf("%s at %s pc=%d", errDivZero, fc.Name, in.Src)
+				break loop
+			}
+			regs[in.Dst] = regs[in.A] / regs[in.B]
+		case VMod:
+			if regs[in.B] == 0 {
+				err = fmt.Errorf("%s at %s pc=%d", errModZero, fc.Name, in.Src)
+				break loop
+			}
+			regs[in.Dst] = regs[in.A] % regs[in.B]
+		case VAnd:
+			regs[in.Dst] = regs[in.A] & regs[in.B]
+		case VOr:
+			regs[in.Dst] = regs[in.A] | regs[in.B]
+		case VXor:
+			regs[in.Dst] = regs[in.A] ^ regs[in.B]
+		case VShl:
+			regs[in.Dst] = regs[in.A] << (uint64(regs[in.B]) & 63)
+		case VShr:
+			regs[in.Dst] = regs[in.A] >> (uint64(regs[in.B]) & 63)
+		case VEq:
+			regs[in.Dst] = b2i(regs[in.A] == regs[in.B])
+		case VNe:
+			regs[in.Dst] = b2i(regs[in.A] != regs[in.B])
+		case VLt:
+			regs[in.Dst] = b2i(regs[in.A] < regs[in.B])
+		case VLe:
+			regs[in.Dst] = b2i(regs[in.A] <= regs[in.B])
+		case VGt:
+			regs[in.Dst] = b2i(regs[in.A] > regs[in.B])
+		case VGe:
+			regs[in.Dst] = b2i(regs[in.A] >= regs[in.B])
+		case VNeg:
+			regs[in.Dst] = -regs[in.A]
+		case VNot:
+			regs[in.Dst] = b2i(regs[in.A] == 0)
+		case VBnot:
+			regs[in.Dst] = ^regs[in.A]
+		case VLoad1:
+			var b [1]byte
+			if e := as.ReadBytes(mem.Addr(regs[in.A]), b[:]); e != nil {
+				err = fmt.Errorf("minic: %s pc=%d: %w", fc.Name, in.Src, e)
+				break loop
+			}
+			regs[in.Dst] = int64(b[0])
+		case VLoad8:
+			u, e := as.ReadU64(mem.Addr(regs[in.A]))
+			if e != nil {
+				err = fmt.Errorf("minic: %s pc=%d: %w", fc.Name, in.Src, e)
+				break loop
+			}
+			regs[in.Dst] = int64(u)
+		case VStore1:
+			var b [1]byte
+			b[0] = byte(regs[in.B])
+			if e := as.WriteBytes(mem.Addr(regs[in.A]), b[:]); e != nil {
+				err = fmt.Errorf("minic: %s pc=%d: %w", fc.Name, in.Src, e)
+				break loop
+			}
+		case VStore8:
+			if e := as.WriteU64(mem.Addr(regs[in.A]), uint64(regs[in.B])); e != nil {
+				err = fmt.Errorf("minic: %s pc=%d: %w", fc.Name, in.Src, e)
+				break loop
+			}
+		case VFrame:
+			regs[in.Dst] = int64(frameBase) + in.Imm
+		case VCall:
+			n := int(in.B)
+			ab := len(vm.argv)
+			var callArgs []int64
+			if n > 0 {
+				if ab+n <= cap(vm.argv) {
+					vm.argv = vm.argv[:ab+n]
+				} else {
+					vm.argv = append(vm.argv, make([]int64, n)...)
+				}
+				callArgs = vm.argv[ab : ab+n]
+				for i, r := range fc.Args[in.A : in.A+in.B] {
+					callArgs[i] = regs[r]
+				}
+			}
+			var v int64
+			if in.Imm >= 0 {
+				// A nested minic call observes and advances the shared
+				// counters, so sync before and reload after. Builtins
+				// are leaf host functions (see Builtin) and skip this.
+				vm.Steps, vm.ChecksRun = steps, checksRun
+				vm.pend = pend0 + perInstr*sim.Cycles(steps-steps0) + checkCost*sim.Cycles(checksRun-checks0)
+				v, err = vm.exec(int(in.Imm), callArgs)
+				steps, checksRun = vm.Steps, vm.ChecksRun
+				steps0, checks0, pend0 = steps, checksRun, vm.pend
+				// The callee may have grown the register stack; the
+				// backing array moves on growth, so re-derive the window.
+				regs = vm.regs[base : base+nr]
+			} else if b := vm.slots[-(in.Imm + 1)]; b != nil {
+				v, err = b(vm, callArgs)
+			} else {
+				err = fmt.Errorf("minic: call to undefined function %q", vm.Mod.Builtins[-(in.Imm+1)])
+			}
+			if n > 0 {
+				vm.argv = vm.argv[:ab]
+			}
+			if err != nil {
+				break loop
+			}
+			if in.Dst >= 0 {
+				regs[in.Dst] = v
+			}
+		case VJump:
+			pc = int(in.Imm)
+			continue
+		case VBrz:
+			if regs[in.A] == 0 {
+				pc = int(in.Imm)
+				continue
+			}
+		case VRet:
+			if in.A >= 0 {
+				ret = regs[in.A]
+			}
+			break loop
+		case VCheck:
+			checksRun++
+			if vm.Hooks.Check != nil {
+				kind := CheckLoad
+				if in.Imm == 1 {
+					kind = CheckStore
+				}
+				if e := vm.Hooks.Check(kind, uint64(regs[in.A]), int(in.Sz)); e != nil {
+					p := fc.Pos[pc]
+					err = fmt.Errorf("minic: %s pc=%d (%d:%d): %w",
+						fc.Name, in.Src, p.Line, p.Col, e)
+					break loop
+				}
+			}
+		case VArith:
+			checksRun++
+			v := regs[in.B]
+			if vm.Hooks.Arith != nil {
+				nv, e := vm.Hooks.Arith(uint64(regs[in.A]), uint64(regs[in.B]))
+				if e != nil {
+					p := fc.Pos[pc]
+					err = fmt.Errorf("minic: %s pc=%d (%d:%d): %w",
+						fc.Name, in.Src, p.Line, p.Col, e)
+					break loop
+				}
+				v = int64(nv)
+			}
+			regs[in.Dst] = v
+
+		// Fused superinstructions (see fuseFn). Each stands for 2-3 IR
+		// instructions; the weight table advances Steps accordingly and
+		// fuseFn only fuses when the eliminated intermediate register is
+		// dead, so the interpreter and the VM stay bit-identical.
+		case VAddI:
+			regs[in.Dst] = regs[in.A] + in.Imm
+		case VSubI:
+			regs[in.Dst] = regs[in.A] - in.Imm
+		case VMulI:
+			regs[in.Dst] = regs[in.A] * in.Imm
+		case VDivI:
+			regs[in.Dst] = regs[in.A] / in.Imm
+		case VModI:
+			regs[in.Dst] = regs[in.A] % in.Imm
+		case VAndI:
+			regs[in.Dst] = regs[in.A] & in.Imm
+		case VOrI:
+			regs[in.Dst] = regs[in.A] | in.Imm
+		case VXorI:
+			regs[in.Dst] = regs[in.A] ^ in.Imm
+		case VShlI:
+			regs[in.Dst] = regs[in.A] << (uint64(in.Imm) & 63)
+		case VShrI:
+			regs[in.Dst] = regs[in.A] >> (uint64(in.Imm) & 63)
+		case VEqI:
+			regs[in.Dst] = b2i(regs[in.A] == in.Imm)
+		case VNeI:
+			regs[in.Dst] = b2i(regs[in.A] != in.Imm)
+		case VLtI:
+			regs[in.Dst] = b2i(regs[in.A] < in.Imm)
+		case VLeI:
+			regs[in.Dst] = b2i(regs[in.A] <= in.Imm)
+		case VGtI:
+			regs[in.Dst] = b2i(regs[in.A] > in.Imm)
+		case VGeI:
+			regs[in.Dst] = b2i(regs[in.A] >= in.Imm)
+		case VBrEq:
+			if regs[in.A] != regs[in.B] {
+				pc = int(in.Imm)
+				continue
+			}
+		case VBrNe:
+			if regs[in.A] == regs[in.B] {
+				pc = int(in.Imm)
+				continue
+			}
+		case VBrLt:
+			if regs[in.A] >= regs[in.B] {
+				pc = int(in.Imm)
+				continue
+			}
+		case VBrLe:
+			if regs[in.A] > regs[in.B] {
+				pc = int(in.Imm)
+				continue
+			}
+		case VBrGt:
+			if regs[in.A] <= regs[in.B] {
+				pc = int(in.Imm)
+				continue
+			}
+		case VBrGe:
+			if regs[in.A] < regs[in.B] {
+				pc = int(in.Imm)
+				continue
+			}
+		case VBrEqI:
+			if regs[in.A] != in.Imm {
+				pc = int(in.Dst)
+				continue
+			}
+		case VBrNeI:
+			if regs[in.A] == in.Imm {
+				pc = int(in.Dst)
+				continue
+			}
+		case VBrLtI:
+			if regs[in.A] >= in.Imm {
+				pc = int(in.Dst)
+				continue
+			}
+		case VBrLeI:
+			if regs[in.A] > in.Imm {
+				pc = int(in.Dst)
+				continue
+			}
+		case VBrGtI:
+			if regs[in.A] <= in.Imm {
+				pc = int(in.Dst)
+				continue
+			}
+		case VBrGeI:
+			if regs[in.A] < in.Imm {
+				pc = int(in.Dst)
+				continue
+			}
+		default:
+			err = fmt.Errorf("minic: %s pc=%d: unhandled op %v", fc.Name, in.Src, in.Op)
+			break loop
+		}
+		pc++
+	}
+	vm.Steps, vm.ChecksRun = steps, checksRun
+	vm.pend = pend0 + perInstr*sim.Cycles(steps-steps0-died) + checkCost*sim.Cycles(checksRun-checks0)
+
+	// Frame epilogue. exec has this single exit point, so an explicit
+	// epilogue replaces the deferred closure the hot path would
+	// otherwise pay for on every probe fire.
+	vm.regTop = base
+	vm.stackOff -= frameSize
+	vm.depth--
+	if len(fc.Objs) > 0 && vm.Hooks.FrameExit != nil {
+		vm.Hooks.FrameExit(fc.Name, fc.Objs, frameBase)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return ret, nil
+}

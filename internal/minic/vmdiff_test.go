@@ -1,0 +1,148 @@
+package minic_test
+
+import (
+	"testing"
+
+	"repro/internal/kgcc"
+	"repro/internal/mem"
+	"repro/internal/minic"
+	"repro/internal/minic/mctest"
+	"repro/internal/sim"
+)
+
+// The bytecode VM's contract is bit-identical observable behaviour to
+// the tree-walking interpreter: same return value, same error string
+// (pcs and positions included — compilation is 1:1), same executed
+// step count, same runtime checks, same summed simulated cycles, and
+// the same KGCC object-map activity. This harness runs the shared
+// mctest corpus plus seeded random programs through both engines
+// under both instrumentation levels and compares everything.
+
+// engineRun is one execution's full observable footprint.
+type engineRun struct {
+	ret        int64
+	errStr     string
+	steps      int64
+	checksRun  int64
+	cycles     sim.Cycles
+	kmChecks   int64
+	kmArith    int64
+	violations string
+}
+
+func violationKinds(km *kgcc.Map) string {
+	s := ""
+	for _, v := range km.Violations {
+		s += v.Kind + ";"
+	}
+	return s
+}
+
+// instrumented compiles and instruments one program. The same unit is
+// shared by both engines so positions and pcs line up exactly.
+func instrumented(t *testing.T, p mctest.Program, opts kgcc.Options) *minic.Unit {
+	t.Helper()
+	unit, err := minic.CompileSource(p.Src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	kgcc.InstrumentUnit(unit, opts)
+	return unit
+}
+
+func runInterp(t *testing.T, unit *minic.Unit, entry string) engineRun {
+	t.Helper()
+	costs := sim.DefaultCosts()
+	var total sim.Cycles
+	as := mem.NewAddressSpace("diff-interp", mem.NewPhys(64<<20), &costs)
+	as.Charge = func(c sim.Cycles) { total += c }
+	ip, err := minic.NewInterp(as, unit)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	ip.MaxSteps = 2_000_000
+	ip.Charge = func(c sim.Cycles) { total += c }
+	km := kgcc.NewMap(&costs, func(c sim.Cycles) { total += c })
+	kgcc.Attach(ip, km)
+	ret, err := ip.Call(entry)
+	out := engineRun{
+		ret: ret, steps: ip.Steps, checksRun: ip.ChecksRun, cycles: total,
+		kmChecks: km.Checks, kmArith: km.ArithOps, violations: violationKinds(km),
+	}
+	if err != nil {
+		out.errStr = err.Error()
+	}
+	return out
+}
+
+func runVM(t *testing.T, unit *minic.Unit, entry string) engineRun {
+	t.Helper()
+	mod, err := minic.CompileUnit(unit)
+	if err != nil {
+		t.Fatalf("compile to bytecode: %v", err)
+	}
+	costs := sim.DefaultCosts()
+	var total sim.Cycles
+	as := mem.NewAddressSpace("diff-vm", mem.NewPhys(64<<20), &costs)
+	as.Charge = func(c sim.Cycles) { total += c }
+	vm, err := minic.NewVM(as, mod)
+	if err != nil {
+		t.Fatalf("vm: %v", err)
+	}
+	vm.MaxSteps = 2_000_000
+	vm.Charge = func(c sim.Cycles) { total += c }
+	km := kgcc.NewMap(&costs, func(c sim.Cycles) { total += c })
+	kgcc.Attach(vm, km)
+	ret, err := vm.Call(entry)
+	out := engineRun{
+		ret: ret, steps: vm.Steps, checksRun: vm.ChecksRun, cycles: total,
+		kmChecks: km.Checks, kmArith: km.ArithOps, violations: violationKinds(km),
+	}
+	if err != nil {
+		out.errStr = err.Error()
+	}
+	return out
+}
+
+func compareEngines(t *testing.T, p mctest.Program, opts kgcc.Options) {
+	t.Helper()
+	iv := runInterp(t, instrumented(t, p, opts), p.Entry)
+	vv := runVM(t, instrumented(t, p, opts), p.Entry)
+	if iv != vv {
+		t.Fatalf("interp/VM divergence:\n interp: %+v\n vm:     %+v\n%s", iv, vv, p.Src)
+	}
+}
+
+func TestVMDifferentialCorpus(t *testing.T) {
+	for _, tc := range mctest.Corpus {
+		t.Run(tc.Name, func(t *testing.T) {
+			compareEngines(t, tc, kgcc.FullChecks())
+			compareEngines(t, tc, kgcc.KcheckOptions())
+		})
+	}
+}
+
+func TestVMDifferentialRandom(t *testing.T) {
+	for seed := int64(0); seed < 128; seed++ {
+		p := mctest.Random(seed)
+		t.Run(p.Name, func(t *testing.T) {
+			compareEngines(t, p, kgcc.FullChecks())
+			compareEngines(t, p, kgcc.KcheckOptions())
+		})
+	}
+}
+
+// TestVMBudgetParity pins the MaxSteps trap: both engines must stop at
+// the same step with the same ErrBudget error string.
+func TestVMBudgetParity(t *testing.T) {
+	p := mctest.Program{Name: "spin", Entry: "main",
+		Src: `int main() { int i = 0; while (1) { i = i + 1; } return i; }`}
+	iv := runInterp(t, instrumented(t, p, kgcc.FullChecks()), p.Entry)
+	vv := runVM(t, instrumented(t, p, kgcc.FullChecks()), p.Entry)
+	if iv != vv {
+		t.Fatalf("budget divergence:\n interp: %+v\n vm:     %+v", iv, vv)
+	}
+	if iv.errStr == "" {
+		t.Fatal("expected a budget error")
+	}
+}

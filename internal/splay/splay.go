@@ -15,6 +15,11 @@ package splay
 type Tree[V any] struct {
 	root *node[V]
 	size int
+	// free chains deleted nodes (through their left pointers) for
+	// reuse: the KGCC object map registers and unregisters the same
+	// frame objects on every probe fire, and recycling keeps that
+	// steady state allocation-free.
+	free *node[V]
 
 	// Touches counts nodes visited across all operations; Splays
 	// counts splay operations. The KGCC runtime charges lookup cost
@@ -91,10 +96,20 @@ func (t *Tree[V]) splay(key uint64) {
 	t.root = cur
 }
 
+// newNode takes a node from the free list or allocates one.
+func (t *Tree[V]) newNode(key uint64, val V) *node[V] {
+	if n := t.free; n != nil {
+		t.free = n.left
+		n.key, n.val, n.left, n.right = key, val, nil, nil
+		return n
+	}
+	return &node[V]{key: key, val: val}
+}
+
 // Insert stores val under key, replacing any existing value.
 func (t *Tree[V]) Insert(key uint64, val V) {
 	if t.root == nil {
-		t.root = &node[V]{key: key, val: val}
+		t.root = t.newNode(key, val)
 		t.size++
 		return
 	}
@@ -103,7 +118,7 @@ func (t *Tree[V]) Insert(key uint64, val V) {
 		t.root.val = val
 		return
 	}
-	n := &node[V]{key: key, val: val}
+	n := t.newNode(key, val)
 	if key < t.root.key {
 		n.left = t.root.left
 		n.right = t.root
@@ -165,14 +180,18 @@ func (t *Tree[V]) Delete(key uint64) bool {
 	if t.root.key != key {
 		return false
 	}
-	if t.root.left == nil {
-		t.root = t.root.right
+	dead := t.root
+	if dead.left == nil {
+		t.root = dead.right
 	} else {
-		right := t.root.right
-		t.root = t.root.left
+		right := dead.right
+		t.root = dead.left
 		t.splay(key) // max of left subtree becomes root; its right is nil
 		t.root.right = right
 	}
+	var zero V
+	dead.val, dead.right = zero, nil
+	dead.left, t.free = t.free, dead
 	t.size--
 	return true
 }

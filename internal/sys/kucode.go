@@ -28,6 +28,11 @@ type KuSpec struct {
 	Entry string
 	// Checks are the KGCC instrumentation options.
 	Checks kgcc.Options
+	// Module, when non-empty, is an encoded pre-compiled module
+	// (minic.EncodeModule output) loaded instead of compiling Source.
+	// Safety rests on the check opcodes baked into the bytecode plus
+	// the strict runtime object map.
+	Module []byte
 }
 
 // KuExt is one loaded kucode extension.
@@ -47,10 +52,17 @@ type KuExt struct {
 	// Err is the first runtime violation; like a kprobe program, an
 	// extension that trips a check is dead and never runs again.
 	Err error
+	// CacheHit reports that ku_load found this program in the module
+	// cache and skipped compilation, analysis, and the verification
+	// charge.
+	CacheHit bool
 
-	ip   *minic.Interp
-	km   *kgcc.Map
-	dead bool
+	vm *minic.VM
+	km *kgcc.Map
+	// entryIdx is Entry resolved to a module function index at load
+	// time; ku_call dispatches by index, skipping the name lookup.
+	entryIdx int
+	dead     bool
 }
 
 // ChecksRun reports the dynamic runtime checks this extension has
@@ -64,11 +76,29 @@ type kuState struct {
 	pending sim.Cycles
 	exts    map[int]*KuExt
 	nextID  int
+	// cache holds admitted modules by content hash, along with the
+	// instrumentation metadata ku_load reports, so loading the same
+	// program twice compiles, analyzes, and verifies once.
+	cache     map[minic.CacheKey]*kuCached
+	cacheHits int64
+}
+
+// kuCached is one admitted program: the compiled module plus the
+// load-time metadata that must survive a cache hit.
+type kuCached struct {
+	mod   *minic.Module
+	insns int
+	stats kgcc.Stats
+	rep   *kgcc.ElisionReport
 }
 
 func (k *Kernel) ku() *kuState {
 	if k.Ku == nil {
-		ku := &kuState{exts: make(map[int]*KuExt), nextID: 1}
+		ku := &kuState{
+			exts:   make(map[int]*KuExt),
+			nextID: 1,
+			cache:  make(map[minic.CacheKey]*kuCached),
+		}
 		ku.as = mem.NewAddressSpace("kucode", k.M.Phys, &k.M.Costs)
 		ku.as.Charge = func(c sim.Cycles) { ku.pending += c }
 		k.Ku = ku
@@ -124,12 +154,113 @@ func (ku *kuState) load(k *Kernel, spec KuSpec) (int, sim.Cycles, error) {
 	if entry == "" {
 		entry = "main"
 	}
+
+	key := KuSpecKey(spec)
+	cached, hit := ku.cache[key]
+	if hit {
+		ku.cacheHits++
+	} else {
+		var err error
+		cached, err = admitKu(spec, entry)
+		if err != nil {
+			// Admission work was done (and charged by the caller via the
+			// returned cost) even though the program was rejected;
+			// rejections are not cached.
+			return -1, sim.Cycles(cached.insns) * k.M.Costs.ProbeVerifyInstr, err
+		}
+		ku.cache[key] = cached
+	}
+
+	ku.pending = 0
+	vm, err := minic.NewVM(ku.as, cached.mod)
+	if err != nil {
+		ku.pending = 0
+		return -1, 0, fmt.Errorf("sys: ku_load: %w", err)
+	}
+	vm.PerInstr = k.M.Costs.ProbeInstr
+	vm.Charge = func(c sim.Cycles) { ku.pending += c }
+	km := kgcc.NewMap(&k.M.Costs, func(c sim.Cycles) { ku.pending += c })
+	kgcc.Attach(vm, km)
+
+	e := &KuExt{
+		ID:       ku.nextID,
+		Entry:    entry,
+		Insns:    cached.insns,
+		Stats:    cached.stats,
+		Report:   cached.rep,
+		CacheHit: hit,
+		vm:       vm,
+		km:       km,
+		entryIdx: cached.mod.FnIndex(entry),
+	}
+	ku.nextID++
+	ku.exts[e.ID] = e
+
+	// A cache hit pays only VM setup: the verification charge covers
+	// admitting program content the kernel has already admitted.
+	cost := ku.pending
+	if !hit {
+		cost += sim.Cycles(cached.insns) * k.M.Costs.ProbeVerifyInstr
+	}
+	ku.pending = 0
+	e.Cycles += cost
+	return e.ID, cost, nil
+}
+
+// KuSpecKey derives the content-hash cache key for a ku_load spec: the
+// hash of the module bytes when pre-compiled, otherwise a hash over
+// entry, source text, and the check options (different elision layers
+// produce different bytecode, so they are different modules).
+func KuSpecKey(spec KuSpec) minic.CacheKey {
+	if len(spec.Module) > 0 {
+		return minic.HashBytes(spec.Module)
+	}
+	entry := spec.Entry
+	if entry == "" {
+		entry = "main"
+	}
+	return minic.HashParts("kucode-v1", entry, spec.Source, spec.Checks.CacheString())
+}
+
+// BuildKuModule runs the ku_load admission pipeline host-side —
+// compile, kcheck safety analysis, KGCC instrumentation, bytecode
+// compilation — and returns the module the kernel would cache, so
+// user space (kucode -emit) can pre-compile extensions and ship the
+// encoded artifact.
+func BuildKuModule(spec KuSpec) (*minic.Module, error) {
+	entry := spec.Entry
+	if entry == "" {
+		entry = "main"
+	}
+	cached, err := admitKu(spec, entry)
+	if err != nil {
+		return nil, err
+	}
+	return cached.mod, nil
+}
+
+// admitKu runs the admission pipeline on one spec: compile (or
+// decode), reject what the kcheck unit analysis proves unsafe to
+// host, instrument, and compile to bytecode. On rejection the
+// returned kuCached still carries the analyzed instruction count so
+// the caller can charge for the analysis work.
+func admitKu(spec KuSpec, entry string) (*kuCached, error) {
+	if len(spec.Module) > 0 {
+		mod, err := minic.DecodeModule(spec.Module)
+		if err != nil {
+			return &kuCached{}, fmt.Errorf("sys: ku_load: %w", err)
+		}
+		if mod.Fn(entry) == nil {
+			return &kuCached{}, fmt.Errorf("sys: ku_load: entry function %q not defined", entry)
+		}
+		return &kuCached{mod: mod, insns: mod.SrcInsns}, nil
+	}
 	unit, err := minic.CompileSource(spec.Source)
 	if err != nil {
-		return -1, 0, fmt.Errorf("sys: ku_load compile: %w", err)
+		return &kuCached{}, fmt.Errorf("sys: ku_load compile: %w", err)
 	}
 	if unit.Fn(entry) == nil {
-		return -1, 0, fmt.Errorf("sys: ku_load: entry function %q not defined", entry)
+		return &kuCached{}, fmt.Errorf("sys: ku_load: entry function %q not defined", entry)
 	}
 	insns := 0
 	for _, name := range unit.Order {
@@ -139,41 +270,19 @@ func (ku *kuState) load(k *Kernel, spec KuSpec) (int, sim.Cycles, error) {
 	uf := kcheck.AnalyzeUnit(unit)
 	for _, w := range uf.Warnings {
 		if w.Code == "recursion" || w.Code == "oob" {
-			return -1, sim.Cycles(insns) * k.M.Costs.ProbeVerifyInstr,
-				fmt.Errorf("sys: ku_load rejected: %s", w)
+			return &kuCached{insns: insns}, fmt.Errorf("sys: ku_load rejected: %s", w)
 		}
 	}
 	// The unit is already optimized above; Instrument per function so
 	// InstrumentUnitReport's second Optimize pass is a no-op either way.
 	stats, rep := kgcc.InstrumentUnitReport(unit, spec.Checks)
-
-	ku.pending = 0
-	ip, err := minic.NewInterp(ku.as, unit)
+	mod, err := minic.CompileUnit(unit)
 	if err != nil {
-		ku.pending = 0
-		return -1, 0, fmt.Errorf("sys: ku_load: %w", err)
+		return &kuCached{insns: insns}, fmt.Errorf("sys: ku_load: %w", err)
 	}
-	ip.PerInstr = k.M.Costs.ProbeInstr
-	ip.Charge = func(c sim.Cycles) { ku.pending += c }
-	km := kgcc.NewMap(&k.M.Costs, func(c sim.Cycles) { ku.pending += c })
-	kgcc.Attach(ip, km)
-
-	e := &KuExt{
-		ID:     ku.nextID,
-		Entry:  entry,
-		Insns:  insns,
-		Stats:  stats,
-		Report: rep,
-		ip:     ip,
-		km:     km,
-	}
-	ku.nextID++
-	ku.exts[e.ID] = e
-
-	cost := ku.pending + sim.Cycles(insns)*k.M.Costs.ProbeVerifyInstr
-	ku.pending = 0
-	e.Cycles += cost
-	return e.ID, cost, nil
+	mod.SrcInsns = insns
+	mod.Key = KuSpecKey(spec)
+	return &kuCached{mod: mod, insns: insns, stats: stats, rep: rep}, nil
 }
 
 // KuCall is the ku_call system call: invoke extension id's entry
@@ -199,8 +308,12 @@ func (pr *Proc) KuCall(id int, args ...int64) (int64, error) {
 		err = ErrKuDead
 	default:
 		ku.pending = 0
-		e.ip.Steps = 0
-		ret, err = e.ip.Call(e.Entry, args...)
+		e.vm.Steps = 0
+		if e.entryIdx >= 0 {
+			ret, err = e.vm.CallIndex(e.entryIdx, args...)
+		} else {
+			ret, err = e.vm.Call(e.Entry, args...)
+		}
 		if err != nil {
 			e.Err = err
 			e.dead = true

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/kgcc"
+	"repro/internal/sim"
 )
 
 func TestKuLoadCallRoundTrip(t *testing.T) {
@@ -109,6 +110,76 @@ func TestKuCallViolationKillsExtension(t *testing.T) {
 		ext, _ := k.KuExt(id)
 		if ext.Err == nil {
 			t.Error("extension Err not recorded")
+		}
+		return nil
+	})
+}
+
+// TestKuLoadCacheHitSkipsVerification pins the content-hash cache
+// contract: reloading byte-identical source (same entry, same check
+// options) must hit the module cache, skip the per-instruction
+// verification charge, and still produce an extension that computes
+// the same results.
+func TestKuLoadCacheHitSkipsVerification(t *testing.T) {
+	m, k := env()
+	const src = `
+	int scale(int x) {
+		int tab[16];
+		int i;
+		for (i = 0; i < 16; i++) { tab[i] = i * x; }
+		return tab[15];
+	}`
+	spec := KuSpec{Source: src, Entry: "scale", Checks: kgcc.KcheckOptions()}
+	run(t, m, k, func(pr *Proc) error {
+		id1, err := pr.KuLoad(spec)
+		if err != nil {
+			return err
+		}
+		e1, _ := k.KuExt(id1)
+		if e1.CacheHit {
+			t.Fatal("first load reported a cache hit")
+		}
+		id2, err := pr.KuLoad(spec)
+		if err != nil {
+			return err
+		}
+		e2, _ := k.KuExt(id2)
+		if !e2.CacheHit {
+			t.Fatal("second load of identical source missed the cache")
+		}
+		// The miss paid verification (ProbeVerifyInstr per analyzed
+		// instruction) on top of VM setup; the hit must not.
+		verify := sim.Cycles(e1.Insns) * m.Costs.ProbeVerifyInstr
+		if e1.Cycles < verify {
+			t.Fatalf("miss load cost %d below its own verify charge %d", e1.Cycles, verify)
+		}
+		if e2.Cycles > e1.Cycles-verify {
+			t.Fatalf("hit load cost %d; want at most miss cost %d minus verify charge %d",
+				e2.Cycles, e1.Cycles, verify)
+		}
+		// Instrumentation metadata survives the cache.
+		if e2.Insns != e1.Insns || e2.Stats != e1.Stats {
+			t.Errorf("cached metadata differs: insns %d/%d, stats %v/%v",
+				e1.Insns, e2.Insns, e1.Stats, e2.Stats)
+		}
+		v1, err := pr.KuCall(id1, 7)
+		if err != nil {
+			return err
+		}
+		v2, err := pr.KuCall(id2, 7)
+		if err != nil {
+			return err
+		}
+		if v1 != v2 || v1 != 105 {
+			t.Errorf("ku_call results diverge: %d vs %d (want 105)", v1, v2)
+		}
+		// Different check options are a different cache key: no hit.
+		id3, err := pr.KuLoad(KuSpec{Source: src, Entry: "scale", Checks: kgcc.FullChecks()})
+		if err != nil {
+			return err
+		}
+		if e3, _ := k.KuExt(id3); e3.CacheHit {
+			t.Error("load with different check options hit the cache")
 		}
 		return nil
 	})
