@@ -141,6 +141,12 @@ type Prog struct {
 // dispatch tables. It implements kernel.ProbeTap, so the machine
 // calls straight into it from the scheduler, fault, and disk seams
 // without the kernel package importing kprobe.
+//
+// A Manager, like the machine it instruments, is driven by a single
+// goroutine: the stats counters are plain fields and Attach's
+// get-then-put on the module cache is not atomic. The cache's own
+// lock only makes its map safe to look at; it does not (and need
+// not) serialize whole admissions.
 type Manager struct {
 	m *kernel.Machine
 	// as is the probes' private kernel address space: interpreter
@@ -212,7 +218,10 @@ func (mgr *Manager) Attach(spec Spec) (int, sim.Cycles, error) {
 
 	var key minic.CacheKey
 	if len(spec.Module) > 0 {
-		key = minic.HashBytes(spec.Module)
+		// The key covers entry and map signature, not just the bytes:
+		// a cache hit skips verifyModule, so everything verifyModule
+		// looks at must be part of the key.
+		key = moduleKey(spec)
 	} else {
 		key = SpecKey(spec)
 	}

@@ -65,14 +65,40 @@ func BuildModule(spec Spec) (*minic.Module, error) {
 	return mod, nil
 }
 
+// moduleKey derives the cache key for a pre-compiled module spec. It
+// folds the entry name and the declared map signature in alongside
+// the blob hash: admission verifies the entry (and the entry alone)
+// against the bytes, so the same bytes attached under a different
+// entry are a different admission that must re-verify, never a cache
+// hit that skips the entry checks. Like SpecKey it excludes the
+// tracepoint.
+func moduleKey(spec Spec) minic.CacheKey {
+	entry := spec.Entry
+	if entry == "" {
+		entry = "probe"
+	}
+	parts := []string{"kprobe-module-blob-v1", entry, string(spec.Module)}
+	for _, ms := range spec.Maps {
+		parts = append(parts, fmt.Sprintf("%s:%s", ms.Name, ms.Kind))
+	}
+	return minic.HashParts(parts...)
+}
+
 // verifyModule structurally admits a pre-compiled module: the entry
-// must exist with no parameters, every jump must be strictly forward
-// (the eBPF no-back-edge termination rule, directly checkable on
-// bytecode), and every call must resolve against the helper ABI with
-// exact arity. Memory safety is enforced by the KGCC check opcodes
-// the module carries plus the strict runtime object map — a module
-// compiled without checks simply traps on its first unproven access —
-// and map-id validity is enforced by the helpers at call time.
+// must exist with no parameters, every jump (fused branches included)
+// must be strictly forward (the eBPF no-back-edge termination rule,
+// directly checkable on bytecode), every call must resolve against
+// the helper ABI with exact arity, and every memory access in the
+// entry function must carry its own KGCC check — the VM consults the
+// object map only through check opcodes, so an access without an
+// adjacent, unbypassable check would be free to touch the whole
+// shared probe address space (minic.FirstUncheckedAccess documents
+// the exact rule). BuildModule always instruments with FullChecks,
+// so every artifact it emits passes; handcrafted checkless bytecode
+// is rejected here, before it ever attaches. Only the entry needs
+// coverage: unit-internal calls are rejected outright below, so no
+// other function in the module can execute. Map-id validity is
+// enforced by the helpers at call time.
 func verifyModule(m *minic.Module, entry string, maps []MapSpec) error {
 	efc := m.Fn(entry)
 	if efc == nil {
@@ -81,15 +107,26 @@ func verifyModule(m *minic.Module, entry string, maps []MapSpec) error {
 	if efc.NumParams != 0 {
 		return &VerifyError{Fn: entry, PC: -1, Reason: "probe entry must take no parameters (use the ctx_* helpers)"}
 	}
+	if gap := efc.FirstUncheckedAccess(); gap != nil {
+		return &VerifyError{Fn: entry, PC: gap.PC, Reason: gap.Reason}
+	}
 	for _, fc := range m.Funcs {
 		for pc := range fc.Code {
 			in := &fc.Code[pc]
-			switch in.Op {
-			case minic.VJump, minic.VBrz:
+			backEdge := func(to int64) error {
+				return &VerifyError{fc.Name, pc, fmt.Sprintf("unbounded loop: back-edge to pc %d (probe programs must terminate; unroll the loop)", to)}
+			}
+			switch {
+			case in.Op == minic.VJump || in.Op == minic.VBrz ||
+				(in.Op >= minic.VBrEq && in.Op <= minic.VBrGe):
 				if int(in.Imm) <= pc {
-					return &VerifyError{fc.Name, pc, fmt.Sprintf("unbounded loop: back-edge to pc %d (probe programs must terminate; unroll the loop)", in.Imm)}
+					return backEdge(in.Imm)
 				}
-			case minic.VCall:
+			case in.Op >= minic.VBrEqI && in.Op <= minic.VBrGeI:
+				if int(in.Dst) <= pc {
+					return backEdge(int64(in.Dst))
+				}
+			case in.Op == minic.VCall:
 				if in.Imm >= 0 {
 					// Unit-internal calls are outside the probe sandbox,
 					// same as in the source verifier.

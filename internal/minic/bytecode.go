@@ -646,6 +646,81 @@ func (m *Module) Validate() error {
 	return nil
 }
 
+// CoverageGap reports the first memory access FirstUncheckedAccess
+// found that is not structurally protected by its own check opcode.
+type CoverageGap struct {
+	// PC is the bytecode index of the unprotected access.
+	PC int
+	// Reason describes why the access is unprotected.
+	Reason string
+}
+
+// FirstUncheckedAccess structurally verifies that every memory access
+// in the function carries its own guard: each VLoad*/VStore* must be
+// immediately preceded by a VCheck of the same address register with
+// the same access size and kind, and no branch may target the access
+// itself (which would enter the code after the check). It returns nil
+// when the function is fully covered, else the first gap.
+//
+// FullChecks instrumentation compiles to exactly this shape — the
+// check is inserted directly before each access, branch targets are
+// remapped onto the check, and fusion never separates the pair — so
+// every fully-instrumented module passes. Bytecode that arrives
+// without provenance (a shipped .kmod blob) can only be admitted
+// against a strict runtime object map if it passes this rule: the VM
+// itself does not consult the object map on loads and stores, only
+// VCheck opcodes do, so a module without them would read and write
+// the whole address space unchecked. Elided bytecode fails by design:
+// an elision proof lives in the kernel's own kcheck run over source
+// it compiled, not in the artifact.
+func (fc *Funcode) FirstUncheckedAccess() *CoverageGap {
+	n := len(fc.Code)
+	target := make([]bool, n+1)
+	for pc := range fc.Code {
+		in := &fc.Code[pc]
+		switch {
+		case in.Op == VJump || in.Op == VBrz || (in.Op >= VBrEq && in.Op <= VBrGe):
+			if in.Imm >= 0 && in.Imm <= int64(n) {
+				target[in.Imm] = true
+			}
+		case in.Op >= VBrEqI && in.Op <= VBrGeI:
+			if in.Dst >= 0 && int(in.Dst) <= n {
+				target[in.Dst] = true
+			}
+		}
+	}
+	for pc := range fc.Code {
+		in := &fc.Code[pc]
+		var size uint8
+		var kind int64
+		switch in.Op {
+		case VLoad1:
+			size, kind = 1, 0
+		case VLoad8:
+			size, kind = 8, 0
+		case VStore1:
+			size, kind = 1, 1
+		case VStore8:
+			size, kind = 8, 1
+		default:
+			continue
+		}
+		if pc == 0 {
+			return &CoverageGap{PC: pc, Reason: fmt.Sprintf("unchecked %s: no preceding check", in.Op)}
+		}
+		ck := &fc.Code[pc-1]
+		if ck.Op != VCheck || ck.A != in.A || ck.Sz != size || ck.Imm != kind {
+			return &CoverageGap{PC: pc, Reason: fmt.Sprintf(
+				"unchecked %s of r%d: every load/store must be immediately preceded by a matching check opcode", in.Op, in.A)}
+		}
+		if target[pc] {
+			return &CoverageGap{PC: pc, Reason: fmt.Sprintf(
+				"branch into %s at pc %d bypasses its check", in.Op, pc)}
+		}
+	}
+	return nil
+}
+
 // Disasm renders the module's bytecode with the position table, for
 // debugging and the kvet -bc listing.
 func (m *Module) Disasm() string {

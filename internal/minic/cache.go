@@ -43,7 +43,12 @@ func HashBytes(data []byte) CacheKey { return sha256.Sum256(data) }
 
 // ModuleCache is a content-addressed store of compiled modules.
 // Modules are immutable, so a cached module is shared by every VM
-// attached to it. Safe for concurrent use.
+// attached to it. Individual Get/Put calls are safe for concurrent
+// use, but an admission (Get, compile on miss, Put) is not atomic:
+// two concurrent admitters of the same content may both compile, and
+// the last Put wins. That is benign — the entries are immutable and
+// content-addressed, so both results are interchangeable — and the
+// only current caller (the kprobe Manager) is single-threaded anyway.
 type ModuleCache struct {
 	mu     sync.Mutex
 	mods   map[CacheKey]*Module

@@ -33,6 +33,13 @@ const (
 	maxPoolLen   = 1 << 22
 	maxStringLen = 1 << 20
 	maxNameLen   = 1 << 12
+	// maxOperand bounds a decoded Dst/A/B operand. Those fields are
+	// overloaded — register numbers (≤ maxRegs), call arg-pool offsets
+	// (VCall.A ≤ maxPoolLen), and fused branch targets (VBrEqI..VBrGeI
+	// store theirs in Dst, ≤ maxCodeLen) — so the decoder admits the
+	// loosest of those ranges and leaves the precise per-opcode check
+	// to Validate.
+	maxOperand = 1 << 22
 )
 
 // ErrBadModule wraps every decode failure.
@@ -127,9 +134,9 @@ func DecodeModule(data []byte) (*Module, error) {
 			var in VInstr
 			in.Op = VOp(r.byte())
 			in.Sz = r.byte()
-			in.Dst = int32(r.reg("dst"))
-			in.A = int32(r.reg("a"))
-			in.B = int32(r.reg("b"))
+			in.Dst = int32(r.operand("dst"))
+			in.A = int32(r.operand("a"))
+			in.B = int32(r.operand("b"))
 			in.Imm = r.varint()
 			in.Src = int32(r.scalar(maxCodeLen, "source pc"))
 			fc.Code = append(fc.Code, in)
@@ -292,6 +299,20 @@ func (r *reader) reg(what string) int64 {
 		return 0
 	}
 	if v < -1 || v > maxRegs {
+		r.fail("%s %d out of range", what, v)
+		return 0
+	}
+	return v
+}
+
+// operand reads an instruction Dst/A/B operand; see maxOperand for
+// why its decode bound is looser than a register's.
+func (r *reader) operand(what string) int64 {
+	v := r.varint()
+	if r.err != nil {
+		return 0
+	}
+	if v < -1 || v > maxOperand {
 		r.fail("%s %d out of range", what, v)
 		return 0
 	}

@@ -2,6 +2,7 @@ package minic_test
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"repro/internal/kgcc"
@@ -68,5 +69,67 @@ func TestDecodeRejectsTrailing(t *testing.T) {
 	enc := minic.EncodeModule(compileCorpus(t, mctest.Corpus[0]))
 	if _, err := minic.DecodeModule(append(enc, 0)); err == nil {
 		t.Fatal("decode accepted trailing garbage")
+	}
+}
+
+// TestDecodeWideOperands pins the decoder's operand bound against the
+// field overloading in VInstr: Dst/A/B usually carry registers
+// (≤ 2^20) but VCall.A is an arg-pool offset and the fused branches
+// keep their target in Dst, both legal up to 2^22. A valid module
+// using the wide range must survive encode → decode → encode
+// byte-stably, not die in the operand reader.
+func TestDecodeWideOperands(t *testing.T) {
+	const off = (1 << 20) + 1
+	mod := &minic.Module{
+		SrcInsns: 2,
+		Builtins: []string{"helper"},
+		Funcs: []*minic.Funcode{{
+			Name:    "wide",
+			NumRegs: 1,
+			Code: []minic.VInstr{
+				{Op: minic.VCall, Dst: -1, A: off, B: 1, Imm: -1},
+				{Op: minic.VRet, A: -1},
+			},
+			Pos:  make([]minic.Pos, 2),
+			Args: make([]int32, off+1),
+		}},
+	}
+	enc := minic.EncodeModule(mod)
+	dec, err := minic.DecodeModule(enc)
+	if err != nil {
+		t.Fatalf("decode wide-operand module: %v", err)
+	}
+	if got := dec.Funcs[0].Code[0].A; got != off {
+		t.Fatalf("VCall.A = %d after round trip; want %d", got, off)
+	}
+	if re := minic.EncodeModule(dec); !bytes.Equal(enc, re) {
+		t.Fatal("re-encode not byte-stable")
+	}
+}
+
+// TestDecodeRejectsWildBranchTarget: a fused-branch target beyond the
+// function is rejected by Validate with a precise diagnostic — the
+// decoder's loose operand bound must not be the thing that catches
+// (or worse, misses) it.
+func TestDecodeRejectsWildBranchTarget(t *testing.T) {
+	mod := &minic.Module{
+		SrcInsns: 2,
+		Funcs: []*minic.Funcode{{
+			Name:    "wild",
+			NumRegs: 1,
+			Code: []minic.VInstr{
+				{Op: minic.VBrEqI, A: 0, Imm: 0, Dst: 1 << 21},
+				{Op: minic.VRet, A: -1},
+			},
+			Pos: make([]minic.Pos, 2),
+		}},
+	}
+	enc := minic.EncodeModule(mod)
+	_, err := minic.DecodeModule(enc)
+	if err == nil {
+		t.Fatal("wild branch target decoded")
+	}
+	if !strings.Contains(err.Error(), "jump target") {
+		t.Fatalf("rejection %q should come from Validate's jump-target check", err)
 	}
 }

@@ -30,8 +30,15 @@ type KuSpec struct {
 	Checks kgcc.Options
 	// Module, when non-empty, is an encoded pre-compiled module
 	// (minic.EncodeModule output) loaded instead of compiling Source.
-	// Safety rests on the check opcodes baked into the bytecode plus
-	// the strict runtime object map.
+	// The kernel cannot re-derive kcheck's safety proofs from
+	// bytecode (an elided check simply does not exist in the
+	// artifact), so a pre-compiled extension is quarantined: it runs
+	// in its own private address space rather than the shared kucode
+	// space, its call graph is structurally checked for recursion,
+	// and whatever check opcodes it does carry still run against its
+	// object map. A module without checks can therefore corrupt only
+	// itself — an unchecked store lands in (or faults in) its private
+	// space and at worst kills the extension.
 	Module []byte
 }
 
@@ -69,8 +76,10 @@ type KuExt struct {
 // executed (bounds lookups plus pointer-arithmetic validations).
 func (e *KuExt) ChecksRun() int64 { return e.km.Checks + e.km.ArithOps }
 
-// kuState is the kernel's kucode subsystem: the extensions' shared
-// kernel address space and the registry, created on first ku_load.
+// kuState is the kernel's kucode subsystem: the registry and the
+// kernel address space shared by source-admitted extensions, created
+// on first ku_load (quarantined module-admitted extensions get
+// private spaces in load instead).
 type kuState struct {
 	as      *mem.AddressSpace
 	pending sim.Cycles
@@ -90,6 +99,11 @@ type kuCached struct {
 	insns int
 	stats kgcc.Stats
 	rep   *kgcc.ElisionReport
+	// quarantine marks a module admitted from pre-compiled bytes: the
+	// kernel could not run its own kcheck/instrumentation over it, so
+	// every extension created from it gets a private address space
+	// instead of the shared kucode space (see KuSpec.Module).
+	quarantine bool
 }
 
 func (k *Kernel) ku() *kuState {
@@ -172,7 +186,16 @@ func (ku *kuState) load(k *Kernel, spec KuSpec) (int, sim.Cycles, error) {
 	}
 
 	ku.pending = 0
-	vm, err := minic.NewVM(ku.as, cached.mod)
+	as := ku.as
+	if cached.quarantine {
+		// Pre-compiled bytecode carries no proofs the kernel can
+		// re-check, so it never shares an address space with other
+		// extensions: each load gets a fresh private space whose
+		// memory costs still land in the kucode charge.
+		as = mem.NewAddressSpace("kucode-ext", k.M.Phys, &k.M.Costs)
+		as.Charge = func(c sim.Cycles) { ku.pending += c }
+	}
+	vm, err := minic.NewVM(as, cached.mod)
 	if err != nil {
 		ku.pending = 0
 		return -1, 0, fmt.Errorf("sys: ku_load: %w", err)
@@ -207,17 +230,20 @@ func (ku *kuState) load(k *Kernel, spec KuSpec) (int, sim.Cycles, error) {
 	return e.ID, cost, nil
 }
 
-// KuSpecKey derives the content-hash cache key for a ku_load spec: the
-// hash of the module bytes when pre-compiled, otherwise a hash over
+// KuSpecKey derives the content-hash cache key for a ku_load spec:
+// entry plus module bytes when pre-compiled, otherwise a hash over
 // entry, source text, and the check options (different elision layers
-// produce different bytecode, so they are different modules).
+// produce different bytecode, so they are different modules). The
+// entry is part of the key in both forms because a cache hit skips
+// admission, and admission verifies the entry against the content —
+// the same bytes under a different entry are a different admission.
 func KuSpecKey(spec KuSpec) minic.CacheKey {
-	if len(spec.Module) > 0 {
-		return minic.HashBytes(spec.Module)
-	}
 	entry := spec.Entry
 	if entry == "" {
 		entry = "main"
+	}
+	if len(spec.Module) > 0 {
+		return minic.HashParts("kucode-module-v1", entry, string(spec.Module))
 	}
 	return minic.HashParts("kucode-v1", entry, spec.Source, spec.Checks.CacheString())
 }
@@ -244,6 +270,17 @@ func BuildKuModule(spec KuSpec) (*minic.Module, error) {
 // host, instrument, and compile to bytecode. On rejection the
 // returned kuCached still carries the analyzed instruction count so
 // the caller can charge for the analysis work.
+//
+// The two branches mirror the two safety stories. Source admission
+// runs the kernel's own analysis, so its rejections (recursion,
+// provable oob) and its elision proofs are trusted, and the
+// extension may share the kucode address space. Module admission
+// gets opaque bytecode: the decode is defensively validated, the
+// unbounded-kernel-stack rejection is re-derived structurally (a
+// call-graph cycle is visible in bytecode even if nothing else is),
+// and everything the kernel cannot re-prove is answered by
+// quarantine — the extension runs in a private address space where
+// an unchecked access can only hurt itself.
 func admitKu(spec KuSpec, entry string) (*kuCached, error) {
 	if len(spec.Module) > 0 {
 		mod, err := minic.DecodeModule(spec.Module)
@@ -253,7 +290,10 @@ func admitKu(spec KuSpec, entry string) (*kuCached, error) {
 		if mod.Fn(entry) == nil {
 			return &kuCached{}, fmt.Errorf("sys: ku_load: entry function %q not defined", entry)
 		}
-		return &kuCached{mod: mod, insns: mod.SrcInsns}, nil
+		if cyc := moduleCallCycle(mod); cyc != "" {
+			return &kuCached{}, fmt.Errorf("sys: ku_load rejected: pre-compiled module: recursion through %q (unbounded kernel stack)", cyc)
+		}
+		return &kuCached{mod: mod, insns: mod.SrcInsns, quarantine: true}, nil
 	}
 	unit, err := minic.CompileSource(spec.Source)
 	if err != nil {
@@ -283,6 +323,48 @@ func admitKu(spec KuSpec, entry string) (*kuCached, error) {
 	mod.SrcInsns = insns
 	mod.Key = KuSpecKey(spec)
 	return &kuCached{mod: mod, insns: insns, stats: stats, rep: rep}, nil
+}
+
+// moduleCallCycle detects recursion structurally on bytecode: it
+// returns the name of a function on a unit-internal call cycle, or ""
+// when the module's call graph is acyclic. This is the module-branch
+// analogue of the kcheck recursion rejection the source branch runs —
+// the one unit-level safety property that is still fully visible in
+// compiled code.
+func moduleCallCycle(m *minic.Module) string {
+	const (
+		white = iota // unvisited
+		grey         // on the current DFS path
+		black        // fully explored
+	)
+	color := make([]uint8, len(m.Funcs))
+	var cyc string
+	var visit func(i int) bool
+	visit = func(i int) bool {
+		color[i] = grey
+		for pc := range m.Funcs[i].Code {
+			in := &m.Funcs[i].Code[pc]
+			if in.Op != minic.VCall || in.Imm < 0 {
+				continue
+			}
+			j := int(in.Imm)
+			if color[j] == grey {
+				cyc = m.Funcs[j].Name
+				return true
+			}
+			if color[j] == white && visit(j) {
+				return true
+			}
+		}
+		color[i] = black
+		return false
+	}
+	for i := range m.Funcs {
+		if color[i] == white && visit(i) {
+			return cyc
+		}
+	}
+	return ""
 }
 
 // KuCall is the ku_call system call: invoke extension id's entry

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"repro/internal/kgcc"
+	"repro/internal/mem"
+	"repro/internal/minic"
 	"repro/internal/sim"
 )
 
@@ -190,6 +192,117 @@ func TestKuCallUnknownExtension(t *testing.T) {
 	run(t, m, k, func(pr *Proc) error {
 		if _, err := pr.KuCall(42); err == nil {
 			t.Error("ku_call on unknown id succeeded")
+		}
+		return nil
+	})
+}
+
+// TestKuLoadModuleRejectsRecursion: the structural call-graph check on
+// pre-compiled modules is the bytecode analogue of kcheck's recursion
+// rejection on source — a self-calling module must not load.
+func TestKuLoadModuleRejectsRecursion(t *testing.T) {
+	m, k := env()
+	rec := &minic.Module{
+		SrcInsns: 2,
+		Funcs: []*minic.Funcode{{
+			Name:    "main",
+			NumRegs: 1,
+			Code: []minic.VInstr{
+				{Op: minic.VCall, Dst: -1, A: 0, B: 0, Imm: 0},
+				{Op: minic.VRet, A: -1},
+			},
+			Pos: make([]minic.Pos, 2),
+		}},
+	}
+	enc := minic.EncodeModule(rec)
+	run(t, m, k, func(pr *Proc) error {
+		if _, err := pr.KuLoad(KuSpec{Module: enc}); err == nil {
+			t.Error("recursive module loaded")
+		} else if !strings.Contains(err.Error(), "recursion") {
+			t.Errorf("rejection %q does not name the recursion", err)
+		}
+		return nil
+	})
+}
+
+// TestKuLoadModuleQuarantine pins the containment story for
+// pre-compiled modules: the kernel cannot re-derive KGCC proofs from
+// bytecode, so a decoded module runs in a private address space. A
+// hostile checkless store can corrupt only its own sandbox — memory
+// belonging to source-loaded extensions in the shared kucode space is
+// untouched and they keep working.
+func TestKuLoadModuleQuarantine(t *testing.T) {
+	m, k := env()
+	hostile := &minic.Module{
+		SrcInsns: 3,
+		Funcs: []*minic.Funcode{{
+			Name:      "main",
+			NumParams: 1,
+			ParamRegs: []int32{0},
+			NumRegs:   2,
+			Code: []minic.VInstr{
+				{Op: minic.VConst, Dst: 1, Imm: 0x55},
+				{Op: minic.VStore8, Sz: 8, A: 0, B: 1},
+				{Op: minic.VRet, A: -1},
+			},
+			Pos: make([]minic.Pos, 3),
+		}},
+	}
+	enc := minic.EncodeModule(hostile)
+	run(t, m, k, func(pr *Proc) error {
+		victim, err := pr.KuLoad(KuSpec{Source: `int main() { return 7; }`, Checks: kgcc.KcheckOptions()})
+		if err != nil {
+			return err
+		}
+		// Plant a sentinel in the shared kucode space, at an address the
+		// hostile module will aim its unchecked store at.
+		sentinel, err := k.Ku.as.MapRegion(1, mem.PermRW)
+		if err != nil {
+			return err
+		}
+		if err := k.Ku.as.WriteU64(sentinel, 0xA5A5); err != nil {
+			return err
+		}
+		hid, err := pr.KuLoad(KuSpec{Module: enc})
+		if err != nil {
+			return err
+		}
+		// The store either faults in the private space or lands there;
+		// either way the shared space must be unscathed.
+		_, _ = pr.KuCall(hid, int64(sentinel))
+		got, err := k.Ku.as.ReadU64(sentinel)
+		if err != nil {
+			return err
+		}
+		if got != 0xA5A5 {
+			t.Errorf("quarantined module reached the shared kucode space: sentinel = %#x", got)
+		}
+		if v, err := pr.KuCall(victim); err != nil || v != 7 {
+			t.Errorf("victim extension after hostile call: v=%d err=%v", v, err)
+		}
+		return nil
+	})
+}
+
+// TestKuLoadModuleEntryNotSkippedByCache pins the cache-key contract:
+// the entry name is folded into the module-blob key, so loading the
+// same bytes under a different entry re-runs admission (and fails on
+// the missing function) instead of hitting the cache.
+func TestKuLoadModuleEntryNotSkippedByCache(t *testing.T) {
+	m, k := env()
+	mod, err := BuildKuModule(KuSpec{Source: `int main() { return 1; }`, Checks: kgcc.FullChecks()})
+	if err != nil {
+		t.Fatalf("build ku module: %v", err)
+	}
+	enc := minic.EncodeModule(mod)
+	run(t, m, k, func(pr *Proc) error {
+		if _, err := pr.KuLoad(KuSpec{Module: enc}); err != nil {
+			return err
+		}
+		if _, err := pr.KuLoad(KuSpec{Module: enc, Entry: "nosuch"}); err == nil {
+			t.Error("same module bytes with a bogus entry loaded via cache hit")
+		} else if !strings.Contains(err.Error(), "not defined") {
+			t.Errorf("rejection %q does not name the missing entry", err)
 		}
 		return nil
 	})
