@@ -10,6 +10,15 @@
 //	kprof [-workload postmark|compile|interactive|dbscan|monitor]
 //	      [-trace FILE.json] [-folded FILE.folded] [-records N] [-top N]
 //	      [-proc NAME] [-subsystem NAME]
+//	      [-flight-epoch CYCLES] [-flight-out FILE.json]
+//
+// The kflight flight recorder always rides along (it is host-side
+// only and moves no simulated cycle): -trace exports include its
+// epoch series as Chrome counter tracks (syscall rate, TLB hit ratio,
+// per-subsystem cycles) rendered as rows above the span timeline, and
+// -flight-out writes the full kflight record — epochs plus postmortem
+// dumps — which cmd/ktop replays as a terminal dashboard.
+// -flight-epoch overrides the sampling epoch in simulated cycles.
 //
 // -proc and -subsystem restrict the exported timeline and folded
 // stacks to one process (by name or name-pid) and/or one subsystem
@@ -39,7 +48,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/disk"
+	"repro/internal/kflight"
 	"repro/internal/kperf"
+	"repro/internal/sim"
 	"repro/internal/sys"
 	"repro/internal/vfs"
 	"repro/internal/vfs/memfs"
@@ -54,10 +65,12 @@ func main() {
 	top := flag.Int("top", 12, "rows per summary section")
 	proc := flag.String("proc", "", "restrict trace/folded exports to this process (name or name-pid)")
 	subsystem := flag.String("subsystem", "", "restrict trace/folded exports to this subsystem")
+	flightEpoch := flag.Int64("flight-epoch", 0, "kflight sampling epoch in simulated cycles (0: default)")
+	flightOut := flag.String("flight-out", "", "write the kflight record (epochs + postmortems) to this file for ktop")
 	flag.Parse()
 	filter := kperf.TraceFilter{Proc: *proc, Subsystem: *subsystem}
 
-	s, err := run(*name, *records)
+	s, err := run(*name, *records, sim.Cycles(*flightEpoch))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kprof: %v\n", err)
 		os.Exit(1)
@@ -70,6 +83,9 @@ func main() {
 	}
 
 	summarize(os.Stdout, *name, sn, *top)
+	rec := s.Flight.Record()
+	fmt.Printf("kflight: %d epochs closed (%d retained), %d postmortems\n",
+		rec.Summary.Epochs, len(rec.Epochs), len(rec.Postmortems))
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -77,7 +93,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "kprof: %v\n", err)
 			os.Exit(1)
 		}
-		if err := s.Perf.WriteChromeTraceFiltered(f, filter); err == nil {
+		if err := s.Perf.WriteChromeTraceCounters(f, filter, rec.CounterTracks()); err == nil {
 			err = f.Close()
 		} else {
 			f.Close()
@@ -87,6 +103,23 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (load in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
+	}
+	if *flightOut != "" {
+		f, err := os.Create(*flightOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kprof: %v\n", err)
+			os.Exit(1)
+		}
+		if err := s.Flight.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kprof: write flight record: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (replay with: ktop -in %s)\n", *flightOut, *flightOut)
 	}
 	if *foldedOut != "" {
 		if err := os.WriteFile(*foldedOut, []byte(sn.FoldedStacksFiltered(filter)), 0o644); err != nil {
@@ -100,8 +133,11 @@ func main() {
 
 // run boots an instrumented system and drives the named workload to
 // completion.
-func run(name string, records int) (*core.System, error) {
-	opts := core.Options{Perf: core.NewPerf(records)}
+func run(name string, records int, flightEpoch sim.Cycles) (*core.System, error) {
+	opts := core.Options{
+		Perf:   core.NewPerf(records),
+		Flight: &kflight.Config{EpochCycles: flightEpoch},
+	}
 	switch name {
 	case "postmark":
 		opts.CacheBlocks = 1024 // small cache: keep the disk visible in the timeline

@@ -1,0 +1,305 @@
+// Command ktop replays a recorded run as a terminal dashboard: the
+// simulated-time analogue of top, driven entirely by a kflight record
+// so the "live view" is a deterministic replay of what the flight
+// recorder sampled.
+//
+//	ktop -in FILE.json            replay a record written by kprof -flight-out
+//	ktop -workload NAME           run the workload now, then render its record
+//	     [-epochs N] [-width N]
+//
+// The dashboard shows, per epoch: syscall rate, TLB hit ratio, and
+// attributed cycles per subsystem (sparklines over the whole run plus
+// a table of the trailing epochs), the run's top subsystems by total
+// attribution delta, syscall-latency quantiles (exact, from the
+// power-of-two buckets via kperf.Quantiles), and every postmortem the
+// recorder cut — kills, guard traps, dead extensions — with the
+// trace tail leading up to it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/kflight"
+)
+
+func main() {
+	in := flag.String("in", "", "kflight record to replay (from kprof -flight-out)")
+	workload := flag.String("workload", "", "run this workload now instead of replaying (postmark, compile, interactive, dbscan)")
+	epochs := flag.Int("epochs", 12, "trailing epochs shown in the table")
+	width := flag.Int("width", 48, "sparkline width in cells")
+	flag.Parse()
+
+	var rec *kflight.Record
+	var err error
+	switch {
+	case *in != "" && *workload != "":
+		err = fmt.Errorf("-in and -workload are mutually exclusive")
+	case *in != "":
+		rec, err = readRecord(*in)
+	case *workload != "":
+		rec, err = runWorkload(*workload)
+	default:
+		err = fmt.Errorf("one of -in or -workload is required")
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ktop: %v\n", err)
+		os.Exit(2)
+	}
+	render(os.Stdout, rec, *epochs, *width)
+}
+
+func readRecord(path string) (*kflight.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return kflight.ReadRecord(f)
+}
+
+// render draws the whole dashboard.
+func render(w *os.File, rec *kflight.Record, tableRows, width int) {
+	s := rec.Summary
+	var span int64
+	if n := len(rec.Epochs); n > 0 {
+		span = int64(rec.Epochs[n-1].End)
+	}
+	fmt.Fprintf(w, "ktop — kflight replay: %d epochs closed (%d retained, %d evicted), %d ticks, %s simulated\n",
+		s.Epochs, len(rec.Epochs), s.Evicted, s.Ticks, cycles(span))
+	if len(s.Events) > 0 {
+		parts := make([]string, 0, len(s.Events))
+		for _, k := range sortedKeys(s.Events) {
+			parts = append(parts, fmt.Sprintf("%s×%d", k, s.Events[k]))
+		}
+		fmt.Fprintf(w, "events: %s\n", strings.Join(parts, "  "))
+	}
+	if len(rec.Epochs) == 0 {
+		fmt.Fprintln(w, "no epochs recorded (run shorter than one epoch and no events?)")
+		return
+	}
+
+	// The same counter-track derivation kprof exports to Chrome traces
+	// backs the sparklines, so both views agree by construction.
+	tracks := rec.CounterTracks()
+	fmt.Fprintln(w, "\nper-epoch series:")
+	for _, tr := range tracks {
+		vals := make([]float64, len(tr.Points))
+		for i, p := range tr.Points {
+			vals[i] = p.Value
+		}
+		lo, hi := minMax(vals)
+		fmt.Fprintf(w, "  %-18s %s  min %s  max %s  last %s\n",
+			tr.Name, spark(vals, width), num(lo), num(hi), num(vals[len(vals)-1]))
+	}
+
+	// Top subsystems by total attribution delta across the retained
+	// window.
+	totals := map[string]int64{}
+	var grand int64
+	for _, e := range rec.Epochs {
+		for sub, c := range e.SubsysDeltas() {
+			totals[sub] += c
+			grand += c
+		}
+	}
+	if grand > 0 {
+		fmt.Fprintln(w, "\ntop subsystems by attributed cycles (retained window):")
+		type kv struct {
+			k string
+			v int64
+		}
+		rows := make([]kv, 0, len(totals))
+		for k, v := range totals {
+			rows = append(rows, kv{k, v})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].v != rows[j].v {
+				return rows[i].v > rows[j].v
+			}
+			return rows[i].k < rows[j].k
+		})
+		for _, r := range rows {
+			fmt.Fprintf(w, "  %-10s %16d  %5.1f%%\n", r.k, r.v, 100*float64(r.v)/float64(grand))
+		}
+	}
+
+	// Syscall-latency quantiles from the last epoch that moved the
+	// histogram.
+	for i := len(rec.Epochs) - 1; i >= 0; i-- {
+		if h, ok := rec.Epochs[i].Hists["sys.span.cycles"]; ok {
+			fmt.Fprintf(w, "\nsyscall latency (cumulative at epoch %d): p50<=%d p90<=%d p99<=%d cycles\n",
+				rec.Epochs[i].Seq, h.P50, h.P90, h.P99)
+			break
+		}
+	}
+
+	// Trailing-epoch table.
+	first := len(rec.Epochs) - tableRows
+	if first < 0 {
+		first = 0
+	}
+	fmt.Fprintf(w, "\nlast %d epochs:\n", len(rec.Epochs)-first)
+	fmt.Fprintf(w, "  %6s %14s %8s %10s %7s  %s\n", "seq", "end", "ticks", "syscalls", "tlb%", "top subsystems by cycle delta")
+	gauges := map[string]int64{}
+	var rows []string
+	for i, e := range rec.Epochs {
+		prevCalls := gauges["sys.calls.total"]
+		for k, v := range e.Gauges {
+			gauges[k] = v
+		}
+		if i < first {
+			continue
+		}
+		calls := gauges["sys.calls.total"] - prevCalls
+		tlb := "-"
+		if h, m := gauges["mem.tlb.hits"], gauges["mem.tlb.misses"]; h+m > 0 {
+			tlb = fmt.Sprintf("%.1f", 100*float64(h)/float64(h+m))
+		}
+		rows = append(rows, fmt.Sprintf("  %6d %14d %8d %10d %7s  %s",
+			e.Seq, e.End, e.Ticks, calls, tlb, topSubsys(&e, 3)))
+	}
+	fmt.Fprintln(w, strings.Join(rows, "\n"))
+
+	for _, pm := range rec.Postmortems {
+		fmt.Fprintf(w, "\npostmortem [%s] at %s", pm.Kind, cycles(int64(pm.At)))
+		if pm.Detail != "" {
+			fmt.Fprintf(w, ": %s", pm.Detail)
+		}
+		fmt.Fprintln(w)
+		if n := len(pm.Epochs); n > 0 {
+			fmt.Fprintf(w, "  window: epochs %d..%d covering cycles %d..%d\n",
+				pm.Epochs[0].Seq, pm.Epochs[n-1].Seq, pm.Epochs[0].Start, pm.Epochs[n-1].End)
+		}
+		tail := pm.Tail
+		const maxTail = 10
+		if len(tail) > maxTail {
+			fmt.Fprintf(w, "  tail (last %d of %d records):\n", maxTail, len(tail))
+			tail = tail[len(tail)-maxTail:]
+		} else if len(tail) > 0 {
+			fmt.Fprintln(w, "  tail:")
+		}
+		for _, te := range tail {
+			name := te.Kind
+			if te.Name != "" {
+				name = te.Name
+			}
+			fmt.Fprintf(w, "    %-14s %-10s [%d..%d]\n", te.Process, name, te.Start, te.End)
+		}
+	}
+}
+
+// topSubsys renders an epoch's n largest subsystem deltas.
+func topSubsys(e *kflight.Epoch, n int) string {
+	d := e.SubsysDeltas()
+	type kv struct {
+		k string
+		v int64
+	}
+	rows := make([]kv, 0, len(d))
+	for k, v := range d {
+		rows = append(rows, kv{k, v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].v != rows[j].v {
+			return rows[i].v > rows[j].v
+		}
+		return rows[i].k < rows[j].k
+	})
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	parts := make([]string, len(rows))
+	for i, r := range rows {
+		parts[i] = fmt.Sprintf("%s:%s", r.k, num(float64(r.v)))
+	}
+	return strings.Join(parts, " ")
+}
+
+// sparkCells are the eighth-block glyphs a sparkline is drawn with.
+var sparkCells = []rune("▁▂▃▄▅▆▇█")
+
+// spark renders vals as a width-cell sparkline, bucketing by mean.
+func spark(vals []float64, width int) string {
+	if len(vals) == 0 || width <= 0 {
+		return ""
+	}
+	cells := make([]float64, 0, width)
+	if len(vals) <= width {
+		cells = vals
+	} else {
+		per := float64(len(vals)) / float64(width)
+		for i := 0; i < width; i++ {
+			lo, hi := int(float64(i)*per), int(float64(i+1)*per)
+			if hi > len(vals) {
+				hi = len(vals)
+			}
+			var sum float64
+			for _, v := range vals[lo:hi] {
+				sum += v
+			}
+			cells = append(cells, sum/float64(hi-lo))
+		}
+	}
+	lo, hi := minMax(cells)
+	var b strings.Builder
+	for _, v := range cells {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkCells)-1))
+		}
+		b.WriteRune(sparkCells[idx])
+	}
+	return b.String()
+}
+
+func minMax(vals []float64) (lo, hi float64) {
+	lo, hi = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// num renders a value compactly (1.2k, 3.4M, 5.6G).
+func num(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case av == float64(int64(av)):
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// cycles renders a cycle count with its wall equivalent at the
+// paper's 1.7GHz reference clock.
+func cycles(c int64) string {
+	return fmt.Sprintf("%s cycles (%.1fms)", num(float64(c)), float64(c)/1.7e6)
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/kflight"
+)
+
+// testRepro builds a small two-experiment document the diff tests
+// mutate. Returning a fresh value per call keeps mutations local.
+func testRepro() *Repro {
+	return &Repro{
+		Schema:      "bench-repro/v1",
+		GeneratedAt: "2026-08-08T00:00:00Z",
+		GitCommit:   "abc1234",
+		GoVersion:   "go1.24",
+		CPUModel:    "Test CPU",
+		WallSeconds: 12.5,
+		Experiments: []TrialResult{
+			{
+				Name: "E1", WallSeconds: 1.5, SimUser: 40_000_000, SimSys: 8_000_000,
+				SimElapsed: 48_121_232, AllPass: true,
+				Flight: &kflight.Summary{Epochs: 3, Ticks: 40, PeakEpochSyscalls: 120,
+					Events: map[string]int64{"run_end": 1}},
+			},
+			{
+				Name: "E3", WallSeconds: 0.2, SimUser: 15_000_000, SimSys: 2_000_000,
+				SimElapsed: 17_049_620, AllPass: true,
+			},
+		},
+		Micro: []MicroResult{{Name: "kucall", NsPerOp: 180}},
+	}
+}
+
+// TestDiffSelfPasses: a document diffed against itself is clean.
+func TestDiffSelfPasses(t *testing.T) {
+	rep := DiffRepro(testRepro(), testRepro(), DiffOptions{})
+	if rep.Failed() || len(rep.Diffs) != 0 {
+		t.Fatalf("self diff not clean: %+v", rep)
+	}
+	if rep.Compared == 0 {
+		t.Fatal("self diff compared nothing")
+	}
+}
+
+// TestDiffRegressedCyclesFail: a moved deterministic cycle count gates
+// red; the report names the metric.
+func TestDiffRegressedCyclesFail(t *testing.T) {
+	cur := testRepro()
+	cur.Experiments[0].SimElapsed += 12345
+	rep := DiffRepro(testRepro(), cur, DiffOptions{})
+	if !rep.Failed() || rep.Regressions != 1 {
+		t.Fatalf("regression not caught: %+v", rep)
+	}
+	var buf bytes.Buffer
+	rep.Format(&buf, false)
+	if !strings.Contains(buf.String(), "REGRESS  E1/sim_elapsed_cycles") {
+		t.Errorf("report missing the regressed path:\n%s", buf.String())
+	}
+}
+
+// TestDiffVolatileIgnoredByDefault: wall-clock, provenance, and micro
+// timing never gate; -volatile surfaces them as info.
+func TestDiffVolatileIgnoredByDefault(t *testing.T) {
+	cur := testRepro()
+	cur.WallSeconds = 99
+	cur.GitCommit = "def5678"
+	cur.Experiments[0].WallSeconds = 77
+	cur.Micro[0].NsPerOp = 9999
+	rep := DiffRepro(testRepro(), cur, DiffOptions{})
+	if rep.Failed() || len(rep.Diffs) != 0 {
+		t.Fatalf("volatile changes leaked into the default report: %+v", rep.Diffs)
+	}
+	rep = DiffRepro(testRepro(), cur, DiffOptions{IncludeVolatile: true})
+	if rep.Failed() {
+		t.Fatalf("volatile changes gated red: %+v", rep.Diffs)
+	}
+	paths := make(map[string]bool)
+	for _, d := range rep.Diffs {
+		if d.Regression {
+			t.Errorf("volatile diff marked regression: %+v", d)
+		}
+		paths[d.Path] = true
+	}
+	for _, want := range []string{"wall_seconds_total", "git_commit", "E1/wall_seconds", "micro/kucall/ns_per_op"} {
+		if !paths[want] {
+			t.Errorf("volatile report missing %s (have %v)", want, paths)
+		}
+	}
+}
+
+// TestDiffTolerances: the global tolerance admits small drift, and a
+// longer path prefix overrides it.
+func TestDiffTolerances(t *testing.T) {
+	cur := testRepro()
+	cur.Experiments[0].SimElapsed = 48_121_232 + 48_121 // ~+0.1%
+	cur.Experiments[0].Flight.Ticks = 60                // +50%
+
+	// Zero tolerance: both changes gate.
+	if rep := DiffRepro(testRepro(), cur, DiffOptions{}); rep.Regressions != 2 {
+		t.Fatalf("zero-tol regressions = %d, want 2", rep.Regressions)
+	}
+	// Global 1%: the cycle drift passes, the kflight jump still gates.
+	rep := DiffRepro(testRepro(), cur, DiffOptions{RelTol: 0.01})
+	if rep.Regressions != 1 || rep.Diffs[0].Path != "E1/kflight/ticks" {
+		t.Fatalf("global-tol report wrong: %+v", rep.Diffs)
+	}
+	// A prefix override loosens just the kflight subtree.
+	rep = DiffRepro(testRepro(), cur, DiffOptions{
+		RelTol:    0.01,
+		PrefixTol: map[string]float64{"E1/kflight": 0.6},
+	})
+	if rep.Failed() {
+		t.Fatalf("prefix tolerance not applied: %+v", rep.Diffs)
+	}
+	// And a tighter prefix override wins over a looser global.
+	rep = DiffRepro(testRepro(), cur, DiffOptions{
+		RelTol:    1,
+		PrefixTol: map[string]float64{"E1/kflight/ticks": 0.1},
+	})
+	if rep.Regressions != 1 {
+		t.Fatalf("tight prefix override lost to loose global: %+v", rep.Diffs)
+	}
+}
+
+// TestDiffStructural: vanished experiments, metrics, and summaries
+// gate; new ones are informational.
+func TestDiffStructural(t *testing.T) {
+	// Missing experiment.
+	cur := testRepro()
+	cur.Experiments = cur.Experiments[:1]
+	rep := DiffRepro(testRepro(), cur, DiffOptions{})
+	if rep.Regressions != 1 || !strings.Contains(rep.Diffs[0].Note, "experiment missing") {
+		t.Fatalf("missing experiment not gated: %+v", rep.Diffs)
+	}
+
+	// New experiment: info only.
+	cur = testRepro()
+	cur.Experiments = append(cur.Experiments, TrialResult{Name: "E99"})
+	if rep := DiffRepro(testRepro(), cur, DiffOptions{}); rep.Failed() {
+		t.Fatalf("new experiment gated red: %+v", rep.Diffs)
+	}
+
+	// Vanished kflight summary.
+	cur = testRepro()
+	cur.Experiments[0].Flight = nil
+	rep = DiffRepro(testRepro(), cur, DiffOptions{})
+	if rep.Regressions != 1 || !strings.Contains(rep.Diffs[0].Note, "flight summary missing") {
+		t.Fatalf("missing flight summary not gated: %+v", rep.Diffs)
+	}
+
+	// Vanished event key inside the summary map.
+	cur = testRepro()
+	cur.Experiments[0].Flight.Events = map[string]int64{}
+	rep = DiffRepro(testRepro(), cur, DiffOptions{})
+	if rep.Regressions != 1 || rep.Diffs[0].Path != "E1/kflight/events/run_end" {
+		t.Fatalf("missing event key not gated: %+v", rep.Diffs)
+	}
+
+	// An experiment that started erroring gates red.
+	cur = testRepro()
+	cur.Experiments[1].Err = "boom"
+	rep = DiffRepro(testRepro(), cur, DiffOptions{})
+	if rep.Regressions != 1 || !strings.Contains(rep.Diffs[0].Note, "errored") {
+		t.Fatalf("new error not gated: %+v", rep.Diffs)
+	}
+}

@@ -4,10 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/kflight"
 	"repro/internal/kperf"
 	"repro/internal/sim"
 )
@@ -45,6 +48,11 @@ type TrialResult struct {
 	Perf         *kperf.Snapshot `json:"kperf,omitempty"`
 	PerfElapsed  sim.Cycles      `json:"kperf_elapsed_cycles,omitempty"`
 	PerfIdentity string          `json:"kperf_identity,omitempty"`
+
+	// Flight is the experiment's merged flight-recorder summary (nil
+	// when the trial ran with instrumentation off). Deterministic in
+	// simulated behavior, so benchdiff gates on it.
+	Flight *kflight.Summary `json:"kflight,omitempty"`
 
 	// Table carries the full result for rendering; not serialized.
 	Table *Table `json:"-"`
@@ -106,6 +114,7 @@ func runTrial(tr Trial) TrialResult {
 			res.PerfIdentity = "ok"
 		}
 	}
+	res.Flight = tbl.Flight
 	return res
 }
 
@@ -143,8 +152,14 @@ type MicroResult struct {
 // future PRs can compare host performance while asserting simulated
 // results never move.
 type Repro struct {
-	Schema            string        `json:"schema"`
-	GeneratedAt       string        `json:"generated_at"`
+	Schema      string `json:"schema"`
+	GeneratedAt string `json:"generated_at"`
+	// Host provenance: which code, toolchain, and CPU produced this
+	// document. All volatile — benchdiff reports but never gates on
+	// them.
+	GitCommit         string        `json:"git_commit,omitempty"`
+	GoVersion         string        `json:"go_version,omitempty"`
+	CPUModel          string        `json:"cpu_model,omitempty"`
 	GoMaxProcs        int           `json:"gomaxprocs"`
 	Workers           int           `json:"workers"`
 	WallSeconds       float64       `json:"wall_seconds_total"`
@@ -160,9 +175,39 @@ func NewRepro(workers int) *Repro {
 	return &Repro{
 		Schema:      "bench-repro/v1",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GitCommit:   gitCommit(),
+		GoVersion:   runtime.Version(),
+		CPUModel:    cpuModel(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Workers:     workers,
 	}
+}
+
+// gitCommit reports the working tree's short commit hash, best-effort
+// (empty outside a git checkout or without git on PATH).
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// cpuModel reports the host CPU model, best-effort (Linux
+// /proc/cpuinfo; empty elsewhere).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
 }
 
 // Write serializes the document to path.

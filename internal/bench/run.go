@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/kflight"
 	"repro/internal/sim"
 	"repro/internal/sys"
 )
@@ -60,19 +61,24 @@ func RunPhase(opts core.Options, attach func(s *core.System),
 	return ph, s, nil
 }
 
-// perfOpts installs a fresh kperf set into opts when enabled. Each
-// booted system gets its own set (per-system gauges would collide on
-// a shared registry); Table.ObservePerf merges the snapshots.
+// perfOpts installs a fresh kperf set — and a flight recorder over it
+// — into opts when enabled. Each booted system gets its own set
+// (per-system gauges would collide on a shared registry);
+// Table.ObservePerf merges the snapshots and flight summaries. The
+// recorder rides the same switch as kperf, so the existing kperf
+// on/off bit-identity gate covers kflight too.
 func perfOpts(opts core.Options, perf bool) core.Options {
 	if perf {
 		opts.Perf = core.NewPerf(0)
+		opts.Flight = &kflight.Config{}
 	}
 	return opts
 }
 
 // ObservePerf folds a system's kperf snapshot into the table and
 // accumulates the machine's elapsed cycles for the attribution
-// identity (Perf.CheckTotal(PerfElapsed)). A system booted without
+// identity (Perf.CheckTotal(PerfElapsed)), plus the system's flight
+// summary when a recorder was attached. A system booted without
 // instrumentation is a no-op.
 func (t *Table) ObservePerf(s *core.System) {
 	if s == nil || s.Perf == nil {
@@ -85,4 +91,7 @@ func (t *Table) ObservePerf(s *core.System) {
 		t.Perf.Merge(sn)
 	}
 	t.PerfElapsed += s.M.Elapsed()
+	if s.Flight != nil {
+		t.Flight = kflight.MergeSummaries(t.Flight, s.Flight.Summary())
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/kflight"
 	"repro/internal/kperf"
 	"repro/internal/sim"
 )
@@ -42,6 +43,12 @@ type Table struct {
 	// exactly one (process, mode, subsystem) cell.
 	Perf        *kperf.Snapshot
 	PerfElapsed sim.Cycles
+
+	// Flight is the merged kflight summary over every instrumented
+	// system (nil when the experiment ran without the recorder). Every
+	// field is deterministic in simulated behavior, so benchdiff gates
+	// on it like any other metric.
+	Flight *kflight.Summary
 }
 
 // Observe accumulates a measured phase's simulated times into the

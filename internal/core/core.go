@@ -14,6 +14,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/kefence"
 	"repro/internal/kernel"
+	"repro/internal/kflight"
 	"repro/internal/kgcc"
 	"repro/internal/kmon"
 	"repro/internal/kperf"
@@ -83,6 +84,12 @@ type Options struct {
 	// only, so simulated cycle counts are bit-identical with it on or
 	// off — the determinism suite asserts exactly that.
 	Perf *kperf.Set
+	// Flight enables the kflight flight recorder over Perf (which must
+	// also be set): epoch sampling of every kperf metric plus
+	// postmortem dumps at kills, traps, extension deaths, and run end.
+	// Like Perf it is host-side only and covered by the same
+	// bit-identity gate. A zero-value Config selects the defaults.
+	Flight *kflight.Config
 }
 
 // NewPerf creates a kperf set sized for this kernel's syscall table,
@@ -115,6 +122,9 @@ type System struct {
 
 	// Perf mirrors Options.Perf (nil: instrumentation disabled).
 	Perf *kperf.Set
+
+	// Flight is the flight recorder (nil: disabled).
+	Flight *kflight.Recorder
 
 	IO *vfs.IOModel
 
@@ -198,6 +208,13 @@ func New(opts Options) (*System, error) {
 
 	if s.Perf != nil {
 		s.wirePerf()
+	}
+	if opts.Flight != nil {
+		if s.Perf == nil {
+			return nil, fmt.Errorf("core: Flight requires Perf")
+		}
+		s.Flight = kflight.NewRecorder(*opts.Flight, s.Perf)
+		s.M.Flight = s.Flight
 	}
 	return s, nil
 }

@@ -1,0 +1,53 @@
+package kernel
+
+import "repro/internal/sim"
+
+// FlightHook is the flight-recorder seam: the machine announces
+// scheduler-tick boundaries and notable events through it, host-side
+// only. Unlike ProbeTap, a flight hook can never charge cycles — it
+// has no way to return a cost — so a machine with a recorder attached
+// is bit-identical in simulated time to one without, by construction.
+// internal/kflight's Recorder implements this interface structurally
+// (kflight imports only kperf and sim, so the kernel stays ignorant of
+// the recorder and the recorder of the kernel).
+type FlightHook interface {
+	// Tick fires at scheduler boundaries: after every dispatch returns
+	// to the scheduler loop, after idle gaps, and at every timeslice
+	// expiry. The hook decides whether an epoch boundary has passed;
+	// ticks are frequent and must be cheap when no boundary has.
+	Tick(now sim.Cycles)
+	// Event fires on notable occurrences — kills, guard traps,
+	// extension deaths, run end — so the recorder can cut a postmortem.
+	Event(now sim.Cycles, kind, detail string)
+}
+
+// Flight event kinds, the kind strings passed to FlightHook.Event.
+const (
+	// FlightKill: a process was terminated by Kill/KillErr (watchdog,
+	// probe violation unwinding).
+	FlightKill = "kill"
+	// FlightTrap: a guard (Kefence) page fault fired.
+	FlightTrap = "trap"
+	// FlightKuDead: a kucode extension died on a runtime check
+	// violation; subsequent calls return ErrKuDead.
+	FlightKuDead = "kudead"
+	// FlightProbeDead: a kprobe program died on a runtime violation.
+	FlightProbeDead = "probedead"
+	// FlightRunEnd: Machine.Run drained every process.
+	FlightRunEnd = "run_end"
+)
+
+// FlightTick reports a scheduler boundary to the flight recorder.
+// One predictable nil-check when no recorder is attached.
+func (m *Machine) FlightTick() {
+	if m.Flight != nil {
+		m.Flight.Tick(m.Clock.Now())
+	}
+}
+
+// FlightEvent reports a notable event to the flight recorder.
+func (m *Machine) FlightEvent(kind, detail string) {
+	if m.Flight != nil {
+		m.Flight.Event(m.Clock.Now(), kind, detail)
+	}
+}

@@ -66,6 +66,11 @@ type Machine struct {
 	// attached at the firing tracepoint.
 	Tap ProbeTap
 
+	// Flight is the flight-recorder seam (nil = no recorder). Like
+	// Perf it is host-side only and can never move a simulated cycle;
+	// see FlightHook.
+	Flight FlightHook
+
 	procs   map[int]*Process
 	ready   *ring.Deque[*Process]
 	current *Process
@@ -130,6 +135,9 @@ func New(cfg Config) *Machine {
 	m.KAS.FaultProbe = func(f *mem.Fault) {
 		if p := m.current; p != nil {
 			p.Perf.Fault(m.Clock.Now(), f.Guard, f.Access == mem.AccessWrite)
+			if f.Guard {
+				m.FlightEvent(FlightTrap, fmt.Sprintf("guard fault in %s-%d at %#x", p.Name, p.PID, f.Addr))
+			}
 			m.probeFault(p, f)
 		}
 	}
@@ -222,6 +230,9 @@ func (m *Machine) Spawn(name string, fn func(*Process) error) *Process {
 	}
 	p.UAS.FaultProbe = func(f *mem.Fault) {
 		p.Perf.Fault(m.Clock.Now(), f.Guard, f.Access == mem.AccessWrite)
+		if f.Guard {
+			m.FlightEvent(FlightTrap, fmt.Sprintf("guard fault in %s-%d at %#x", p.Name, p.PID, f.Addr))
+		}
 		m.probeFault(p, f)
 	}
 	m.procs[p.PID] = p
@@ -248,6 +259,7 @@ func (m *Machine) Run() error {
 				m.IdleCycles += gap
 				m.Perf.OnIdle(gap)
 				m.Clock.AdvanceTo(ev.when)
+				m.FlightTick()
 			}
 			ev.proc.wake()
 			continue
@@ -257,6 +269,7 @@ func (m *Machine) Run() error {
 			continue
 		}
 		m.dispatch(p)
+		m.FlightTick()
 		switch p.state {
 		case stateDone:
 			if p.err != nil && firstErr == nil {
@@ -270,6 +283,7 @@ func (m *Machine) Run() error {
 			// Wake event already queued by BlockFor.
 		}
 	}
+	m.FlightEvent(FlightRunEnd, "")
 	return firstErr
 }
 

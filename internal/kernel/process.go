@@ -84,6 +84,8 @@ func (p *Process) top(fn func(*Process) error) {
 			if r := recover(); r != nil {
 				if kp, ok := r.(killPanic); ok {
 					p.err = fmt.Errorf("%w: %s", ErrKilled, kp.reason)
+					p.M.FlightEvent(FlightKill,
+						fmt.Sprintf("%s-%d: %s", p.Name, p.PID, kp.reason))
 					return
 				}
 				panic(r)
@@ -197,6 +199,7 @@ func (p *Process) sliceLen() sim.Cycles {
 // fires, the bonus decays (this process just burned a full slice),
 // then the CPU is handed over if anyone else wants it.
 func (p *Process) preemptPoint() {
+	p.M.FlightTick()
 	if p.OnPreempt != nil {
 		if err := p.OnPreempt(p); err != nil {
 			p.KillErr(err)

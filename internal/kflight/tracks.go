@@ -1,0 +1,64 @@
+package kflight
+
+import (
+	"sort"
+
+	"repro/internal/kperf"
+)
+
+// CounterTracks renders the record's epoch series as Chrome-trace
+// counter tracks (kprof lays them out under the span timeline):
+//
+//   - syscalls/epoch: per-epoch delta of the sys.calls.total gauge
+//   - tlb.hit.ratio: cumulative TLB hit ratio at each epoch close
+//   - cycles.<subsys>: per-epoch attributed cycles per subsystem
+//
+// Points land at each epoch's End cycle. Because epoch gauges are
+// delta-encoded (changed values only), the walk carries the running
+// value forward.
+func (rec *Record) CounterTracks() []kperf.CounterTrack {
+	if len(rec.Epochs) == 0 {
+		return nil
+	}
+	gauges := make(map[string]int64)
+	syscalls := kperf.CounterTrack{Name: "syscalls/epoch"}
+	tlb := kperf.CounterTrack{Name: "tlb.hit.ratio"}
+	subsys := make(map[string]*kperf.CounterTrack)
+	var subsysNames []string
+	for _, e := range rec.Epochs {
+		prevCalls := gauges["sys.calls.total"]
+		for k, v := range e.Gauges {
+			gauges[k] = v
+		}
+		at := int64(e.End)
+		syscalls.Points = append(syscalls.Points, kperf.CounterPoint{
+			At: at, Value: float64(gauges["sys.calls.total"] - prevCalls),
+		})
+		hits, misses := gauges["mem.tlb.hits"], gauges["mem.tlb.misses"]
+		if hits+misses > 0 {
+			tlb.Points = append(tlb.Points, kperf.CounterPoint{
+				At: at, Value: float64(hits) / float64(hits+misses),
+			})
+		}
+		for name, cycles := range e.SubsysDeltas() {
+			tr, ok := subsys[name]
+			if !ok {
+				tr = &kperf.CounterTrack{Name: "cycles." + name}
+				subsys[name] = tr
+				subsysNames = append(subsysNames, name)
+			}
+			tr.Points = append(tr.Points, kperf.CounterPoint{
+				At: at, Value: float64(cycles),
+			})
+		}
+	}
+	out := []kperf.CounterTrack{syscalls}
+	if len(tlb.Points) > 0 {
+		out = append(out, tlb)
+	}
+	sort.Strings(subsysNames)
+	for _, name := range subsysNames {
+		out = append(out, *subsys[name])
+	}
+	return out
+}

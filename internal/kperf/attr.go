@@ -49,6 +49,11 @@ const (
 	nSubsys
 )
 
+// NSubsys exposes the subsystem count so samplers (kflight) can size
+// dense per-(mode, subsystem) arrays that stay index-compatible with
+// the attribution cells.
+const NSubsys = int(nSubsys)
+
 var subsysNames = [...]string{
 	"kern", "user", "boundary", "mem", "alloc", "sched", "cosy",
 	"kefence", "kmon", "probe", "kucode", "disk",
@@ -70,6 +75,9 @@ const (
 	ModeKernel
 	nModes
 )
+
+// NModes exposes the mode count (see NSubsys).
+const NModes = int(nModes)
 
 func (m Mode) String() string {
 	if m == ModeKernel {
@@ -113,6 +121,51 @@ func (ps *ProcState) Shard() *Shard {
 		return nil
 	}
 	return ps.shard
+}
+
+// PID reports the process id.
+func (ps *ProcState) PID() int {
+	if ps == nil {
+		return 0
+	}
+	return ps.pid
+}
+
+// Label renders the process as "name-pid", the identifier used across
+// every exporter (folded stacks, Chrome traces, kflight epochs).
+func (ps *ProcState) Label() string {
+	if ps == nil {
+		return ""
+	}
+	return fmt.Sprintf("%s-%d", ps.name, ps.pid)
+}
+
+// ModeSubsysCycles sums the process's attribution cells across syscall
+// slots into a dense [NModes*NSubsys]int64 array indexed by
+// mode*NSubsys+subsys. A correctly sized dst is reused (the kflight
+// sampler calls this every epoch for every process); otherwise a new
+// slice is allocated. Nil receiver returns dst untouched after
+// zeroing, so epoch deltas of a vanished process read as zero.
+func (ps *ProcState) ModeSubsysCycles(dst []int64) []int64 {
+	if len(dst) != NModes*NSubsys {
+		dst = make([]int64, NModes*NSubsys)
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	if ps == nil {
+		return dst
+	}
+	for cell := 0; cell < len(dst); cell++ {
+		base := cell * ps.set.nrSlots
+		var sum sim.Cycles
+		for slot := 0; slot < ps.set.nrSlots; slot++ {
+			sum += ps.cells[base+slot]
+		}
+		dst[cell] = int64(sum)
+	}
+	return dst
 }
 
 // OnCycles attributes c charged cycles in the given mode. This is the

@@ -61,6 +61,21 @@ func (f TraceFilter) matchSub(sub string) bool {
 	return f.Subsystem == "" || f.Subsystem == sub
 }
 
+// CounterPoint is one sample on a counter track: the track's value at
+// a simulated instant.
+type CounterPoint struct {
+	At    int64 // simulated cycles
+	Value float64
+}
+
+// CounterTrack is a named time series rendered as a Chrome trace
+// counter row ("C" events) alongside the span timeline. kflight epoch
+// series export through this.
+type CounterTrack struct {
+	Name   string
+	Points []CounterPoint
+}
+
 // WriteChromeTrace renders the set's trace as Chrome trace_event
 // JSON.
 func (s *Set) WriteChromeTrace(w io.Writer) error {
@@ -70,10 +85,27 @@ func (s *Set) WriteChromeTrace(w io.Writer) error {
 // WriteChromeTraceFiltered is WriteChromeTrace restricted to the
 // processes and subsystems the filter selects.
 func (s *Set) WriteChromeTraceFiltered(w io.Writer, f TraceFilter) error {
+	return s.WriteChromeTraceCounters(w, f, nil)
+}
+
+// WriteChromeTraceCounters is WriteChromeTraceFiltered plus counter
+// tracks: each track renders as one counter row under the machine
+// process, so flight-recorder series (syscall rates, TLB ratios,
+// subsystem cycle deltas) line up against the span timeline.
+func (s *Set) WriteChromeTraceCounters(w io.Writer, f TraceFilter, tracks []CounterTrack) error {
 	if s == nil {
 		return fmt.Errorf("kperf: no set")
 	}
 	doc := chromeDoc{DisplayTimeUnit: "ms"}
+	for _, tr := range tracks {
+		for _, pt := range tr.Points {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: tr.Name, Cat: "kflight", Ph: "C",
+				Ts: cyclesToUs(pt.At), PID: machinePID,
+				Args: map[string]any{"value": pt.Value},
+			})
+		}
+	}
 	for _, sh := range s.Trace.Shards() {
 		if !f.MatchProc(sh.name, sh.pid) {
 			continue

@@ -80,16 +80,22 @@ func TestTracerShardRecordsAndDrops(t *testing.T) {
 		t.Fatalf("CurrentSpan after End = %d, want 0", got)
 	}
 	sh.Span(EvBlockSpan, uint32(SubDisk), 50, 60)
-	// Shard is full (4 records); further writes drop.
+	// Ring is full (4 records); the next write wraps, overwriting the
+	// oldest record and counting it as a drop.
 	sh.Span(EvSchedSpan, 0, 70, 80)
 	if sh.Drops() != 1 {
 		t.Fatalf("drops = %d, want 1", sh.Drops())
+	}
+	if sh.Retained() != 4 {
+		t.Fatalf("retained = %d, want 4", sh.Retained())
 	}
 	evs := sh.Events()
 	if len(evs) != 4 {
 		t.Fatalf("events = %d, want 4", len(evs))
 	}
-	want := []EventKind{EvSchedSpan, EvFault, EvSyscallSpan, EvBlockSpan}
+	// The retained window is the newest 4 records in write order: the
+	// first sched span (10,20) was evicted, the wrapping one survives.
+	want := []EventKind{EvFault, EvSyscallSpan, EvBlockSpan, EvSchedSpan}
 	for i, ev := range evs {
 		if ev.Kind != want[i] {
 			t.Fatalf("event %d kind %v, want %v", i, ev.Kind, want[i])
@@ -98,12 +104,137 @@ func TestTracerShardRecordsAndDrops(t *testing.T) {
 			t.Fatalf("event %d pid %d", i, ev.PID)
 		}
 	}
-	if evs[2].Arg != 2 || evs[2].Start != 30 || evs[2].End != 40 {
-		t.Fatalf("syscall span decoded wrong: %+v", evs[2])
+	if evs[1].Arg != 2 || evs[1].Start != 30 || evs[1].End != 40 {
+		t.Fatalf("syscall span decoded wrong: %+v", evs[1])
+	}
+	if evs[3].Start != 70 || evs[3].End != 80 {
+		t.Fatalf("wrapping span decoded wrong: %+v", evs[3])
+	}
+	// Tail slices the newest k of the retained window.
+	tail := sh.Tail(2)
+	if len(tail) != 2 || tail[0].Kind != EvBlockSpan || tail[1].Kind != EvSchedSpan {
+		t.Fatalf("tail(2) = %+v", tail)
+	}
+	if got := sh.Tail(99); len(got) != 4 {
+		t.Fatalf("tail(99) = %d events, want all 4", len(got))
 	}
 	records, drops := tr.Totals()
-	if records != 4 || drops != 1 {
-		t.Fatalf("totals = %d/%d", records, drops)
+	if records != 5 || drops != 1 {
+		t.Fatalf("totals = %d/%d, want 5/1", records, drops)
+	}
+}
+
+// TestTracerShardWraparoundExact pins the satellite contract for
+// kflight sampling: when a shard ring wraps many times mid-epoch,
+// drop counting stays exact (records written - retained) and the
+// retained events are precisely the newest capacity-many, still in
+// strict write order.
+func TestTracerShardWraparoundExact(t *testing.T) {
+	const cap = 8
+	tr := NewTracer(cap)
+	sh := tr.Shard(3, "churn")
+	const writes = 3*cap + 5 // wraps the ring three-plus times
+	for i := 0; i < writes; i++ {
+		sh.Span(EvSchedSpan, uint32(i), sim.Cycles(10*i), sim.Cycles(10*i+5))
+	}
+	if sh.Records() != writes {
+		t.Fatalf("records = %d, want %d", sh.Records(), writes)
+	}
+	if sh.Drops() != writes-cap {
+		t.Fatalf("drops = %d, want %d", sh.Drops(), writes-cap)
+	}
+	if sh.Records()-sh.Drops() != int64(sh.Retained()) {
+		t.Fatalf("records-drops = %d, retained = %d",
+			sh.Records()-sh.Drops(), sh.Retained())
+	}
+	evs := sh.Events()
+	if len(evs) != cap {
+		t.Fatalf("events = %d, want %d", len(evs), cap)
+	}
+	for i, ev := range evs {
+		wantArg := uint32(writes - cap + i)
+		if ev.Arg != wantArg {
+			t.Fatalf("event %d arg %d, want %d (ordering broken)", i, ev.Arg, wantArg)
+		}
+		if ev.Start != sim.Cycles(10*int(wantArg)) {
+			t.Fatalf("event %d start %d, want %d", i, ev.Start, 10*int(wantArg))
+		}
+	}
+	// Mid-epoch observation: sampling Totals between wraps must agree
+	// with the exact write count at that instant.
+	sh2 := tr.Shard(4, "sampled")
+	for i := 0; i < cap+3; i++ {
+		sh2.Span(EvSchedSpan, uint32(i), sim.Cycles(i), sim.Cycles(i+1))
+		wantRecords := int64(i + 1)
+		wantDrops := int64(0)
+		if i >= cap {
+			wantDrops = int64(i + 1 - cap)
+		}
+		if sh2.Records() != wantRecords || sh2.Drops() != wantDrops {
+			t.Fatalf("after write %d: records/drops = %d/%d, want %d/%d",
+				i, sh2.Records(), sh2.Drops(), wantRecords, wantDrops)
+		}
+	}
+}
+
+// TestQuantilesHelper is the table test for the shared p50/p90/p99
+// helper over power-of-two buckets (satellite: ktop and benchdiff use
+// this instead of re-deriving bucket math).
+func TestQuantilesHelper(t *testing.T) {
+	mkBuckets := func(vals ...int64) ([]int64, int64, int64) {
+		b := make([]int64, HistBuckets)
+		var count, max int64
+		for _, v := range vals {
+			b[BucketOf(v)]++
+			count++
+			if v > max {
+				max = v
+			}
+		}
+		return b, count, max
+	}
+	cases := []struct {
+		name          string
+		vals          []int64
+		p50, p90, p99 int64
+	}{
+		{name: "empty", vals: nil, p50: 0, p90: 0, p99: 0},
+		{name: "single", vals: []int64{5}, p50: 8, p90: 8, p99: 8},
+		{name: "mixed", vals: []int64{1, 2, 3, 100, 1000, 1_000_000},
+			// 6 observations: p50 target idx 3 → 100 → 2^7; p90 target
+			// idx 5 → 1e6 → 2^20; p99 same.
+			p50: 128, p90: 1 << 20, p99: 1 << 20},
+		{name: "uniform", vals: []int64{16, 16, 16, 16}, p50: 32, p90: 32, p99: 32},
+		{name: "heavy tail", vals: append(make([]int64, 99), 1<<30),
+			// 99 zeros (bucket 0, upper bound 2^0=1) and one huge value:
+			// p50/p90 land in the zero bucket, p99 in the tail.
+			p50: 1, p90: 1, p99: 1 << 31},
+	}
+	for _, tc := range cases {
+		b, count, max := mkBuckets(tc.vals...)
+		p50, p90, p99 := Quantiles(b, count, max)
+		if p50 != tc.p50 || p90 != tc.p90 || p99 != tc.p99 {
+			t.Errorf("%s: Quantiles = %d/%d/%d, want %d/%d/%d",
+				tc.name, p50, p90, p99, tc.p50, tc.p90, tc.p99)
+		}
+		// BucketQuantile must agree at the triple's points.
+		if got := BucketQuantile(b, count, max, 0.50); got != tc.p50 {
+			t.Errorf("%s: BucketQuantile(0.50) = %d, want %d", tc.name, got, tc.p50)
+		}
+	}
+	// A live histogram's snapshot and the helper over its own buckets
+	// must agree: one quantile implementation, two entry points.
+	var h Histogram
+	for _, v := range []sim.Cycles{1, 2, 3, 100, 1000, 1_000_000} {
+		h.Observe(v)
+	}
+	sn := h.Snapshot()
+	full := make([]int64, HistBuckets)
+	copy(full, sn.Buckets)
+	p50, p90, p99 := Quantiles(full, sn.Count, sn.Max)
+	if sn.P50 != p50 || sn.P90 != p90 || sn.P99 != p99 {
+		t.Errorf("snapshot quantiles %d/%d/%d disagree with helper %d/%d/%d",
+			sn.P50, sn.P90, sn.P99, p50, p90, p99)
 	}
 }
 

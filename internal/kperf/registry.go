@@ -142,6 +142,24 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return bucketQuantile(h.buckets[:], h.count, h.max, q)
 }
 
+// BucketQuantile computes the q-quantile (0 <= q <= 1) from raw
+// power-of-two bucket counts: the upper bound of the bucket holding
+// the q-th observation, an upper estimate within 2x. Exported so
+// consumers of merged HistogramSnapshot buckets (ktop, benchdiff)
+// share the same scan instead of re-deriving bucket math.
+func BucketQuantile(buckets []int64, count, max int64, q float64) int64 {
+	return bucketQuantile(buckets, count, max, q)
+}
+
+// Quantiles computes p50/p90/p99 in one call from raw power-of-two
+// bucket counts; the shared helper for exporters that report the
+// standard latency triple.
+func Quantiles(buckets []int64, count, max int64) (p50, p90, p99 int64) {
+	return bucketQuantile(buckets, count, max, 0.50),
+		bucketQuantile(buckets, count, max, 0.90),
+		bucketQuantile(buckets, count, max, 0.99)
+}
+
 // bucketQuantile is the shared quantile scan over power-of-two
 // buckets, used both for live histograms and for merged snapshots
 // (bucket counts merge exactly, so merged quantiles are as precise as
@@ -175,6 +193,7 @@ type HistogramSnapshot struct {
 	Max     int64   `json:"max"`
 	Mean    float64 `json:"mean"`
 	P50     int64   `json:"p50_upper"`
+	P90     int64   `json:"p90_upper"`
 	P99     int64   `json:"p99_upper"`
 	Buckets []int64 `json:"-"`
 }
@@ -187,14 +206,16 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 			last = i + 1
 		}
 	}
+	p50, p90, p99 := Quantiles(h.buckets[:], h.count, h.max)
 	return HistogramSnapshot{
 		Count:   h.count,
 		Sum:     h.sum,
 		Min:     h.min,
 		Max:     h.max,
 		Mean:    h.Mean(),
-		P50:     h.Quantile(0.50),
-		P99:     h.Quantile(0.99),
+		P50:     p50,
+		P90:     p90,
+		P99:     p99,
 		Buckets: append([]int64(nil), h.buckets[:last]...),
 	}
 }

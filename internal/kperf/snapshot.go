@@ -75,7 +75,7 @@ func (s *Set) Snapshot() *Snapshot {
 						continue
 					}
 					sn.Attribution = append(sn.Attribution, AttrRow{
-						Process: fmt.Sprintf("%s-%d", ps.name, ps.pid),
+						Process: ps.Label(),
 						Mode:    Mode(mode).String(),
 						Subsys:  Subsys(sub).String(),
 						Syscall: s.slotName(slot),
@@ -165,8 +165,7 @@ func mergeHist(a, b HistogramSnapshot) HistogramSnapshot {
 	for i, v := range b.Buckets {
 		out.Buckets[i] += v
 	}
-	out.P50 = bucketQuantile(out.Buckets, out.Count, out.Max, 0.50)
-	out.P99 = bucketQuantile(out.Buckets, out.Count, out.Max, 0.99)
+	out.P50, out.P90, out.P99 = Quantiles(out.Buckets, out.Count, out.Max)
 	return out
 }
 

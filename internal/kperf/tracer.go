@@ -53,18 +53,22 @@ type TraceEvent struct {
 }
 
 // Shard is one process's private slice of the tracer: a bounded
-// binary ring of fixed-size records. When the ring is full new
-// records are dropped and counted — tracing never blocks and never
-// reallocates, so the hot path is a bounds check and a 24-byte
-// encode.
+// binary ring of fixed-size records. When the ring is full a new
+// record overwrites the oldest one and the loss is counted — tracing
+// never blocks and never reallocates, and the retained window is
+// always the most recent records, which is exactly the tail a
+// kflight postmortem wants. The hot path is a 24-byte encode plus
+// two index updates.
 type Shard struct {
 	pid  int
 	name string
 
-	buf     []byte // capacity*recordBytes, append-only until full
-	used    int    // bytes written
-	drops   int64
-	records int64
+	buf     []byte // nrec*recordBytes, fixed
+	nrec    int    // record capacity
+	w       int    // next write slot
+	n       int    // retained records (<= nrec)
+	drops   int64  // records overwritten by wraparound (oldest lost)
+	records int64  // total records ever written, including overwritten
 
 	// Open-span bookkeeping for syscall spans: Begin pushes, End pops
 	// and writes the completed record. IDs are per-shard sequence
@@ -92,11 +96,16 @@ func (s *Shard) PID() int { return s.pid }
 // Name reports the shard's process name.
 func (s *Shard) Name() string { return s.name }
 
-// Drops reports records discarded because the ring was full.
+// Drops reports records lost to wraparound: the ring was full and the
+// oldest record was overwritten to make room.
 func (s *Shard) Drops() int64 { return s.drops }
 
-// Records reports records retained.
+// Records reports the total records ever written, including those
+// later overwritten; Records()-Drops() is the retained count.
 func (s *Shard) Records() int64 { return s.records }
+
+// Retained reports the records currently held in the ring.
+func (s *Shard) Retained() int { return s.n }
 
 // Span records a completed span.
 func (s *Shard) Span(kind EventKind, arg uint32, start, end sim.Cycles) {
@@ -141,32 +150,68 @@ func (s *Shard) CurrentSpan() uint64 {
 }
 
 func (s *Shard) write(kind EventKind, arg uint32, start, end sim.Cycles) {
-	if s.used+recordBytes > len(s.buf) {
+	if s.nrec == 0 {
 		s.drops++
+		s.records++
 		return
 	}
-	b := s.buf[s.used : s.used+recordBytes]
+	off := s.w * recordBytes
+	b := s.buf[off : off+recordBytes]
 	b[0] = byte(kind)
 	b[1], b[2], b[3] = 0, 0, 0
 	binary.LittleEndian.PutUint32(b[4:], arg)
 	binary.LittleEndian.PutUint64(b[8:], uint64(start))
 	binary.LittleEndian.PutUint64(b[16:], uint64(end))
-	s.used += recordBytes
+	s.w++
+	if s.w == s.nrec {
+		s.w = 0
+	}
+	if s.n < s.nrec {
+		s.n++
+	} else {
+		s.drops++
+	}
 	s.records++
 }
 
-// Events decodes the shard's retained records in write order.
+// decode reads the record in ring slot idx.
+func (s *Shard) decode(idx int) TraceEvent {
+	b := s.buf[idx*recordBytes : idx*recordBytes+recordBytes]
+	return TraceEvent{
+		PID:   s.pid,
+		Kind:  EventKind(b[0]),
+		Arg:   binary.LittleEndian.Uint32(b[4:]),
+		Start: sim.Cycles(binary.LittleEndian.Uint64(b[8:])),
+		End:   sim.Cycles(binary.LittleEndian.Uint64(b[16:])),
+	}
+}
+
+// Events decodes the shard's retained records in write order (oldest
+// retained first).
 func (s *Shard) Events() []TraceEvent {
-	out := make([]TraceEvent, 0, s.used/recordBytes)
-	for off := 0; off+recordBytes <= s.used; off += recordBytes {
-		b := s.buf[off : off+recordBytes]
-		out = append(out, TraceEvent{
-			PID:   s.pid,
-			Kind:  EventKind(b[0]),
-			Arg:   binary.LittleEndian.Uint32(b[4:]),
-			Start: sim.Cycles(binary.LittleEndian.Uint64(b[8:])),
-			End:   sim.Cycles(binary.LittleEndian.Uint64(b[16:])),
-		})
+	return s.Tail(s.n)
+}
+
+// Tail decodes the most recent k retained records in write order; k
+// larger than the retained count returns everything.
+func (s *Shard) Tail(k int) []TraceEvent {
+	if k > s.n {
+		k = s.n
+	}
+	if k <= 0 {
+		return nil
+	}
+	out := make([]TraceEvent, 0, k)
+	start := s.w - k
+	if start < 0 {
+		start += s.nrec
+	}
+	for i := 0; i < k; i++ {
+		idx := start + i
+		if idx >= s.nrec {
+			idx -= s.nrec
+		}
+		out = append(out, s.decode(idx))
 	}
 	return out
 }
@@ -200,7 +245,7 @@ func (t *Tracer) Shard(pid int, name string) *Shard {
 	if n <= 0 {
 		n = DefaultShardRecords
 	}
-	s := &Shard{pid: pid, name: name, buf: make([]byte, n*recordBytes)}
+	s := &Shard{pid: pid, name: name, nrec: n, buf: make([]byte, n*recordBytes)}
 	t.mu.Lock()
 	t.shards = append(t.shards, s)
 	t.mu.Unlock()

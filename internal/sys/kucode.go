@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/kcheck"
+	"repro/internal/kernel"
 	"repro/internal/kgcc"
 	"repro/internal/kperf"
 	"repro/internal/mem"
@@ -399,6 +400,8 @@ func (pr *Proc) KuCall(id int, args ...int64) (int64, error) {
 		if err != nil {
 			e.Err = err
 			e.dead = true
+			pr.K.M.FlightEvent(kernel.FlightKuDead,
+				fmt.Sprintf("ext %d (%s): %v", id, e.Entry, err))
 		}
 		e.Calls++
 		cost := ku.pending
