@@ -9,7 +9,7 @@
 //
 //	kprof [-workload postmark|compile|interactive|dbscan|monitor]
 //	      [-trace FILE.json] [-folded FILE.folded] [-records N] [-top N]
-//	      [-proc NAME] [-subsystem NAME]
+//	      [-proc NAME] [-subsystem NAME] [-req ID] [-logs]
 //	      [-flight-epoch CYCLES] [-flight-out FILE.json]
 //
 // The kflight flight recorder always rides along (it is host-side
@@ -26,6 +26,13 @@
 // overhead or just one process's disk waits is a single flag away.
 // The text summary always covers the whole machine.
 //
+// The ktrace request tracer also always rides along: -trace exports
+// include the span graph (requests, nested ops, syscalls, waits) as
+// Chrome flow events so Perfetto draws parent/child arrows, -req
+// restricts those spans — and -logs output — to one request id, and
+// -logs prints the kernel log with each line's owning request, the
+// request-scoped view of dmesg.
+//
 // The "monitor" workload reproduces E6's shape — PostMark with the
 // dcache lock instrumented plus a user-space logger process — and is
 // the most interesting timeline: two processes interleaving on one
@@ -40,25 +47,22 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
-	"sync/atomic"
 
+	"repro/internal/bench"
 	"repro/internal/core"
-	"repro/internal/disk"
 	"repro/internal/kflight"
 	"repro/internal/kperf"
+	"repro/internal/ktrace"
 	"repro/internal/sim"
-	"repro/internal/sys"
-	"repro/internal/vfs"
-	"repro/internal/vfs/memfs"
-	"repro/internal/workload"
 )
 
 func main() {
-	name := flag.String("workload", "postmark", "workload: postmark, compile, interactive, dbscan, monitor")
+	name := flag.String("workload", "postmark", "workload: "+bench.WorkloadNames())
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
 	foldedOut := flag.String("folded", "", "write a folded-stack cycle profile to this file")
 	records := flag.Int("records", 0, "per-process trace shard capacity in records (0: 65536)")
@@ -67,6 +71,8 @@ func main() {
 	subsystem := flag.String("subsystem", "", "restrict trace/folded exports to this subsystem")
 	flightEpoch := flag.Int64("flight-epoch", 0, "kflight sampling epoch in simulated cycles (0: default)")
 	flightOut := flag.String("flight-out", "", "write the kflight record (epochs + postmortems) to this file for ktop")
+	req := flag.Uint64("req", 0, "restrict flow spans and -logs output to this ktrace request id (0: all)")
+	logs := flag.Bool("logs", false, "print the kernel log (each line with its owning request id)")
 	flag.Parse()
 	filter := kperf.TraceFilter{Proc: *proc, Subsystem: *subsystem}
 
@@ -83,9 +89,18 @@ func main() {
 	}
 
 	summarize(os.Stdout, *name, sn, *top)
+	tsum := s.Ktrace.Summary()
+	summarizeTrace(os.Stdout, tsum, *top)
 	rec := s.Flight.Record()
+	if b, err := json.Marshal(tsum); err == nil {
+		rec.Ktrace = b // ride along so ktop -in replays the SLI panel
+	}
 	fmt.Printf("kflight: %d epochs closed (%d retained), %d postmortems\n",
 		rec.Summary.Epochs, len(rec.Epochs), len(rec.Postmortems))
+
+	if *logs {
+		printLogs(os.Stdout, s, *req)
+	}
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -93,7 +108,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "kprof: %v\n", err)
 			os.Exit(1)
 		}
-		if err := s.Perf.WriteChromeTraceCounters(f, filter, rec.CounterTracks()); err == nil {
+		if err := s.Perf.WriteChromeTraceExtra(f, filter, rec.CounterTracks(), s.Ktrace.FlowSpans(*req)); err == nil {
 			err = f.Close()
 		} else {
 			f.Close()
@@ -110,7 +125,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "kprof: %v\n", err)
 			os.Exit(1)
 		}
-		if err := s.Flight.WriteJSON(f); err == nil {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(rec); err == nil {
 			err = f.Close()
 		} else {
 			f.Close()
@@ -131,100 +148,15 @@ func main() {
 	}
 }
 
-// run boots an instrumented system and drives the named workload to
-// completion.
+// run boots an instrumented system (perf + flight recorder + request
+// tracer) and drives the named workload to completion via the shared
+// registry in internal/bench.
 func run(name string, records int, flightEpoch sim.Cycles) (*core.System, error) {
-	opts := core.Options{
+	return bench.RunWorkload(name, core.Options{
 		Perf:   core.NewPerf(records),
 		Flight: &kflight.Config{EpochCycles: flightEpoch},
-	}
-	switch name {
-	case "postmark":
-		opts.CacheBlocks = 1024 // small cache: keep the disk visible in the timeline
-		s, err := core.New(opts)
-		if err != nil {
-			return nil, err
-		}
-		cfg := workload.DefaultPostMark()
-		s.Spawn("postmark", func(pr *sys.Proc) error {
-			_, err := workload.PostMark(pr, cfg)
-			return err
-		})
-		return s, s.Run()
-	case "compile":
-		s, err := core.New(opts)
-		if err != nil {
-			return nil, err
-		}
-		cfg := workload.DefaultCompile()
-		s.Spawn("compile", func(pr *sys.Proc) error {
-			if err := workload.CompileSetup(pr, cfg); err != nil {
-				return err
-			}
-			_, err := workload.Compile(pr, cfg)
-			return err
-		})
-		return s, s.Run()
-	case "interactive":
-		s, err := core.New(opts)
-		if err != nil {
-			return nil, err
-		}
-		cfg := workload.DefaultInteractive()
-		s.Spawn("desktop", func(pr *sys.Proc) error {
-			if err := workload.InteractiveSetup(pr, cfg); err != nil {
-				return err
-			}
-			_, err := workload.Interactive(pr, cfg)
-			return err
-		})
-		return s, s.Run()
-	case "dbscan":
-		s, err := core.New(opts)
-		if err != nil {
-			return nil, err
-		}
-		cfg := workload.DefaultDB()
-		s.Spawn("db", func(pr *sys.Proc) error {
-			if err := workload.DBSetup(pr, cfg); err != nil {
-				return err
-			}
-			if _, err := workload.SeqScanUser(pr, cfg); err != nil {
-				return err
-			}
-			_, err := workload.RandScanUser(pr, cfg)
-			return err
-		})
-		return s, s.Run()
-	case "monitor":
-		opts.CacheBlocks = 1024
-		s, err := core.New(opts)
-		if err != nil {
-			return nil, err
-		}
-		logIO := vfs.NewIOModel(disk.New(disk.SCSI15K()), 4096)
-		logIO.DirtyLimit = 16
-		if err := s.NS.Mount("/log", memfs.New("logfs", logIO)); err != nil {
-			return nil, err
-		}
-		s.InstrumentDcache()
-		s.Mon.RingEnabled = true
-		cfg := workload.DefaultPostMark()
-		cfg.InitialFiles, cfg.Transactions = 200, 800
-		var done atomic.Bool
-		s.Spawn("postmark", func(pr *sys.Proc) error {
-			defer done.Store(true)
-			_, err := workload.PostMark(pr, cfg)
-			return err
-		})
-		logCfg := workload.DefaultLogger()
-		s.Spawn("logger", func(pr *sys.Proc) error {
-			_, err := workload.Logger(pr, logCfg, done.Load)
-			return err
-		})
-		return s, s.Run()
-	}
-	return nil, fmt.Errorf("unknown workload %q (want postmark, compile, interactive, dbscan, or monitor)", name)
+		Trace:  &ktrace.Config{},
+	})
 }
 
 // summarize renders the attribution snapshot as text.
@@ -270,6 +202,98 @@ func summarize(w *os.File, name string, sn *kperf.Snapshot, top int) {
 	}
 
 	fmt.Fprintf(w, "\nattribution identity ok: folded-stack lines sum to %d == machine elapsed\n", sn.TotalCycles)
+}
+
+// summarizeTrace renders the request tracer's latency SLIs: per
+// operation, the count, the quantiles, and which critical-path segment
+// dominates the p99 tail.
+func summarizeTrace(w *os.File, sum *ktrace.Summary, top int) {
+	fmt.Fprintf(w, "\nktrace: %d requests (%d spans", sum.Requests, sum.Spans)
+	if sum.ReqDrops+sum.SpanDrops > 0 {
+		fmt.Fprintf(w, ", %d req + %d span drops", sum.ReqDrops, sum.SpanDrops)
+	}
+	fmt.Fprintln(w, ")")
+	if sum.IdentityViolations > 0 {
+		fmt.Fprintf(w, "  WARNING: %d decomposition identity violations; first: %s\n",
+			sum.IdentityViolations, sum.FirstViolation)
+	}
+	if len(sum.Ops) == 0 {
+		fmt.Fprintln(w, "  (no traced operations — workload not instrumented)")
+		return
+	}
+	fmt.Fprintln(w, "request latency by operation (cycles):")
+	ops := sum.Ops
+	if len(ops) > top {
+		ops = ops[:top]
+	}
+	for i := range ops {
+		o := &ops[i]
+		fmt.Fprintf(w, "  %-20s n=%-7d p50<=%-9d p90<=%-9d p99<=%-10d max=%-11d tail: %s\n",
+			o.Op, o.Count, o.P50, o.P90, o.P99, o.Max, tailLine(o))
+	}
+}
+
+// tailLine renders one op's p99-tail critical-path decomposition as
+// "seg share%" terms, dominant first.
+func tailLine(o *ktrace.OpSLI) string {
+	var total int64
+	for _, v := range o.TailSegs {
+		total += v
+	}
+	if total == 0 {
+		return "-"
+	}
+	type kv struct {
+		k string
+		v int64
+	}
+	parts := make([]kv, 0, len(o.TailSegs))
+	for k, v := range o.TailSegs {
+		if v > 0 {
+			parts = append(parts, kv{k, v})
+		}
+	}
+	sort.Slice(parts, func(i, j int) bool {
+		if parts[i].v != parts[j].v {
+			return parts[i].v > parts[j].v
+		}
+		return parts[i].k < parts[j].k
+	})
+	s := ""
+	for i, p := range parts {
+		if i == 3 {
+			break // three biggest segments tell the story
+		}
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s %.0f%%", p.k, 100*float64(p.v)/float64(total))
+	}
+	return s
+}
+
+// printLogs dumps the kernel log, one line per entry with its owning
+// request id; req != 0 restricts to that request's lines.
+func printLogs(w *os.File, s *core.System, req uint64) {
+	fmt.Fprintln(w, "\nkernel log (time level [req] message):")
+	n := 0
+	for _, e := range s.M.Log.Entries() {
+		if req != 0 && e.Req != req {
+			continue
+		}
+		tag := "-"
+		if e.Req != 0 {
+			tag = fmt.Sprintf("req=%d", e.Req)
+		}
+		fmt.Fprintf(w, "  %12d %-7s [%s] %s\n", e.Time, e.Level, tag, e.Msg)
+		n++
+	}
+	if dropped := s.M.Log.Dropped(); dropped > 0 {
+		fmt.Fprintf(w, "  (%d earlier entries dropped from the ring)\n", dropped)
+	}
+	if n == 0 {
+		fmt.Fprintln(w, "  (no matching entries)")
+	}
 }
 
 type kv struct {

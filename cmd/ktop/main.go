@@ -11,9 +11,12 @@
 // attributed cycles per subsystem (sparklines over the whole run plus
 // a table of the trailing epochs), the run's top subsystems by total
 // attribution delta, syscall-latency quantiles (exact, from the
-// power-of-two buckets via kperf.Quantiles), and every postmortem the
-// recorder cut — kills, guard traps, dead extensions — with the
-// trace tail leading up to it.
+// power-of-two buckets via kperf.Quantiles), the request tracer's
+// latency SLIs (per-operation p50/p90/p99 plus the segment that
+// dominates the p99 tail), and every postmortem the recorder cut —
+// kills, guard traps, dead extensions — with the trace tail leading
+// up to it, each tail event tagged with the traced request that owned
+// it.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/kflight"
+	"repro/internal/ktrace"
 )
 
 func main() {
@@ -137,6 +141,8 @@ func render(w *os.File, rec *kflight.Record, tableRows, width int) {
 		}
 	}
 
+	renderSLIs(w, rec)
+
 	// Trailing-epoch table.
 	first := len(rec.Epochs) - tableRows
 	if first < 0 {
@@ -174,6 +180,12 @@ func render(w *os.File, rec *kflight.Record, tableRows, width int) {
 			fmt.Fprintf(w, "  window: epochs %d..%d covering cycles %d..%d\n",
 				pm.Epochs[0].Seq, pm.Epochs[n-1].Seq, pm.Epochs[0].Start, pm.Epochs[n-1].End)
 		}
+		// Request context: which traced operation each process was
+		// serving when the dump was cut, keyed by trace id so the tail
+		// events below (and kprof -req) cross-reference.
+		for _, rc := range pm.Requests {
+			fmt.Fprintf(w, "  in flight: %-14s %-20s req=%d\n", rc.Process, rc.Op, rc.TraceID)
+		}
 		tail := pm.Tail
 		const maxTail = 10
 		if len(tail) > maxTail {
@@ -187,8 +199,34 @@ func render(w *os.File, rec *kflight.Record, tableRows, width int) {
 			if te.Name != "" {
 				name = te.Name
 			}
-			fmt.Fprintf(w, "    %-14s %-10s [%d..%d]\n", te.Process, name, te.Start, te.End)
+			req := "-"
+			if te.Req != 0 {
+				req = fmt.Sprintf("req=%d", te.Req)
+			}
+			fmt.Fprintf(w, "    %-14s %-10s [%d..%d] %s\n", te.Process, name, te.Start, te.End, req)
 		}
+	}
+}
+
+// renderSLIs draws the request tracer's latency panel from the
+// summary attached to the record (absent on records written before
+// the tracer existed, or when no operation was instrumented).
+func renderSLIs(w *os.File, rec *kflight.Record) {
+	if len(rec.Ktrace) == 0 {
+		return
+	}
+	sum, err := ktrace.DecodeSummary(rec.Ktrace)
+	if err != nil || len(sum.Ops) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nrequest latency SLIs (%d requests traced):\n", sum.Requests)
+	for i := range sum.Ops {
+		o := &sum.Ops[i]
+		fmt.Fprintf(w, "  %-20s n=%-7d p50<=%-9d p90<=%-9d p99<=%-10d tail dominated by %s\n",
+			o.Op, o.Count, o.P50, o.P90, o.P99, o.TopSeg)
+	}
+	if sum.IdentityViolations > 0 {
+		fmt.Fprintf(w, "  WARNING: %d decomposition identity violations\n", sum.IdentityViolations)
 	}
 }
 

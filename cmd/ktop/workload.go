@@ -1,80 +1,32 @@
 package main
 
 import (
-	"fmt"
+	"encoding/json"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/kflight"
-	"repro/internal/sys"
-	"repro/internal/workload"
+	"repro/internal/ktrace"
 )
 
-// runWorkload boots a flight-instrumented system, drives the named
-// workload to completion, and returns its kflight record — the live
-// counterpart of -in, except "live" still means a deterministic
-// simulated run sampled host-side.
+// runWorkload boots a flight- and trace-instrumented system, drives
+// the named workload to completion, and returns its kflight record —
+// the live counterpart of -in, except "live" still means a
+// deterministic simulated run sampled host-side. The request tracer's
+// latency summary is attached to the record so the SLI panel has data
+// in both live and replay modes.
 func runWorkload(name string) (*kflight.Record, error) {
-	opts := core.Options{
+	s, err := bench.RunWorkload(name, core.Options{
 		Perf:   core.NewPerf(0),
 		Flight: &kflight.Config{},
-	}
-	var s *core.System
-	var err error
-	switch name {
-	case "postmark":
-		opts.CacheBlocks = 1024
-		if s, err = core.New(opts); err != nil {
-			return nil, err
-		}
-		cfg := workload.DefaultPostMark()
-		s.Spawn("postmark", func(pr *sys.Proc) error {
-			_, err := workload.PostMark(pr, cfg)
-			return err
-		})
-	case "compile":
-		if s, err = core.New(opts); err != nil {
-			return nil, err
-		}
-		cfg := workload.DefaultCompile()
-		s.Spawn("compile", func(pr *sys.Proc) error {
-			if err := workload.CompileSetup(pr, cfg); err != nil {
-				return err
-			}
-			_, err := workload.Compile(pr, cfg)
-			return err
-		})
-	case "interactive":
-		if s, err = core.New(opts); err != nil {
-			return nil, err
-		}
-		cfg := workload.DefaultInteractive()
-		s.Spawn("desktop", func(pr *sys.Proc) error {
-			if err := workload.InteractiveSetup(pr, cfg); err != nil {
-				return err
-			}
-			_, err := workload.Interactive(pr, cfg)
-			return err
-		})
-	case "dbscan":
-		if s, err = core.New(opts); err != nil {
-			return nil, err
-		}
-		cfg := workload.DefaultDB()
-		s.Spawn("db", func(pr *sys.Proc) error {
-			if err := workload.DBSetup(pr, cfg); err != nil {
-				return err
-			}
-			if _, err := workload.SeqScanUser(pr, cfg); err != nil {
-				return err
-			}
-			_, err := workload.RandScanUser(pr, cfg)
-			return err
-		})
-	default:
-		return nil, fmt.Errorf("unknown workload %q (want postmark, compile, interactive, or dbscan)", name)
-	}
-	if err := s.Run(); err != nil {
+		Trace:  &ktrace.Config{},
+	})
+	if err != nil {
 		return nil, err
 	}
-	return s.Flight.Record(), nil
+	rec := s.Flight.Record()
+	if b, err := json.Marshal(s.Ktrace.Summary()); err == nil {
+		rec.Ktrace = b
+	}
+	return rec, nil
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	kucode [-full] [-md] [-perf] [e1 e2 ... e10 | ablations | all]
+//	kucode [-full] [-md] [-perf] [e1 e2 ... e11 | ablations | all]
 //
 // -perf boots every experiment with kperf instrumentation and prints
 // a per-subsystem cycle-attribution summary under each table; the
@@ -82,6 +82,7 @@ func main() {
 		{"e8", bench.E8},
 		{"e9", func() (*bench.Table, error) { return bench.E9(*perf) }},
 		{"e10", func() (*bench.Table, error) { return bench.E10(*perf) }},
+		{"e11", func() (*bench.Table, error) { return bench.E11(*perf) }},
 	}
 
 	failed := false

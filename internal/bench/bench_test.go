@@ -76,6 +76,24 @@ func TestE9(t *testing.T) {
 	}
 }
 
+func TestE11(t *testing.T) {
+	tbl, err := E11(true)
+	checkTable(t, tbl, err)
+	if tbl.Ktrace == nil {
+		t.Fatal("E11: instrumented run produced no trace summary")
+	}
+	if tbl.Ktrace.Requests == 0 {
+		t.Error("E11: no traced requests")
+	}
+	if tbl.Ktrace.IdentityViolations != 0 {
+		t.Errorf("E11: %d decomposition identity violations (first: %s)",
+			tbl.Ktrace.IdentityViolations, tbl.Ktrace.FirstViolation)
+	}
+	if tbl.Ktrace.Open != 0 {
+		t.Errorf("E11: %d requests left open", tbl.Ktrace.Open)
+	}
+}
+
 func TestAblations(t *testing.T) {
 	tables, err := Ablations()
 	if err != nil {

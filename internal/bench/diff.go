@@ -8,6 +8,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"repro/internal/ktrace"
 )
 
 // The BENCH_repro.json diff engine behind cmd/benchdiff: compares two
@@ -289,6 +291,64 @@ func (d *differ) diffTrial(b, c *TrialResult) {
 		d.det(p+"/kflight/peak_epoch_syscalls", float64(bf.PeakEpochSyscalls), float64(cf.PeakEpochSyscalls))
 		d.detMap(p+"/kflight/events", bf.Events, cf.Events)
 	}
+
+	if b.Ktrace != nil && c.Ktrace == nil {
+		d.structural(p+"/ktrace", "trace summary missing from current run", true)
+	} else if b.Ktrace != nil && c.Ktrace != nil {
+		d.diffKtrace(p+"/ktrace", b.Ktrace, c.Ktrace)
+	}
+}
+
+// diffKtrace compares two request-trace summaries: every latency SLI
+// and critical-path segment decomposition is deterministic in
+// simulated behavior, so all of it gates.
+func (d *differ) diffKtrace(p string, bt, ct *ktrace.Summary) {
+	d.det(p+"/requests", float64(bt.Requests), float64(ct.Requests))
+	d.det(p+"/open", float64(bt.Open), float64(ct.Open))
+	d.det(p+"/req_drops", float64(bt.ReqDrops), float64(ct.ReqDrops))
+	d.det(p+"/spans", float64(bt.Spans), float64(ct.Spans))
+	d.det(p+"/span_drops", float64(bt.SpanDrops), float64(ct.SpanDrops))
+	d.det(p+"/span_overflows", float64(bt.SpanOverflows), float64(ct.SpanOverflows))
+	d.det(p+"/identity_violations", float64(bt.IdentityViolations), float64(ct.IdentityViolations))
+	curOps := make(map[string]*ktrace.OpSLI, len(ct.Ops))
+	for i := range ct.Ops {
+		curOps[ct.Ops[i].Op] = &ct.Ops[i]
+	}
+	for i := range bt.Ops {
+		bo := &bt.Ops[i]
+		op := p + "/ops/" + bo.Op
+		co, ok := curOps[bo.Op]
+		if !ok {
+			d.structural(op, "operation missing from current run", true)
+			continue
+		}
+		d.det(op+"/count", float64(bo.Count), float64(co.Count))
+		d.det(op+"/sum_cycles", float64(bo.Sum), float64(co.Sum))
+		d.det(op+"/max_cycles", float64(bo.Max), float64(co.Max))
+		d.det(op+"/p50", float64(bo.P50), float64(co.P50))
+		d.det(op+"/p90", float64(bo.P90), float64(co.P90))
+		d.det(op+"/p99", float64(bo.P99), float64(co.P99))
+		d.detMap(op+"/segs", bo.Segs, co.Segs)
+		d.detMap(op+"/tail_segs", bo.TailSegs, co.TailSegs)
+		d.det(op+"/tail_count", float64(bo.TailCount), float64(co.TailCount))
+		if bo.TopSeg != co.TopSeg {
+			d.structural(op+"/top_seg", fmt.Sprintf("%q -> %q", bo.TopSeg, co.TopSeg), true)
+		}
+	}
+	for i := range ct.Ops {
+		if _, ok := findOp(bt.Ops, ct.Ops[i].Op); !ok {
+			d.structural(p+"/ops/"+ct.Ops[i].Op, "new operation", false)
+		}
+	}
+}
+
+func findOp(ops []ktrace.OpSLI, name string) (*ktrace.OpSLI, bool) {
+	for i := range ops {
+		if ops[i].Op == name {
+			return &ops[i], true
+		}
+	}
+	return nil, false
 }
 
 // diffPerf compares two kperf snapshots.

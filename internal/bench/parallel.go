@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/kflight"
 	"repro/internal/kperf"
+	"repro/internal/ktrace"
 	"repro/internal/sim"
 )
 
@@ -53,6 +54,12 @@ type TrialResult struct {
 	// when the trial ran with instrumentation off). Deterministic in
 	// simulated behavior, so benchdiff gates on it.
 	Flight *kflight.Summary `json:"kflight,omitempty"`
+
+	// Ktrace is the experiment's merged request-trace summary (nil
+	// when the trial ran with instrumentation off): per-operation
+	// latency SLIs and critical-path decompositions. Deterministic in
+	// simulated behavior, so benchdiff gates on it.
+	Ktrace *ktrace.Summary `json:"ktrace,omitempty"`
 
 	// Table carries the full result for rendering; not serialized.
 	Table *Table `json:"-"`
@@ -115,6 +122,7 @@ func runTrial(tr Trial) TrialResult {
 		}
 	}
 	res.Flight = tbl.Flight
+	res.Ktrace = tbl.Ktrace
 	return res
 }
 
@@ -134,6 +142,7 @@ func Suite(full, perf bool) []Trial {
 		{Name: "E8", Run: E8},
 		{Name: "E9", Run: func() (*Table, error) { return E9(perf) }},
 		{Name: "E10", Run: func() (*Table, error) { return E10(perf) }},
+		{Name: "E11", Run: func() (*Table, error) { return E11(perf) }},
 	}
 }
 

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"testing"
 )
 
@@ -32,6 +33,47 @@ func TestParallelDeterminism(t *testing.T) {
 		if got, want := p.Table.String(), s.Table.String(); got != want {
 			t.Errorf("%s: parallel table differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
 				tr.Name, want, got)
+		}
+	}
+}
+
+// TestParallelTraceDeterminism extends the gate to the request-trace
+// plane: instrumented trials must produce byte-identical marshaled
+// ktrace summaries — every latency quantile, segment decomposition,
+// and tail breakdown — whether the trials run serially or in
+// parallel. That is what lets benchdiff gate on the SLIs embedded in
+// BENCH_repro.json.
+func TestParallelTraceDeterminism(t *testing.T) {
+	trials := []Trial{
+		{Name: "E4", Run: func() (*Table, error) { return E4(true) }},
+		{Name: "E11", Run: func() (*Table, error) { return E11(true) }},
+	}
+	serial := RunTrials(trials, 1)
+	parallel := RunTrials(trials, 4)
+
+	for i, tr := range trials {
+		s, p := serial[i], parallel[i]
+		if s.Err != "" || p.Err != "" {
+			t.Fatalf("%s: serial err %q, parallel err %q", tr.Name, s.Err, p.Err)
+		}
+		if s.Ktrace == nil || p.Ktrace == nil {
+			t.Fatalf("%s: missing trace summary (serial %v, parallel %v)",
+				tr.Name, s.Ktrace != nil, p.Ktrace != nil)
+		}
+		if s.Ktrace.Requests == 0 {
+			t.Errorf("%s: no traced requests — the comparison is vacuous", tr.Name)
+		}
+		sb, err := json.Marshal(s.Ktrace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := json.Marshal(p.Ktrace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(sb) != string(pb) {
+			t.Errorf("%s: trace summaries differ between serial and parallel runs:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				tr.Name, sb, pb)
 		}
 	}
 }

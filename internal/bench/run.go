@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kflight"
+	"repro/internal/ktrace"
 	"repro/internal/sim"
 	"repro/internal/sys"
 )
@@ -61,16 +62,18 @@ func RunPhase(opts core.Options, attach func(s *core.System),
 	return ph, s, nil
 }
 
-// perfOpts installs a fresh kperf set — and a flight recorder over it
-// — into opts when enabled. Each booted system gets its own set
-// (per-system gauges would collide on a shared registry);
-// Table.ObservePerf merges the snapshots and flight summaries. The
-// recorder rides the same switch as kperf, so the existing kperf
-// on/off bit-identity gate covers kflight too.
+// perfOpts installs a fresh kperf set — and a flight recorder and
+// request tracer over it — into opts when enabled. Each booted system
+// gets its own set (per-system gauges would collide on a shared
+// registry); Table.ObservePerf merges the snapshots, flight summaries,
+// and ktrace summaries. The recorder and tracer ride the same switch
+// as kperf, so the existing kperf on/off bit-identity gate covers
+// kflight and ktrace too.
 func perfOpts(opts core.Options, perf bool) core.Options {
 	if perf {
 		opts.Perf = core.NewPerf(0)
 		opts.Flight = &kflight.Config{}
+		opts.Trace = &ktrace.Config{}
 	}
 	return opts
 }
@@ -93,5 +96,8 @@ func (t *Table) ObservePerf(s *core.System) {
 	t.PerfElapsed += s.M.Elapsed()
 	if s.Flight != nil {
 		t.Flight = kflight.MergeSummaries(t.Flight, s.Flight.Summary())
+	}
+	if s.Ktrace != nil {
+		t.Ktrace = ktrace.MergeSummaries([]*ktrace.Summary{t.Ktrace, s.Ktrace.Summary()})
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/kflight"
 	"repro/internal/kperf"
+	"repro/internal/ktrace"
 	"repro/internal/sim"
 )
 
@@ -49,6 +50,13 @@ type Table struct {
 	// field is deterministic in simulated behavior, so benchdiff gates
 	// on it like any other metric.
 	Flight *kflight.Summary
+
+	// Ktrace is the merged request-trace summary over every
+	// instrumented system (nil when the experiment ran without the
+	// tracer): per-operation latency SLIs and critical-path segment
+	// decompositions, deterministic in simulated behavior so benchdiff
+	// gates on it.
+	Ktrace *ktrace.Summary
 }
 
 // Observe accumulates a measured phase's simulated times into the

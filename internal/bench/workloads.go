@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/sys"
+	"repro/internal/vfs"
+	"repro/internal/vfs/memfs"
+	"repro/internal/workload"
+)
+
+// WorkloadSpec is one named standard workload the observability tools
+// (cmd/kprof, cmd/ktop) can boot and drive. The registry exists so the
+// tools share one definition of "postmark" instead of each carrying
+// its own copy of the boot-and-spawn recipe.
+type WorkloadSpec struct {
+	Name string
+	Desc string
+	// Prepare adjusts boot options before core.New (cache sizing and
+	// the like). May be nil.
+	Prepare func(opts *core.Options)
+	// Attach mounts extra filesystems and spawns the workload's
+	// processes on the booted system; the caller then calls s.Run().
+	Attach func(s *core.System) error
+}
+
+// workloads is the registry, keyed by name.
+var workloads = map[string]WorkloadSpec{
+	"postmark": {
+		Name: "postmark",
+		Desc: "PostMark small-file transactions (one traced request per transaction)",
+		Prepare: func(opts *core.Options) {
+			opts.CacheBlocks = 1024 // small cache: keep the disk visible in the timeline
+		},
+		Attach: func(s *core.System) error {
+			cfg := workload.DefaultPostMark()
+			s.Spawn("postmark", func(pr *sys.Proc) error {
+				_, err := workload.PostMark(pr, cfg)
+				return err
+			})
+			return nil
+		},
+	},
+	"compile": {
+		Name: "compile",
+		Desc: "Am-utils-style build (one traced request per translation unit)",
+		Attach: func(s *core.System) error {
+			cfg := workload.DefaultCompile()
+			s.Spawn("compile", func(pr *sys.Proc) error {
+				if err := workload.CompileSetup(pr, cfg); err != nil {
+					return err
+				}
+				_, err := workload.Compile(pr, cfg)
+				return err
+			})
+			return nil
+		},
+	},
+	"interactive": {
+		Name: "interactive",
+		Desc: "interactive desktop session (trace-collection shape)",
+		Attach: func(s *core.System) error {
+			cfg := workload.DefaultInteractive()
+			s.Spawn("desktop", func(pr *sys.Proc) error {
+				if err := workload.InteractiveSetup(pr, cfg); err != nil {
+					return err
+				}
+				_, err := workload.Interactive(pr, cfg)
+				return err
+			})
+			return nil
+		},
+	},
+	"dbscan": {
+		Name: "dbscan",
+		Desc: "database scans, sequential + random (one traced request per batch)",
+		Attach: func(s *core.System) error {
+			cfg := workload.DefaultDB()
+			s.Spawn("db", func(pr *sys.Proc) error {
+				if err := workload.DBSetup(pr, cfg); err != nil {
+					return err
+				}
+				if _, err := workload.SeqScanUser(pr, cfg); err != nil {
+					return err
+				}
+				_, err := workload.RandScanUser(pr, cfg)
+				return err
+			})
+			return nil
+		},
+	},
+	"monitor": {
+		Name: "monitor",
+		Desc: "E6's shape: PostMark with the dcache instrumented plus a logger process",
+		Prepare: func(opts *core.Options) {
+			opts.CacheBlocks = 1024
+		},
+		Attach: func(s *core.System) error {
+			logIO := vfs.NewIOModel(disk.New(disk.SCSI15K()), 4096)
+			logIO.DirtyLimit = 16
+			if err := s.NS.Mount("/log", memfs.New("logfs", logIO)); err != nil {
+				return err
+			}
+			s.InstrumentDcache()
+			s.Mon.RingEnabled = true
+			cfg := workload.DefaultPostMark()
+			cfg.InitialFiles, cfg.Transactions = 200, 800
+			var done atomic.Bool
+			s.Spawn("postmark", func(pr *sys.Proc) error {
+				defer done.Store(true)
+				_, err := workload.PostMark(pr, cfg)
+				return err
+			})
+			logCfg := workload.DefaultLogger()
+			s.Spawn("logger", func(pr *sys.Proc) error {
+				_, err := workload.Logger(pr, logCfg, done.Load)
+				return err
+			})
+			return nil
+		},
+	},
+}
+
+// Workload looks up one registry entry by name; the error lists the
+// valid names.
+func Workload(name string) (WorkloadSpec, error) {
+	w, ok := workloads[name]
+	if !ok {
+		return WorkloadSpec{}, fmt.Errorf("unknown workload %q (want %s)", name, WorkloadNames())
+	}
+	return w, nil
+}
+
+// WorkloadNames lists the registry, sorted, comma-separated.
+func WorkloadNames() string {
+	names := make([]string, 0, len(workloads))
+	for n := range workloads {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}
+
+// RunWorkload boots a system with opts (after the workload's Prepare
+// hook), attaches the named workload, and runs it to completion.
+func RunWorkload(name string, opts core.Options) (*core.System, error) {
+	w, err := Workload(name)
+	if err != nil {
+		return nil, err
+	}
+	if w.Prepare != nil {
+		w.Prepare(&opts)
+	}
+	s, err := core.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Attach(s); err != nil {
+		return nil, err
+	}
+	return s, s.Run()
+}

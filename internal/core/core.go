@@ -19,6 +19,7 @@ import (
 	"repro/internal/kmon"
 	"repro/internal/kperf"
 	"repro/internal/kprobe"
+	"repro/internal/ktrace"
 	"repro/internal/sim"
 	"repro/internal/sys"
 	"repro/internal/trace"
@@ -90,6 +91,12 @@ type Options struct {
 	// Like Perf it is host-side only and covered by the same
 	// bit-identity gate. A zero-value Config selects the defaults.
 	Flight *kflight.Config
+	// Trace enables the ktrace request tracer over Perf (which must
+	// also be set): causal request/span tracing with critical-path
+	// latency decomposition. Like Flight it is host-side only and
+	// covered by the same bit-identity gate. A zero-value Config
+	// selects the defaults.
+	Trace *ktrace.Config
 }
 
 // NewPerf creates a kperf set sized for this kernel's syscall table,
@@ -125,6 +132,9 @@ type System struct {
 
 	// Flight is the flight recorder (nil: disabled).
 	Flight *kflight.Recorder
+
+	// Ktrace is the request tracer (nil: disabled).
+	Ktrace *ktrace.Tracer
 
 	IO *vfs.IOModel
 
@@ -215,6 +225,14 @@ func New(opts Options) (*System, error) {
 		}
 		s.Flight = kflight.NewRecorder(*opts.Flight, s.Perf)
 		s.M.Flight = s.Flight
+	}
+	if opts.Trace != nil {
+		if s.Perf == nil {
+			return nil, fmt.Errorf("core: Trace requires Perf")
+		}
+		s.Ktrace = ktrace.NewTracer(opts.Trace, &s.M.Clock, s.Perf)
+		s.M.Trace = s.Ktrace
+		s.K.Ktrace = s.Ktrace
 	}
 	return s, nil
 }

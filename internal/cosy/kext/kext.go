@@ -23,6 +23,7 @@ import (
 	"repro/internal/cosy/lang"
 	"repro/internal/kernel"
 	"repro/internal/kperf"
+	"repro/internal/ktrace"
 	"repro/internal/mem"
 	"repro/internal/seg"
 	"repro/internal/sim"
@@ -139,8 +140,13 @@ func (s *Shm) Read(off, n int) ([]byte, error) {
 var ErrBadCompound = errors.New("cosy: compound rejected")
 
 // Exec runs an encoded compound on behalf of pr with the given shared
-// buffer. The entire execution costs one boundary crossing.
+// buffer. The entire execution costs one boundary crossing. Each
+// compound is one ktrace operation: a request of its own when the
+// workload opened none, a child span of the workload's request
+// otherwise.
 func (e *Engine) Exec(pr *sys.Proc, encoded []byte, shm *Shm) (int64, error) {
+	pr.K.Ktrace.BeginOp(pr.P.PID, ktrace.OpCosy)
+	defer pr.K.Ktrace.EndOp(pr.P.PID)
 	return pr.RawSyscall(sys.NrCosy, 0, 0, func() (int64, error) {
 		return e.execInKernel(pr, encoded, shm)
 	})

@@ -71,6 +71,11 @@ type Machine struct {
 	// see FlightHook.
 	Flight FlightHook
 
+	// Trace is the request-tracing seam (nil = no tracer). Like Flight
+	// it is host-side only and can never move a simulated cycle; see
+	// TraceHook.
+	Trace TraceHook
+
 	procs   map[int]*Process
 	ready   *ring.Deque[*Process]
 	current *Process
@@ -125,6 +130,13 @@ func New(cfg Config) *Machine {
 		m.Log.Span = func() uint64 {
 			if p := m.current; p != nil {
 				return p.Perf.CurrentSpan()
+			}
+			return 0
+		}
+		m.Log.Req = func() uint64 {
+			if p := m.current; p != nil {
+				id, _ := p.Perf.Request()
+				return id
 			}
 			return 0
 		}
@@ -295,6 +307,7 @@ func (m *Machine) dispatch(p *Process) {
 		p.sysCycles += m.Costs.CtxSwitch
 		p.Perf.Push(kperf.SubSched)
 		p.Perf.OnCycles(m.Costs.CtxSwitch, true)
+		m.traceCharge(p, m.Costs.CtxSwitch, true)
 		p.Perf.Pop()
 		p.UAS.TLBFlush()
 		m.KAS.TLBFlush()
@@ -307,6 +320,7 @@ func (m *Machine) dispatch(p *Process) {
 				p.sysCycles += c
 				p.Perf.Push(kperf.SubProbe)
 				p.Perf.OnCycles(c, true)
+				m.traceCharge(p, c, true)
 				p.Perf.Pop()
 			}
 		}

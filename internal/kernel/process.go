@@ -148,6 +148,7 @@ func (p *Process) Charge(c sim.Cycles) {
 			p.userCycles += step
 		}
 		p.Perf.OnCycles(step, p.inKernel > 0)
+		p.M.traceCharge(p, step, p.inKernel > 0)
 		p.sliceLeft -= step
 		c -= step
 		if p.sliceLeft == 0 {
@@ -171,6 +172,7 @@ func (p *Process) ChargeSys(c sim.Cycles) {
 	p.M.Clock.Advance(c)
 	p.sysCycles += c
 	p.Perf.OnCycles(c, true)
+	p.M.traceCharge(p, c, true)
 	if p.inKernel > 0 {
 		p.kernelStreak += c
 	}
@@ -211,9 +213,11 @@ func (p *Process) preemptPoint() {
 	p.M.deliverDue()
 	if p.M.runnableOthers() {
 		p.state = stateReady
+		p.M.traceReady(p)
 		p.yield <- yPreempted
 		<-p.resume
 		p.state = stateRunning
+		p.M.traceRun(p)
 	}
 	p.sliceLeft = p.sliceLen()
 }
@@ -227,9 +231,11 @@ func (p *Process) Yield() {
 		return
 	}
 	p.state = stateReady
+	p.M.traceReady(p)
 	p.yield <- yPreempted
 	<-p.resume
 	p.state = stateRunning
+	p.M.traceRun(p)
 	p.sliceLeft = p.sliceLen()
 }
 
@@ -252,9 +258,11 @@ func (p *Process) BlockOn(sub kperf.Subsys, d sim.Cycles) {
 	p.M.addEvent(wake, p)
 	start := p.M.Clock.Now()
 	p.state = stateBlocked
+	p.M.traceBlock(p, sub)
 	p.yield <- yBlocked
 	<-p.resume
 	p.state = stateRunning
+	p.M.traceRun(p)
 	// Sleeper boost: voluntary blocking earns priority.
 	p.bonus += 2
 	if p.bonus > maxBonus {
@@ -272,6 +280,7 @@ func (p *Process) BlockOn(sub kperf.Subsys, d sim.Cycles) {
 // scheduler when its event fires.
 func (p *Process) wake() {
 	p.state = stateReady
+	p.M.traceReady(p)
 	p.M.ready.PushBack(p)
 }
 

@@ -154,6 +154,19 @@ type TailEvent struct {
 	Arg     uint32     `json:"arg"`
 	Start   sim.Cycles `json:"start"`
 	End     sim.Cycles `json:"end"`
+	// Req is the ktrace request id that owned the event, 0 when it
+	// happened outside any traced request.
+	Req uint64 `json:"req,omitempty"`
+}
+
+// ReqContext is one process's open traced request at dump time: the
+// logical operation it was serving and its trace id, so a postmortem
+// answers "which request was in flight" and the tail events can be
+// cross-referenced against kprof -req.
+type ReqContext struct {
+	Process string `json:"process"`
+	Op      string `json:"op"`
+	TraceID uint64 `json:"trace_id"`
 }
 
 // Postmortem is the dump cut at a flight event: what the last K
@@ -168,6 +181,9 @@ type Postmortem struct {
 	Epochs []Epoch `json:"epochs,omitempty"`
 	// Tail holds the newest trace records per process at dump time.
 	Tail []TailEvent `json:"tail,omitempty"`
+	// Requests holds each process's open traced request at dump time
+	// (processes with no request open are omitted).
+	Requests []ReqContext `json:"requests,omitempty"`
 }
 
 // Summary is the compact, fully deterministic digest embedded per
@@ -221,6 +237,11 @@ type Record struct {
 	Epochs      []Epoch      `json:"epochs"`
 	Postmortems []Postmortem `json:"postmortems,omitempty"`
 	Summary     Summary      `json:"summary"`
+	// Ktrace is the request tracer's latency summary, attached by the
+	// writer when a tracer ran alongside the recorder. Kept opaque here
+	// so kflight stays ignorant of ktrace (the dependency graph is
+	// kperf+sim only); ktop decodes it for the latency panel.
+	Ktrace json.RawMessage `json:"ktrace,omitempty"`
 }
 
 // Recorder samples one kperf.Set at epoch boundaries. It relies on
@@ -311,6 +332,7 @@ func (r *Recorder) Event(now sim.Cycles, kind, detail string) {
 		}
 	}
 	pm.Tail = r.tail()
+	pm.Requests = r.requests()
 	r.dumps = append(r.dumps, pm)
 }
 
@@ -329,11 +351,27 @@ func (r *Recorder) tail() []TailEvent {
 				Arg:     ev.Arg,
 				Start:   ev.Start,
 				End:     ev.End,
+				Req:     ev.Req,
 			}
 			if ev.Kind == kperf.EvSyscallSpan && r.set.SyscallName != nil {
 				te.Name = r.set.SyscallName(int(ev.Arg))
 			}
 			out = append(out, te)
+		}
+	}
+	return out
+}
+
+// requests collects each process's open traced request (spawn order,
+// so the listing is deterministic).
+func (r *Recorder) requests() []ReqContext {
+	if r.set == nil {
+		return nil
+	}
+	var out []ReqContext
+	for _, ps := range r.set.Procs() {
+		if id, op := ps.Request(); id != 0 {
+			out = append(out, ReqContext{Process: ps.Label(), Op: op, TraceID: id})
 		}
 	}
 	return out

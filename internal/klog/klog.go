@@ -47,6 +47,11 @@ type Entry struct {
 	// lets a syslog line be correlated with the exact timeline span
 	// that produced it.
 	Span uint64
+	// Req is the ktrace request id the entry was emitted under (0:
+	// outside any request, or tracing disabled), so a syslog line can
+	// be correlated with the logical operation — PostMark transaction,
+	// scan batch, Cosy compound — that produced it.
+	Req uint64
 }
 
 func (e Entry) String() string {
@@ -60,6 +65,10 @@ type Log struct {
 	// each entry (wired by the machine to the running process's kperf
 	// state).
 	Span func() uint64
+
+	// Req, when set, supplies the current ktrace request id (wired by
+	// the machine to the running process's kperf state).
+	Req func() uint64
 
 	mu      sync.Mutex
 	clock   *sim.Clock
@@ -85,11 +94,14 @@ func (l *Log) Printf(level Level, format string, args ...any) {
 	if l.clock != nil {
 		t = l.clock.Now()
 	}
-	var span uint64
+	var span, req uint64
 	if l.Span != nil {
 		span = l.Span()
 	}
-	l.entries = append(l.entries, Entry{Time: t, Level: level, Msg: fmt.Sprintf(format, args...), Span: span})
+	if l.Req != nil {
+		req = l.Req()
+	}
+	l.entries = append(l.entries, Entry{Time: t, Level: level, Msg: fmt.Sprintf(format, args...), Span: span, Req: req})
 	if len(l.entries) > l.max {
 		over := len(l.entries) - l.max
 		l.entries = append(l.entries[:0:0], l.entries[over:]...)

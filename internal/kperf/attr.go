@@ -113,6 +113,12 @@ type ProcState struct {
 	// (mode*nSubsys + subsys)*nrSlots + sysNr. It is sized at spawn,
 	// so the per-charge hot path is index arithmetic plus one add.
 	cells []sim.Cycles
+
+	// req/reqOp is the ktrace request currently open on the process
+	// (SetRequest); klog stamps log entries with req, and the trace
+	// shard stamps every record written while it is nonzero.
+	req   uint64
+	reqOp string
 }
 
 // Shard exposes the process's trace shard.
@@ -186,6 +192,50 @@ func (ps *ProcState) OnCycles(c sim.Cycles, kernelMode bool) {
 		sub = SubKern
 	}
 	ps.cells[(int(mode)*int(nSubsys)+int(sub))*ps.set.nrSlots+ps.sysNr] += c
+}
+
+// CurrentSub reports the subsystem the next charge in the given mode
+// would attribute to: the top of the tag stack when one is pushed,
+// otherwise SubKern or SubUser by mode — the exact classification
+// OnCycles applies. ktrace uses this to split request wall cycles into
+// segments (boundary charges become the "copy" segment) without a
+// second source of truth.
+func (ps *ProcState) CurrentSub(kernelMode bool) Subsys {
+	if ps == nil {
+		if kernelMode {
+			return SubKern
+		}
+		return SubUser
+	}
+	if ps.subDepth > 0 {
+		return ps.subStack[ps.subDepth-1]
+	}
+	if kernelMode {
+		return SubKern
+	}
+	return SubUser
+}
+
+// SetRequest stamps the process with its currently open ktrace
+// request: id 0 clears it. Trace records written while a request is
+// open carry the id, and klog's Req hook reads it so log lines
+// correlate with the logical operation that emitted them.
+func (ps *ProcState) SetRequest(id uint64, op string) {
+	if ps == nil {
+		return
+	}
+	ps.req, ps.reqOp = id, op
+	if ps.shard != nil {
+		ps.shard.req = id
+	}
+}
+
+// Request reports the currently open ktrace request (0, "" when none).
+func (ps *ProcState) Request() (uint64, string) {
+	if ps == nil {
+		return 0, ""
+	}
+	return ps.req, ps.reqOp
 }
 
 // Push tags subsequent charges with subsystem s (until Pop).

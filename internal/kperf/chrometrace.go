@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/internal/sim"
 )
 
 // The Chrome trace_event exporter: renders the tracer's shards as a
@@ -24,6 +26,8 @@ type chromeEvent struct {
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
+	ID   uint64         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -76,6 +80,21 @@ type CounterTrack struct {
 	Points []CounterPoint
 }
 
+// FlowSpan is a caller-supplied span rendered into the Chrome trace
+// alongside the tracer's own records: ktrace request/span trees export
+// through this. Spans sharing a nonzero Flow id are bound into one
+// Chrome flow (arrows in Perfetto); the span with FlowStart set
+// originates the flow and the others join it.
+type FlowSpan struct {
+	Name      string
+	PID       int // simulated pid, rendered as the thread row
+	Flow      uint64
+	FlowStart bool
+	Start     sim.Cycles
+	End       sim.Cycles
+	Args      map[string]any
+}
+
 // WriteChromeTrace renders the set's trace as Chrome trace_event
 // JSON.
 func (s *Set) WriteChromeTrace(w io.Writer) error {
@@ -93,6 +112,14 @@ func (s *Set) WriteChromeTraceFiltered(w io.Writer, f TraceFilter) error {
 // process, so flight-recorder series (syscall rates, TLB ratios,
 // subsystem cycle deltas) line up against the span timeline.
 func (s *Set) WriteChromeTraceCounters(w io.Writer, f TraceFilter, tracks []CounterTrack) error {
+	return s.WriteChromeTraceExtra(w, f, tracks, nil)
+}
+
+// WriteChromeTraceExtra is WriteChromeTraceCounters plus
+// caller-supplied extra spans (the ktrace request/span forest) with
+// flow binding: requests originate a flow ("s" events) their child
+// spans join ("f"), so Perfetto draws the causal arrows.
+func (s *Set) WriteChromeTraceExtra(w io.Writer, f TraceFilter, tracks []CounterTrack, extra []FlowSpan) error {
 	if s == nil {
 		return fmt.Errorf("kperf: no set")
 	}
@@ -164,6 +191,26 @@ func (s *Set) WriteChromeTraceCounters(w io.Writer, f TraceFilter, tracks []Coun
 			}
 			doc.TraceEvents = append(doc.TraceEvents, ce)
 		}
+	}
+	for _, sp := range extra {
+		d := cyclesToUs(int64(sp.End - sp.Start))
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: sp.Name, Cat: "ktrace", Ph: "X",
+			Ts: cyclesToUs(int64(sp.Start)), Dur: &d,
+			PID: machinePID, TID: sp.PID, Args: sp.Args,
+		})
+		if sp.Flow == 0 {
+			continue
+		}
+		ev := chromeEvent{
+			Name: "req", Cat: "ktrace", Ph: "s", ID: sp.Flow,
+			Ts: cyclesToUs(int64(sp.Start)), PID: machinePID, TID: sp.PID,
+		}
+		if !sp.FlowStart {
+			// bp=e binds the flow step to the enclosing span.
+			ev.Ph, ev.BP = "f", "e"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(doc)

@@ -41,8 +41,11 @@ func (k EventKind) String() string {
 }
 
 // recordBytes is the fixed on-ring size of one binary record:
-// kind(1) pad(3) arg(4) start(8) end(8).
-const recordBytes = 24
+// kind(1) pad(3) arg(4) start(8) end(8) req(8). The trailing req word
+// is the ktrace request id the record was written under (0 when no
+// request was open), so postmortem trace tails can say which logical
+// operation a span belonged to.
+const recordBytes = 32
 
 // TraceEvent is one decoded trace record.
 type TraceEvent struct {
@@ -50,6 +53,9 @@ type TraceEvent struct {
 	Kind       EventKind
 	Arg        uint32
 	Start, End sim.Cycles
+	// Req is the ktrace request id open on the process when the record
+	// was written, 0 when none.
+	Req uint64
 }
 
 // Shard is one process's private slice of the tracer: a bounded
@@ -57,7 +63,7 @@ type TraceEvent struct {
 // record overwrites the oldest one and the loss is counted — tracing
 // never blocks and never reallocates, and the retained window is
 // always the most recent records, which is exactly the tail a
-// kflight postmortem wants. The hot path is a 24-byte encode plus
+// kflight postmortem wants. The hot path is a 32-byte encode plus
 // two index updates.
 type Shard struct {
 	pid  int
@@ -69,6 +75,11 @@ type Shard struct {
 	n       int    // retained records (<= nrec)
 	drops   int64  // records overwritten by wraparound (oldest lost)
 	records int64  // total records ever written, including overwritten
+
+	// req is the ktrace request id currently open on the process
+	// (ProcState.SetRequest); every record written while it is nonzero
+	// is stamped with it.
+	req uint64
 
 	// Open-span bookkeeping for syscall spans: Begin pushes, End pops
 	// and writes the completed record. IDs are per-shard sequence
@@ -162,6 +173,7 @@ func (s *Shard) write(kind EventKind, arg uint32, start, end sim.Cycles) {
 	binary.LittleEndian.PutUint32(b[4:], arg)
 	binary.LittleEndian.PutUint64(b[8:], uint64(start))
 	binary.LittleEndian.PutUint64(b[16:], uint64(end))
+	binary.LittleEndian.PutUint64(b[24:], s.req)
 	s.w++
 	if s.w == s.nrec {
 		s.w = 0
@@ -183,6 +195,7 @@ func (s *Shard) decode(idx int) TraceEvent {
 		Arg:   binary.LittleEndian.Uint32(b[4:]),
 		Start: sim.Cycles(binary.LittleEndian.Uint64(b[8:])),
 		End:   sim.Cycles(binary.LittleEndian.Uint64(b[16:])),
+		Req:   binary.LittleEndian.Uint64(b[24:]),
 	}
 }
 
@@ -216,8 +229,8 @@ func (s *Shard) Tail(k int) []TraceEvent {
 	return out
 }
 
-// DefaultShardRecords bounds each process shard; at 24 bytes a record
-// this is 1.5MB of host memory per busy process.
+// DefaultShardRecords bounds each process shard; at 32 bytes a record
+// this is 2MB of host memory per busy process.
 const DefaultShardRecords = 1 << 16
 
 // Tracer owns the per-process shards. Shard creation happens at

@@ -1,0 +1,629 @@
+// Package ktrace is the causal request-tracing layer of the simulated
+// kernel: each logical operation (a PostMark transaction, a compile
+// unit, a DB scan batch, a Cosy compound, a ku_call) opens a *request*
+// with a trace id, and child spans with parent links are propagated
+// through syscall dispatch, run-queue residency, disk waits, boundary
+// copies, and probe/kucode execution. On top of the span graph a
+// critical-path analyzer decomposes every request's wall cycles into
+// an exact partition — user run, kernel run, boundary copy,
+// runnable-wait, disk-wait, sleep — enforced by a per-request
+// decomposition identity (segment sums == request wall cycles, in the
+// style of kperf's attribution==elapsed check), and computes exact
+// per-operation-type latency quantiles via kperf's power-of-two
+// bucket histograms.
+//
+// Like kperf and kflight, ktrace is host-side only and can never move
+// a simulated cycle: it observes charges and scheduling transitions
+// the kernel was making anyway through the cost-free kernel.TraceHook
+// seam (implemented structurally — ktrace imports only kperf and sim,
+// so the kernel stays ignorant of the tracer and vice versa), and it
+// rides the same on/off switch as kperf, so the benchall gate that
+// proves kperf costs nothing proves the same for ktrace.
+//
+// Request scoping is host-side only: BeginOp/EndOp are called from
+// workload code (and from the Cosy/kucode entry points) while the
+// process is running, never from simulated kernel context. That is
+// what makes the decomposition exact — a request can never straddle
+// an off-CPU window, so every clock advance inside a request is
+// either a charge to the owning process (classified by the live kperf
+// subsystem tag) or wholly contained in one ready/blocked window.
+package ktrace
+
+import (
+	"fmt"
+
+	"repro/internal/kperf"
+	"repro/internal/sim"
+)
+
+// Seg is one class of the request decomposition partition.
+type Seg uint8
+
+// Decomposition segments. Every wall cycle of a closed request lands
+// in exactly one.
+const (
+	// SegUser is on-CPU user-mode compute.
+	SegUser Seg = iota
+	// SegKernel is on-CPU kernel work that is not a boundary copy:
+	// syscall bodies, VFS, MMU, allocators, Cosy/probe/kucode
+	// execution, plus context-switch cycles billed while waiting.
+	SegKernel
+	// SegCopy is the user/kernel boundary: trap, dispatch,
+	// copyin/copyout (kperf's SubBoundary).
+	SegCopy
+	// SegReady is run-queue residency: runnable but off-CPU
+	// (scheduler delay).
+	SegReady
+	// SegDisk is blocked-on-disk wait.
+	SegDisk
+	// SegSleep is any other blocked wait (timers, locks).
+	SegSleep
+	nSegs
+)
+
+// NSegs is the segment count.
+const NSegs = int(nSegs)
+
+var segNames = [...]string{"user", "kernel", "copy", "ready", "disk", "sleep"}
+
+func (s Seg) String() string {
+	if int(s) < len(segNames) {
+		return segNames[s]
+	}
+	return "?"
+}
+
+// SpanKind classifies one span record.
+type SpanKind uint8
+
+// Span kinds.
+const (
+	// SpanRequest is a closed request: the root of its span tree.
+	SpanRequest SpanKind = iota + 1
+	// SpanOp is a nested logical operation opened by BeginOp while a
+	// request was already open (e.g. a Cosy compound inside a scan
+	// batch).
+	SpanOp
+	// SpanSyscall is one system call dispatched under a request; Arg
+	// is the syscall number.
+	SpanSyscall
+	// SpanWait is a blocked interval under a request; Arg is the
+	// kperf.Subsys waited on (SubDisk for block I/O).
+	SpanWait
+	// SpanExec is an in-kernel execution slice (probe or kucode run);
+	// Arg is the kperf.Subsys that executed.
+	SpanExec
+)
+
+func (k SpanKind) String() string {
+	switch k {
+	case SpanRequest:
+		return "request"
+	case SpanOp:
+		return "op"
+	case SpanSyscall:
+		return "syscall"
+	case SpanWait:
+		return "wait"
+	case SpanExec:
+		return "exec"
+	}
+	return "?"
+}
+
+// Common operation names for requests opened by kernel-side entry
+// points. Workloads name their own operations ("postmark.txn",
+// "compile.unit", ...); these two are shared because the Cosy engine
+// and the kucode syscalls open them unconditionally.
+const (
+	OpCosy   = "cosy.compound"
+	OpKuCall = "ku.call"
+)
+
+// Span is one closed span record.
+type Span struct {
+	// ID is the span's trace-unique id; Parent links to the enclosing
+	// span (0 for a request root); Req is the owning request's id.
+	ID, Parent, Req uint64
+	PID             int
+	Kind            SpanKind
+	// Op names request/op spans; empty for syscall/wait/exec spans.
+	Op string
+	// Arg carries the syscall number (SpanSyscall) or the
+	// kperf.Subsys (SpanWait, SpanExec).
+	Arg        uint32
+	Start, End sim.Cycles
+}
+
+// ReqRecord is the retained critical-path record of one closed
+// request: its wall interval and exact segment decomposition.
+type ReqRecord struct {
+	ID         uint64
+	PID        int
+	Op         string
+	Start, End sim.Cycles
+	Segs       [NSegs]int64
+}
+
+// Wall reports the request's wall cycles.
+func (r ReqRecord) Wall() int64 { return int64(r.End - r.Start) }
+
+// Config sizes the tracer's bounded retention.
+type Config struct {
+	// SpanRecords caps the closed-span ring (0: DefaultSpanRecords).
+	// When full, the oldest span is overwritten and counted dropped.
+	SpanRecords int
+	// ReqRecords caps the retained per-request decomposition records
+	// (0: DefaultReqRecords); same ring semantics.
+	ReqRecords int
+}
+
+// Retention defaults.
+const (
+	DefaultSpanRecords = 1 << 16
+	DefaultReqRecords  = 1 << 15
+)
+
+// winKind is the off-CPU window state of one process.
+type winKind uint8
+
+const (
+	winNone winKind = iota
+	winReady
+	winBlocked
+)
+
+// maxOpenSpans bounds per-process span nesting (request not
+// included); deeper pushes are dropped and counted.
+const maxOpenSpans = 32
+
+type openSpan struct {
+	id    uint64
+	kind  SpanKind
+	op    string
+	arg   uint32
+	start sim.Cycles
+}
+
+// procTrace is one process's tracing state. Plain fields: the
+// machine's strict goroutine hand-off makes them race-free, exactly
+// like kperf's attribution cells.
+type procTrace struct {
+	pid int
+	ps  *kperf.ProcState
+
+	// Open request.
+	reqID    uint64
+	op       string
+	agg      *opAgg
+	reqStart sim.Cycles
+	segs     [NSegs]int64
+
+	// Open child spans, innermost last.
+	stack    [maxOpenSpans]openSpan
+	depth    int
+	overflow int64
+
+	// Off-CPU window. winCharges accumulates cycles charged to the
+	// process *while* off-CPU (context-switch and probe-ctx billing at
+	// re-dispatch): they land in SegKernel and are subtracted from the
+	// window's wall interval so every cycle counts exactly once.
+	winKind    winKind
+	winSub     kperf.Subsys
+	winStart   sim.Cycles
+	winCharges sim.Cycles
+}
+
+// opAgg aggregates closed requests of one operation type.
+type opAgg struct {
+	hist kperf.Histogram
+	segs [NSegs]int64
+}
+
+// Tracer is the per-machine request tracer. It implements
+// kernel.TraceHook structurally. All exported methods are nil-receiver
+// safe so wiring layers hold a possibly-nil pointer.
+type Tracer struct {
+	cfg   Config
+	clock *sim.Clock
+	set   *kperf.Set
+
+	procs map[int]*procTrace
+	last  *procTrace
+
+	seq       uint64
+	requests  int64
+	idViol    int64
+	firstViol string
+
+	aggs map[string]*opAgg
+
+	spans      []Span
+	spanW      int
+	spanN      int
+	spanDrops  int64
+	spansTotal int64
+
+	reqs     []ReqRecord
+	reqW     int
+	reqN     int
+	reqDrops int64
+}
+
+// NewTracer creates a tracer reading simulated time from clock and
+// stamping request context into set's per-process state (set may be
+// nil; request stamping is then skipped). cfg nil selects defaults.
+func NewTracer(cfg *Config, clock *sim.Clock, set *kperf.Set) *Tracer {
+	c := Config{}
+	if cfg != nil {
+		c = *cfg
+	}
+	if c.SpanRecords <= 0 {
+		c.SpanRecords = DefaultSpanRecords
+	}
+	if c.ReqRecords <= 0 {
+		c.ReqRecords = DefaultReqRecords
+	}
+	return &Tracer{
+		cfg:   c,
+		clock: clock,
+		set:   set,
+		procs: make(map[int]*procTrace),
+		aggs:  make(map[string]*opAgg),
+		spans: make([]Span, c.SpanRecords),
+		reqs:  make([]ReqRecord, c.ReqRecords),
+	}
+}
+
+// proc returns pid's state, creating it lazily. The one-entry cache
+// makes the per-charge hot path a pointer compare in the common
+// single-process-running case.
+func (t *Tracer) proc(pid int) *procTrace {
+	if pt := t.last; pt != nil && pt.pid == pid {
+		return pt
+	}
+	pt := t.procs[pid]
+	if pt == nil {
+		pt = &procTrace{pid: pid}
+		if t.set != nil {
+			for _, ps := range t.set.Procs() {
+				if ps.PID() == pid {
+					pt.ps = ps
+					break
+				}
+			}
+		}
+		t.procs[pid] = pt
+	}
+	t.last = pt
+	return pt
+}
+
+// ---- kernel.TraceHook ----
+
+// OnCharge classifies one cycle charge. While the process is on-CPU
+// the charge lands in user/copy/kernel by the live kperf subsystem
+// tag; while off-CPU (context-switch billing at re-dispatch) it lands
+// in SegKernel and shrinks the enclosing wait window by the same
+// amount, keeping the partition exact.
+func (t *Tracer) OnCharge(pid int, c sim.Cycles, kernelMode bool, sub kperf.Subsys) {
+	pt := t.proc(pid)
+	if pt.winKind != winNone {
+		pt.winCharges += c
+		if pt.reqID != 0 {
+			pt.segs[SegKernel] += int64(c)
+		}
+		return
+	}
+	if pt.reqID == 0 {
+		return
+	}
+	switch {
+	case sub == kperf.SubBoundary:
+		pt.segs[SegCopy] += int64(c)
+	case kernelMode:
+		pt.segs[SegKernel] += int64(c)
+	default:
+		pt.segs[SegUser] += int64(c)
+	}
+}
+
+// OnBlock opens a blocked window.
+func (t *Tracer) OnBlock(pid int, sub kperf.Subsys, at sim.Cycles) {
+	pt := t.proc(pid)
+	pt.winKind, pt.winSub, pt.winStart, pt.winCharges = winBlocked, sub, at, 0
+}
+
+// OnReady marks the process runnable off-CPU: a fresh window after a
+// preemption/yield, or — when a blocked window is open — the wake
+// point, which closes the blocked sub-window and opens a ready one so
+// post-wake run-queue residency counts as scheduler delay, not I/O.
+func (t *Tracer) OnReady(pid int, at sim.Cycles) {
+	pt := t.proc(pid)
+	if pt.winKind == winBlocked {
+		t.closeWindow(pt, at)
+	}
+	if pt.winKind == winNone {
+		pt.winKind, pt.winStart, pt.winCharges = winReady, at, 0
+	}
+}
+
+// OnRun closes the open window: the process is on CPU again.
+func (t *Tracer) OnRun(pid int, at sim.Cycles) {
+	pt := t.proc(pid)
+	if pt.winKind != winNone {
+		t.closeWindow(pt, at)
+	}
+}
+
+// closeWindow attributes the window's wall interval (minus in-window
+// charges, already classified) to the request's wait segments and
+// emits a wait span for blocked intervals.
+func (t *Tracer) closeWindow(pt *procTrace, at sim.Cycles) {
+	kind, sub := pt.winKind, pt.winSub
+	dur := int64(at - pt.winStart - pt.winCharges)
+	start := pt.winStart
+	pt.winKind = winNone
+	if pt.reqID == 0 {
+		return
+	}
+	switch {
+	case kind == winReady:
+		pt.segs[SegReady] += dur
+	case sub == kperf.SubDisk:
+		pt.segs[SegDisk] += dur
+	default:
+		pt.segs[SegSleep] += dur
+	}
+	if kind == winBlocked {
+		t.seq++
+		t.emit(Span{
+			ID: t.seq, Parent: pt.topID(), Req: pt.reqID, PID: pt.pid,
+			Kind: SpanWait, Arg: uint32(sub), Start: start, End: at,
+		})
+	}
+}
+
+// ---- request / span plane ----
+
+// topID reports the innermost open span id, or the request id when no
+// child span is open.
+func (pt *procTrace) topID() uint64 {
+	if pt.depth > 0 {
+		return pt.stack[pt.depth-1].id
+	}
+	return pt.reqID
+}
+
+// push opens a child span, dropping (with a count) past the nesting
+// bound.
+func (pt *procTrace) push(sp openSpan) {
+	if pt.depth >= maxOpenSpans {
+		pt.overflow++
+		return
+	}
+	pt.stack[pt.depth] = sp
+	pt.depth++
+}
+
+// BeginOp opens a logical operation for pid and returns its span id.
+// With no request open it opens one (the request root); otherwise it
+// nests a child op span — so a Cosy compound or ku_call traced inside
+// a workload batch becomes a child of the batch's request, and a
+// standalone one becomes a request of its own.
+func (t *Tracer) BeginOp(pid int, op string) uint64 {
+	if t == nil {
+		return 0
+	}
+	pt := t.proc(pid)
+	now := t.clock.Now()
+	t.seq++
+	id := t.seq
+	if pt.reqID == 0 {
+		pt.reqID, pt.op, pt.reqStart = id, op, now
+		pt.agg = t.agg(op)
+		for i := range pt.segs {
+			pt.segs[i] = 0
+		}
+		t.requests++
+		pt.ps.SetRequest(id, op)
+		return id
+	}
+	pt.push(openSpan{id: id, kind: SpanOp, op: op, start: now})
+	return id
+}
+
+// EndOp closes the innermost open operation: a child op span when one
+// is open, otherwise the request itself — computing its decomposition,
+// checking the identity, and folding it into the per-op aggregates.
+func (t *Tracer) EndOp(pid int) {
+	if t == nil {
+		return
+	}
+	pt := t.proc(pid)
+	now := t.clock.Now()
+	if pt.depth > 0 && pt.stack[pt.depth-1].kind == SpanOp {
+		pt.depth--
+		sp := pt.stack[pt.depth]
+		t.emit(Span{
+			ID: sp.id, Parent: pt.topID(), Req: pt.reqID, PID: pid,
+			Kind: SpanOp, Op: sp.op, Start: sp.start, End: now,
+		})
+		return
+	}
+	if pt.reqID == 0 || pt.depth > 0 {
+		return
+	}
+	t.closeRequest(pt, now)
+}
+
+// closeRequest finalizes pt's open request at time now.
+func (t *Tracer) closeRequest(pt *procTrace, now sim.Cycles) {
+	wall := int64(now - pt.reqStart)
+	var sum int64
+	for _, s := range pt.segs {
+		sum += s
+	}
+	if sum != wall {
+		t.idViol++
+		if t.firstViol == "" {
+			t.firstViol = fmt.Sprintf("req %d op %q pid %d: segments sum %d != wall %d [%s]",
+				pt.reqID, pt.op, pt.pid, sum, wall, segList(pt.segs))
+		}
+	}
+	pt.agg.hist.Observe(sim.Cycles(wall))
+	for i, s := range pt.segs {
+		pt.agg.segs[i] += s
+	}
+
+	rec := ReqRecord{ID: pt.reqID, PID: pt.pid, Op: pt.op, Start: pt.reqStart, End: now, Segs: pt.segs}
+	t.reqs[t.reqW] = rec
+	t.reqW++
+	if t.reqW == len(t.reqs) {
+		t.reqW = 0
+	}
+	if t.reqN < len(t.reqs) {
+		t.reqN++
+	} else {
+		t.reqDrops++
+	}
+
+	t.emit(Span{
+		ID: pt.reqID, Req: pt.reqID, PID: pt.pid,
+		Kind: SpanRequest, Op: pt.op, Start: pt.reqStart, End: now,
+	})
+	pt.ps.SetRequest(0, "")
+	pt.reqID, pt.op, pt.agg = 0, "", nil
+}
+
+// SyscallEnter opens a syscall span under pid's current request (also
+// tracked with no request open, so nesting stays consistent; only
+// spans under a request are recorded).
+func (t *Tracer) SyscallEnter(pid int, nr uint16) {
+	if t == nil {
+		return
+	}
+	pt := t.proc(pid)
+	t.seq++
+	pt.push(openSpan{id: t.seq, kind: SpanSyscall, arg: uint32(nr), start: t.clock.Now()})
+}
+
+// SyscallExit closes the innermost syscall span.
+func (t *Tracer) SyscallExit(pid int) {
+	if t == nil {
+		return
+	}
+	pt := t.proc(pid)
+	if pt.depth == 0 || pt.stack[pt.depth-1].kind != SpanSyscall {
+		return
+	}
+	pt.depth--
+	sp := pt.stack[pt.depth]
+	if pt.reqID == 0 {
+		return
+	}
+	t.emit(Span{
+		ID: sp.id, Parent: pt.topID(), Req: pt.reqID, PID: pid,
+		Kind: SpanSyscall, Arg: sp.arg, Start: sp.start, End: t.clock.Now(),
+	})
+}
+
+// ExecSpan records a completed in-kernel execution slice (probe or
+// kucode run) as a child of pid's innermost open span. Outside a
+// request it records nothing.
+func (t *Tracer) ExecSpan(pid int, sub kperf.Subsys, start, end sim.Cycles) {
+	if t == nil {
+		return
+	}
+	pt := t.proc(pid)
+	if pt.reqID == 0 {
+		return
+	}
+	t.seq++
+	t.emit(Span{
+		ID: t.seq, Parent: pt.topID(), Req: pt.reqID, PID: pid,
+		Kind: SpanExec, Arg: uint32(sub), Start: start, End: end,
+	})
+}
+
+// emit writes one closed span into the bounded ring, overwriting (and
+// counting) the oldest when full. Spans outside any request are not
+// emitted by callers.
+func (t *Tracer) emit(sp Span) {
+	t.spans[t.spanW] = sp
+	t.spanW++
+	if t.spanW == len(t.spans) {
+		t.spanW = 0
+	}
+	if t.spanN < len(t.spans) {
+		t.spanN++
+	} else {
+		t.spanDrops++
+	}
+	t.spansTotal++
+}
+
+// agg returns (creating) the aggregate for op.
+func (t *Tracer) agg(op string) *opAgg {
+	a := t.aggs[op]
+	if a == nil {
+		a = &opAgg{}
+		t.aggs[op] = a
+	}
+	return a
+}
+
+// ---- accessors ----
+
+// Spans returns the retained closed spans in write order (oldest
+// retained first). Nil-safe.
+func (t *Tracer) Spans() []Span {
+	if t == nil || t.spanN == 0 {
+		return nil
+	}
+	out := make([]Span, 0, t.spanN)
+	start := t.spanW - t.spanN
+	if start < 0 {
+		start += len(t.spans)
+	}
+	for i := 0; i < t.spanN; i++ {
+		idx := start + i
+		if idx >= len(t.spans) {
+			idx -= len(t.spans)
+		}
+		out = append(out, t.spans[idx])
+	}
+	return out
+}
+
+// Requests returns the retained closed-request records in write order.
+func (t *Tracer) Requests() []ReqRecord {
+	if t == nil || t.reqN == 0 {
+		return nil
+	}
+	out := make([]ReqRecord, 0, t.reqN)
+	start := t.reqW - t.reqN
+	if start < 0 {
+		start += len(t.reqs)
+	}
+	for i := 0; i < t.reqN; i++ {
+		idx := start + i
+		if idx >= len(t.reqs) {
+			idx -= len(t.reqs)
+		}
+		out = append(out, t.reqs[idx])
+	}
+	return out
+}
+
+// segList renders a segment array for diagnostics.
+func segList(segs [NSegs]int64) string {
+	s := ""
+	for i, v := range segs {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", Seg(i), v)
+	}
+	return s
+}

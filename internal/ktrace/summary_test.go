@@ -1,0 +1,122 @@
+package ktrace
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func sli(op string, count, sum, max int64, buckets []int64) OpSLI {
+	s := OpSLI{Op: op, Count: count, Sum: sum, Max: max, Buckets: buckets,
+		Segs: map[string]int64{}, TailSegs: map[string]int64{}}
+	for i := 0; i < NSegs; i++ {
+		s.Segs[Seg(i).String()] = 0
+		s.TailSegs[Seg(i).String()] = 0
+	}
+	return s
+}
+
+func TestMergeSummaries(t *testing.T) {
+	a := &Summary{Requests: 10, Spans: 40, IdentityViolations: 1, FirstViolation: "a"}
+	sa := sli("op", 10, 1000, 200, []int64{0, 2, 4, 4})
+	sa.Segs["user"], sa.TailSegs["copy"], sa.TailCount = 600, 50, 2
+	a.Ops = []OpSLI{sa}
+
+	b := &Summary{Requests: 5, Spans: 20, SpanDrops: 3}
+	sb := sli("op", 5, 900, 400, []int64{0, 0, 1, 2, 2})
+	sb.Segs["user"], sb.TailSegs["kernel"], sb.TailCount = 300, 90, 1
+	sc := sli("other", 1, 7, 7, []int64{0, 0, 0, 1})
+	b.Ops = []OpSLI{sb, sc}
+
+	m := MergeSummaries([]*Summary{a, nil, b})
+	if m.Requests != 15 || m.Spans != 60 || m.SpanDrops != 3 {
+		t.Errorf("toplines: %+v", m)
+	}
+	if m.IdentityViolations != 1 || m.FirstViolation != "a" {
+		t.Errorf("violations not carried: %+v", m)
+	}
+	if len(m.Ops) != 2 || m.Ops[0].Op != "op" || m.Ops[1].Op != "other" {
+		t.Fatalf("ops = %+v, want [op other] sorted", m.Ops)
+	}
+	op := m.Op("op")
+	if op.Count != 15 || op.Sum != 1900 || op.Max != 400 {
+		t.Errorf("count/sum/max: %+v", op)
+	}
+	want := []int64{0, 2, 5, 6, 2}
+	if len(op.Buckets) != len(want) {
+		t.Fatalf("buckets = %v, want %v", op.Buckets, want)
+	}
+	for i, v := range want {
+		if op.Buckets[i] != v {
+			t.Fatalf("buckets = %v, want %v", op.Buckets, want)
+		}
+	}
+	if op.Segs["user"] != 900 {
+		t.Errorf("user seg = %d, want 900", op.Segs["user"])
+	}
+	if op.TailSegs["copy"] != 50 || op.TailSegs["kernel"] != 90 || op.TailCount != 3 {
+		t.Errorf("tail merge: %+v", op)
+	}
+	if op.TopSeg != "kernel" {
+		t.Errorf("top seg = %q, want kernel (90 > 50)", op.TopSeg)
+	}
+	// Quantiles recomputed over the merged buckets: 15 samples, p50 is
+	// the 8th -> bucket 3 (upper bound 8), p99 the 15th -> capped at Max.
+	if op.P50 != 8 {
+		t.Errorf("merged p50 = %d, want 8", op.P50)
+	}
+	if op.P99 > op.Max {
+		t.Errorf("merged p99 %d exceeds max %d", op.P99, op.Max)
+	}
+
+	if got := MergeSummaries(nil); got.Requests != 0 || len(got.Ops) != 0 {
+		t.Errorf("merging nothing: %+v", got)
+	}
+}
+
+func TestSummaryJSONDeterministic(t *testing.T) {
+	s := &Summary{Requests: 2}
+	s.Ops = []OpSLI{sli("b", 1, 1, 1, []int64{0, 1}), sli("z", 1, 2, 2, []int64{0, 0, 1})}
+	b1, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeSummary(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Errorf("round trip changed encoding:\n%s\n%s", b1, b2)
+	}
+}
+
+// FuzzSummaryJSON: hostile bytes must produce an error or a summary,
+// never a panic, and a decoded summary must survive re-encoding and
+// merging with itself.
+func FuzzSummaryJSON(f *testing.F) {
+	seed := &Summary{Requests: 3, Spans: 9}
+	s := sli("op", 3, 30, 16, []int64{0, 1, 1, 1})
+	s.Segs["user"] = 12
+	seed.Ops = []OpSLI{s}
+	b, _ := json.Marshal(seed)
+	f.Add(b)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"ops":[{"op":"x","buckets":[1,2,3]}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sum, err := DecodeSummary(data)
+		if err != nil {
+			return
+		}
+		if _, err := json.Marshal(sum); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		m := MergeSummaries([]*Summary{sum, sum})
+		if m.Requests != 2*sum.Requests {
+			t.Fatalf("self-merge requests %d, want %d", m.Requests, 2*sum.Requests)
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/kgcc"
 	"repro/internal/kperf"
+	"repro/internal/ktrace"
 	"repro/internal/mem"
 	"repro/internal/minic"
 	"repro/internal/sim"
@@ -131,11 +132,14 @@ func (k *Kernel) KuExt(id int) (*KuExt, bool) {
 }
 
 // chargeKu bills kucode work to the process as kernel time tagged
-// with the kucode subsystem.
+// with the kucode subsystem, recording the slice as a ktrace exec
+// span under the current request.
 func (pr *Proc) chargeKu(c sim.Cycles) {
+	start := pr.K.M.Clock.Now()
 	pr.P.Perf.Push(kperf.SubKu)
 	pr.P.Charge(c)
 	pr.P.Perf.Pop()
+	pr.K.Ktrace.ExecSpan(pr.P.PID, kperf.SubKu, start, pr.K.M.Clock.Now())
 }
 
 // KuLoad is the ku_load system call: copy the extension source in,
@@ -376,6 +380,8 @@ func moduleCallCycle(m *minic.Module) string {
 // violation to the caller.
 func (pr *Proc) KuCall(id int, args ...int64) (int64, error) {
 	in := 8 + 8*len(args)
+	pr.K.Ktrace.BeginOp(pr.P.PID, ktrace.OpKuCall)
+	defer pr.K.Ktrace.EndOp(pr.P.PID)
 	pr.enter(NrKuCall, in)
 	var ret int64
 	var err error

@@ -7,6 +7,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/kperf"
 	"repro/internal/kprobe"
+	"repro/internal/ktrace"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/vfs"
@@ -26,6 +27,12 @@ type Kernel struct {
 	// Probes is the kprobe subsystem (nil on kernels booted without
 	// it); enter/exit dispatch its syscall tracepoints.
 	Probes *kprobe.Manager
+
+	// Ktrace is the request tracer (nil on kernels booted without
+	// it; every method is nil-safe): enter/exit open syscall spans
+	// under the current request, and the Cosy/kucode entry points
+	// open operations through it.
+	Ktrace *ktrace.Tracer
 
 	// Ku is the kucode extension subsystem, created lazily on the
 	// first ku_load.
@@ -175,6 +182,7 @@ func (pr *Proc) enter(nr Nr, in int) {
 	c := &pr.K.M.Costs
 	pr.lastEnter = pr.K.M.Clock.Now()
 	pr.P.Perf.SyscallEnter(uint16(nr), pr.lastEnter)
+	pr.K.Ktrace.SyscallEnter(pr.P.PID, uint16(nr))
 	pr.P.Perf.Push(kperf.SubBoundary)
 	pr.P.ChargeUser(c.UserDispatch)
 	pr.P.EnterKernel()
@@ -194,11 +202,14 @@ func (pr *Proc) enter(nr Nr, in int) {
 
 // chargeProbe bills probe-program execution to the process as kernel
 // time tagged with the probe subsystem: observer overhead is itself a
-// measured, attributable quantity.
+// measured, attributable quantity. The execution slice is also
+// recorded as a ktrace exec span under the current request.
 func (pr *Proc) chargeProbe(c sim.Cycles) {
+	start := pr.K.M.Clock.Now()
 	pr.P.Perf.Push(kperf.SubProbe)
 	pr.P.Charge(c)
 	pr.P.Perf.Pop()
+	pr.K.Ktrace.ExecSpan(pr.P.PID, kperf.SubProbe, start, pr.K.M.Clock.Now())
 }
 
 // exit performs the kernel->user transition, charging copyout for
@@ -222,6 +233,7 @@ func (pr *Proc) exit(nr Nr, in, out int) {
 	}
 	pr.P.ExitKernel()
 	pr.P.Perf.SyscallExit(pr.K.M.Clock.Now())
+	pr.K.Ktrace.SyscallExit(pr.P.PID)
 	for _, h := range pr.K.hooks {
 		h.Syscall(pr.P.PID, nr, in, out)
 	}

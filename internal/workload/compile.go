@@ -103,51 +103,61 @@ func Compile(pr *sys.Proc, cfg CompileConfig) (CompileStats, error) {
 		if len(e.Name) < 2 || e.Name[len(e.Name)-1] != 'c' {
 			continue
 		}
-		a, err := pr.Stat(path)
-		if err != nil {
-			return st, err
-		}
-		// Spawn the compiler: generic kernel work outside the FS.
-		pr.P.ChargeSys(cfg.ToolchainSys)
-		fd, err := pr.Open(path, sys.ORdonly)
-		if err != nil {
-			return st, err
-		}
-		total := 0
-		for {
-			n, err := pr.Read(fd, buf)
+		// Each translation unit — stat, read, compile, emit — is one
+		// traced request.
+		pr.K.Ktrace.BeginOp(pr.P.PID, OpCompileUnit)
+		err := func() error {
+			a, err := pr.Stat(path)
 			if err != nil {
-				return st, err
+				return err
 			}
-			if n == 0 {
-				break
+			// Spawn the compiler: generic kernel work outside the FS.
+			pr.P.ChargeSys(cfg.ToolchainSys)
+			fd, err := pr.Open(path, sys.ORdonly)
+			if err != nil {
+				return err
 			}
-			total += n
-		}
-		if err := pr.Close(fd); err != nil {
-			return st, err
-		}
-		if int64(total) != a.Size {
-			return st, fmt.Errorf("workload: short read: %d of %d", total, a.Size)
-		}
-		// The compile itself.
-		pr.P.ChargeUser(sim.Cycles(total) * cfg.CPUPerByte)
-		// Emit the object file (~40% of source size).
-		objSize := total * 2 / 5
-		ofd, err := pr.Creat(path[:len(path)-1] + "o")
+			total := 0
+			for {
+				n, err := pr.Read(fd, buf)
+				if err != nil {
+					return err
+				}
+				if n == 0 {
+					break
+				}
+				total += n
+			}
+			if err := pr.Close(fd); err != nil {
+				return err
+			}
+			if int64(total) != a.Size {
+				return fmt.Errorf("workload: short read: %d of %d", total, a.Size)
+			}
+			// The compile itself.
+			pr.P.ChargeUser(sim.Cycles(total) * cfg.CPUPerByte)
+			// Emit the object file (~40% of source size).
+			objSize := total * 2 / 5
+			ofd, err := pr.Creat(path[:len(path)-1] + "o")
+			if err != nil {
+				return err
+			}
+			ub := sys.UserBuf{Addr: buf.Addr, Len: objSize}
+			if _, err := pr.Write(ofd, ub); err != nil {
+				return err
+			}
+			if err := pr.Close(ofd); err != nil {
+				return err
+			}
+			st.Compiled++
+			st.BytesRead += int64(total)
+			st.BytesOut += int64(objSize)
+			return nil
+		}()
+		pr.K.Ktrace.EndOp(pr.P.PID)
 		if err != nil {
 			return st, err
 		}
-		ub := sys.UserBuf{Addr: buf.Addr, Len: objSize}
-		if _, err := pr.Write(ofd, ub); err != nil {
-			return st, err
-		}
-		if err := pr.Close(ofd); err != nil {
-			return st, err
-		}
-		st.Compiled++
-		st.BytesRead += int64(total)
-		st.BytesOut += int64(objSize)
 	}
 	return st, nil
 }

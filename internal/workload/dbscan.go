@@ -63,8 +63,18 @@ func DBSetup(pr *sys.Proc, cfg DBConfig) error {
 	return pr.Close(fd)
 }
 
+// SeqBatch and RandBatch are the request-trace batching granularity:
+// one traced request covers SeqBatch sequential records or RandBatch
+// random lookups, so per-request latency is large enough to have an
+// interesting critical path but fine enough to expose tail behavior.
+const (
+	SeqBatch  = 64
+	RandBatch = 16
+)
+
 // SeqScanUser is the unmodified application: a read-per-record loop
-// through the syscall interface.
+// through the syscall interface. Every SeqBatch records form one
+// traced request.
 func SeqScanUser(pr *sys.Proc, cfg DBConfig) (int64, error) {
 	fd, err := pr.Open(cfg.Path, sys.ORdonly)
 	if err != nil {
@@ -75,16 +85,27 @@ func SeqScanUser(pr *sys.Proc, cfg DBConfig) (int64, error) {
 		return 0, err
 	}
 	var total int64
+	reads, open := 0, false
 	for {
+		if !open {
+			pr.K.Ktrace.BeginOp(pr.P.PID, OpSeqScanBatch)
+			open = true
+		}
 		n, err := pr.Read(fd, buf)
 		if err != nil {
+			pr.K.Ktrace.EndOp(pr.P.PID)
 			return 0, err
 		}
 		if n == 0 {
+			pr.K.Ktrace.EndOp(pr.P.PID)
 			break
 		}
 		pr.P.ChargeUser(cfg.ProcessCPU)
 		total += int64(n)
+		if reads++; reads%SeqBatch == 0 {
+			pr.K.Ktrace.EndOp(pr.P.PID)
+			open = false
+		}
 	}
 	return total, pr.Close(fd)
 }
@@ -127,7 +148,8 @@ func SeqScanCosy(pr *sys.Proc, e *kext.Engine, cfg DBConfig) (int64, error) {
 	return e.Exec(pr, raw, shm)
 }
 
-// RandScanUser probes random records: lseek + read per lookup.
+// RandScanUser probes random records: lseek + read per lookup. Every
+// RandBatch lookups form one traced request.
 func RandScanUser(pr *sys.Proc, cfg DBConfig) (int64, error) {
 	fd, err := pr.Open(cfg.Path, sys.ORdonly)
 	if err != nil {
@@ -140,16 +162,24 @@ func RandScanUser(pr *sys.Proc, cfg DBConfig) (int64, error) {
 	rng := sim.NewRand(cfg.Seed)
 	var total int64
 	for i := 0; i < cfg.Lookups; i++ {
+		if i%RandBatch == 0 {
+			pr.K.Ktrace.BeginOp(pr.P.PID, OpRandScanBatch)
+		}
 		rec := rng.Intn(cfg.Records)
 		if _, err := pr.Lseek(fd, int64(rec*cfg.RecSize), sys.SeekSet); err != nil {
+			pr.K.Ktrace.EndOp(pr.P.PID)
 			return 0, err
 		}
 		n, err := pr.Read(fd, buf)
 		if err != nil {
+			pr.K.Ktrace.EndOp(pr.P.PID)
 			return 0, err
 		}
 		pr.P.ChargeUser(cfg.ProcessCPU)
 		total += int64(n)
+		if (i+1)%RandBatch == 0 || i == cfg.Lookups-1 {
+			pr.K.Ktrace.EndOp(pr.P.PID)
+		}
 	}
 	return total, pr.Close(fd)
 }
@@ -184,6 +214,78 @@ func randScanCompound(cfg DBConfig) ([]byte, error) {
 	})
 	b.Sys(uint16(sys.NrClose), fd)
 	return b.Build(total)
+}
+
+// randScanBatchCompound builds one batch of the Cosy random scan:
+// count LCG-driven probes starting from generator state x0. The host
+// replicates the LCG across batches so the full probe sequence is
+// identical to the single-compound RandScanCosy and to RandScanUser's
+// access pattern shape.
+func randScanBatchCompound(cfg DBConfig, x0 int64, count int) ([]byte, error) {
+	b := lib.New()
+	pathOff := b.String(cfg.Path)
+	recOff := b.Alloc(cfg.RecSize)
+	fd := b.Sys(uint16(sys.NrOpen), b.Const(int64(pathOff)), b.Const(0))
+	total := b.Const(0)
+	x := b.Const(x0)
+	a := b.Const(1103515245)
+	c := b.Const(12345)
+	m := b.Const(1 << 31)
+	nrec := b.Const(int64(cfg.Records))
+	rsz := b.Const(int64(cfg.RecSize))
+
+	b.CountedLoop(int64(count), func(i lang.Reg) {
+		ax := b.Bin("*", a, x)
+		axc := b.Bin("+", ax, c)
+		b.BinInto(x, "%", axc, m)
+		rec := b.Bin("%", x, nrec)
+		off := b.Bin("*", rec, rsz)
+		b.Sys(uint16(sys.NrLseek), fd, off, b.Const(int64(sys.SeekSet)))
+		n := b.Sys(uint16(sys.NrRead), fd, b.Const(int64(recOff)), rsz)
+		b.BinInto(total, "+", total, n)
+		hdr := b.Load(8, b.Const(int64(recOff)))
+		b.Bin("&", hdr, hdr)
+	})
+	b.Sys(uint16(sys.NrClose), fd)
+	return b.Build(total)
+}
+
+// RandScanCosyBatched runs the random scan as one compound per
+// RandBatch lookups, each a traced request, so its per-request
+// latency distribution is directly comparable to RandScanUser's.
+func RandScanCosyBatched(pr *sys.Proc, e *kext.Engine, cfg DBConfig) (int64, error) {
+	x := int64(cfg.Seed%1_000_003 + 1)
+	var total int64
+	for start := 0; start < cfg.Lookups; start += RandBatch {
+		count := RandBatch
+		if cfg.Lookups-start < count {
+			count = cfg.Lookups - start
+		}
+		raw, err := randScanBatchCompound(cfg, x, count)
+		if err != nil {
+			return 0, err
+		}
+		c, err := lang.Decode(raw)
+		if err != nil {
+			return 0, err
+		}
+		shm, err := e.NewShm(c.ShmSize)
+		if err != nil {
+			return 0, err
+		}
+		pr.K.Ktrace.BeginOp(pr.P.PID, OpRandScanBatch)
+		n, err := e.Exec(pr, raw, shm)
+		pr.K.Ktrace.EndOp(pr.P.PID)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+		// Advance the host's mirror of the in-compound generator.
+		for j := 0; j < count; j++ {
+			x = (1103515245*x + 12345) % (1 << 31)
+		}
+	}
+	return total, nil
 }
 
 // RandScanCosy runs the random scan as a compound.

@@ -33,7 +33,21 @@ type PostMarkConfig struct {
 	// UserThink is the user-mode CPU charged per transaction
 	// (PostMark itself does little user work).
 	UserThink sim.Cycles
+	// Think, when set, replaces the default per-transaction
+	// ChargeUser(UserThink) — the kucode evaluation routes the think
+	// time through a loaded extension instead of a plain user charge.
+	Think func(pr *sys.Proc) error
 }
+
+// Request-trace operation names for the instrumented workloads. Each
+// marks one logical client-visible operation whose latency the
+// critical-path analyzer decomposes.
+const (
+	OpPostmarkTxn  = "postmark.txn"
+	OpCompileUnit  = "compile.unit"
+	OpSeqScanBatch = "dbscan.seq.batch"
+	OpRandScanBatch = "dbscan.rand.batch"
+)
 
 // DefaultPostMark mirrors the classic defaults scaled to simulation
 // size.
@@ -112,50 +126,62 @@ func PostMark(pr *sys.Proc, cfg PostMarkConfig) (PostMarkStats, error) {
 		}
 	}
 	for t := 0; t < cfg.Transactions; t++ {
-		pr.P.ChargeUser(cfg.UserThink)
-		// Half one: read or append an existing file.
-		if len(files) > 0 {
-			name := files[rng.Intn(len(files))]
-			if rng.Bool(cfg.ReadBias) {
-				fd, err := pr.Open(name, sys.ORdonly)
-				if err != nil {
-					return st, err
+		// Each transaction is one traced request: the tracer decomposes
+		// its wall time into user/kernel/copy/ready/disk segments.
+		pr.K.Ktrace.BeginOp(pr.P.PID, OpPostmarkTxn)
+		err := func() error {
+			if cfg.Think != nil {
+				if err := cfg.Think(pr); err != nil {
+					return err
 				}
-				n, err := pr.Read(fd, buf)
-				if err != nil {
-					return st, err
-				}
-				if err := pr.Close(fd); err != nil {
-					return st, err
-				}
-				st.Read++
-				st.BytesRead += int64(n)
 			} else {
-				fd, err := pr.Open(name, sys.OWronly)
-				if err != nil {
-					return st, err
-				}
-				if _, err := pr.Lseek(fd, 0, sys.SeekEnd); err != nil {
-					return st, err
-				}
-				size := rng.Range(128, 2048)
-				ub := sys.UserBuf{Addr: buf.Addr, Len: size}
-				if _, err := pr.Write(fd, ub); err != nil {
-					return st, err
-				}
-				if err := pr.Close(fd); err != nil {
-					return st, err
-				}
-				st.Appended++
-				st.BytesWritten += int64(size)
+				pr.P.ChargeUser(cfg.UserThink)
 			}
-		}
-		// Half two: create or delete.
-		if rng.Bool(cfg.CreateBias) {
-			if err := create(); err != nil {
-				return st, err
+			// Half one: read or append an existing file.
+			if len(files) > 0 {
+				name := files[rng.Intn(len(files))]
+				if rng.Bool(cfg.ReadBias) {
+					fd, err := pr.Open(name, sys.ORdonly)
+					if err != nil {
+						return err
+					}
+					n, err := pr.Read(fd, buf)
+					if err != nil {
+						return err
+					}
+					if err := pr.Close(fd); err != nil {
+						return err
+					}
+					st.Read++
+					st.BytesRead += int64(n)
+				} else {
+					fd, err := pr.Open(name, sys.OWronly)
+					if err != nil {
+						return err
+					}
+					if _, err := pr.Lseek(fd, 0, sys.SeekEnd); err != nil {
+						return err
+					}
+					size := rng.Range(128, 2048)
+					ub := sys.UserBuf{Addr: buf.Addr, Len: size}
+					if _, err := pr.Write(fd, ub); err != nil {
+						return err
+					}
+					if err := pr.Close(fd); err != nil {
+						return err
+					}
+					st.Appended++
+					st.BytesWritten += int64(size)
+				}
 			}
-		} else if err := remove(); err != nil {
+			// Half two: create or delete.
+			if rng.Bool(cfg.CreateBias) {
+				return create()
+			}
+			return remove()
+		}()
+		pr.K.Ktrace.EndOp(pr.P.PID)
+		if err != nil {
 			return st, err
 		}
 	}

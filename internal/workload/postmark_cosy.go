@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cosy/kext"
+	"repro/internal/cosy/lang"
+	"repro/internal/cosy/lib"
+	"repro/internal/sim"
+	"repro/internal/sys"
+)
+
+// PostMarkCosy runs the PostMark transaction mix with each
+// transaction consolidated into one Cosy compound: the read/append
+// half and the create/delete half cross the user/kernel boundary once
+// together instead of once per call. The random decision stream (file
+// choice, read vs append, sizes, create vs delete) is drawn host-side
+// in exactly the order PostMark draws it, so both variants perform
+// the identical logical workload and their per-transaction latency
+// distributions are directly comparable.
+func PostMarkCosy(pr *sys.Proc, e *kext.Engine, cfg PostMarkConfig) (PostMarkStats, error) {
+	var st PostMarkStats
+	rng := sim.NewRand(cfg.Seed)
+	if err := pr.Mkdir(cfg.Dir); err != nil {
+		return st, err
+	}
+	buf, err := pr.Mmap(cfg.MaxSize)
+	if err != nil {
+		return st, err
+	}
+
+	// Setup and cleanup use the plain syscall path, exactly like
+	// PostMark: only the transaction loop is consolidated (and traced).
+	var files []string
+	nextID := 0
+	create := func() error {
+		name := fmt.Sprintf("%s/f%06d", cfg.Dir, nextID)
+		nextID++
+		fd, err := pr.Creat(name)
+		if err != nil {
+			return err
+		}
+		size := rng.Range(cfg.MinSize, cfg.MaxSize)
+		ub := sys.UserBuf{Addr: buf.Addr, Len: size}
+		if _, err := pr.Write(fd, ub); err != nil {
+			return err
+		}
+		if err := pr.Close(fd); err != nil {
+			return err
+		}
+		files = append(files, name)
+		st.Created++
+		st.BytesWritten += int64(size)
+		return nil
+	}
+	for i := 0; i < cfg.InitialFiles; i++ {
+		if err := create(); err != nil {
+			return st, err
+		}
+	}
+
+	for t := 0; t < cfg.Transactions; t++ {
+		// Draw the whole transaction's decisions first, building the
+		// compound, then execute it as one traced request.
+		b := lib.New()
+		bufOff := b.Alloc(cfg.MaxSize)
+		ret := b.Const(0)
+		readTxn := false
+		if len(files) > 0 {
+			nameOff := b.String(files[rng.Intn(len(files))])
+			if rng.Bool(cfg.ReadBias) {
+				readTxn = true
+				fd := b.Sys(uint16(sys.NrOpen), b.Const(int64(nameOff)), b.Const(sys.ORdonly))
+				n := b.Sys(uint16(sys.NrRead), fd, b.Const(int64(bufOff)), b.Const(int64(cfg.MaxSize)))
+				b.BinInto(ret, "+", ret, n)
+				b.Sys(uint16(sys.NrClose), fd)
+				st.Read++
+			} else {
+				fd := b.Sys(uint16(sys.NrOpen), b.Const(int64(nameOff)), b.Const(sys.OWronly))
+				b.Sys(uint16(sys.NrLseek), fd, b.Const(0), b.Const(int64(sys.SeekEnd)))
+				size := rng.Range(128, 2048)
+				b.Sys(uint16(sys.NrWrite), fd, b.Const(int64(bufOff)), b.Const(int64(size)))
+				b.Sys(uint16(sys.NrClose), fd)
+				st.Appended++
+				st.BytesWritten += int64(size)
+			}
+		}
+		if rng.Bool(cfg.CreateBias) {
+			name := fmt.Sprintf("%s/f%06d", cfg.Dir, nextID)
+			nextID++
+			nameOff := b.String(name)
+			fd := b.Sys(uint16(sys.NrCreat), b.Const(int64(nameOff)))
+			size := rng.Range(cfg.MinSize, cfg.MaxSize)
+			b.Sys(uint16(sys.NrWrite), fd, b.Const(int64(bufOff)), b.Const(int64(size)))
+			b.Sys(uint16(sys.NrClose), fd)
+			files = append(files, name)
+			st.Created++
+			st.BytesWritten += int64(size)
+		} else if len(files) > 0 {
+			i := rng.Intn(len(files))
+			name := files[i]
+			files[i] = files[len(files)-1]
+			files = files[:len(files)-1]
+			nameOff := b.String(name)
+			b.Sys(uint16(sys.NrUnlink), b.Const(int64(nameOff)))
+			st.Deleted++
+		}
+		raw, err := b.Build(ret)
+		if err != nil {
+			return st, err
+		}
+		c, err := lang.Decode(raw)
+		if err != nil {
+			return st, err
+		}
+		shm, err := e.NewShm(c.ShmSize)
+		if err != nil {
+			return st, err
+		}
+
+		pr.K.Ktrace.BeginOp(pr.P.PID, OpPostmarkTxn)
+		if cfg.Think != nil {
+			err = cfg.Think(pr)
+		} else {
+			pr.P.ChargeUser(cfg.UserThink)
+		}
+		var n int64
+		if err == nil {
+			n, err = e.Exec(pr, raw, shm)
+		}
+		pr.K.Ktrace.EndOp(pr.P.PID)
+		if err != nil {
+			return st, err
+		}
+		if readTxn {
+			st.BytesRead += n
+		}
+	}
+
+	for _, name := range files {
+		if err := pr.Unlink(name); err != nil {
+			return st, err
+		}
+		st.Deleted++
+	}
+	return st, pr.Rmdir(cfg.Dir)
+}
