@@ -1,0 +1,90 @@
+// Command klint runs the repo's static invariant suite over the
+// module: determinism (no wall clock / env / global rand / unsorted
+// observable map iteration in simulated-state or serialized-output
+// packages), hookpure (cost-free hook seams provably cannot charge
+// cycles or mutate kernel state), layering (the explicit
+// allowed-import-edge table), and chargecov (no syscall completes a
+// boundary crossing for free). See DESIGN.md §11.
+//
+// Usage:
+//
+//	klint [-json] [-run name[,name]] [packages]
+//
+// Packages default to ./... resolved in the current module.
+// Diagnostics print one per line as file:line:analyzer:message, or as
+// a JSON array with -json (the same schema cmd/kvet -json emits, so
+// the two lint CLIs compose in scripts).
+//
+// Deliberate exceptions are annotated in source:
+//
+//	//klint:allow <analyzer> <reason>
+//
+// on the offending line or the line above. An allow without a reason,
+// or one that no longer suppresses anything, is itself a diagnostic.
+//
+// Exit status: 0 clean, 1 diagnostics, 2 load or usage errors —
+// matching cmd/kvet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/klint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	all := klint.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers := all
+	if *run != "" {
+		byName := make(map[string]*klint.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*run, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "klint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := klint.Run(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "klint: %v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		if err := klint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "klint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	kvet [-facts] [-elide] file.c ...
+//	kvet [-json] [-facts] [-elide] file.c ...
 //
 // For each file kvet compiles and optimizes the unit, analyzes every
 // function, and reports warnings with file:line positions:
@@ -15,12 +15,16 @@
 //   - unreachable code,
 //   - recursive call cycles (unbounded stack).
 //
-// -facts additionally prints each function's fact summary (proven
-// accesses, loop bounds, per-access offset ranges) plus the unit's
-// worst-case stack depth. -elide prints the KGCC elision report: which
-// runtime checks the engine's proofs would remove.
+// -json emits the warnings as a JSON array in the schema cmd/klint
+// -json uses ({file,line,col,analyzer,message}, analyzer
+// "kvet/<code>"), so the two lint CLIs compose in scripts. -facts
+// additionally prints each function's fact summary (proven accesses,
+// loop bounds, per-access offset ranges) plus the unit's worst-case
+// stack depth. -elide prints the KGCC elision report: which runtime
+// checks the engine's proofs would remove.
 //
-// Exit status: 0 clean, 1 warnings, 2 compile or usage errors.
+// Exit status: 0 clean, 1 warnings, 2 compile or usage errors —
+// matching cmd/klint.
 package main
 
 import (
@@ -30,20 +34,36 @@ import (
 
 	"repro/internal/kcheck"
 	"repro/internal/kgcc"
+	"repro/internal/klint"
 	"repro/internal/minic"
 )
 
 func main() {
+	jsonOut := flag.Bool("json", false, "emit warnings as a JSON array (cmd/klint schema)")
 	facts := flag.Bool("facts", false, "print per-function analysis summaries and unit stack depth")
 	elide := flag.Bool("elide", false, "print the KGCC check-elision report for each file")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: kvet [-facts] [-elide] file.c ...")
+		fmt.Fprintln(os.Stderr, "usage: kvet [-json] [-facts] [-elide] file.c ...")
 		os.Exit(2)
 	}
 
-	warned := false
+	var diags []klint.Diagnostic
+	warn := func(path string, line, col int, code, msg string) {
+		diags = append(diags, klint.Diagnostic{
+			File: path, Line: line, Col: col,
+			Analyzer: "kvet/" + code, Message: msg,
+		})
+		if !*jsonOut {
+			if line > 0 {
+				fmt.Printf("%s:%d:%d: warning: %s [%s]\n", path, line, col, msg, code)
+			} else {
+				fmt.Printf("%s: warning: %s [%s]\n", path, msg, code)
+			}
+		}
+	}
+
 	for _, path := range flag.Args() {
 		src, err := os.ReadFile(path)
 		if err != nil {
@@ -66,17 +86,15 @@ func main() {
 				fmt.Print(f.Summary())
 			}
 			for _, w := range f.Warnings {
-				warned = true
-				fmt.Printf("%s:%d:%d: warning: %s [%s]\n", path, w.Pos.Line, w.Pos.Col, w.Msg, w.Code)
+				warn(path, w.Pos.Line, w.Pos.Col, w.Code, w.Msg)
 			}
 		}
 		// UnitFacts.Warnings aggregates the per-function warnings
-		// (already printed above with positions) plus unit-level ones;
+		// (already reported above with positions) plus unit-level ones;
 		// only the latter are new here.
 		for _, w := range uf.Warnings {
 			if w.Code == "recursion" || w.Code == "deep-stack" {
-				warned = true
-				fmt.Printf("%s: warning: %s [%s]\n", path, w.Msg, w.Code)
+				warn(path, 0, 0, w.Code, w.Msg)
 			}
 		}
 		if *facts && uf.MaxStackBytes >= 0 {
@@ -92,7 +110,13 @@ func main() {
 			}
 		}
 	}
-	if warned {
+	if *jsonOut {
+		if err := klint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "kvet: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if len(diags) > 0 {
 		os.Exit(1)
 	}
 }

@@ -39,6 +39,7 @@ type DiffOptions struct {
 // tolFor resolves the tolerance for one metric path.
 func (o DiffOptions) tolFor(path string) float64 {
 	tol, best := o.RelTol, -1
+	//klint:allow determinism longest-prefix match: two matching prefixes of equal length are the same string, so the winner is order-independent
 	for prefix, t := range o.PrefixTol {
 		if strings.HasPrefix(path, prefix) && len(prefix) > best {
 			tol, best = t, len(prefix)

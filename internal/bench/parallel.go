@@ -100,8 +100,9 @@ func RunTrials(trials []Trial, workers int) []TrialResult {
 }
 
 func runTrial(tr Trial) TrialResult {
-	t0 := time.Now()
+	t0 := time.Now() //klint:allow determinism WallSeconds is a volatile host-time metric by contract, excluded from bit-identical comparison
 	tbl, err := tr.Run()
+	//klint:allow determinism WallSeconds is a volatile host-time metric by contract, excluded from bit-identical comparison
 	res := TrialResult{Name: tr.Name, WallSeconds: time.Since(t0).Seconds()}
 	if err != nil {
 		res.Err = err.Error()
@@ -183,6 +184,7 @@ type Repro struct {
 func NewRepro(workers int) *Repro {
 	return &Repro{
 		Schema:      "bench-repro/v1",
+		//klint:allow determinism the repro header records when the run happened; benchdiff ignores header fields
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GitCommit:   gitCommit(),
 		GoVersion:   runtime.Version(),

@@ -40,6 +40,7 @@ func (rec *Record) CounterTracks() []kperf.CounterTrack {
 				At: at, Value: float64(hits) / float64(hits+misses),
 			})
 		}
+		//klint:allow determinism per-name tracks are keyed by the range key and subsysNames is sorted before the tracks are emitted below
 		for name, cycles := range e.SubsysDeltas() {
 			tr, ok := subsys[name]
 			if !ok {

@@ -1,0 +1,318 @@
+package klint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// cgFunc is one call-graph node: a declared function/method (fn set)
+// or a function literal (lit set). Out-of-module callees (stdlib,
+// export-data-only) become leaf nodes with no body and no out-edges.
+type cgFunc struct {
+	fn   *types.Func
+	lit  *ast.FuncLit
+	pkg  *Package // defining package; nil for out-of-module leaves
+	desc string
+
+	callees []*cgFunc
+	seen    map[*cgFunc]bool
+
+	// dynSites collects the signatures of calls through func-typed
+	// values; resolved against the escaped set after the whole module
+	// is indexed.
+	dynSites []*types.Signature
+}
+
+func (n *cgFunc) addCallee(c *cgFunc) {
+	if c == nil || c == n || n.seen[c] {
+		return
+	}
+	if n.seen == nil {
+		n.seen = map[*cgFunc]bool{}
+	}
+	n.seen[c] = true
+	n.callees = append(n.callees, c)
+}
+
+// callGraph is a conservative whole-module call graph: static calls,
+// class-hierarchy resolution for interface method calls, and
+// reference-as-edge for function values (a function whose value
+// escapes from node N is assumed callable wherever N's data flows, so
+// N gets the edge; calls through func-typed expressions additionally
+// link to every escaped function with an identical signature).
+type callGraph struct {
+	m     *Module
+	nodes map[any]*cgFunc // key: *types.Func (Origin) or *ast.FuncLit
+	named []*types.Named  // every named non-interface type in the module
+	// escaped are functions whose value is used outside a direct
+	// call: stored, passed, returned. They are the candidate targets
+	// of dynamic calls.
+	escaped []*cgFunc
+}
+
+func buildCallGraph(m *Module) *callGraph {
+	g := &callGraph{m: m, nodes: map[any]*cgFunc{}}
+
+	// Index named types for interface-call resolution.
+	for _, pkg := range m.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			g.named = append(g.named, named)
+		}
+	}
+
+	// Create nodes and edges.
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				node := g.nodeForFunc(obj, pkg)
+				g.walkBody(node, pkg, fd.Body)
+			}
+		}
+	}
+
+	// Resolve dynamic call sites against the (deduplicated) escaped
+	// set: a call through a func-typed value may land on any escaped
+	// function with an identical signature.
+	seen := map[*cgFunc]bool{}
+	escaped := g.escaped[:0]
+	for _, esc := range g.escaped {
+		if !seen[esc] {
+			seen[esc] = true
+			escaped = append(escaped, esc)
+		}
+	}
+	g.escaped = escaped
+	for _, n := range g.allNodes() {
+		for _, sig := range n.dynSites {
+			for _, esc := range g.escaped {
+				esig := g.sigOf(esc)
+				if esig != nil && types.Identical(esig, sig) {
+					n.addCallee(esc)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// allNodes returns every node sorted by description (unique: full
+// name for declared functions, file:line for literals), so analyses
+// that iterate the graph are deterministic.
+func (g *callGraph) allNodes() []*cgFunc {
+	out := make([]*cgFunc, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].desc < out[j].desc })
+	return out
+}
+
+func (g *callGraph) sigOf(n *cgFunc) *types.Signature {
+	if n.fn != nil {
+		sig, _ := n.fn.Type().(*types.Signature)
+		return sig
+	}
+	if n.pkg != nil {
+		if tv, ok := n.pkg.Info.Types[n.lit]; ok {
+			sig, _ := tv.Type.(*types.Signature)
+			return sig
+		}
+	}
+	return nil
+}
+
+func (g *callGraph) nodeForFunc(fn *types.Func, defPkg *Package) *cgFunc {
+	fn = fn.Origin()
+	if n, ok := g.nodes[fn]; ok {
+		if n.pkg == nil && defPkg != nil {
+			n.pkg = defPkg
+		}
+		return n
+	}
+	pkg := defPkg
+	if pkg == nil && fn.Pkg() != nil {
+		pkg = g.m.ByPath[fn.Pkg().Path()]
+	}
+	n := &cgFunc{fn: fn, pkg: pkg, desc: fn.FullName()}
+	g.nodes[fn] = n
+	return n
+}
+
+func (g *callGraph) nodeForLit(lit *ast.FuncLit, pkg *Package) *cgFunc {
+	if n, ok := g.nodes[lit]; ok {
+		return n
+	}
+	pos := g.m.Fset.Position(lit.Pos())
+	n := &cgFunc{lit: lit, pkg: pkg, desc: fmt.Sprintf("func literal at %s:%d", pos.Filename, pos.Line)}
+	g.nodes[lit] = n
+	return n
+}
+
+// walkBody attributes calls and function references inside body to
+// node. Nested function literals become their own nodes (with an
+// escape edge from the encloser).
+func (g *callGraph) walkBody(node *cgFunc, pkg *Package, body ast.Node) {
+	info := pkg.Info
+	var walk func(n ast.Node, owner *cgFunc)
+	walk = func(n ast.Node, owner *cgFunc) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				lit := g.nodeForLit(x, pkg)
+				// The literal escapes from its encloser...
+				owner.addCallee(lit)
+				g.escaped = append(g.escaped, lit)
+				// ...and its own body is a separate node.
+				walk(x.Body, lit)
+				return false
+			case *ast.CallExpr:
+				g.resolveCall(owner, pkg, x)
+				// Arguments and nested expressions still need the
+				// generic treatment; only the Fun reference is
+				// consumed here.
+				for _, arg := range x.Args {
+					walk(arg, owner)
+				}
+				if fun := funBeneath(x.Fun); fun != nil {
+					walk(fun, owner)
+				}
+				return false
+			case *ast.Ident:
+				if fn, ok := info.Uses[x].(*types.Func); ok {
+					ref := g.nodeForFunc(fn, nil)
+					owner.addCallee(ref)
+					g.escaped = append(g.escaped, ref)
+				}
+			case *ast.SelectorExpr:
+				walk(x.X, owner)
+				if fn, ok := info.Uses[x.Sel].(*types.Func); ok {
+					ref := g.nodeForFunc(fn, nil)
+					owner.addCallee(ref)
+					g.escaped = append(g.escaped, ref)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	walk(body, node)
+}
+
+// funBeneath returns the receiver/operand expression beneath a call's
+// Fun whose sub-expressions still need walking (e.g. the x in
+// x.M(...)), or nil when the Fun was a plain identifier.
+func funBeneath(fun ast.Expr) ast.Expr {
+	switch fun := ast.Unparen(fun).(type) {
+	case *ast.SelectorExpr:
+		return fun.X
+	case *ast.IndexExpr:
+		return fun.X
+	case *ast.IndexListExpr:
+		return fun.X
+	}
+	return nil
+}
+
+// resolveCall adds edges for one call expression.
+func (g *callGraph) resolveCall(caller *cgFunc, pkg *Package, call *ast.CallExpr) {
+	info := pkg.Info
+	fun := ast.Unparen(call.Fun)
+
+	// Generic instantiation f[T](...).
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(idx.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(idx.X)
+	}
+
+	switch fun := fun.(type) {
+	case *ast.FuncLit:
+		caller.addCallee(g.nodeForLit(fun, pkg))
+		return
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Func:
+			caller.addCallee(g.nodeForFunc(obj, nil))
+			return
+		case *types.Builtin:
+			return
+		case *types.TypeName:
+			return // conversion
+		}
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil && sel.Kind() == types.MethodVal {
+			fn, _ := sel.Obj().(*types.Func)
+			if fn == nil {
+				return
+			}
+			if types.IsInterface(sel.Recv()) {
+				// Interface dispatch: CHA over module types.
+				iface, _ := sel.Recv().Underlying().(*types.Interface)
+				if iface != nil {
+					for _, impl := range g.implementers(iface, fn.Name()) {
+						caller.addCallee(impl)
+					}
+				}
+				caller.addCallee(g.nodeForFunc(fn, nil)) // leaf for non-module impls
+				return
+			}
+			caller.addCallee(g.nodeForFunc(fn, nil))
+			return
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			caller.addCallee(g.nodeForFunc(fn, nil))
+			return
+		}
+		if _, ok := info.Uses[fun.Sel].(*types.TypeName); ok {
+			return // conversion to a named type from another package
+		}
+	}
+
+	// A call through a func-typed expression: record the signature for
+	// resolution against the escaped set.
+	if tv, ok := info.Types[call.Fun]; ok && !tv.IsType() {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			caller.dynSites = append(caller.dynSites, sig)
+		}
+	}
+}
+
+// implementers returns the module methods named name of every named
+// type whose value or pointer implements iface.
+func (g *callGraph) implementers(iface *types.Interface, name string) []*cgFunc {
+	var out []*cgFunc
+	for _, named := range g.named {
+		var recv types.Type = named
+		if !types.Implements(recv, iface) {
+			recv = types.NewPointer(named)
+			if !types.Implements(recv, iface) {
+				continue
+			}
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, named.Obj().Pkg(), name)
+		if fn, ok := obj.(*types.Func); ok {
+			out = append(out, g.nodeForFunc(fn, nil))
+		}
+	}
+	return out
+}

@@ -1,0 +1,536 @@
+package klint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Determinism flags sources of host nondeterminism in the packages
+// whose outputs are gated bit-for-bit: wall-clock reads, environment
+// reads, the globally-seeded math/rand source, and map iteration
+// whose order can escape into observable state. Simulated results
+// (cycle counts, kperf snapshots, ktrace summaries, BENCH_repro.json,
+// Chrome traces) must be pure functions of the workload and the
+// seed — benchdiff and the serial-vs-parallel gate compare them
+// bit-for-bit, so a stray time.Now or unsorted map walk is a latent
+// flaky gate. The few legitimate host-side uses (the repro header
+// timestamp, wall-seconds measurements that are volatile by contract)
+// carry //klint:allow determinism annotations.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "no wall clock, env, global rand, or order-escaping map iteration in simulated-state or serialized-output packages",
+	Run:  runDeterminism,
+}
+
+// bannedCalls maps package path -> function name -> why it is banned.
+var bannedCalls = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock read",
+		"Since": "wall-clock read",
+		"Until": "wall-clock read",
+	},
+	"os": {
+		"Getenv":    "environment read",
+		"LookupEnv": "environment read",
+		"Environ":   "environment read",
+	},
+}
+
+// globalRandFns are the math/rand (and v2) package-level functions
+// backed by the process-global source. rand.New(rand.NewSource(seed))
+// and methods on a *rand.Rand are fine — that is the deterministic
+// idiom (see internal/sim's seeded source).
+var globalRandFns = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true, "N": true, "IntN": true, "Int32": true,
+	"Int32N": true, "Int64": true, "Int64N": true, "Uint32N": true,
+	"Uint64N": true, "UintN": true, "Uint": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	// Coverage: every internal package. cmd/ and examples/ are
+	// host-side presentation; the serialized artifacts they emit are
+	// assembled from data produced under internal/.
+	if !strings.HasPrefix(pass.Pkg.ImportPath, "repro/internal/") {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkBannedCall(pass, info, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, f, info, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves a call expression to the *types.Func it
+// statically invokes, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		return calleeFunc(info, &ast.CallExpr{Fun: fun.X})
+	}
+	return nil
+}
+
+func checkBannedCall(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkgPath, name := fn.Pkg().Path(), fn.Name()
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn) are the seeded idiom
+	}
+	if why, ok := bannedCalls[pkgPath][name]; ok {
+		pass.Reportf(call.Pos(), "%s.%s: %s in a simulated-state/serialized-output package; plumb it from the host layer or annotate //klint:allow determinism <reason>", pkgPath, name, why)
+		return
+	}
+	if (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && globalRandFns[name] {
+		pass.Reportf(call.Pos(), "%s.%s uses the process-global random source; use rand.New(rand.NewSource(seed)) (see internal/sim) or annotate //klint:allow determinism <reason>", pkgPath, name)
+	}
+}
+
+// checkMapRange flags `for ... range m` over a map unless the loop
+// body is provably order-insensitive: a commutative reduction
+// (counters, sums, min/max, keyed writes, deletes), or a key/value
+// collection whose slice is sorted later in the same function.
+func checkMapRange(pass *Pass, file *ast.File, info *types.Info, rs *ast.RangeStmt) {
+	tv, ok := info.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ctx := &rangeCtx{info: info, locals: map[types.Object]bool{}}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				ctx.iterVars(obj)
+			} else if obj := info.Uses[id]; obj != nil {
+				ctx.iterVars(obj)
+			}
+		}
+	}
+	benign := true
+	for _, s := range rs.Body.List {
+		if !ctx.benignStmt(s) {
+			benign = false
+			break
+		}
+	}
+	// Constant writes to one variable must all store the same value;
+	// two different constants guarded by different conditions would
+	// make the last-iteration winner observable.
+	for _, vals := range ctx.constWrites {
+		for _, v := range vals[1:] {
+			if v != vals[0] {
+				benign = false
+			}
+		}
+	}
+	if benign {
+		// Collected slices must be sorted after the loop; otherwise
+		// the map's order escaped into the slice. (Iterate in first-
+		// appearance order so klint's own output is deterministic.)
+		type app struct {
+			obj   types.Object
+			first token.Pos
+		}
+		apps := make([]app, 0, len(ctx.appends))
+		for obj, first := range ctx.appends {
+			apps = append(apps, app{obj, first})
+		}
+		sort.Slice(apps, func(i, j int) bool { return apps[i].first < apps[j].first })
+		for _, a := range apps {
+			if !sortedAfter(file, info, rs, a.obj) {
+				pass.Reportf(a.first, "map iteration order escapes into %s without a sort; sort it before use or annotate //klint:allow determinism <reason>", a.obj.Name())
+			}
+		}
+		return
+	}
+	pass.Reportf(rs.Pos(), "iteration over map %s has an observable order; iterate sorted keys, restructure as a commutative reduction, or annotate //klint:allow determinism <reason>", exprString(rs.X))
+}
+
+// rangeCtx tracks what the loop body may touch while remaining
+// order-insensitive.
+type rangeCtx struct {
+	info    *types.Info
+	iter    []types.Object        // the key/value variables
+	locals  map[types.Object]bool // declared inside the body
+	appends map[types.Object]token.Pos
+	// constWrites records `x = <const>` assignments to loop-outer
+	// variables: flag-setting (`changed = true`) commutes only if every
+	// write to x stores the same constant.
+	constWrites map[types.Object][]string
+}
+
+func (c *rangeCtx) iterVars(obj types.Object) { c.iter = append(c.iter, obj) }
+
+func (c *rangeCtx) isLocal(obj types.Object) bool { return obj != nil && c.locals[obj] }
+
+// rootObj resolves an expression to the object of its root identifier
+// (x, x.f, x[i] all root at x).
+func (c *rangeCtx) rootObj(e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if o := c.info.Uses[x]; o != nil {
+				return o
+			}
+			return c.info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// mentionsIter reports whether e references a range variable or a
+// body-local (body-locals can only be derived from range variables
+// and loop-invariant state).
+func (c *rangeCtx) mentionsIter(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			obj := c.info.Uses[id]
+			for _, iv := range c.iter {
+				if obj == iv {
+					found = true
+				}
+			}
+			if c.isLocal(obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (c *rangeCtx) benignStmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case nil:
+		return true
+	case *ast.AssignStmt:
+		return c.benignAssign(s)
+	case *ast.IncDecStmt:
+		return true // counters commute
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						if obj := c.info.Defs[name]; obj != nil {
+							c.locals[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		}
+		return false
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := c.info.Uses[id].(*types.Builtin); ok && (b.Name() == "delete" || b.Name() == "clear") {
+					return true // keyed deletes commute
+				}
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil && !c.benignStmt(s.Init) {
+			return false
+		}
+		// Guarded overwrite of an accumulator (`if best < v { best = v }`)
+		// is the min/max idiom: commutative despite the plain assign.
+		// `if m == nil { m = make(...) }` is lazy init: it fires once,
+		// on whichever iteration comes first, with the same effect.
+		if s.Else == nil && (c.isMinMax(s) || c.isLazyInit(s)) {
+			return true
+		}
+		for _, b := range s.Body.List {
+			if !c.benignStmt(b) {
+				return false
+			}
+		}
+		return c.benignStmt(s.Else)
+	case *ast.BlockStmt:
+		for _, b := range s.List {
+			if !c.benignStmt(b) {
+				return false
+			}
+		}
+		return true
+	case *ast.ForStmt:
+		return c.benignStmt(s.Init) && c.benignStmt(s.Post) && c.benignStmt(s.Body)
+	case *ast.RangeStmt:
+		// Nested map ranges get their own top-level check; here only
+		// the body's effects matter.
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				if obj := c.info.Defs[id]; obj != nil {
+					c.locals[obj] = true
+				}
+			}
+		}
+		return c.benignStmt(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil && !c.benignStmt(s.Init) {
+			return false
+		}
+		for _, cc := range s.Body.List {
+			for _, b := range cc.(*ast.CaseClause).Body {
+				if !c.benignStmt(b) {
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE || s.Tok == token.BREAK
+	case *ast.ReturnStmt:
+		// `return true` / `return nil` from an any/contains loop is
+		// order-insensitive; returning data found this iteration is not.
+		for _, r := range s.Results {
+			if !isConstExpr(c.info, r) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// isMinMax matches `if <cmp involving x> { x = ... }` with a single
+// assignment in the body.
+func (c *rangeCtx) isMinMax(s *ast.IfStmt) bool {
+	cmp, ok := ast.Unparen(s.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cmp.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	if len(s.Body.List) != 1 {
+		return false
+	}
+	as, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 {
+		return false
+	}
+	target := c.rootObj(as.Lhs[0])
+	if target == nil {
+		return false
+	}
+	return c.rootObj(cmp.X) == target || c.rootObj(cmp.Y) == target
+}
+
+// isLazyInit matches `if x == nil { x = <expr> }` where the init
+// expression does not depend on the iteration.
+func (c *rangeCtx) isLazyInit(s *ast.IfStmt) bool {
+	cmp, ok := ast.Unparen(s.Cond).(*ast.BinaryExpr)
+	if !ok || cmp.Op != token.EQL {
+		return false
+	}
+	var target ast.Expr
+	switch {
+	case isNilExpr(c.info, cmp.Y):
+		target = cmp.X
+	case isNilExpr(c.info, cmp.X):
+		target = cmp.Y
+	default:
+		return false
+	}
+	if len(s.Body.List) != 1 {
+		return false
+	}
+	as, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	return types.ExprString(ast.Unparen(as.Lhs[0])) == types.ExprString(ast.Unparen(target)) &&
+		!c.mentionsIter(as.Rhs[0])
+}
+
+func isNilExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+func (c *rangeCtx) benignAssign(s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		return true // commutative accumulation
+	case token.DEFINE:
+		for _, l := range s.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				if obj := c.info.Defs[id]; obj != nil {
+					c.locals[obj] = true
+				}
+			}
+		}
+		return true
+	case token.ASSIGN:
+		for i, l := range s.Lhs {
+			if !c.benignAssignTarget(l, rhsFor(s, i)) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func rhsFor(s *ast.AssignStmt, i int) ast.Expr {
+	if len(s.Rhs) == len(s.Lhs) {
+		return s.Rhs[i]
+	}
+	return s.Rhs[0]
+}
+
+func (c *rangeCtx) benignAssignTarget(l, r ast.Expr) bool {
+	switch l := ast.Unparen(l).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return true
+		}
+		obj := c.info.Uses[l]
+		if c.isLocal(obj) {
+			return true
+		}
+		// x = <const>: same-value flag setting commutes; record the
+		// value so checkMapRange can reject mixed-constant writes.
+		if tv, ok := c.info.Types[r]; ok && obj != nil && (tv.Value != nil || tv.IsNil()) {
+			val := "nil"
+			if tv.Value != nil {
+				val = tv.Value.String()
+			}
+			if c.constWrites == nil {
+				c.constWrites = map[types.Object][]string{}
+			}
+			c.constWrites[obj] = append(c.constWrites[obj], val)
+			return true
+		}
+		// s = append(s, ...): record for the sorted-after check.
+		if call, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := c.info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && obj != nil {
+					if len(call.Args) > 0 && c.rootObj(call.Args[0]) == obj {
+						if c.appends == nil {
+							c.appends = map[types.Object]token.Pos{}
+						}
+						if _, seen := c.appends[obj]; !seen {
+							c.appends[obj] = l.Pos()
+						}
+						return true
+					}
+				}
+			}
+		}
+		return false
+	case *ast.IndexExpr:
+		// Writes keyed (directly or through a body-local) by the range
+		// key hit disjoint slots, so their order is immaterial.
+		tv, ok := c.info.Types[l.X]
+		if !ok {
+			return false
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return false
+		}
+		return c.mentionsIter(l.Index)
+	}
+	return false
+}
+
+// sortedAfter reports whether, after the range statement, the
+// enclosing function sorts obj (sort.* or slices.Sort* with obj as
+// the first argument).
+func sortedAfter(file *ast.File, info *types.Info, rs *ast.RangeStmt, obj types.Object) bool {
+	fd := enclosingFunc(file, rs.Pos())
+	if fd == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || found {
+			return !found
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		if (pkg == "sort" || pkg == "slices") && strings.HasPrefix(fn.Name(), "Sort") ||
+			pkg == "sort" && (fn.Name() == "Strings" || fn.Name() == "Ints" || fn.Name() == "Float64s" || fn.Name() == "Stable" || fn.Name() == "Slice" || fn.Name() == "SliceStable") {
+			if len(call.Args) > 0 {
+				ctx := &rangeCtx{info: info, locals: map[types.Object]bool{}}
+				if ctx.rootObj(call.Args[0]) == obj {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	if tv.Value != nil {
+		return true
+	}
+	if tv.IsNil() {
+		return true
+	}
+	return false
+}
+
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	}
+	return "expr"
+}

@@ -1,0 +1,39 @@
+package klint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Diagnostic is one lint finding. The text rendering
+// (file:line:analyzer:message) and the JSON field names are a stable
+// contract shared with cmd/kvet and pinned by TestDiagnosticFormat;
+// scripts parse them.
+type Diagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the pinned file:line:analyzer:message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%s:%s", d.File, d.Line, d.Analyzer, d.Message)
+}
+
+// WriteJSON emits diagnostics as one indented JSON array. A nil or
+// empty slice emits [] rather than null so consumers can always
+// iterate.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	b, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, string(b))
+	return err
+}

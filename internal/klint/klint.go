@@ -1,0 +1,241 @@
+// Package klint is the repo's static invariant suite: a set of
+// go/analysis-style passes that turn the crown-jewel dynamic
+// guarantees — bit-identical simulated cycles with observability on
+// or off, serial-vs-parallel determinism, kernel code that never
+// imports its observers, no free boundary crossings — into
+// compile-time facts checked on every build.
+//
+// golang.org/x/tools is not vendored in this module, so klint ships a
+// minimal stdlib-only equivalent of the go/analysis driver stack: a
+// loader built on `go list -export -deps` plus go/types (load.go), an
+// Analyzer/Pass shape mirroring golang.org/x/tools/go/analysis
+// (klint.go), and an analysistest-style fixture harness
+// (klinttest). Analyzers are written against the familiar pass shape
+// so they could be lifted onto multichecker unchanged if x/tools ever
+// becomes available.
+//
+// Diagnostics print as file:line:analyzer:message — a format pinned
+// by test so downstream tooling can parse it — and can also be
+// emitted as JSON. Deliberate exceptions are annotated in source as
+//
+//	//klint:allow <analyzer> <reason>
+//
+// on the flagged line or the line above it; an allow comment with no
+// reason, or one that suppresses nothing, is itself a diagnostic.
+package klint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one invariant checker. Exactly one of Run (invoked
+// once per target package) or RunModule (invoked once with Pass.Pkg
+// nil, for whole-program analyses like call-graph reachability) must
+// be set.
+type Analyzer struct {
+	Name      string
+	Doc       string
+	Run       func(*Pass) error
+	RunModule func(*Pass) error
+}
+
+// A Pass carries one analyzer invocation's inputs and its report
+// sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Module   *Module
+	Pkg      *Package // nil for RunModule passes
+	report   func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Module.Fset.Position(pos)
+	p.report(Diagnostic{
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// AllowDirective is the comment prefix that suppresses a diagnostic
+// on its line or the line below.
+const AllowDirective = "//klint:allow"
+
+// allowKey identifies one (file, line, analyzer) suppression slot.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type allowEntry struct {
+	pos    token.Position
+	reason string
+	used   bool
+}
+
+// collectAllows scans every file of the module's target packages for
+// klint:allow directives. Directives missing an analyzer name or a
+// reason are reported immediately via report.
+func collectAllows(m *Module, report func(Diagnostic)) map[allowKey]*allowEntry {
+	allows := make(map[allowKey]*allowEntry)
+	for _, pkg := range m.Pkgs {
+		if !pkg.Target {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, AllowDirective) {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					rest := strings.TrimPrefix(c.Text, AllowDirective)
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						report(Diagnostic{
+							File: pos.Filename, Line: pos.Line, Col: pos.Column,
+							Analyzer: "allow",
+							Message:  "klint:allow needs an analyzer name and a reason: //klint:allow <analyzer> <reason>",
+						})
+						continue
+					}
+					e := &allowEntry{pos: pos, reason: strings.Join(fields[1:], " ")}
+					allows[allowKey{pos.Filename, pos.Line, fields[0]}] = e
+				}
+			}
+		}
+	}
+	return allows
+}
+
+// Run loads the module rooted at dir restricted to patterns, runs
+// every analyzer, applies klint:allow suppression, and returns the
+// surviving diagnostics sorted by position. A non-nil error means the
+// analysis itself could not run (load or type-check failure), not
+// that diagnostics were found.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	m, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return RunModule(m, analyzers), nil
+}
+
+// RunModule runs analyzers over an already-loaded module.
+func RunModule(m *Module, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	allows := collectAllows(m, report)
+
+	var raw []Diagnostic
+	collect := func(d Diagnostic) { raw = append(raw, d) }
+	for _, a := range analyzers {
+		switch {
+		case a.RunModule != nil:
+			pass := &Pass{Analyzer: a, Module: m, report: collect}
+			if err := a.RunModule(pass); err != nil {
+				report(Diagnostic{Analyzer: a.Name, Message: "internal error: " + err.Error()})
+			}
+		case a.Run != nil:
+			for _, pkg := range m.Pkgs {
+				if !pkg.Target {
+					continue
+				}
+				pass := &Pass{Analyzer: a, Module: m, Pkg: pkg, report: collect}
+				if err := a.Run(pass); err != nil {
+					report(Diagnostic{Analyzer: a.Name, Message: "internal error: " + err.Error()})
+				}
+			}
+		}
+	}
+
+	// Suppress diagnostics covered by an allow directive on the same
+	// line or the line above.
+	for _, d := range raw {
+		suppressed := false
+		for _, line := range []int{d.Line, d.Line - 1} {
+			if e, ok := allows[allowKey{d.File, line, d.Analyzer}]; ok {
+				e.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			report(d)
+		}
+	}
+	// A directive that suppressed nothing is stale: either the
+	// violation was fixed (delete the comment) or the comment is on
+	// the wrong line (move it). Only allows for analyzers that ran
+	// this invocation can be judged stale — a -run subset must not
+	// flag the other analyzers' directives. Iterate sorted keys:
+	// klint's own output must satisfy its own determinism invariant.
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	keys := make([]allowKey, 0, len(allows))
+	for k := range allows {
+		if ran[k.analyzer] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		return a.analyzer < b.analyzer
+	})
+	for _, k := range keys {
+		if e := allows[k]; !e.used {
+			report(Diagnostic{
+				File: e.pos.Filename, Line: e.pos.Line, Col: e.pos.Column,
+				Analyzer: "allow",
+				Message:  fmt.Sprintf("klint:allow %s suppresses no diagnostic; delete or move it", k.analyzer),
+			})
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Determinism, Hookpure, Layering, Chargecov}
+}
+
+// funcOf returns the enclosing function body for pos within file, or
+// nil. Used by analyzers that need the surrounding context of a
+// flagged node.
+func enclosingFunc(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package klint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/klint"
+	"repro/internal/klint/klinttest"
+)
+
+// TestDiagnosticFormat pins the one-per-line output format
+// file:line:analyzer:message — downstream tooling (CI annotations,
+// editors) parses it, so changing it is an API break.
+func TestDiagnosticFormat(t *testing.T) {
+	d := klint.Diagnostic{File: "internal/sys/calls.go", Line: 42, Col: 7, Analyzer: "chargecov", Message: "handler Open returns without pr.exit"}
+	const want = "internal/sys/calls.go:42:chargecov:handler Open returns without pr.exit"
+	if got := d.String(); got != want {
+		t.Fatalf("Diagnostic.String() = %q, want %q", got, want)
+	}
+}
+
+// TestDiagnosticJSON pins the -json schema shared with cmd/kvet.
+func TestDiagnosticJSON(t *testing.T) {
+	var buf bytes.Buffer
+	diags := []klint.Diagnostic{{File: "a.go", Line: 1, Col: 2, Analyzer: "layering", Message: "m"}}
+	if err := klint.WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	var got []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d elements, want 1", len(got))
+	}
+	for _, key := range []string{"file", "line", "col", "analyzer", "message"} {
+		if _, ok := got[0][key]; !ok {
+			t.Errorf("JSON diagnostic missing key %q", key)
+		}
+	}
+
+	buf.Reset()
+	if err := klint.WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := buf.String(); s != "[]\n" {
+		t.Errorf("empty diagnostics must encode as [], got %q", s)
+	}
+}
+
+func TestDeterminismFixtures(t *testing.T) {
+	klinttest.Run(t, "testdata", klint.Determinism,
+		"repro/internal/detbad", "repro/internal/detgood",
+		"repro/internal/detallow", "repro/internal/detstale")
+}
+
+func TestHookpureFixtures(t *testing.T) {
+	klinttest.Run(t, "testdata", klint.Hookpure,
+		"repro/internal/hookbad", "repro/internal/ktrace",
+		"repro/internal/kernel", "repro/internal/kperf", "repro/internal/sim")
+}
+
+func TestLayeringFixtures(t *testing.T) {
+	klinttest.Run(t, "testdata", klint.Layering,
+		"repro/internal/kernel", "repro/internal/layerbad")
+}
+
+func TestChargecovFixtures(t *testing.T) {
+	klinttest.Run(t, "testdata", klint.Chargecov, "repro/internal/sys")
+}
+
+// TestTreeClean is the invariant itself: the real module must stay
+// clean under the full suite. CI also runs cmd/klint, but this keeps
+// `go test ./...` sufficient to catch a violation locally.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	klinttest.MustClean(t, "../..", klint.Analyzers(), "./...")
+}

@@ -1,0 +1,112 @@
+// Package klinttest is an analysistest-style harness for klint
+// analyzers: it loads a fixture module, runs one analyzer, and
+// compares the diagnostics against expectations written as comments
+// in the fixture sources:
+//
+//	// want <analyzer> "<regex>"
+//
+// on the line the diagnostic is expected at, or on the line directly
+// below it (for diagnostics that point at a line already occupied by
+// a comment, e.g. a malformed //klint:allow directive). Only wants
+// naming the analyzer under test (or "allow", which always runs) are
+// in scope, so fixture packages can carry expectations for several
+// analyzers side by side. A diagnostic with no matching want, or a
+// want no diagnostic matched, fails the test.
+package klinttest
+
+import (
+	"regexp"
+	"testing"
+
+	"repro/internal/klint"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+([a-z]+)\s+"([^"]*)"`)
+
+type want struct {
+	file     string
+	line     int
+	analyzer string
+	re       *regexp.Regexp
+	matched  bool
+}
+
+// Run loads the module rooted at dir restricted to patterns and runs
+// a over it, checking diagnostics against want comments in the
+// target packages' files.
+func Run(t *testing.T, dir string, a *klint.Analyzer, patterns ...string) {
+	t.Helper()
+	m, err := klint.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixture module %s: %v", dir, err)
+	}
+	diags := klint.RunModule(m, []*klint.Analyzer{a})
+
+	inScope := map[string]bool{a.Name: true, "allow": true}
+	var wants []*want
+	for _, pkg := range m.Pkgs {
+		if !pkg.Target {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					sub := wantRe.FindStringSubmatch(c.Text)
+					if sub == nil {
+						continue
+					}
+					if !inScope[sub[1]] {
+						continue
+					}
+					re, err := regexp.Compile(sub[2])
+					if err != nil {
+						pos := m.Fset.Position(c.Pos())
+						t.Fatalf("%s:%d: bad want regex %q: %v", pos.Filename, pos.Line, sub[2], err)
+					}
+					pos := m.Fset.Position(c.Pos())
+					wants = append(wants, &want{
+						file: pos.Filename, line: pos.Line,
+						analyzer: sub[1], re: re,
+					})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.File &&
+				(w.line == d.Line || w.line == d.Line+1) &&
+				w.analyzer == d.Analyzer && w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no %s diagnostic matched %q", w.file, w.line, w.analyzer, w.re)
+		}
+	}
+}
+
+// MustClean runs analyzers over the module at dir and fails the test
+// on any diagnostic. Used to assert the real tree stays clean.
+func MustClean(t *testing.T, dir string, analyzers []*klint.Analyzer, patterns ...string) {
+	t.Helper()
+	diags, err := klint.Run(dir, patterns, analyzers)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("%d diagnostics; the tree must stay klint-clean", len(diags))
+	}
+}

@@ -1,0 +1,139 @@
+package klint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// Target marks packages named by the load patterns (as opposed to
+	// module packages pulled in only as dependencies). Per-package
+	// analyzers run over targets; module analyzers see everything.
+	Target bool
+}
+
+// Module is the loaded view of one Go module: every in-module package
+// reachable from the load patterns, type-checked from source in
+// dependency order, sharing one FileSet.
+type Module struct {
+	Fset   *token.FileSet
+	Pkgs   []*Package // dependency order
+	ByPath map[string]*Package
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load runs `go list -export -deps` in dir over patterns and
+// type-checks every non-standard package from source, resolving
+// standard-library imports through the build cache's export data. It
+// is a stdlib-only stand-in for golang.org/x/tools/go/packages, which
+// is not vendored in this module.
+func Load(dir string, patterns ...string) (*Module, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w", strings.Join(patterns, " "), err)
+	}
+
+	exports := make(map[string]string)
+	var listed []listedPkg
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for dec.More() {
+		var p listedPkg
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		exports[p.ImportPath] = p.Export
+		if !p.Standard {
+			listed = append(listed, p)
+		}
+	}
+
+	m := &Module{Fset: token.NewFileSet(), ByPath: make(map[string]*Package)}
+	// Standard-library imports come from build-cache export data (one
+	// shared gc importer, since export files reference their own
+	// dependencies by path); module packages come from the source we
+	// just type-checked (dependency order guarantees availability).
+	gcImp := importer.ForCompiler(m.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		e := exports[path]
+		if e == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := m.ByPath[path]; ok {
+			return p.Types, nil
+		}
+		return gcImp.Import(path)
+	})
+
+	for _, p := range listed {
+		pkg := &Package{ImportPath: p.ImportPath, Dir: p.Dir, Target: !p.DepOnly}
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(m.Fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			pkg.Files = append(pkg.Files, f)
+		}
+		pkg.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, m.Fset, pkg.Files, pkg.Info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", p.ImportPath, err)
+		}
+		pkg.Types = tpkg
+		m.Pkgs = append(m.Pkgs, pkg)
+		m.ByPath[p.ImportPath] = pkg
+	}
+	sort.SliceStable(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].ImportPath < m.Pkgs[j].ImportPath })
+	return m, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

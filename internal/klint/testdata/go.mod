@@ -1,0 +1,8 @@
+// Fixture module for klint's analyzer tests. It is named repro so
+// fixture packages mirror the real module's import paths (the
+// analyzers key their tables on repro/internal/... paths). The go
+// tool ignores testdata directories, so this module never collides
+// with the real one.
+module repro
+
+go 1.22

@@ -1,0 +1,16 @@
+// Package detallow exercises the suppression path: a real violation
+// annotated with a reasoned allow produces no diagnostic.
+package detallow
+
+import "time"
+
+// Stamp is a deliberate wall-clock read, annotated.
+func Stamp() int64 {
+	//klint:allow determinism fixture exercises the documented-exception path
+	return time.Now().Unix()
+}
+
+// StampInline carries the directive on the flagged line itself.
+func StampInline() int64 {
+	return time.Now().Unix() //klint:allow determinism inline directives must suppress too
+}

@@ -1,0 +1,56 @@
+// Package detbad exercises every determinism violation class.
+package detbad
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock in a simulated-state package.
+func Stamp() int64 {
+	return time.Now().Unix() // want determinism "wall-clock read"
+}
+
+// Env reads the host environment.
+func Env() string {
+	return os.Getenv("HOME") // want determinism "environment read"
+}
+
+// Roll uses the process-global random source.
+func Roll() int {
+	return rand.Intn(6) // want determinism "process-global random source"
+}
+
+// Keys lets map order escape into a slice that is never sorted.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want determinism "map iteration order escapes into out without a sort"
+	}
+	return out
+}
+
+// First returns data picked by map order.
+func First(m map[string]int) string {
+	for k := range m { // want determinism "iteration over map m has an observable order"
+		if k != "" {
+			return k
+		}
+	}
+	return ""
+}
+
+// Flags writes two different constants to the same flag under
+// different keys: the last iteration wins, so order is observable.
+func Flags(m map[string]bool) bool {
+	odd := false
+	for k := range m { // want determinism "iteration over map m has an observable order"
+		if len(k) > 3 {
+			odd = true
+		} else {
+			odd = false
+		}
+	}
+	return odd
+}

@@ -1,0 +1,86 @@
+// Package detgood holds the conforming idioms: everything here must
+// pass the determinism analyzer with no diagnostics.
+package detgood
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Seeded uses the deterministic rand idiom: an explicit source.
+func Seeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6)
+}
+
+// Sum is a commutative reduction over a map.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Max is the guarded-overwrite min/max idiom.
+func Max(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if best < v {
+			best = v
+		}
+	}
+	return best
+}
+
+// SortedKeys collects then sorts, so map order never escapes.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Invert writes slots keyed by the range variable: disjoint, so
+// order is immaterial.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Prune deletes keyed entries, which commutes.
+func Prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// Merge uses the lazy-init idiom: the nil check fires once with the
+// same effect regardless of which iteration comes first.
+func Merge(dst map[string]int, src map[string]int) map[string]int {
+	for k, v := range src {
+		if dst == nil {
+			dst = make(map[string]int, len(src))
+		}
+		dst[k] = v
+	}
+	return dst
+}
+
+// Any sets a single-valued flag: all writes store the same constant,
+// so the winner is order-independent.
+func Any(m map[string]bool) bool {
+	found := false
+	for _, v := range m {
+		if v {
+			found = true
+		}
+	}
+	return found
+}

@@ -1,0 +1,16 @@
+// Package detstale exercises the allow-hygiene diagnostics: a
+// directive that suppresses nothing, and one missing its reason.
+package detstale
+
+// The next directive is stale: nothing on or below its line violates
+// determinism.
+
+//klint:allow determinism this suppresses nothing
+// want allow "klint:allow determinism suppresses no diagnostic"
+var X = 1
+
+// The next directive is malformed: no reason given.
+
+//klint:allow determinism
+// want allow "needs an analyzer name and a reason"
+var Y = 2

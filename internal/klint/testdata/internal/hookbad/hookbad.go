@@ -1,0 +1,37 @@
+// Package hookbad holds hook implementations that violate the
+// cost-free contract: directly, and through a smuggled closure (the
+// dynamic-dispatch loophole hookpure exists to close).
+package hookbad
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// BadHook charges cycles straight from a trace hook.
+type BadHook struct{ P *kernel.Process }
+
+func (h *BadHook) OnCharge(pid int, c sim.Cycles) { // want hookpure "OnCharge .implements kernel.TraceHook. can reach .*Charge"
+	h.P.Charge(c)
+}
+
+// SpinHook advances simulated time from a flight hook.
+type SpinHook struct{ C *sim.Clock }
+
+func (h *SpinHook) Tick(now sim.Cycles) { // want hookpure "Tick .implements kernel.FlightHook. can reach .*Advance"
+	h.C.Advance(1)
+}
+
+// SmuggleHook never names a kernel symbol in its method — the charge
+// hides inside a closure built at construction time. The import
+// table alone cannot see this; the call graph must.
+type SmuggleHook struct{ f func(sim.Cycles) }
+
+// NewSmuggle captures a process in a charging closure.
+func NewSmuggle(p *kernel.Process) *SmuggleHook {
+	return &SmuggleHook{f: func(c sim.Cycles) { p.Charge(c) }}
+}
+
+func (h *SmuggleHook) OnCharge(pid int, c sim.Cycles) { // want hookpure "OnCharge .implements kernel.TraceHook. can reach .*Charge"
+	h.f(c)
+}

@@ -1,0 +1,28 @@
+// Package kernel is the fixture stand-in for the machine: it defines
+// the hook seams and the charging API, and carries one deliberate
+// layering violation (kernel must never import its observers).
+package kernel
+
+import (
+	"repro/internal/ktrace" // want layering "import edge repro/internal/kernel -> repro/internal/ktrace is not in the layering table"
+	"repro/internal/sim"
+)
+
+// Process is a schedulable entity; Charge is the mutator hookpure
+// must prove unreachable from hooks.
+type Process struct{ Used sim.Cycles }
+
+// Charge attributes cycles to the process.
+func (p *Process) Charge(c sim.Cycles) { p.Used += c }
+
+// TraceHook is the fixture trace seam.
+type TraceHook interface {
+	OnCharge(pid int, c sim.Cycles)
+}
+
+// FlightHook is the fixture flight-recorder seam.
+type FlightHook interface {
+	Tick(now sim.Cycles)
+}
+
+var _ = ktrace.Marker

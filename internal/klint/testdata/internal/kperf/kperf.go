@@ -1,0 +1,9 @@
+// Package kperf is the fixture stand-in for the attribution layer —
+// the hooks' legitimate world.
+package kperf
+
+// Registry accumulates host-side counters.
+type Registry struct{ n int64 }
+
+// Bump increments a host-side counter (allowed from hooks).
+func (r *Registry) Bump() { r.n++ }

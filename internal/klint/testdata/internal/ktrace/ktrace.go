@@ -1,0 +1,24 @@
+// Package ktrace is the conforming hook implementation: it imports
+// only kperf and sim, and its methods touch nothing else — hookpure
+// must pass it.
+package ktrace
+
+import (
+	"repro/internal/kperf"
+	"repro/internal/sim"
+)
+
+// Marker exists so fixture packages can take a dependency on ktrace.
+const Marker = 1
+
+// Tracer implements kernel.TraceHook structurally.
+type Tracer struct {
+	Reg  *kperf.Registry
+	last sim.Cycles
+}
+
+// OnCharge records the charge host-side only.
+func (t *Tracer) OnCharge(pid int, c sim.Cycles) {
+	t.last += c
+	t.Reg.Bump()
+}

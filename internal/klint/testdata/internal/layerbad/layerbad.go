@@ -1,0 +1,6 @@
+// Package layerbad is an internal package missing from the layering
+// table: klint must demand it be reviewed and added.
+package layerbad // want layering "package repro/internal/layerbad is not in the layering table"
+
+// V keeps the package non-empty.
+var V = 1

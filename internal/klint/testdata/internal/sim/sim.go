@@ -1,0 +1,14 @@
+// Package sim is the fixture stand-in for the real simulated clock.
+package sim
+
+// Cycles counts simulated time.
+type Cycles uint64
+
+// Clock is the simulated clock; Advance is the mutator hookpure bans.
+type Clock struct{ now Cycles }
+
+// Now reads the clock (allowed from hooks).
+func (c *Clock) Now() Cycles { return c.now }
+
+// Advance moves simulated time (banned from hooks).
+func (c *Clock) Advance(d Cycles) { c.now += d }

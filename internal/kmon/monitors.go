@@ -1,6 +1,9 @@
 package kmon
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Violation is one invariant breach found by an on-line monitor.
 type Violation struct {
@@ -87,9 +90,15 @@ func (m *LockMonitor) Callback(ev Event) {
 	}
 }
 
-// Finish flags locks still held at shutdown.
+// Finish flags locks still held at shutdown, in object order so the
+// violation report is reproducible.
 func (m *LockMonitor) Finish() {
+	objs := make([]uint64, 0, len(m.held))
 	for obj := range m.held {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	for _, obj := range objs {
 		m.violations = append(m.violations, Violation{obj, "still held at shutdown"})
 	}
 }
@@ -122,10 +131,16 @@ func (m *IRQMonitor) Callback(ev Event) {
 	}
 }
 
-// Finish flags CPUs left with interrupts off.
+// Finish flags CPUs left with interrupts off, in object order so the
+// violation report is reproducible.
 func (m *IRQMonitor) Finish() {
-	for obj, d := range m.depth {
-		if d > 0 {
+	objs := make([]uint64, 0, len(m.depth))
+	for obj := range m.depth {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	for _, obj := range objs {
+		if m.depth[obj] > 0 {
 			m.violations = append(m.violations, Violation{obj, "interrupts left disabled"})
 		}
 	}

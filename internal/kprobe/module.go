@@ -2,6 +2,7 @@ package kprobe
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/kgcc"
@@ -152,10 +153,6 @@ func helperNames() string {
 		names = append(names, n)
 	}
 	// Deterministic diagnostic.
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && names[j] < names[j-1]; j-- {
-			names[j], names[j-1] = names[j-1], names[j]
-		}
-	}
+	sort.Strings(names)
 	return strings.Join(names, ", ")
 }

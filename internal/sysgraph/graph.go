@@ -141,6 +141,7 @@ func (g *Graph) MinePaths(minWeight uint64, maxLen int) []Path {
 		for len(p.Nodes) < maxLen {
 			var bestTo Node
 			var bestW uint64
+			//klint:allow determinism greedy argmax with a total tie-break (to < bestTo), so the winner is order-independent
 			for to, w := range g.out[cur] {
 				if visited[to] || w < minWeight {
 					continue

@@ -16,6 +16,7 @@ package wrapfs
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/alloc"
 	"repro/internal/kernel"
@@ -290,10 +291,17 @@ func (fs *FS) Sync(p *kernel.Process) error {
 	return fs.Lower.Sync(p)
 }
 
-// Teardown frees all outstanding private data (unmount).
+// Teardown frees all outstanding private data (unmount). Nodes are
+// freed in ID order: the frees reshape the allocator's free list, so
+// map order here would leak into every later allocation.
 func (fs *FS) Teardown() error {
-	for id, addr := range fs.private {
-		if err := fs.mem.Free(addr); err != nil {
+	ids := make([]vfs.NodeID, 0, len(fs.private))
+	for id := range fs.private {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := fs.mem.Free(fs.private[id]); err != nil {
 			return fmt.Errorf("wrapfs: freeing private of node %d: %w", id, err)
 		}
 		delete(fs.private, id)
