@@ -66,7 +66,7 @@ func main() {
 	}
 	fmt.Printf("compound returned %d\n", result)
 	fmt.Printf("stats: %d ops executed, %d in-kernel syscalls, %d boundary crossing(s), mode %s\n",
-		e.Stats.Ops, e.Stats.Syscalls, s.K.Calls[sys.NrCosy], m)
+		e.Stats.Ops, e.Stats.Syscalls, s.K.Calls[sys.NrRingEnter], m)
 }
 
 func fatal(err error) {

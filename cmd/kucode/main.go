@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	kucode [-full] [-md] [-perf] [e1 e2 ... e11 | ablations | all]
+//	kucode [-full] [-md] [-perf] [e1 e2 ... e12 | ablations | all]
 //
 // -perf boots every experiment with kperf instrumentation and prints
 // a per-subsystem cycle-attribution summary under each table; the
@@ -83,6 +83,7 @@ func main() {
 		{"e9", func() (*bench.Table, error) { return bench.E9(*perf) }},
 		{"e10", func() (*bench.Table, error) { return bench.E10(*perf) }},
 		{"e11", func() (*bench.Table, error) { return bench.E11(*perf) }},
+		{"e12", func() (*bench.Table, error) { return bench.E12(*perf) }},
 	}
 
 	failed := false

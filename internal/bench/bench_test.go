@@ -94,6 +94,21 @@ func TestE11(t *testing.T) {
 	}
 }
 
+func TestE12(t *testing.T) {
+	tbl, err := E12(true)
+	checkTable(t, tbl, err)
+	if tbl.Ktrace == nil {
+		t.Fatal("E12: instrumented run produced no trace summary")
+	}
+	if tbl.Ktrace.IdentityViolations != 0 {
+		t.Errorf("E12: %d decomposition identity violations (first: %s)",
+			tbl.Ktrace.IdentityViolations, tbl.Ktrace.FirstViolation)
+	}
+	if tbl.Ktrace.Open != 0 {
+		t.Errorf("E12: %d requests left open", tbl.Ktrace.Open)
+	}
+}
+
 func TestAblations(t *testing.T) {
 	tables, err := Ablations()
 	if err != nil {

@@ -144,6 +144,7 @@ func Suite(full, perf bool) []Trial {
 		{Name: "E9", Run: func() (*Table, error) { return E9(perf) }},
 		{Name: "E10", Run: func() (*Table, error) { return E10(perf) }},
 		{Name: "E11", Run: func() (*Table, error) { return E11(perf) }},
+		{Name: "E12", Run: func() (*Table, error) { return E12(perf) }},
 	}
 }
 

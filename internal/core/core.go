@@ -259,6 +259,12 @@ func (s *System) wirePerf() {
 	reg.GaugeFunc("sys.calls.total", func() int64 { return s.K.TotalCalls() })
 	reg.GaugeFunc("sys.bytes.copyin", func() int64 { return s.K.BytesIn })
 	reg.GaugeFunc("sys.bytes.copyout", func() int64 { return s.K.BytesOut })
+	// Ring data-plane activity: ops dispatched from ring_enter drains
+	// (not boundary crossings), payload bytes that rode the shared
+	// pages instead of the boundary, and dropped completions.
+	reg.GaugeFunc("sys.ring.ops", func() int64 { return s.K.RingOps })
+	reg.GaugeFunc("sys.ring.bytes", func() int64 { return s.K.RingBytes })
+	reg.GaugeFunc("sys.ring.overflows", func() int64 { return s.K.RingOverflows })
 	for nr := 0; nr < sys.Count(); nr++ {
 		nr := sys.Nr(nr)
 		reg.GaugeFunc("sys.calls."+nr.String(), func() int64 { return s.K.Calls[nr] })

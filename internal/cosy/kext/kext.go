@@ -23,6 +23,7 @@ import (
 	"repro/internal/cosy/lang"
 	"repro/internal/kernel"
 	"repro/internal/kperf"
+	"repro/internal/kring"
 	"repro/internal/ktrace"
 	"repro/internal/mem"
 	"repro/internal/seg"
@@ -74,12 +75,27 @@ type Engine struct {
 	// MaxKernel overrides Costs.MaxKernelCycles when nonzero.
 	MaxKernel sim.Cycles
 
+	// shms indexes shared buffers by selector so ring SQEs can name
+	// them by scalar argument.
+	shms map[seg.Selector]*Shm
+	// rings caches one submission ring per process for ExecRing.
+	rings map[int]*sys.RingHandle
+
 	Stats Stats
 }
 
-// New loads the extension into a kernel.
+// New loads the extension into a kernel. Loading registers the NrCosy
+// ring op: a kring SQE naming NrCosy carries an encoded compound in
+// its data window and the shm selector in Args[0], so compounds ride
+// ring batches like any other submission.
 func New(k *sys.Kernel, mode Mode) *Engine {
-	return &Engine{K: k, Table: seg.NewTable(), Mode: mode}
+	e := &Engine{
+		K: k, Table: seg.NewTable(), Mode: mode,
+		shms:  make(map[seg.Selector]*Shm),
+		rings: make(map[int]*sys.RingHandle),
+	}
+	k.RegisterRingOp(uint16(sys.NrCosy), e.ringExec)
+	return e
 }
 
 // Shm is one shared buffer: mapped in the kernel, addressable by the
@@ -107,8 +123,13 @@ func (e *Engine) NewShm(size int) (*Shm, error) {
 	sel := e.Table.Alloc(seg.Descriptor{
 		Name: "cosy-shm", Base: base, Limit: uint64(size), Perm: mem.PermRW,
 	})
-	return &Shm{eng: e, base: base, size: size, sel: sel}, nil
+	s := &Shm{eng: e, base: base, size: size, sel: sel}
+	e.shms[sel] = s
+	return s, nil
 }
+
+// Selector names the buffer in ring submissions (SQE Args[0]).
+func (s *Shm) Selector() seg.Selector { return s.sel }
 
 // Size reports the buffer size.
 func (s *Shm) Size() int { return s.size }
@@ -120,7 +141,7 @@ func (s *Shm) Write(off int, data []byte) error {
 	if err != nil {
 		return err
 	}
-	return s.eng.K.M.KAS.WriteBytes(addr, data)
+	return s.eng.K.M.KAS.View(addr, len(data)).CopyOut(0, data)
 }
 
 // Read returns n bytes at off.
@@ -130,7 +151,7 @@ func (s *Shm) Read(off, n int) ([]byte, error) {
 		return nil, err
 	}
 	out := make([]byte, n)
-	if err := s.eng.K.M.KAS.ReadBytes(addr, out); err != nil {
+	if err := s.eng.K.M.KAS.View(addr, n).CopyIn(0, out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -140,16 +161,110 @@ func (s *Shm) Read(off, n int) ([]byte, error) {
 var ErrBadCompound = errors.New("cosy: compound rejected")
 
 // Exec runs an encoded compound on behalf of pr with the given shared
-// buffer. The entire execution costs one boundary crossing. Each
-// compound is one ktrace operation: a request of its own when the
-// workload opened none, a child span of the workload's request
-// otherwise.
+// buffer. The entire execution costs one boundary crossing.
+//
+// Deprecated: Exec is the legacy per-compound entry point; it now
+// delegates to ExecRing, which stages the compound as a kring SQE and
+// drains it through ring_enter. New code should use ExecRing (or push
+// NrCosy SQEs onto its own ring) so multiple compounds can share one
+// crossing.
 func (e *Engine) Exec(pr *sys.Proc, encoded []byte, shm *Shm) (int64, error) {
+	return e.ExecRing(pr, encoded, shm)
+}
+
+// Ring submission geometry for ExecRing's per-process ring.
+const (
+	ringEntries = 8
+	ringDataMin = 64 << 10
+)
+
+// Ring returns the engine's cached submission ring for pr's process,
+// creating (or re-creating, when the data area is too small for need
+// bytes) it on demand. Exposed so callers can batch their own NrCosy
+// SQEs on the exact ring ExecRing uses.
+func (e *Engine) Ring(pr *sys.Proc, need int) (*sys.RingHandle, error) {
+	h := e.rings[pr.P.PID]
+	if h != nil && h.DataLen() >= need {
+		return h, nil
+	}
+	if h != nil {
+		if err := h.Close(); err != nil {
+			return nil, err
+		}
+		delete(e.rings, pr.P.PID)
+	}
+	dataBytes := ringDataMin
+	for dataBytes < need {
+		dataBytes *= 2
+	}
+	h, err := pr.RingSetup(ringEntries, dataBytes)
+	if err != nil {
+		return nil, err
+	}
+	e.rings[pr.P.PID] = h
+	return h, nil
+}
+
+// ExecRing runs one encoded compound through the kring data plane:
+// the compound bytes are staged into the ring's shared data area, a
+// single NrCosy SQE names them plus the shm selector, and ring_enter
+// dispatches it — still one boundary crossing, now on the same path
+// that batches arbitrary submissions. Each compound is one ktrace
+// operation: a request of its own when the workload opened none, a
+// child span of the workload's request otherwise.
+func (e *Engine) ExecRing(pr *sys.Proc, encoded []byte, shm *Shm) (int64, error) {
 	pr.K.Ktrace.BeginOp(pr.P.PID, ktrace.OpCosy)
 	defer pr.K.Ktrace.EndOp(pr.P.PID)
-	return pr.RawSyscall(sys.NrCosy, 0, 0, func() (int64, error) {
-		return e.execInKernel(pr, encoded, shm)
-	})
+	h, err := e.Ring(pr, len(encoded))
+	if err != nil {
+		return 0, err
+	}
+	if len(encoded) > 0 {
+		v, err := h.View(0, len(encoded))
+		if err != nil {
+			return 0, err
+		}
+		if err := v.CopyOut(0, encoded); err != nil {
+			return 0, err
+		}
+	}
+	if err := h.Push(&kring.SQE{
+		Op:      uint16(sys.NrCosy),
+		Args:    [4]int64{int64(shm.sel)},
+		DataLen: uint32(len(encoded)),
+	}); err != nil {
+		return 0, err
+	}
+	if _, err := h.Enter(); err != nil {
+		return 0, err
+	}
+	cqe, herr, err := h.Pop()
+	if err != nil {
+		return 0, err
+	}
+	if herr != nil {
+		return 0, herr
+	}
+	return cqe.Res, nil
+}
+
+// ringExec is the registered NrCosy ring op: Args[0] selects the shm,
+// the data window holds the encoded compound. The compound bytes are
+// read through the shared mapping without a boundary copy charge —
+// the same charge-free treatment the legacy trap entry gave its
+// encoded argument (decode cost is charged per op inside).
+func (e *Engine) ringExec(pr *sys.Proc, args [4]int64, data mem.UserView) (int64, error) {
+	shm := e.shms[seg.Selector(args[0])]
+	if shm == nil {
+		return 0, fmt.Errorf("%w: no shm with selector %d", ErrBadCompound, args[0])
+	}
+	encoded := make([]byte, data.Len())
+	if len(encoded) > 0 {
+		if err := data.CopyIn(0, encoded); err != nil {
+			return 0, err
+		}
+	}
+	return e.execInKernel(pr, encoded, shm)
 }
 
 func (e *Engine) execInKernel(pr *sys.Proc, encoded []byte, shm *Shm) (int64, error) {

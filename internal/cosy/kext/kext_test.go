@@ -124,6 +124,11 @@ func TestCompoundSyscallsOpenWriteReadClose(t *testing.T) {
 		if err != nil {
 			return err
 		}
+		// Warm the engine's submission ring so the measurement below
+		// sees the steady state, not the one-time ring_setup crossing.
+		if _, err := e.Ring(pr, len(buf)); err != nil {
+			return err
+		}
 		before := k.TotalCalls()
 		got, err = e.Exec(pr, buf, shm)
 		if err != nil {

@@ -52,7 +52,8 @@ func TestDiagnosticJSON(t *testing.T) {
 func TestDeterminismFixtures(t *testing.T) {
 	klinttest.Run(t, "testdata", klint.Determinism,
 		"repro/internal/detbad", "repro/internal/detgood",
-		"repro/internal/detallow", "repro/internal/detstale")
+		"repro/internal/detallow", "repro/internal/detstale",
+		"repro/internal/detring")
 }
 
 func TestHookpureFixtures(t *testing.T) {

@@ -1,0 +1,65 @@
+// Package detring pins the determinism contract of the ring drain:
+// staged submissions complete in queue order (slice FIFO), and any
+// walk over a ring-op registry or per-process ring cache must sort
+// before its order can escape — a map-ordered drain would make CQE
+// order, and with it every downstream cycle count, nondeterministic.
+package detring
+
+import "sort"
+
+// SQE is a miniature submission entry.
+type SQE struct {
+	Op  uint16
+	Tag uint64
+}
+
+// DrainFIFO is the real drain loop's shape: pending entries consumed
+// in slice order, deterministic by construction.
+func DrainFIFO(pending []SQE) []uint64 {
+	var done []uint64
+	for _, e := range pending {
+		done = append(done, e.Tag)
+	}
+	return done
+}
+
+// DrainRegistry walks the registered-op table in map order and lets
+// that order escape into the completion list.
+func DrainRegistry(ops map[uint16]uint64) []uint64 {
+	var done []uint64
+	for _, tag := range ops {
+		done = append(done, tag) // want determinism "map iteration order escapes into done without a sort"
+	}
+	return done
+}
+
+// FirstRing picks a cached ring by map order.
+func FirstRing(rings map[int]*SQE) *SQE {
+	for _, r := range rings { // want determinism "iteration over map rings has an observable order"
+		if r != nil {
+			return r
+		}
+	}
+	return nil
+}
+
+// CloseAll tears down cached rings in sorted-id order: the
+// collect-then-sort idiom the teardown path must use.
+func CloseAll(rings map[int]*SQE) []int {
+	ids := make([]int, 0, len(rings))
+	for id := range rings {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Overflows is the commutative counter reduction the drain's
+// dropped/overflow accounting relies on.
+func Overflows(perRing map[int]int64) int64 {
+	var total int64
+	for _, n := range perRing {
+		total += n
+	}
+	return total
+}

@@ -46,6 +46,9 @@ const (
 	// SubDisk tags blocked-on-disk spans; disk waits advance no CPU
 	// cycles, so this appears in the timeline, not the CPU profile.
 	SubDisk
+	// SubRing is kring batch drain: per-SQE dispatch, anycall
+	// steering, and completion delivery inside a ring_enter crossing.
+	SubRing
 	nSubsys
 )
 
@@ -56,7 +59,7 @@ const NSubsys = int(nSubsys)
 
 var subsysNames = [...]string{
 	"kern", "user", "boundary", "mem", "alloc", "sched", "cosy",
-	"kefence", "kmon", "probe", "kucode", "disk",
+	"kefence", "kmon", "probe", "kucode", "disk", "ring",
 }
 
 func (s Subsys) String() string {

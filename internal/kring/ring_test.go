@@ -1,0 +1,258 @@
+package kring
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func testView(t *testing.T, entries, dataBytes int) mem.UserView {
+	t.Helper()
+	costs := sim.DefaultCosts()
+	as := mem.NewAddressSpace("kring-test", mem.NewPhys(64<<20), &costs)
+	n := BytesFor(entries, dataBytes)
+	base, err := as.MapRegion(mem.PagesFor(n), mem.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as.View(base, n)
+}
+
+func TestAttachGeometry(t *testing.T) {
+	v := testView(t, 8, 256)
+	for _, bad := range []int{0, 3, 6, MaxEntries * 2, -8} {
+		if _, err := Attach(v, bad); !errors.Is(err, ErrGeometry) {
+			t.Fatalf("Attach(entries=%d): %v", bad, err)
+		}
+	}
+	if _, err := Attach(mem.UserView{}, 8); !errors.Is(err, ErrGeometry) {
+		t.Fatal("Attach of zero view succeeded")
+	}
+	r, err := Attach(v, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Entries() != 8 || r.DataLen() != 256 {
+		t.Fatalf("geometry: entries %d, data %d", r.Entries(), r.DataLen())
+	}
+	// A view too small for the entry count is rejected.
+	small, err := v.Sub(0, BytesFor(8, 0)-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(small, 8); !errors.Is(err, ErrGeometry) {
+		t.Fatalf("Attach of short view: %v", err)
+	}
+}
+
+// TestSqWraparound pushes and pops through several times the ring
+// size, proving the free-running cursors index correctly across the
+// uint32 slot wrap.
+func TestSqWraparound(t *testing.T) {
+	v := testView(t, 4, 0)
+	r, err := Attach(v, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var next, reaped uint64
+	for round := 0; round < 10; round++ {
+		// Fill to capacity.
+		for i := 0; i < 4; i++ {
+			e := SQE{Op: 7, Args: [4]int64{int64(next), -1, 0, 0}, UserTag: next}
+			if err := r.SqPush(&e); err != nil {
+				t.Fatalf("push %d: %v", next, err)
+			}
+			next++
+		}
+		if err := r.SqPush(&SQE{}); !errors.Is(err, ErrSQFull) {
+			t.Fatalf("push into full SQ: %v", err)
+		}
+		if n, _ := r.SqLen(); n != 4 {
+			t.Fatalf("SqLen = %d", n)
+		}
+		// Drain in FIFO order.
+		for i := 0; i < 4; i++ {
+			var e SQE
+			if err := r.SqPop(&e); err != nil {
+				t.Fatal(err)
+			}
+			if e.UserTag != reaped || e.Args[0] != int64(reaped) || e.Args[1] != -1 || e.Op != 7 {
+				t.Fatalf("pop: got tag %d args %v, want %d", e.UserTag, e.Args, reaped)
+			}
+			reaped++
+		}
+		if err := r.SqPop(&SQE{}); !errors.Is(err, ErrSQEmpty) {
+			t.Fatalf("pop from empty SQ: %v", err)
+		}
+	}
+	if d, _ := r.Dropped(); d != 10 {
+		t.Fatalf("sq_dropped = %d, want 10", d)
+	}
+}
+
+// TestCqWraparoundAndOverflow drives the completion queue (2x SQ
+// size) through wraps and proves full-CQ pushes fail cleanly and the
+// overflow counter is shared state.
+func TestCqWraparoundAndOverflow(t *testing.T) {
+	v := testView(t, 4, 0)
+	r, err := Attach(v, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var next, reaped uint64
+	for round := 0; round < 7; round++ {
+		for i := 0; i < 8; i++ { // CQ capacity is 2*entries
+			e := CQE{UserTag: next, Res: int64(next * 3), Err: uint32(next % 5), Copied: uint32(next)}
+			if err := r.CqPush(&e); err != nil {
+				t.Fatalf("cq push %d: %v", next, err)
+			}
+			next++
+		}
+		if sp, _ := r.CqSpace(); sp != 0 {
+			t.Fatalf("CqSpace = %d", sp)
+		}
+		if err := r.CqPush(&CQE{}); !errors.Is(err, ErrCQFull) {
+			t.Fatalf("push into full CQ: %v", err)
+		}
+		if err := r.NoteOverflow(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			var e CQE
+			if err := r.CqPop(&e); err != nil {
+				t.Fatal(err)
+			}
+			if e.UserTag != reaped || e.Res != int64(reaped*3) || e.Err != uint32(reaped%5) || e.Copied != uint32(reaped) {
+				t.Fatalf("cq pop: got %+v, want tag %d", e, reaped)
+			}
+			reaped++
+		}
+		if err := r.CqPop(&CQE{}); !errors.Is(err, ErrCQEmpty) {
+			t.Fatalf("pop from empty CQ: %v", err)
+		}
+	}
+	if ov, _ := r.Overflows(); ov != 7 {
+		t.Fatalf("cq_overflow = %d, want 7", ov)
+	}
+}
+
+// TestTwoHandleCoherence attaches a second handle over a shared
+// mapping of the same frames (the kernel-side view) and proves pushes
+// through one handle pop through the other: cursor state and entries
+// live in the shared bytes, not the handle.
+func TestTwoHandleCoherence(t *testing.T) {
+	costs := sim.DefaultCosts()
+	phys := mem.NewPhys(64 << 20)
+	user := mem.NewAddressSpace("user", phys, &costs)
+	kern := mem.NewAddressSpace("kern", phys, &costs)
+
+	n := BytesFor(8, 128)
+	pages := mem.PagesFor(n)
+	uBase, err := user.MapRegion(pages, mem.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kBase := kern.Reserve(pages)
+	for i := 0; i < pages; i++ {
+		pte, ok := user.Lookup(uBase + mem.Addr(i*mem.PageSize))
+		if !ok {
+			t.Fatal("page missing")
+		}
+		if err := kern.MapFrame(kBase+mem.Addr(i*mem.PageSize), pte.Frame, mem.PermRW); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ur, err := Attach(user.View(uBase, n), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kr, err := Attach(kern.View(kBase, n), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// User submits, kernel drains.
+	if err := ur.SqPush(&SQE{Op: 3, UserTag: 42, DataOff: 8, DataLen: 16}); err != nil {
+		t.Fatal(err)
+	}
+	var sqe SQE
+	if err := kr.SqPop(&sqe); err != nil {
+		t.Fatal(err)
+	}
+	if sqe.Op != 3 || sqe.UserTag != 42 || sqe.DataOff != 8 || sqe.DataLen != 16 {
+		t.Fatalf("kernel saw %+v", sqe)
+	}
+	// Kernel writes the payload zero-copy; user reads it back.
+	kd, err := kr.Data(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := kd.Bytes(0, 16, mem.AccessWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(kb, "ring payload!!!!")
+	ud, err := ur.Data(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	if err := ud.CopyIn(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ring payload!!!!" {
+		t.Fatalf("user sees %q", got)
+	}
+	// Kernel completes, user reaps.
+	if err := kr.CqPush(&CQE{UserTag: 42, Res: 16, Copied: 0}); err != nil {
+		t.Fatal(err)
+	}
+	var cqe CQE
+	if err := ur.CqPop(&cqe); err != nil {
+		t.Fatal(err)
+	}
+	if cqe.UserTag != 42 || cqe.Res != 16 {
+		t.Fatalf("user reaped %+v", cqe)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	var b [SQESize]byte
+	in := SQE{
+		Op: 0x1234, Flags: FlagFDRel, Ext: 0xdeadbeef,
+		Args:    [4]int64{-1, 1 << 62, 0, 7},
+		DataOff: 0xcafe, DataLen: 0xf00d, UserTag: 0x0123456789abcdef,
+	}
+	EncodeSQE(b[:], &in)
+	var out SQE
+	DecodeSQE(b[:], &out)
+	if out != in {
+		t.Fatalf("SQE round trip: %+v != %+v", out, in)
+	}
+	var cb [CQESize]byte
+	cin := CQE{UserTag: 99, Res: -5, Err: 3, Copied: 4096}
+	encodeCQE(cb[:], &cin)
+	var cout CQE
+	decodeCQE(cb[:], &cout)
+	if cout != cin {
+		t.Fatalf("CQE round trip: %+v != %+v", cout, cin)
+	}
+}
+
+func TestDataWindowBounds(t *testing.T) {
+	v := testView(t, 1, 64)
+	r, err := Attach(v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Data(0, 64); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ off, n int }{{-1, 4}, {0, 65}, {64, 1}, {60, 8}} {
+		if _, err := r.Data(c.off, c.n); !errors.Is(err, ErrGeometry) {
+			t.Fatalf("Data(%d,+%d): %v", c.off, c.n, err)
+		}
+	}
+}

@@ -60,6 +60,13 @@ type PTE struct {
 	// have no frame; permissions are PermNone until a handler
 	// auto-maps them.
 	Guard bool
+	// Shared marks a borrowed mapping of a frame owned by another
+	// address space (MapFrame). Unmapping a shared PTE drops the
+	// mapping but never frees the frame: the owner does that. This is
+	// the substrate of the zero-copy data plane — the kring region and
+	// Cosy shm frames appear in both the kernel and the user space and
+	// the borrower side must not release them on teardown.
+	Shared bool
 }
 
 // Fault describes a page fault. It implements error so failed
@@ -208,6 +215,32 @@ func (as *AddressSpace) MapPage(va Addr, perm Perm) error {
 	return nil
 }
 
+// MapFrame installs a mapping from the page containing va to an
+// existing frame owned elsewhere (typically by another address
+// space). The mapping is marked Shared: both spaces now alias the
+// same backing bytes — a store through either is immediately visible
+// through the other, with no copy — and unmapping here never frees
+// the frame. Coherent invalidation is per-space: this call, like
+// every PTE mutation, drops the page's cached walk and TLB entry in
+// this space; the owner's space is untouched (its PTE did not
+// change).
+func (as *AddressSpace) MapFrame(va Addr, f Frame, perm Perm) error {
+	if va&PageMask != 0 {
+		panic(fmt.Sprintf("mem: MapFrame of unaligned address %#x", uint64(va)))
+	}
+	if _, ok := as.pages.lookup(va); ok {
+		return fmt.Errorf("mem: page %#x already mapped", uint64(va))
+	}
+	// Touch the frame to validate it is live; Data panics on a stale
+	// frame, which is a kernel bug, not a recoverable error.
+	_ = as.phys.Data(f)
+	as.pages.set(va, PTE{Frame: f, Perm: perm, Shared: true})
+	as.tcInvalidate(va)
+	as.tlbFlushPage(va)
+	as.chargeCost(as.costMapPage())
+	return nil
+}
+
 // MapGuard installs a guardian PTE: present in the page table but
 // with all access disabled, and no frame behind it.
 func (as *AddressSpace) MapGuard(va Addr) error {
@@ -223,13 +256,14 @@ func (as *AddressSpace) MapGuard(va Addr) error {
 }
 
 // Unmap removes the mapping at va, releasing its frame. Unmapping a
-// guard page releases nothing.
+// guard page releases nothing, and neither does unmapping a Shared
+// borrow (the owning space frees the frame when it unmaps).
 func (as *AddressSpace) Unmap(va Addr) error {
 	pte, ok := as.pages.lookup(va)
 	if !ok {
 		return fmt.Errorf("mem: unmap of unmapped page %#x", uint64(va))
 	}
-	if !pte.Guard {
+	if !pte.Guard && !pte.Shared {
 		as.phys.Free(pte.Frame)
 	}
 	as.pages.del(va)

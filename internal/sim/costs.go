@@ -103,6 +103,19 @@ type Costs struct {
 	// never on the tracepoint hot path.
 	ProbeVerifyInstr Cycles
 
+	// RingSubmit is the user-side cost of staging one SQE into the
+	// shared submission queue (encode + tail publish). Charged at
+	// push time, in user mode — the kernel is not involved.
+	RingSubmit Cycles
+
+	// RingSqe is the kernel-side per-entry overhead of the ring
+	// drain loop: decode, dispatch-table indexing, and completion
+	// delivery for one SQE. The entry's handler body then charges
+	// exactly what the classic path's handler charges (KernelCall +
+	// kernel-copy bytes), so batching saves the Trap+UserDispatch
+	// per call and nothing else is hidden.
+	RingSqe Cycles
+
 	// MaxKernelCycles is the Cosy watchdog limit: a compound that has
 	// accumulated more kernel time than this when the process is
 	// scheduled out is terminated.
@@ -155,6 +168,9 @@ func DefaultCosts() Costs {
 		ProbeInstr:       6,
 		ProbeMapOp:       70,
 		ProbeVerifyInstr: 45,
+
+		RingSubmit: 40,
+		RingSqe:    60,
 
 		MaxKernelCycles: 170_000_000, // 100ms of kernel time
 	}

@@ -18,7 +18,9 @@ const (
 func (pr *Proc) Open(path string, flags int) (int, error) {
 	pr.enter(NrOpen, len(path))
 	defer pr.exit(NrOpen, len(path), 0)
-	return pr.openInternal(path, flags)
+	a := Args{Path: path, Flags: flags}
+	fd, err := bodyOpen(pr, &a)
+	return int(fd), err
 }
 
 // openInternal is the kernel-side open, shared with Cosy and the
@@ -54,14 +56,18 @@ func (pr *Proc) openInternal(path string, flags int) (int, error) {
 func (pr *Proc) Creat(path string) (int, error) {
 	pr.enter(NrCreat, len(path))
 	defer pr.exit(NrCreat, len(path), 0)
-	return pr.openInternal(path, OCreate|OTrunc)
+	a := Args{Path: path}
+	fd, err := bodyCreat(pr, &a)
+	return int(fd), err
 }
 
 // Close releases a descriptor.
 func (pr *Proc) Close(fd int) error {
 	pr.enter(NrClose, 0)
 	defer pr.exit(NrClose, 0, 0)
-	return pr.closeInternal(fd)
+	a := Args{Fd: fd}
+	_, err := bodyClose(pr, &a)
+	return err
 }
 
 func (pr *Proc) closeInternal(fd int) error {
@@ -76,18 +82,14 @@ func (pr *Proc) closeInternal(fd int) error {
 // user buffer, returning the count.
 func (pr *Proc) Read(fd int, ub UserBuf) (int, error) {
 	pr.enter(NrRead, 0)
-	kbuf := pr.kbuf(ub.Len)
-	n, err := pr.readInternal(fd, kbuf)
+	a := Args{Fd: fd, Buf: pr.P.UAS.View(ub.Addr, ub.Len)}
+	n, err := bodyRead(pr, &a)
 	if err != nil {
 		pr.exit(NrRead, 0, 0)
 		return 0, err
 	}
-	if werr := pr.P.UAS.WriteBytes(ub.Addr, kbuf[:n]); werr != nil {
-		pr.exit(NrRead, 0, 0)
-		return 0, werr
-	}
-	pr.exit(NrRead, 0, n)
-	return n, nil
+	pr.exit(NrRead, 0, a.Out)
+	return int(n), nil
 }
 
 // readInternal reads into a kernel buffer (no boundary copy); Cosy's
@@ -111,14 +113,14 @@ func (pr *Proc) readInternal(fd int, kbuf []byte) (int, error) {
 // Write writes the user buffer at the descriptor's offset.
 func (pr *Proc) Write(fd int, ub UserBuf) (int, error) {
 	pr.enter(NrWrite, ub.Len)
-	kbuf := pr.kbuf(ub.Len)
-	if err := pr.P.UAS.ReadBytes(ub.Addr, kbuf); err != nil {
+	a := Args{Fd: fd, Buf: pr.P.UAS.View(ub.Addr, ub.Len)}
+	n, err := bodyWrite(pr, &a)
+	if !a.CopiedIn {
 		pr.exit(NrWrite, 0, 0)
 		return 0, err
 	}
-	n, err := pr.writeInternal(fd, kbuf)
 	pr.exit(NrWrite, ub.Len, 0)
-	return n, err
+	return int(n), err
 }
 
 func (pr *Proc) writeInternal(fd int, data []byte) (int, error) {
@@ -148,7 +150,8 @@ const (
 func (pr *Proc) Lseek(fd int, off int64, whence int) (int64, error) {
 	pr.enter(NrLseek, 0)
 	defer pr.exit(NrLseek, 0, 0)
-	return pr.lseekInternal(fd, off, whence)
+	a := Args{Fd: fd, Off: off, Whence: whence}
+	return bodyLseek(pr, &a)
 }
 
 func (pr *Proc) lseekInternal(fd int, off int64, whence int) (int64, error) {
@@ -180,13 +183,13 @@ func (pr *Proc) lseekInternal(fd int, off int64, whence int) (int64, error) {
 // Stat returns the attributes of path.
 func (pr *Proc) Stat(path string) (vfs.Attr, error) {
 	pr.enter(NrStat, len(path))
-	a, err := pr.statInternal(path)
-	if err != nil {
+	a := Args{Path: path}
+	if _, err := bodyStat(pr, &a); err != nil {
 		pr.exit(NrStat, len(path), 0)
 		return vfs.Attr{}, err
 	}
-	pr.exit(NrStat, len(path), vfs.StatSize)
-	return a, nil
+	pr.exit(NrStat, len(path), a.Out)
+	return a.Attr, nil
 }
 
 func (pr *Proc) statInternal(path string) (vfs.Attr, error) {
@@ -200,13 +203,13 @@ func (pr *Proc) statInternal(path string) (vfs.Attr, error) {
 // Fstat returns the attributes of an open descriptor.
 func (pr *Proc) Fstat(fd int) (vfs.Attr, error) {
 	pr.enter(NrFstat, 0)
-	a, err := pr.fstatInternal(fd)
-	if err != nil {
+	a := Args{Fd: fd}
+	if _, err := bodyFstat(pr, &a); err != nil {
 		pr.exit(NrFstat, 0, 0)
 		return vfs.Attr{}, err
 	}
-	pr.exit(NrFstat, 0, vfs.StatSize)
-	return a, nil
+	pr.exit(NrFstat, 0, a.Out)
+	return a.Attr, nil
 }
 
 func (pr *Proc) fstatInternal(fd int) (vfs.Attr, error) {
@@ -243,7 +246,9 @@ func (pr *Proc) Getdents(fd int) ([]vfs.DirEnt, error) {
 func (pr *Proc) Unlink(path string) error {
 	pr.enter(NrUnlink, len(path))
 	defer pr.exit(NrUnlink, len(path), 0)
-	return pr.unlinkInternal(path)
+	a := Args{Path: path}
+	_, err := bodyUnlink(pr, &a)
+	return err
 }
 
 func (pr *Proc) unlinkInternal(path string) error {
@@ -262,65 +267,36 @@ func (pr *Proc) unlinkInternal(path string) error {
 func (pr *Proc) Mkdir(path string) error {
 	pr.enter(NrMkdir, len(path))
 	defer pr.exit(NrMkdir, len(path), 0)
-	fs, parent, name, err := pr.K.NS.ResolveParent(pr.P, path)
-	if err != nil {
-		return err
-	}
-	id, err := fs.Mkdir(pr.P, parent, name)
-	if err != nil {
-		return err
-	}
-	pr.K.NS.Dc.Insert(pr.P, fs, parent, name, id)
-	return nil
+	a := Args{Path: path}
+	_, err := bodyMkdir(pr, &a)
+	return err
 }
 
 // Rmdir removes an empty directory.
 func (pr *Proc) Rmdir(path string) error {
 	pr.enter(NrRmdir, len(path))
 	defer pr.exit(NrRmdir, len(path), 0)
-	fs, parent, name, err := pr.K.NS.ResolveParent(pr.P, path)
-	if err != nil {
-		return err
-	}
-	if err := fs.Rmdir(pr.P, parent, name); err != nil {
-		return err
-	}
-	pr.K.NS.Dc.Invalidate(pr.P, fs, parent, name)
-	return nil
+	a := Args{Path: path}
+	_, err := bodyRmdir(pr, &a)
+	return err
 }
 
 // Rename moves oldPath to newPath (same file system only).
 func (pr *Proc) Rename(oldPath, newPath string) error {
 	pr.enter(NrRename, len(oldPath)+len(newPath))
 	defer pr.exit(NrRename, len(oldPath)+len(newPath), 0)
-	ofs, oparent, oname, err := pr.K.NS.ResolveParent(pr.P, oldPath)
-	if err != nil {
-		return err
-	}
-	nfs, nparent, nname, err := pr.K.NS.ResolveParent(pr.P, newPath)
-	if err != nil {
-		return err
-	}
-	if ofs != nfs {
-		return vfs.ErrInval
-	}
-	if err := ofs.Rename(pr.P, oparent, oname, nparent, nname); err != nil {
-		return err
-	}
-	pr.K.NS.Dc.Invalidate(pr.P, ofs, oparent, oname)
-	pr.K.NS.Dc.Invalidate(pr.P, nfs, nparent, nname)
-	return nil
+	a := Args{Path: oldPath, Path2: newPath}
+	_, err := bodyRename(pr, &a)
+	return err
 }
 
 // Fsync flushes the descriptor's file system.
 func (pr *Proc) Fsync(fd int) error {
 	pr.enter(NrFsync, 0)
 	defer pr.exit(NrFsync, 0, 0)
-	f, err := pr.file(fd)
-	if err != nil {
-		return err
-	}
-	return f.fs.Sync(pr.P)
+	a := Args{Fd: fd}
+	_, err := bodyFsync(pr, &a)
+	return err
 }
 
 // Getpid is the canonical null syscall, useful for measuring the
@@ -328,7 +304,9 @@ func (pr *Proc) Fsync(fd int) error {
 func (pr *Proc) Getpid() int {
 	pr.enter(NrGetpid, 0)
 	defer pr.exit(NrGetpid, 0, 0)
-	return pr.P.PID
+	a := Args{}
+	pid, _ := bodyGetpid(pr, &a)
+	return int(pid)
 }
 
 // chargeKernelCopy accounts a kernel-internal copy of n bytes.

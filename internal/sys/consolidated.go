@@ -57,67 +57,40 @@ func (pr *Proc) ReaddirPlus(path string) ([]NameAttr, error) {
 // into the user buffer, and closes — one crossing instead of three.
 func (pr *Proc) OpenReadClose(path string, ub UserBuf) (int, error) {
 	pr.enter(NrOpenReadClose, len(path))
-	fd, err := pr.openInternal(path, ORdonly)
+	a := Args{Path: path, Buf: pr.P.UAS.View(ub.Addr, ub.Len)}
+	n, err := bodyOpenReadClose(pr, &a)
 	if err != nil {
 		pr.exit(NrOpenReadClose, len(path), 0)
 		return 0, err
 	}
-	kbuf := make([]byte, ub.Len)
-	n, err := pr.readInternal(fd, kbuf)
-	cerr := pr.closeInternal(fd)
-	if err == nil {
-		err = cerr
-	}
-	if err != nil {
-		pr.exit(NrOpenReadClose, len(path), 0)
-		return 0, err
-	}
-	if werr := pr.P.UAS.WriteBytes(ub.Addr, kbuf[:n]); werr != nil {
-		pr.exit(NrOpenReadClose, len(path), 0)
-		return 0, werr
-	}
-	pr.exit(NrOpenReadClose, len(path), n)
-	return n, nil
+	pr.exit(NrOpenReadClose, len(path), a.Out)
+	return int(n), nil
 }
 
 // OpenWriteClose creates/truncates path, writes the user buffer, and
 // closes, in one crossing.
 func (pr *Proc) OpenWriteClose(path string, ub UserBuf) (int, error) {
 	pr.enter(NrOpenWriteClose, len(path)+ub.Len)
-	kbuf := make([]byte, ub.Len)
-	if err := pr.P.UAS.ReadBytes(ub.Addr, kbuf); err != nil {
+	a := Args{Path: path, Buf: pr.P.UAS.View(ub.Addr, ub.Len)}
+	n, err := bodyOpenWriteClose(pr, &a)
+	if !a.CopiedIn {
 		pr.exit(NrOpenWriteClose, len(path), 0)
 		return 0, err
-	}
-	fd, err := pr.openInternal(path, OCreate|OTrunc)
-	if err != nil {
-		pr.exit(NrOpenWriteClose, len(path), 0)
-		return 0, err
-	}
-	n, err := pr.writeInternal(fd, kbuf)
-	cerr := pr.closeInternal(fd)
-	if err == nil {
-		err = cerr
 	}
 	pr.exit(NrOpenWriteClose, len(path)+ub.Len, 0)
-	return n, err
+	return int(n), err
 }
 
 // OpenFstat opens path and returns both the descriptor and the
 // file's attributes, eliminating the separate fstat crossing.
 func (pr *Proc) OpenFstat(path string) (int, vfs.Attr, error) {
 	pr.enter(NrOpenFstat, len(path))
-	fd, err := pr.openInternal(path, ORdonly)
+	a := Args{Path: path}
+	fd, err := bodyOpenFstat(pr, &a)
 	if err != nil {
 		pr.exit(NrOpenFstat, len(path), 0)
 		return -1, vfs.Attr{}, err
 	}
-	a, err := pr.fstatInternal(fd)
-	if err != nil {
-		_ = pr.closeInternal(fd)
-		pr.exit(NrOpenFstat, len(path), 0)
-		return -1, vfs.Attr{}, err
-	}
-	pr.exit(NrOpenFstat, len(path), vfs.StatSize)
-	return fd, a, nil
+	pr.exit(NrOpenFstat, len(path), a.Out)
+	return int(fd), a.Attr, nil
 }

@@ -383,6 +383,19 @@ func (pr *Proc) KuCall(id int, args ...int64) (int64, error) {
 	pr.K.Ktrace.BeginOp(pr.P.PID, ktrace.OpKuCall)
 	defer pr.K.Ktrace.EndOp(pr.P.PID)
 	pr.enter(NrKuCall, in)
+	ret, err := pr.kuInvoke(id, args...)
+	pr.exit(NrKuCall, in, 8)
+	if err != nil {
+		return 0, err
+	}
+	return ret, nil
+}
+
+// kuInvoke is the in-kernel core of ku_call: run extension id's entry
+// point and charge its accumulated interpreter cost. The ku_call trap
+// wraps it; ring drains invoke it directly for anycall entries, so an
+// extension costs the same whether it was reached by trap or by ring.
+func (pr *Proc) kuInvoke(id int, args ...int64) (int64, error) {
 	var ret int64
 	var err error
 	ku := pr.K.Ku
@@ -417,9 +430,5 @@ func (pr *Proc) KuCall(id int, args ...int64) (int64, error) {
 			pr.chargeKu(cost)
 		}
 	}
-	pr.exit(NrKuCall, in, 8)
-	if err != nil {
-		return 0, err
-	}
-	return ret, nil
+	return ret, err
 }

@@ -50,6 +50,12 @@ const (
 	// in the kernel; NrKuCall invokes its entry point in one crossing.
 	NrKuLoad
 	NrKuCall
+	// NrRingSetup maps a kring SQ/CQ pair into both address spaces;
+	// NrRingEnter drains the whole submission queue in one crossing;
+	// NrRingClose tears the mapping down.
+	NrRingSetup
+	NrRingEnter
+	NrRingClose
 	nrCount
 )
 
@@ -58,7 +64,7 @@ var nrNames = [...]string{
 	"getdents", "creat", "unlink", "mkdir", "rmdir", "rename", "fsync",
 	"getpid", "readdirplus", "open_read_close", "open_write_close",
 	"open_fstat", "cosy", "probe_attach", "probe_read", "ku_load",
-	"ku_call",
+	"ku_call", "ring_setup", "ring_enter", "ring_close",
 }
 
 func (n Nr) String() string {

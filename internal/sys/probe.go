@@ -84,7 +84,7 @@ func (pr *Proc) ProbeRead(id int, ub UserBuf) (int, error) {
 	if err == nil {
 		if len(data) > ub.Len {
 			err = fmt.Errorf("sys: probe_read buffer too small (%d bytes, need %d)", ub.Len, len(data))
-		} else if werr := pr.P.UAS.WriteBytes(ub.Addr, data); werr != nil {
+		} else if werr := pr.P.UAS.View(ub.Addr, ub.Len).CopyOut(0, data); werr != nil {
 			err = werr
 		} else {
 			out = len(data)

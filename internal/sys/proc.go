@@ -24,6 +24,18 @@ type Kernel struct {
 	// boundary in each direction (copyin/copyout).
 	BytesIn, BytesOut int64
 
+	// RingOps counts SQEs dispatched by ring_enter drain loops; they
+	// are deliberately NOT in Calls, so TotalCalls stays a faithful
+	// count of boundary crossings. RingBytes counts payload bytes that
+	// moved at kernel-copy rate through ring data areas instead of
+	// crossing the boundary; RingOverflows counts completions lost (or
+	// staged blocks rejected) to a full CQ or pending queue.
+	RingOps, RingBytes, RingOverflows int64
+
+	// ringOps are kernel-extension ring op handlers (RegisterRingOp);
+	// consulted before the syscall registry during drains.
+	ringOps map[uint16]RingOpFunc
+
 	// Probes is the kprobe subsystem (nil on kernels booted without
 	// it); enter/exit dispatch its syscall tracepoints.
 	Probes *kprobe.Manager
@@ -119,6 +131,11 @@ type Proc struct {
 	// lastEnter is the clock at the current syscall's entry; exit
 	// taps and the syscall_exit tracepoint use it for span durations.
 	lastEnter sim.Cycles
+
+	// rings are the process's mapped krings by id (lookup only, never
+	// iterated — map order must not reach the simulation).
+	rings      map[int]*ringState
+	nextRingID int
 }
 
 // kbuf returns an n-byte kernel staging buffer, reusing the
@@ -160,7 +177,7 @@ func (pr *Proc) Poke(ub UserBuf, data []byte) error {
 	if len(data) > ub.Len {
 		return fmt.Errorf("sys: poke of %d bytes into %d-byte buffer", len(data), ub.Len)
 	}
-	return pr.P.UAS.WriteBytes(ub.Addr, data)
+	return pr.P.UAS.View(ub.Addr, ub.Len).CopyOut(0, data)
 }
 
 // Peek reads a user buffer's contents.
@@ -169,7 +186,7 @@ func (pr *Proc) Peek(ub UserBuf, n int) ([]byte, error) {
 		n = ub.Len
 	}
 	out := make([]byte, n)
-	if err := pr.P.UAS.ReadBytes(ub.Addr, out); err != nil {
+	if err := pr.P.UAS.View(ub.Addr, ub.Len).CopyIn(0, out); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -85,7 +85,7 @@ func (fs *FS) ensurePrivate(p *kernel.Process, id vfs.NodeID) error {
 		return err
 	}
 	var init [PrivateSize]byte
-	if err := fs.as.WriteBytes(addr, init[:]); err != nil {
+	if err := fs.as.View(addr, PrivateSize).CopyOut(0, init[:]); err != nil {
 		return err
 	}
 	fs.private[id] = addr
@@ -113,7 +113,7 @@ func (fs *FS) nameBuf(p *kernel.Process, name string) error {
 		return err
 	}
 	fs.NameAllocs++
-	if err := fs.as.WriteBytes(addr, append([]byte(name), 0)); err != nil {
+	if err := fs.as.View(addr, len(name)+1).CopyOut(0, append([]byte(name), 0)); err != nil {
 		return err
 	}
 	return fs.mem.Free(addr)
@@ -139,10 +139,11 @@ func (fs *FS) pageBuf(p *kernel.Process, n int) error {
 	}
 	fs.PageAllocs++
 	buf := make([]byte, size)
-	if err := fs.as.WriteBytes(addr, buf); err != nil {
+	v := fs.as.View(addr, size)
+	if err := v.CopyOut(0, buf); err != nil {
 		return err
 	}
-	if err := fs.as.ReadBytes(addr, buf); err != nil {
+	if err := v.CopyIn(0, buf); err != nil {
 		return err
 	}
 	return fs.mem.Free(addr)

@@ -1,0 +1,294 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/kring"
+	"repro/internal/sim"
+	"repro/internal/sys"
+)
+
+// OpPostmarkBatch is the traced-request granularity of the ring
+// variant: one request per ring_enter (a batch of transactions), the
+// analogue of OpPostmarkTxn on the classic path.
+const OpPostmarkBatch = "postmark.batch"
+
+// tag values for reconciling result-dependent stats at reap time.
+const (
+	pmTagOther uint64 = iota
+	pmTagRead
+)
+
+// nextPow2 rounds n up to a power of two (min 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+// pmRing is the submission state of PostMarkRing: a batch of
+// transactions staged as SQEs, flushed through one ring_enter.
+type pmRing struct {
+	pr     *sys.Proc
+	h      *sys.RingHandle
+	st     *PostMarkStats
+	batch  int // flush threshold in SQEs
+	pushed int
+	cursor int // data-area staging cursor, reset per flush
+}
+
+// putPath stages a pathname and returns its (off, len) window.
+func (r *pmRing) putPath(name string) (uint32, uint32, error) {
+	v, err := r.h.View(r.cursor, len(name))
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := v.CopyOut(0, []byte(name)); err != nil {
+		return 0, 0, err
+	}
+	off := uint32(r.cursor)
+	r.cursor += len(name)
+	return off, uint32(len(name)), nil
+}
+
+// reserve claims n payload bytes in the data area (contents are the
+// workload's to write — PostMark's payloads are uninitialized, as on
+// the classic path).
+func (r *pmRing) reserve(n int) uint32 {
+	off := uint32(r.cursor)
+	r.cursor += n
+	return off
+}
+
+// room flushes if the next transaction (up to 7 SQEs, dataNeed
+// payload bytes) would not fit the current batch.
+func (r *pmRing) room(sqes, dataNeed int) error {
+	if r.pushed+sqes > r.h.Entries() || r.cursor+dataNeed > r.h.DataLen() || r.pushed >= r.batch {
+		return r.flush()
+	}
+	return nil
+}
+
+// push stages one SQE.
+func (r *pmRing) push(e kring.SQE) error {
+	if err := r.h.Push(&e); err != nil {
+		return err
+	}
+	r.pushed++
+	return nil
+}
+
+// flush drains the staged batch in one crossing and reconciles the
+// result-dependent stats (read byte counts) from the CQEs.
+func (r *pmRing) flush() error {
+	if r.pushed == 0 {
+		return nil
+	}
+	r.pr.K.Ktrace.BeginOp(r.pr.P.PID, OpPostmarkBatch)
+	n, err := r.h.Enter()
+	r.pr.K.Ktrace.EndOp(r.pr.P.PID)
+	if err != nil {
+		return err
+	}
+	if int(n) != r.pushed {
+		return fmt.Errorf("postmark ring: flushed %d of %d entries", n, r.pushed)
+	}
+	for i := int64(0); i < n; i++ {
+		cqe, herr, err := r.h.Pop()
+		if err != nil {
+			return err
+		}
+		if herr != nil {
+			return herr
+		}
+		if cqe.UserTag == pmTagRead {
+			r.st.Read++
+			r.st.BytesRead += cqe.Res
+		}
+	}
+	r.pushed, r.cursor = 0, 0
+	return nil
+}
+
+// PostMarkRing runs the PostMark transaction mix through the kring
+// data plane: every transaction stages its system calls as SQEs
+// (descriptors flow between them via FlagFDRel, payloads ride the
+// shared data area), and batch SQEs share one ring_enter crossing.
+// The RNG draw sequence is identical to PostMark's, so the resulting
+// PostMarkStats must be bit-identical to the classic path's.
+func PostMarkRing(pr *sys.Proc, cfg PostMarkConfig, batch int) (PostMarkStats, error) {
+	var st PostMarkStats
+	rng := sim.NewRand(cfg.Seed)
+	if err := pr.Mkdir(cfg.Dir); err != nil {
+		return st, err
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	entries := nextPow2(batch)
+	if entries > kring.MaxEntries {
+		entries = kring.MaxEntries
+	}
+	if entries < 8 {
+		entries = 8 // a transaction is up to 7 SQEs
+	}
+	// Size the data area for the batch's payloads, but let the cursor
+	// check flush early rather than exceed the ring ceiling.
+	dataBytes := batch*(cfg.MaxSize+64) + 2*cfg.MaxSize + 8192
+	if dataBytes > sys.MaxRingData {
+		dataBytes = sys.MaxRingData
+	}
+	h, err := pr.RingSetup(entries, dataBytes)
+	if err != nil {
+		return st, err
+	}
+	r := &pmRing{pr: pr, h: h, st: &st, batch: batch}
+
+	var files []string
+	nextID := 0
+	create := func() error {
+		name := fmt.Sprintf("%s/f%06d", cfg.Dir, nextID)
+		nextID++
+		size := rng.Range(cfg.MinSize, cfg.MaxSize)
+		if err := r.room(3, len(name)+size); err != nil {
+			return err
+		}
+		pOff, pLen, err := r.putPath(name)
+		if err != nil {
+			return err
+		}
+		if err := r.push(kring.SQE{Op: uint16(sys.NrCreat), DataOff: pOff, DataLen: pLen}); err != nil {
+			return err
+		}
+		if err := r.push(kring.SQE{Op: uint16(sys.NrWrite), Flags: kring.FlagFDRel,
+			Args: [4]int64{1}, DataOff: r.reserve(size), DataLen: uint32(size)}); err != nil {
+			return err
+		}
+		if err := r.push(kring.SQE{Op: uint16(sys.NrClose), Flags: kring.FlagFDRel, Args: [4]int64{2}}); err != nil {
+			return err
+		}
+		files = append(files, name)
+		st.Created++
+		st.BytesWritten += int64(size)
+		return nil
+	}
+	remove := func() error {
+		if len(files) == 0 {
+			return nil
+		}
+		i := rng.Intn(len(files))
+		name := files[i]
+		files[i] = files[len(files)-1]
+		files = files[:len(files)-1]
+		if err := r.room(1, len(name)); err != nil {
+			return err
+		}
+		pOff, pLen, err := r.putPath(name)
+		if err != nil {
+			return err
+		}
+		if err := r.push(kring.SQE{Op: uint16(sys.NrUnlink), DataOff: pOff, DataLen: pLen}); err != nil {
+			return err
+		}
+		st.Deleted++
+		return nil
+	}
+
+	for i := 0; i < cfg.InitialFiles; i++ {
+		if err := create(); err != nil {
+			return st, err
+		}
+	}
+	for t := 0; t < cfg.Transactions; t++ {
+		if cfg.Think != nil {
+			if err := cfg.Think(pr); err != nil {
+				return st, err
+			}
+		} else {
+			pr.P.ChargeUser(cfg.UserThink)
+		}
+		// Half one: read or append an existing file.
+		if len(files) > 0 {
+			name := files[rng.Intn(len(files))]
+			if rng.Bool(cfg.ReadBias) {
+				if err := r.room(3, len(name)+cfg.MaxSize); err != nil {
+					return st, err
+				}
+				pOff, pLen, err := r.putPath(name)
+				if err != nil {
+					return st, err
+				}
+				if err := r.push(kring.SQE{Op: uint16(sys.NrOpen),
+					Args: [4]int64{int64(sys.ORdonly)}, DataOff: pOff, DataLen: pLen}); err != nil {
+					return st, err
+				}
+				// Read stats are result-dependent: tagged, settled at reap.
+				if err := r.push(kring.SQE{Op: uint16(sys.NrRead), Flags: kring.FlagFDRel,
+					Args: [4]int64{1}, DataOff: r.reserve(cfg.MaxSize),
+					DataLen: uint32(cfg.MaxSize), UserTag: pmTagRead}); err != nil {
+					return st, err
+				}
+				if err := r.push(kring.SQE{Op: uint16(sys.NrClose), Flags: kring.FlagFDRel, Args: [4]int64{2}}); err != nil {
+					return st, err
+				}
+			} else {
+				size := rng.Range(128, 2048)
+				if err := r.room(4, len(name)+size); err != nil {
+					return st, err
+				}
+				pOff, pLen, err := r.putPath(name)
+				if err != nil {
+					return st, err
+				}
+				if err := r.push(kring.SQE{Op: uint16(sys.NrOpen),
+					Args: [4]int64{int64(sys.OWronly)}, DataOff: pOff, DataLen: pLen}); err != nil {
+					return st, err
+				}
+				if err := r.push(kring.SQE{Op: uint16(sys.NrLseek), Flags: kring.FlagFDRel,
+					Args: [4]int64{1, 0, int64(sys.SeekEnd)}}); err != nil {
+					return st, err
+				}
+				if err := r.push(kring.SQE{Op: uint16(sys.NrWrite), Flags: kring.FlagFDRel,
+					Args: [4]int64{2}, DataOff: r.reserve(size), DataLen: uint32(size)}); err != nil {
+					return st, err
+				}
+				if err := r.push(kring.SQE{Op: uint16(sys.NrClose), Flags: kring.FlagFDRel, Args: [4]int64{3}}); err != nil {
+					return st, err
+				}
+				st.Appended++
+				st.BytesWritten += int64(size)
+			}
+		}
+		// Half two: create or delete.
+		if rng.Bool(cfg.CreateBias) {
+			if err := create(); err != nil {
+				return st, err
+			}
+		} else if err := remove(); err != nil {
+			return st, err
+		}
+	}
+	// Cleanup phase.
+	for _, name := range files {
+		if err := r.room(1, len(name)); err != nil {
+			return st, err
+		}
+		pOff, pLen, err := r.putPath(name)
+		if err != nil {
+			return st, err
+		}
+		if err := r.push(kring.SQE{Op: uint16(sys.NrUnlink), DataOff: pOff, DataLen: pLen}); err != nil {
+			return st, err
+		}
+		st.Deleted++
+	}
+	if err := r.flush(); err != nil {
+		return st, err
+	}
+	if err := h.Close(); err != nil {
+		return st, err
+	}
+	return st, pr.Rmdir(cfg.Dir)
+}

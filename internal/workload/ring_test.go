@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kgcc"
+	"repro/internal/sys"
+)
+
+// TestPostMarkRingMatchesClassic is the data-plane equivalence gate:
+// the ring variant replays the identical RNG-driven transaction mix,
+// so its PostMarkStats must be bit-identical to the classic path —
+// while spending far fewer boundary crossings.
+func TestPostMarkRingMatchesClassic(t *testing.T) {
+	cfg := DefaultPostMark()
+	cfg.InitialFiles, cfg.Transactions = 40, 150
+
+	classic := func() (PostMarkStats, int64) {
+		s := newSys(t, core.Options{})
+		var st PostMarkStats
+		s.Spawn("pm", func(pr *sys.Proc) error {
+			var err error
+			st, err = PostMark(pr, cfg)
+			return err
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return st, s.K.TotalCalls()
+	}
+	ringed := func(batch int) (PostMarkStats, int64) {
+		s := newSys(t, core.Options{})
+		var st PostMarkStats
+		s.Spawn("pmring", func(pr *sys.Proc) error {
+			var err error
+			st, err = PostMarkRing(pr, cfg, batch)
+			return err
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return st, s.K.TotalCalls()
+	}
+
+	cst, ccalls := classic()
+	for _, batch := range []int{1, 64, 512} {
+		rst, rcalls := ringed(batch)
+		if rst != cst {
+			t.Errorf("batch %d: stats diverge: classic %+v, ring %+v", batch, cst, rst)
+		}
+		if batch >= 64 && rcalls*10 > ccalls {
+			t.Errorf("batch %d: %d crossings vs classic %d — want >=10x reduction", batch, rcalls, ccalls)
+		}
+	}
+}
+
+// TestSeqScanRingVariants checks both batched-read and anycall-pumped
+// scans read the exact table the classic loop reads.
+func TestSeqScanRingVariants(t *testing.T) {
+	cfg := DefaultDB()
+	cfg.Records = 500
+
+	scan := func(fn func(pr *sys.Proc) (int64, error)) (int64, int64) {
+		s := newSys(t, core.Options{})
+		var total int64
+		s.Spawn("scan", func(pr *sys.Proc) error {
+			if err := DBSetup(pr, cfg); err != nil {
+				return err
+			}
+			var err error
+			total, err = fn(pr)
+			return err
+		})
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return total, s.K.TotalCalls()
+	}
+
+	want := dbSize(cfg)
+	classicTotal, classicCalls := scan(func(pr *sys.Proc) (int64, error) {
+		return SeqScanUser(pr, cfg)
+	})
+	if classicTotal != want {
+		t.Fatalf("classic scan read %d of %d bytes", classicTotal, want)
+	}
+
+	ringTotal, ringCalls := scan(func(pr *sys.Proc) (int64, error) {
+		return SeqScanRing(pr, cfg, 64)
+	})
+	if ringTotal != want {
+		t.Errorf("ring scan read %d of %d bytes", ringTotal, want)
+	}
+	if ringCalls >= classicCalls {
+		t.Errorf("ring scan crossings %d not below classic %d", ringCalls, classicCalls)
+	}
+
+	anyTotal, anyCalls := scan(func(pr *sys.Proc) (int64, error) {
+		ext, err := pr.KuLoad(sys.KuSpec{Source: PumpSource, Entry: PumpEntry, Checks: kgcc.KcheckOptions()})
+		if err != nil {
+			return 0, err
+		}
+		return SeqScanAnycall(pr, cfg, ext)
+	})
+	if anyTotal != want {
+		t.Errorf("anycall scan read %d of %d bytes", anyTotal, want)
+	}
+	if anyCalls >= ringCalls {
+		t.Errorf("anycall scan crossings %d not below batched ring's %d", anyCalls, ringCalls)
+	}
+}
